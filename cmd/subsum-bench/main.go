@@ -1,0 +1,134 @@
+// Command subsum-bench regenerates the tables and figures of the
+// subscription-summarization paper's evaluation (Section 5).
+//
+// Usage:
+//
+//	subsum-bench -experiment fig8|fig9|fig10|fig11|matching|fig7|table2|ablations|all
+//	             [-events N] [-sigmas 10,100,1000] [-csv] [-topology cw24|fig7|random]
+//
+// Each experiment prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the paper-versus-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/subsum/subsum/experiments"
+	"github.com/subsum/subsum/internal/metrics"
+	"github.com/subsum/subsum/internal/topology"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig8, fig9, fig10, fig11, matching, fig7, table2, ablations, or all")
+		events     = flag.Int("events", 1000, "events per broker for figure 10")
+		sigmas     = flag.String("sigmas", "", "comma-separated σ sweep override (e.g. 10,100,1000)")
+		topoName   = flag.String("topology", "cw24", "cw24, att33, fig7, or random:<n>:<extra>:<seed>")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		asCSV      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	cfg.EventsPerBroker = *events
+	cfg.Seed = *seed
+	if *sigmas != "" {
+		var parsed []int
+		for _, tok := range strings.Split(*sigmas, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || v < 1 {
+				fatalf("bad -sigmas value %q", tok)
+			}
+			parsed = append(parsed, v)
+		}
+		cfg.Sigmas = parsed
+	}
+	topo, err := parseTopology(*topoName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg.Topo = topo
+
+	show := func(tab *metrics.Table, err error) {
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if *asCSV {
+			fmt.Println(tab.CSV())
+		} else {
+			fmt.Println(tab)
+		}
+	}
+
+	run := map[string]func(){
+		"table1": func() { show(experiments.Table1(), nil) },
+		"table2": func() { show(experiments.Table2(cfg), nil) },
+		"fig7": func() {
+			out, err := experiments.Fig7Trace()
+			if err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Println(out)
+		},
+		"fig8":      func() { show(experiments.Fig8(cfg)) },
+		"fig9":      func() { show(experiments.Fig9(cfg)) },
+		"fig10":     func() { show(experiments.Fig10(cfg)) },
+		"fig11":     func() { show(experiments.Fig11(cfg)) },
+		"matching":  func() { show(experiments.MatchingCost(cfg)) },
+		"crosstopo": func() { show(experiments.CrossTopology(cfg)) },
+		"sizemodel": func() { show(experiments.SizeModelValidation(cfg)) },
+		"ablations": func() {
+			show(experiments.AblationForwarding(cfg))
+			show(experiments.AblationEqualityFolding(cfg))
+			show(experiments.AblationSubsumptionCombo(cfg))
+			show(experiments.AblationBatch(cfg))
+		},
+	}
+	order := []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "matching", "sizemodel", "crosstopo", "ablations"}
+
+	if *experiment == "all" {
+		for _, name := range order {
+			run[name]()
+		}
+		return
+	}
+	fn, ok := run[*experiment]
+	if !ok {
+		fatalf("unknown experiment %q (want one of %s, all)", *experiment, strings.Join(order, ", "))
+	}
+	fn()
+}
+
+func parseTopology(name string) (*topology.Graph, error) {
+	switch {
+	case name == "cw24":
+		return topology.CW24(), nil
+	case name == "att33":
+		return topology.ATT33(), nil
+	case name == "fig7":
+		return topology.Figure7Tree(), nil
+	case strings.HasPrefix(name, "random:"):
+		parts := strings.Split(name, ":")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("random topology wants random:<n>:<extra>:<seed>")
+		}
+		n, err1 := strconv.Atoi(parts[1])
+		extra, err2 := strconv.Atoi(parts[2])
+		seed, err3 := strconv.ParseInt(parts[3], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil || n < 2 {
+			return nil, fmt.Errorf("bad random topology spec %q", name)
+		}
+		return topology.Random(n, extra, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "subsum-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

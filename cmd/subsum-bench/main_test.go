@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestParseTopology(t *testing.T) {
+	g, err := parseTopology("cw24")
+	if err != nil || g.Len() != 24 {
+		t.Fatalf("cw24: %v %v", g, err)
+	}
+	g, err = parseTopology("att33")
+	if err != nil || g.Len() != 33 {
+		t.Fatalf("att33: %v %v", g, err)
+	}
+	g, err = parseTopology("fig7")
+	if err != nil || g.Len() != 13 {
+		t.Fatalf("fig7: %v %v", g, err)
+	}
+	g, err = parseTopology("random:20:5:7")
+	if err != nil || g.Len() != 20 || g.NumEdges() != 24 {
+		t.Fatalf("random: %v %v", g, err)
+	}
+	for _, in := range []string{"", "nope", "random:", "random:1:2:3", "random:x:2:3", "random:9:2"} {
+		if _, err := parseTopology(in); err == nil {
+			t.Errorf("parseTopology(%q) accepted", in)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Command subsum-topo inspects broker overlay topologies: prints size,
+// degree, and distance statistics, the degree histogram that drives
+// Algorithm 2's iteration schedule, and optionally Graphviz DOT output.
+//
+// Usage:
+//
+//	subsum-topo                       # stats for every built-in overlay
+//	subsum-topo -topology att33       # one overlay
+//	subsum-topo -topology cw24 -dot   # DOT to stdout (pipe into graphviz)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/subsum/subsum/internal/topology"
+)
+
+func main() {
+	var (
+		topoName = flag.String("topology", "", "cw24, att33, fig7, waxman:<n>:<seed>, random:<n>:<extra>:<seed>; empty = all built-ins")
+		dot      = flag.Bool("dot", false, "emit Graphviz DOT instead of statistics")
+	)
+	flag.Parse()
+
+	var graphs []*topology.Graph
+	if *topoName == "" {
+		graphs = []*topology.Graph{topology.CW24(), topology.ATT33(), topology.Figure7Tree()}
+	} else {
+		g, err := parse(*topoName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "subsum-topo: %v\n", err)
+			os.Exit(1)
+		}
+		graphs = []*topology.Graph{g}
+	}
+
+	for _, g := range graphs {
+		if *dot {
+			fmt.Print(g.DOT())
+			continue
+		}
+		describe(g)
+	}
+}
+
+func describe(g *topology.Graph) {
+	fmt.Println(g)
+	fmt.Printf("  diameter %d, mean pair distance %.2f hops\n", g.Diameter(), g.MeanPairHops())
+	// Degree histogram: the paper's Algorithm 2 runs one iteration per
+	// degree value, so this is also the propagation schedule.
+	hist := map[int]int{}
+	maxDeg := 0
+	for i := 0; i < g.Len(); i++ {
+		d := g.Degree(topology.NodeID(i))
+		hist[d]++
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	fmt.Print("  degree histogram:")
+	for d := 1; d <= maxDeg; d++ {
+		if hist[d] > 0 {
+			fmt.Printf(" %d×deg%d", hist[d], d)
+		}
+	}
+	fmt.Println()
+	order := g.NodesByDegreeDesc()
+	fmt.Printf("  Algorithm 3 examination order (first 5): %v\n\n", order[:min(5, len(order))])
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func parse(name string) (*topology.Graph, error) {
+	switch {
+	case name == "cw24":
+		return topology.CW24(), nil
+	case name == "att33":
+		return topology.ATT33(), nil
+	case name == "fig7":
+		return topology.Figure7Tree(), nil
+	case strings.HasPrefix(name, "waxman:"):
+		parts := strings.Split(name, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("waxman topology wants waxman:<n>:<seed>")
+		}
+		n, err1 := strconv.Atoi(parts[1])
+		seed, err2 := strconv.ParseInt(parts[2], 10, 64)
+		if err1 != nil || err2 != nil || n < 2 {
+			return nil, fmt.Errorf("bad waxman spec %q", name)
+		}
+		return topology.Waxman(n, 0.4, 0.15, seed), nil
+	case strings.HasPrefix(name, "random:"):
+		parts := strings.Split(name, ":")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("random topology wants random:<n>:<extra>:<seed>")
+		}
+		n, err1 := strconv.Atoi(parts[1])
+		extra, err2 := strconv.Atoi(parts[2])
+		seed, err3 := strconv.ParseInt(parts[3], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil || n < 2 {
+			return nil, fmt.Errorf("bad random spec %q", name)
+		}
+		return topology.Random(n, extra, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}

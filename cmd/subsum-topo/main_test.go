@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestParse(t *testing.T) {
+	cases := map[string]int{
+		"cw24":          24,
+		"att33":         33,
+		"fig7":          13,
+		"waxman:20:3":   20,
+		"random:15:4:2": 15,
+	}
+	for in, want := range cases {
+		g, err := parse(in)
+		if err != nil {
+			t.Errorf("parse(%q): %v", in, err)
+			continue
+		}
+		if g.Len() != want {
+			t.Errorf("parse(%q).Len() = %d, want %d", in, g.Len(), want)
+		}
+		if !g.Connected() {
+			t.Errorf("parse(%q) not connected", in)
+		}
+	}
+	for _, in := range []string{"", "bogus", "waxman:", "waxman:1:2", "waxman:x:2", "random:2:3"} {
+		if _, err := parse(in); err == nil {
+			t.Errorf("parse(%q) accepted", in)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Command subsum-workload emits synthetic subscriptions and events with
+// the statistical structure of the paper's evaluation (Table 2), for
+// feeding other tools or a running subsumd.
+//
+// Usage:
+//
+//	subsum-workload -kind subscriptions -n 100 -subsumption 0.5
+//	subsum-workload -kind events -n 100 -hit 0.5
+//	subsum-workload -kind schema
+//
+// Output is one textual subscription/event per line in the syntax accepted
+// by the wire protocol and ParseSubscription/ParseEvent; -json wraps each
+// line in a wire request object ready to pipe into `nc` against subsumd.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/workload"
+)
+
+func main() {
+	var (
+		kind        = flag.String("kind", "subscriptions", "subscriptions, events, or schema")
+		n           = flag.Int("n", 10, "how many to generate")
+		subsumption = flag.Float64("subsumption", 0.5, "subsumption probability for subscriptions")
+		hit         = flag.Float64("hit", 0.5, "canonical-value hit rate for events")
+		seed        = flag.Int64("seed", 1, "generator seed")
+		asJSON      = flag.Bool("json", false, "emit wire-protocol request objects")
+		broker      = flag.Int("broker", 0, "broker id for -json requests")
+	)
+	flag.Parse()
+	log.SetPrefix("subsum-workload: ")
+	log.SetFlags(0)
+
+	cfg := workload.DefaultConfig()
+	cfg.Subsumption = *subsumption
+	cfg.Seed = *seed
+	gen, err := workload.NewGenerator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := gen.Schema()
+	out := json.NewEncoder(os.Stdout)
+
+	switch *kind {
+	case "schema":
+		for _, a := range s.Attributes() {
+			fmt.Printf("%s:%s\n", a.Name, a.Type)
+		}
+	case "subscriptions":
+		for i := 0; i < *n; i++ {
+			text := gen.Subscription().Format(s)
+			if *asJSON {
+				if err := out.Encode(map[string]any{"op": "subscribe", "broker": *broker, "expr": text}); err != nil {
+					log.Fatal(err)
+				}
+			} else {
+				fmt.Println(text)
+			}
+		}
+	case "events":
+		for i := 0; i < *n; i++ {
+			ev := gen.Event(*hit)
+			text := formatEvent(s, ev)
+			if *asJSON {
+				if err := out.Encode(map[string]any{"op": "publish", "broker": *broker, "event": text}); err != nil {
+					log.Fatal(err)
+				}
+			} else {
+				fmt.Println(text)
+			}
+		}
+	default:
+		log.Fatalf("unknown -kind %q", *kind)
+	}
+}
+
+// formatEvent renders an event in the `attr=value` syntax ParseEvent and
+// the wire protocol accept.
+func formatEvent(s *schema.Schema, ev *schema.Event) string {
+	text := ""
+	for j, f := range ev.Fields() {
+		if j > 0 {
+			text += " "
+		}
+		name := s.Name(f.Attr)
+		if f.Value.Type.Arithmetic() {
+			text += fmt.Sprintf("%s=%g", name, f.Value.Num)
+		} else {
+			text += fmt.Sprintf("%s=%q", name, f.Value.Str)
+		}
+	}
+	return text
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/workload"
+)
+
+// TestFormatEventRoundTrips: every generated event formats into text that
+// ParseEvent accepts and that reproduces the same fields.
+func TestFormatEventRoundTrips(t *testing.T) {
+	gen, err := workload.NewGenerator(workload.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := gen.Schema()
+	for i := 0; i < 200; i++ {
+		ev := gen.Event(0.5)
+		text := formatEvent(s, ev)
+		back, err := schema.ParseEvent(s, text)
+		if err != nil {
+			t.Fatalf("ParseEvent(%q): %v", text, err)
+		}
+		if back.Len() != ev.Len() {
+			t.Fatalf("round trip lost fields: %q", text)
+		}
+		for _, f := range ev.Fields() {
+			v, ok := back.Value(f.Attr)
+			if !ok || !v.Equal(f.Value) {
+				t.Fatalf("round trip changed %s in %q", s.Name(f.Attr), text)
+			}
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Command subsumd runs a subscription-summarization broker network and
+// serves it to TCP clients over the line-delimited JSON protocol of
+// internal/wire.
+//
+// Usage:
+//
+//	subsumd -addr 127.0.0.1:7070 \
+//	        -schema "exchange:string,symbol:string,price:float,volume:int" \
+//	        -topology cw24 \
+//	        -propagate-every 5s
+//
+// Clients send one JSON object per line:
+//
+//	{"op":"subscribe","broker":3,"expr":"symbol = OTE && price < 8.70"}
+//	{"op":"publish","broker":0,"event":"symbol=OTE price=8.40"}
+//	{"op":"propagate"}
+//	{"op":"stats"}
+//
+// and receive replies plus pushed {"type":"delivery",...} lines for their
+// subscriptions. Try it interactively with `nc`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/subsum/subsum/internal/broker"
+	"github.com/subsum/subsum/internal/core"
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/subid"
+	"github.com/subsum/subsum/internal/topology"
+	"github.com/subsum/subsum/internal/wire"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7070", "listen address")
+		schemaStr = flag.String("schema", "exchange:string,symbol:string,when:date,price:float,volume:int,high:float,low:float",
+			"comma-separated name:type attribute list (types: string,int,float,date)")
+		topoName = flag.String("topology", "cw24", "cw24, fig7, or ring:<n>")
+		every    = flag.Duration("propagate-every", 5*time.Second, "summary propagation period (0 disables)")
+		exact    = flag.Bool("exact", false, "use exact AACS equality handling instead of the paper's lossy folding")
+		snapshot = flag.String("snapshot", "", "path to write a snapshot of all subscriptions on shutdown (and load on startup if present)")
+	)
+	flag.Parse()
+	log.SetPrefix("subsumd: ")
+	log.SetFlags(log.LstdFlags)
+
+	s, err := parseSchema(*schemaStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo, err := parseTopology(*topoName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mode := interval.Lossy
+	if *exact {
+		mode = interval.Exact
+	}
+	var network *core.Network
+	if *snapshot != "" {
+		if f, err := os.Open(*snapshot); err == nil {
+			// Restored subscriptions have no connected consumer; they are
+			// matched and counted but delivered nowhere until a client
+			// re-subscribes. Operators typically pair snapshots with
+			// durable consumer queues; this daemon logs instead.
+			network, err = core.LoadSnapshot(f, core.Config{Topology: topo, Mode: mode},
+				func(id subid.ID, sub *schema.Subscription) broker.DeliveryFunc {
+					return func(id subid.ID, ev *schema.Event) {
+						log.Printf("delivery for restored %v: %s", id, ev.Format(s))
+					}
+				})
+			f.Close()
+			if err != nil {
+				log.Fatalf("loading snapshot %s: %v", *snapshot, err)
+			}
+			log.Printf("restored snapshot from %s", *snapshot)
+			// The snapshot's schema is authoritative for the restored
+			// network; the -schema flag is ignored in that case.
+			s = network.Schema()
+			if _, err := network.Propagate(); err != nil {
+				log.Fatalf("rebuilding summaries: %v", err)
+			}
+		}
+	}
+	if network == nil {
+		var err error
+		network, err = core.New(core.Config{Topology: topo, Schema: s, Mode: mode})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	defer network.Close()
+
+	srv := wire.NewServer(network, s)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	log.Printf("listening on %s — %s, schema %s", bound, topo, s)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	if *every > 0 {
+		ticker := time.NewTicker(*every)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				hops, err := network.Propagate()
+				if err != nil {
+					log.Printf("propagation failed: %v", err)
+					continue
+				}
+				if hops > 0 {
+					log.Printf("propagation period: %d summary hops", hops)
+				}
+			}
+		}()
+	}
+
+	<-stop
+	if *snapshot != "" {
+		f, err := os.Create(*snapshot)
+		if err != nil {
+			log.Printf("snapshot: %v", err)
+		} else {
+			if err := network.SaveSnapshot(f); err != nil {
+				log.Printf("snapshot: %v", err)
+			}
+			f.Close()
+			log.Printf("snapshot written to %s", *snapshot)
+		}
+	}
+	log.Print("shutting down")
+}
+
+func parseSchema(spec string) (*schema.Schema, error) {
+	var attrs []schema.Attribute
+	for _, tok := range strings.Split(spec, ",") {
+		parts := strings.SplitN(strings.TrimSpace(tok), ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad attribute %q (want name:type)", tok)
+		}
+		t, err := schema.ParseType(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, schema.Attribute{Name: parts[0], Type: t})
+	}
+	return schema.New(attrs...)
+}
+
+func parseTopology(name string) (*topology.Graph, error) {
+	switch {
+	case name == "cw24":
+		return topology.CW24(), nil
+	case name == "fig7":
+		return topology.Figure7Tree(), nil
+	case strings.HasPrefix(name, "ring:"):
+		var n int
+		if _, err := fmt.Sscanf(name, "ring:%d", &n); err != nil || n < 3 {
+			return nil, fmt.Errorf("bad ring spec %q", name)
+		}
+		return topology.Ring(n), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}

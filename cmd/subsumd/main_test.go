@@ -1,0 +1,46 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/subsum/subsum/internal/schema"
+)
+
+func TestParseSchema(t *testing.T) {
+	s, err := parseSchema("a:string, b:int,c:float , d:date")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.TypeOf(0) != schema.TypeString || s.TypeOf(3) != schema.TypeDate {
+		t.Fatal("types wrong")
+	}
+	bad := []string{"", "a", "a:bogus", "a:int,a:int", ":int"}
+	for _, in := range bad {
+		if _, err := parseSchema(in); err == nil {
+			t.Errorf("parseSchema(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	g, err := parseTopology("cw24")
+	if err != nil || g.Len() != 24 {
+		t.Fatalf("cw24: %v %v", g, err)
+	}
+	g, err = parseTopology("fig7")
+	if err != nil || g.Len() != 13 {
+		t.Fatalf("fig7: %v %v", g, err)
+	}
+	g, err = parseTopology("ring:5")
+	if err != nil || g.Len() != 5 {
+		t.Fatalf("ring: %v %v", g, err)
+	}
+	for _, in := range []string{"", "bogus", "ring:2", "ring:x"} {
+		if _, err := parseTopology(in); err == nil {
+			t.Errorf("parseTopology(%q) accepted", in)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package subsum_test
+
+import (
+	"bytes"
+	"fmt"
+
+	subsum "github.com/subsum/subsum"
+)
+
+// ExampleParseSubscription shows the textual subscription language,
+// including the paper's pattern operators.
+func ExampleParseSubscription() {
+	s := subsum.MustSchema(
+		subsum.Attribute{Name: "exchange", Type: subsum.TypeString},
+		subsum.Attribute{Name: "symbol", Type: subsum.TypeString},
+		subsum.Attribute{Name: "price", Type: subsum.TypeFloat},
+	)
+	sub, err := subsum.ParseSubscription(s, `exchange = "N*SE" && symbol >* OT && price < 8.70`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sub.Format(s))
+	ev, _ := subsum.ParseEvent(s, `exchange=NYSE symbol=OTE price=8.40`)
+	fmt.Println(sub.Matches(ev))
+	// Output:
+	// exchange ~ "N*SE" && symbol >* "OT" && price < 8.7
+	// true
+}
+
+// ExampleSummary_Match runs the paper's Example 1: the Figure 2 event
+// against the two Figure 3 subscriptions, matched purely via the summary
+// structures (Algorithm 1).
+func ExampleSummary_Match() {
+	s := subsum.MustSchema(
+		subsum.Attribute{Name: "exchange", Type: subsum.TypeString},
+		subsum.Attribute{Name: "symbol", Type: subsum.TypeString},
+		subsum.Attribute{Name: "price", Type: subsum.TypeFloat},
+		subsum.Attribute{Name: "volume", Type: subsum.TypeInt},
+		subsum.Attribute{Name: "low", Type: subsum.TypeFloat},
+	)
+	sm := subsum.NewSummary(s, subsum.Lossy)
+	sub1, _ := subsum.ParseSubscription(s, `exchange = "N*SE" && symbol = OTE && price < 8.70 && price > 8.30`)
+	sub2, _ := subsum.ParseSubscription(s, `symbol >* OT && price = 8.20 && volume > 130000 && low < 8.05`)
+	_ = sm.Insert(subsum.SubscriptionID{Broker: 0, Local: 1}, sub1)
+	_ = sm.Insert(subsum.SubscriptionID{Broker: 0, Local: 2}, sub2)
+
+	ev, _ := subsum.ParseEvent(s, `exchange=NYSE symbol=OTE price=8.40 volume=132700 low=8.22`)
+	for _, id := range sm.Match(ev) {
+		fmt.Printf("matched subscription S%d\n", id.Local)
+	}
+	// Output:
+	// matched subscription S1
+}
+
+// ExampleRunPropagation reproduces the Figure 7 propagation walkthrough.
+func ExampleRunPropagation() {
+	g := subsum.ExampleTree13()
+	s := subsum.MustSchema(subsum.Attribute{Name: "x", Type: subsum.TypeFloat})
+	own := make([]*subsum.Summary, g.Len())
+	for i := range own {
+		own[i] = subsum.NewSummary(s, subsum.Lossy)
+		sub, _ := subsum.NewSubscription(s, subsum.Constraint{
+			Attr: 0, Op: subsum.OpEQ, Value: subsum.Float(float64(i)),
+		})
+		_ = own[i].Insert(subsum.SubscriptionID{Broker: subsum.BrokerID(i)}, sub)
+	}
+	res, err := subsum.RunPropagation(g, own)
+	if err != nil {
+		panic(err)
+	}
+	// Broker 5 (node 4) ends up knowing brokers 1-6, as the paper states.
+	fmt.Println("hops:", res.Hops)
+	fmt.Println("broker 5 coverage:", res.MergedBrokers[4].Count())
+	// Output:
+	// hops: 10
+	// broker 5 coverage: 6
+}
+
+// ExampleNetwork_SaveSnapshot persists a network and restores it.
+func ExampleNetwork_SaveSnapshot() {
+	s := subsum.MustSchema(subsum.Attribute{Name: "price", Type: subsum.TypeFloat})
+	net, _ := subsum.NewNetwork(subsum.NetworkConfig{Topology: subsum.RingOverlay(3), Schema: s})
+	defer net.Close()
+	sub, _ := subsum.ParseSubscription(s, `price > 5`)
+	_, _ = net.Subscribe(1, sub, func(subsum.SubscriptionID, *subsum.Event) {})
+
+	var buf bytes.Buffer
+	_ = net.SaveSnapshot(&buf)
+
+	restored, err := subsum.LoadSnapshot(&buf, subsum.NetworkConfig{Topology: subsum.RingOverlay(3)},
+		func(id subsum.SubscriptionID, sub *subsum.Subscription) subsum.DeliveryFunc {
+			return func(subsum.SubscriptionID, *subsum.Event) {}
+		})
+	if err != nil {
+		panic(err)
+	}
+	defer restored.Close()
+	fmt.Println("restored subscriptions:", restored.Broker(1).NumSubscriptions())
+	// Output:
+	// restored subscriptions: 1
+}

@@ -1,0 +1,83 @@
+// Loadbalance: the paper's Section 6 load-balancing extension in action.
+// Under plain Algorithm 3, the highest-degree broker is the first stop of
+// every event's examination chain and becomes a hotspot; with virtual
+// degrees, maximum-degree brokers advertise a capped degree, spreading the
+// examination load while keeping deliveries identical. This example runs
+// the same event stream through both deterministic routers and prints the
+// per-broker examination load.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	subsum "github.com/subsum/subsum"
+)
+
+func main() {
+	topo := subsum.Backbone24()
+	gen, err := subsum.NewWorkload(subsum.DefaultWorkload())
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := gen.Schema()
+
+	// One distinctive subscription per broker so routing has real content.
+	own := make([]*subsum.Summary, topo.Len())
+	for i := range own {
+		own[i] = subsum.NewSummary(s, subsum.Lossy)
+		id := subsum.SubscriptionID{Broker: subsum.BrokerID(i)}
+		if err := own[i].Insert(id, gen.Subscription()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	prop, err := subsum.RunPropagation(topo, own)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("propagation: %d hops across %d brokers\n\n", prop.Hops, topo.Len())
+
+	run := func(name string, cfg subsum.RouterConfig) {
+		router, err := subsum.NewRouter(topo, prop, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		visits := make([]int, topo.Len())
+		totalHops := 0
+		events := 0
+		for origin := 0; origin < topo.Len(); origin++ {
+			for e := 0; e < 200; e++ {
+				matchedInts := gen.MatchedBrokers(0.25, topo.Len())
+				matched := make([]subsum.NodeID, len(matchedInts))
+				for i, m := range matchedInts {
+					matched[i] = subsum.NodeID(m)
+				}
+				trace := router.Route(subsum.NodeID(origin), router.PopularityMatch(matched))
+				totalHops += trace.Hops()
+				for _, v := range trace.Visited {
+					visits[v]++
+				}
+				events++
+			}
+		}
+		total, max, hot := 0, 0, 0
+		for b, v := range visits {
+			total += v
+			if v > max {
+				max, hot = v, b
+			}
+		}
+		fmt.Printf("%-16s mean hops %.2f, hottest broker %d examined %d times (%.1f%% of all examinations)\n",
+			name, float64(totalHops)/float64(events), hot, max, 100*float64(max)/float64(total))
+		// A tiny histogram of examination load.
+		fmt.Print("                 load: ")
+		for _, v := range visits {
+			bar := v * 10 / (max + 1)
+			fmt.Print([]string{"·", "▁", "▂", "▃", "▄", "▅", "▆", "▇", "█", "█", "█"}[bar])
+		}
+		fmt.Println()
+	}
+
+	run("highest-degree", subsum.RouterConfig{Strategy: subsum.HighestDegree})
+	run("virtual-degree", subsum.RouterConfig{Strategy: subsum.VirtualDegree, VirtualDegreeCap: 3})
+}

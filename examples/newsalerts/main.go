@@ -1,0 +1,97 @@
+// Newsalerts: a string-heavy scenario exercising the SACS side of the
+// summaries — prefix (">*"), suffix ("*<"), containment ("*") and glob
+// subscriptions over news headlines. It also demonstrates SACS
+// generalization: many reader subscriptions collapse into a handful of
+// covering pattern rows, which the broker statistics make visible.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	subsum "github.com/subsum/subsum"
+)
+
+func main() {
+	s := subsum.MustSchema(
+		subsum.Attribute{Name: "section", Type: subsum.TypeString},
+		subsum.Attribute{Name: "source", Type: subsum.TypeString},
+		subsum.Attribute{Name: "headline", Type: subsum.TypeString},
+		subsum.Attribute{Name: "words", Type: subsum.TypeInt},
+	)
+	net, err := subsum.NewNetwork(subsum.NetworkConfig{
+		Topology: subsum.ExampleTree13(), // the paper's Figure 7 tree
+		Schema:   s,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+
+	type reader struct {
+		name   string
+		broker subsum.NodeID
+		query  string
+	}
+	readers := []reader{
+		{"tech-desk", 0, `section = tech && headline * "chip"`}, // containment
+		{"micro-corps", 3, `headline * "micro"`},                // containment
+		{"m-t-glob", 3, `source = "m*t"`},                       // the paper's m*t pattern
+		{"reuters-only", 7, `source >* reuters`},                // prefix
+		{"question-hunter", 9, `headline *< "?"`},               // suffix
+		{"long-reads", 12, `words > 2000`},                      // arithmetic for contrast
+		{"exact-source", 3, `source = micronet`},                // covered by m*t
+	}
+	var mu sync.Mutex
+	counts := make(map[string]int)
+	for _, r := range readers {
+		sub, err := subsum.ParseSubscription(s, r.query)
+		if err != nil {
+			log.Fatalf("%s: %v", r.name, err)
+		}
+		name := r.name
+		if _, err := net.Subscribe(r.broker, sub, func(_ subsum.SubscriptionID, ev *subsum.Event) {
+			mu.Lock()
+			counts[name]++
+			mu.Unlock()
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := net.Propagate(); err != nil {
+		log.Fatal(err)
+	}
+
+	stories := []string{
+		`section=tech source=reuters-tech headline="new chip breaks records" words=900`,
+		`section=tech source=micronet headline="microchip startup raises" words=1200`,
+		`section=biz source=microsoft headline="earnings beat estimates" words=800`,
+		`section=biz source=mint headline="is the rally over?" words=2400`,
+		`section=sports source=ap headline="cup final tonight" words=400`,
+	}
+	for i, text := range stories {
+		ev, err := subsum.ParseEvent(s, text)
+		if err != nil {
+			log.Fatalf("story %d: %v", i, err)
+		}
+		if err := net.Publish(subsum.NodeID(i%net.Len()), ev); err != nil {
+			log.Fatal(err)
+		}
+	}
+	net.Flush()
+
+	fmt.Println("deliveries per reader:")
+	for _, r := range readers {
+		mu.Lock()
+		fmt.Printf("  %-16s %d\n", r.name, counts[r.name])
+		mu.Unlock()
+	}
+
+	// Show the generalization at broker 3: three subscriptions
+	// (containment "micro", glob m*t, equality micronet) summarize into
+	// fewer pattern rows than subscriptions.
+	st := net.Broker(3).Stats()
+	fmt.Printf("\nbroker 3 summary: %d own subscriptions, %d summarized across %d merged brokers, %d model bytes\n",
+		st.OwnSubscriptions, st.MergedSummarySubs, st.MergedBrokerCount, st.ModelBytes)
+}

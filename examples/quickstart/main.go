@@ -1,0 +1,73 @@
+// Quickstart: a minimal publish/subscribe round trip through the public
+// API — build a broker overlay, subscribe at one broker, propagate the
+// subscription summaries (Algorithm 2), publish events at another broker,
+// and watch Algorithm 3 deliver exactly the matching ones.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	subsum "github.com/subsum/subsum"
+)
+
+func main() {
+	// The global schema every broker agrees on (paper Section 3).
+	s := subsum.MustSchema(
+		subsum.Attribute{Name: "symbol", Type: subsum.TypeString},
+		subsum.Attribute{Name: "price", Type: subsum.TypeFloat},
+	)
+
+	// A 24-broker overlay shaped like the paper's evaluation backbone.
+	net, err := subsum.NewNetwork(subsum.NetworkConfig{
+		Topology: subsum.Backbone24(),
+		Schema:   s,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+
+	// A consumer attached to broker 3 wants OTE quotes in a price band.
+	sub, err := subsum.ParseSubscription(s, `symbol = OTE && price > 8.30 && price < 8.70`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var mu sync.Mutex
+	id, err := net.Subscribe(3, sub, func(id subsum.SubscriptionID, ev *subsum.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Printf("delivered to %v: %s\n", id, ev.Format(s))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("subscribed as %v: %s\n", id, sub.Format(s))
+
+	// One propagation period spreads the summaries (Algorithm 2).
+	hops, err := net.Propagate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("summaries propagated in %d hops (fewer than %d brokers)\n", hops, net.Len())
+
+	// Publish three events at a distant broker; only one matches.
+	for _, text := range []string{
+		`symbol=OTE price=8.40`, // match
+		`symbol=OTE price=9.10`, // price outside the band
+		`symbol=IBM price=8.40`, // wrong symbol
+	} {
+		ev, err := subsum.ParseEvent(s, text)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := net.Publish(17, ev); err != nil {
+			log.Fatal(err)
+		}
+	}
+	net.Flush()
+
+	st := net.Stats()
+	fmt.Printf("bus traffic: %d messages, %d bytes\n", st.TotalMessages(), st.TotalBytes())
+}

@@ -1,0 +1,118 @@
+// Stockticker: the paper's own motivating scenario (Figures 2 and 3) at a
+// realistic scale. Brokers across a 24-node backbone serve traders whose
+// subscriptions mix arithmetic bands (price, volume) and string patterns
+// (exchange "N*SE", symbol prefixes); a market feed publishes quote events
+// from several brokers, and every trader receives exactly the quotes their
+// subscription matches — no false deliveries despite the lossy summaries.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"sync"
+
+	subsum "github.com/subsum/subsum"
+)
+
+// trader is one consumer with a subscription and a delivery count.
+type trader struct {
+	name   string
+	broker subsum.NodeID
+	query  string
+
+	mu    sync.Mutex
+	count int
+	last  string
+}
+
+func main() {
+	s := subsum.MustSchema(
+		subsum.Attribute{Name: "exchange", Type: subsum.TypeString},
+		subsum.Attribute{Name: "symbol", Type: subsum.TypeString},
+		subsum.Attribute{Name: "when", Type: subsum.TypeDate},
+		subsum.Attribute{Name: "price", Type: subsum.TypeFloat},
+		subsum.Attribute{Name: "volume", Type: subsum.TypeInt},
+		subsum.Attribute{Name: "high", Type: subsum.TypeFloat},
+		subsum.Attribute{Name: "low", Type: subsum.TypeFloat},
+	)
+	net, err := subsum.NewNetwork(subsum.NetworkConfig{
+		Topology: subsum.Backbone24(),
+		Schema:   s,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+
+	traders := []*trader{
+		// The paper's Subscription 1: N*SE exchanges, OTE in a price band.
+		{name: "figure3-sub1", broker: 2, query: `exchange = "N*SE" && symbol = OTE && price < 8.70 && price > 8.30`},
+		// The paper's Subscription 2: symbol prefix, exact price, volume floor.
+		{name: "figure3-sub2", broker: 19, query: `symbol >* OT && price = 8.20 && volume > 130000 && low < 8.05`},
+		{name: "momentum", broker: 7, query: `volume > 500000 && price > 50`},
+		{name: "penny-watcher", broker: 11, query: `price < 1.00`},
+		{name: "lse-only", broker: 14, query: `exchange = LSE`},
+		{name: "tech-prefix", broker: 23, query: `symbol >* MICRO && price < 40`},
+	}
+	for _, tr := range traders {
+		sub, err := subsum.ParseSubscription(s, tr.query)
+		if err != nil {
+			log.Fatalf("%s: %v", tr.name, err)
+		}
+		tr := tr
+		if _, err := net.Subscribe(tr.broker, sub, func(_ subsum.SubscriptionID, ev *subsum.Event) {
+			tr.mu.Lock()
+			tr.count++
+			tr.last = ev.Format(s)
+			tr.mu.Unlock()
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	hops, err := net.Propagate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("propagated %d subscriptions in %d summary hops\n\n", len(traders), hops)
+
+	// A deterministic market feed: the Figure 2 event plus generated quotes.
+	rng := rand.New(rand.NewSource(7))
+	quotes := []string{
+		`exchange=NYSE symbol=OTE when=1057061125 price=8.40 volume=132700 high=8.80 low=8.22`,
+	}
+	symbols := []string{"OTE", "MICROSOFT", "MICRONET", "IBM", "ACME"}
+	exchanges := []string{"NYSE", "LSE", "NASDAQ", "OSE"}
+	for i := 0; i < 400; i++ {
+		quotes = append(quotes, fmt.Sprintf(
+			"exchange=%s symbol=%s price=%.2f volume=%d",
+			exchanges[rng.Intn(len(exchanges))],
+			symbols[rng.Intn(len(symbols))],
+			rng.Float64()*100,
+			rng.Intn(1_000_000),
+		))
+	}
+	for i, q := range quotes {
+		ev, err := subsum.ParseEvent(s, q)
+		if err != nil {
+			log.Fatalf("quote %d: %v", i, err)
+		}
+		if err := net.Publish(subsum.NodeID(i%net.Len()), ev); err != nil {
+			log.Fatal(err)
+		}
+	}
+	net.Flush()
+
+	sort.Slice(traders, func(i, j int) bool { return traders[i].name < traders[j].name })
+	fmt.Printf("%-14s %-7s %-9s %s\n", "trader", "broker", "delivered", "last event")
+	for _, tr := range traders {
+		tr.mu.Lock()
+		fmt.Printf("%-14s %-7d %-9d %s\n", tr.name, tr.broker, tr.count, tr.last)
+		tr.mu.Unlock()
+	}
+	st := net.Stats()
+	fmt.Printf("\n%d quotes routed with %d messages (%d bytes) on the bus\n",
+		len(quotes), st.TotalMessages(), st.TotalBytes())
+}

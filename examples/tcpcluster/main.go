@@ -1,0 +1,105 @@
+// Tcpcluster: the system over real TCP sockets. A wire.Server hosts the
+// broker network; two independent clients connect over loopback, one
+// subscribing at two different brokers, the other publishing — deliveries
+// stream back over the subscriber's connection as JSON lines.
+//
+// This is the same protocol cmd/subsumd speaks, so everything here can be
+// reproduced against a standalone daemon with `nc`.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"github.com/subsum/subsum/internal/core"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/topology"
+	"github.com/subsum/subsum/internal/wire"
+)
+
+func main() {
+	s := schema.MustNew(
+		schema.Attribute{Name: "region", Type: schema.TypeString},
+		schema.Attribute{Name: "service", Type: schema.TypeString},
+		schema.Attribute{Name: "latency_ms", Type: schema.TypeFloat},
+	)
+	network, err := core.New(core.Config{Topology: topology.CW24(), Schema: s})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer network.Close()
+
+	srv := wire.NewServer(network, s)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Println("wire server on", addr)
+
+	// Subscriber client: alerts for slow requests in two regions.
+	var mu sync.Mutex
+	var alerts []string
+	subscriber, err := wire.Dial(addr, func(broker int, local uint32, event string) {
+		mu.Lock()
+		alerts = append(alerts, fmt.Sprintf("broker %d sub %d: %s", broker, local, event))
+		mu.Unlock()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer subscriber.Close()
+	if _, _, err := subscriber.Subscribe(4, `region = us-east && latency_ms > 250`); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := subscriber.Subscribe(21, `service >* auth && latency_ms > 100`); err != nil {
+		log.Fatal(err)
+	}
+	hops, err := subscriber.Propagate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("summaries propagated in %d hops\n", hops)
+
+	// Publisher client: a burst of latency samples from various brokers.
+	publisher, err := wire.Dial(addr, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer publisher.Close()
+	samples := []struct {
+		broker int
+		event  string
+	}{
+		{0, `region=us-east service=search latency_ms=300`},   // matches sub 1
+		{9, `region=us-east service=search latency_ms=120`},   // too fast
+		{17, `region=eu-west service=auth-v2 latency_ms=180`}, // matches sub 2
+		{12, `region=us-east service=auth-v2 latency_ms=400`}, // matches both
+		{3, `region=ap-south service=billing latency_ms=90`},  // matches none
+	}
+	for _, smp := range samples {
+		if err := publisher.Publish(smp.broker, smp.event); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Publish waits for routing; one subscriber round trip flushes the
+	// delivery stream ordering.
+	if err := subscriber.Ping(); err != nil {
+		log.Fatal(err)
+	}
+
+	mu.Lock()
+	fmt.Printf("received %d alerts:\n", len(alerts))
+	for _, a := range alerts {
+		fmt.Println(" ", a)
+	}
+	mu.Unlock()
+
+	stats, err := publisher.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server stats: %d summary msgs (%d bytes), %d event msgs, %d deliveries\n",
+		stats["summary_messages"], stats["summary_bytes"], stats["event_messages"], stats["deliver_messages"])
+}

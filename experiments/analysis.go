@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/metrics"
+	"github.com/subsum/subsum/internal/subid"
+	"github.com/subsum/subsum/internal/summary"
+	"github.com/subsum/subsum/internal/workload"
+)
+
+// SizeModelValidation reproduces Section 5.1, the paper's closed-form
+// bandwidth analysis: equations (1) and (2) predict a per-broker summary's
+// size from the workload parameters alone; this experiment builds real
+// summaries and compares the analytic prediction against the measured
+// cost-model size.
+//
+// With σ subscriptions per broker at subsumption probability p, each of
+// the n_t/2 constrained attributes is hit by ≈ σ·(n_t/2)/n_t = σ/2
+// subscriptions:
+//
+//	AACS (eq. 1):  Σ_attrs [ 2·n_sr·s_st + n_e·s_st + L_a·s_id ]
+//	  with n_sr = min(canonical ranges, subsumed hits),
+//	  n_e ≈ (1−p)·σ/2 (every non-subsumed constraint is a fresh equality),
+//	  L_a ≈ σ/2 (each subscription's id appears once per attribute).
+//	SACS (eq. 2):  Σ_attrs [ n_r·(s_sv+1) + L_s·s_id ]
+//	  with n_r ≈ (1−p)·σ/2 + covering-pattern rows, L_s ≈ σ/2.
+func SizeModelValidation(cfg Config) (*metrics.Table, error) {
+	tab := metrics.NewTable(
+		"Section 5.1 — analytic size model vs measured (one broker)",
+		"sigma", "subsumption%", "predicted B", "measured B", "error%")
+	for _, sigma := range []int{100, 500, 1000} {
+		for _, p := range []float64{0.10, 0.50, 0.90} {
+			wcfg := cfg.Workload
+			wcfg.Subsumption = p
+			wcfg.Seed = cfg.Seed + int64(sigma) + int64(p*1000)
+			gen, err := workload.NewGenerator(wcfg)
+			if err != nil {
+				return nil, err
+			}
+			sm := summary.New(gen.Schema(), interval.Lossy)
+			for j := 0; j < sigma; j++ {
+				id := subid.ID{Broker: 1, Local: subid.LocalID(j)}
+				if err := sm.Insert(id, gen.Subscription()); err != nil {
+					return nil, err
+				}
+			}
+			measured := float64(sm.SizeBytes(cfg.SST, cfg.SID))
+			predicted := predictSize(wcfg, sigma, p, cfg.SST, cfg.SID)
+			tab.AddRow(sigma, int(p*100), predicted, measured,
+				100*(measured-predicted)/measured)
+		}
+	}
+	return tab, nil
+}
+
+// predictSize evaluates equations (1) and (2) from workload parameters.
+func predictSize(w workload.Config, sigma int, p float64, sst, sid int) float64 {
+	nArith := float64(w.NumAttrs) * w.ArithFraction
+	nStr := float64(w.NumAttrs) - nArith
+	hitsPerAttr := float64(sigma) * float64(w.AttrsPerSub) / float64(w.NumAttrs)
+
+	// Equation (1), per arithmetic attribute.
+	nsr := float64(w.NumRanges)
+	if subsumedHits := p * hitsPerAttr; subsumedHits < nsr {
+		nsr = subsumedHits
+	}
+	ne := (1 - p) * hitsPerAttr
+	la := hitsPerAttr
+	aacs := nArith * (2*nsr*float64(sst) + ne*float64(sst) + la*float64(sid))
+
+	// Equation (2), per string attribute: non-subsumed constraints are
+	// fresh equality rows; subsumed ones collapse into the ≈ NumPatterns
+	// covering prefix rows (the generator emits the prefix itself on 20%
+	// of subsumed draws, after which all values under it fold into one
+	// row), leaving n_r ≈ (1−p)·hits + NumPatterns.
+	nr := (1-p)*hitsPerAttr + float64(w.NumPatterns)
+	ls := hitsPerAttr
+	sacs := nStr * (nr*float64(w.StringLen+1) + ls*float64(sid))
+
+	return aacs + sacs
+}

@@ -1,0 +1,3 @@
+module github.com/subsum/subsum
+
+go 1.22

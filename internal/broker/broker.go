@@ -1,0 +1,363 @@
+// Package broker implements a single broker node of the live engine: the
+// raw subscription store with exact matching (consumers are attached
+// here), the broker's own summary delta for the next propagation period,
+// and the multi-broker merged summary plus Merged_Brokers set maintained
+// by Algorithm 2.
+//
+// The summary structures are the lossy pre-filter used for routing; before
+// notifying a consumer, the owning broker re-matches the event against the
+// raw subscription, so consumers never receive spurious events.
+package broker
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/siena"
+	"github.com/subsum/subsum/internal/subid"
+	"github.com/subsum/subsum/internal/summary"
+	"github.com/subsum/subsum/internal/topology"
+)
+
+// DeliveryFunc is invoked for every event matching a subscription, on the
+// owning broker's handler goroutine. Implementations must not block for
+// long and must not call back into the Broker.
+type DeliveryFunc func(id subid.ID, ev *schema.Event)
+
+// subEntry is one raw subscription with its consumer.
+type subEntry struct {
+	id      subid.ID
+	sub     *schema.Subscription
+	deliver DeliveryFunc
+}
+
+// Broker is one node's state. All methods are safe for concurrent use.
+type Broker struct {
+	id     topology.NodeID
+	schema *schema.Schema
+	mode   interval.Mode
+
+	mu            sync.Mutex
+	subs          map[subid.LocalID]*subEntry
+	nextLocal     subid.LocalID
+	maxLocal      subid.LocalID
+	delta         *summary.Summary // new subscriptions since the last TakeDelta
+	merged        *summary.Summary // own + received (multi-broker summary)
+	mergedBrokers subid.Mask       // Merged_Brokers
+	communicated  map[topology.NodeID]bool
+	filter        *siena.SubsumptionFilter // nil unless delta filtering is on
+	filteredSubs  int                      // subscriptions kept out of deltas
+}
+
+// Config parametrizes a broker.
+type Config struct {
+	ID         topology.NodeID
+	Schema     *schema.Schema
+	Mode       interval.Mode
+	NumBrokers int
+	// MaxSubscriptions bounds c2 (0 means no bound).
+	MaxSubscriptions int
+	// FilterSubsumedDeltas enables the Section 6 summarization+subsumption
+	// combination: subscriptions subsumed by an already-propagated
+	// subscription of this broker are kept out of future deltas (they are
+	// still matched locally and delivered via the subsuming subscription's
+	// routing).
+	FilterSubsumedDeltas bool
+	// FilterHistory bounds the filter's retained subscriptions (0 =
+	// unbounded). Only used with FilterSubsumedDeltas.
+	FilterHistory int
+}
+
+// New creates an empty broker.
+func New(cfg Config) (*Broker, error) {
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("broker: nil schema")
+	}
+	if cfg.NumBrokers < 1 || int(cfg.ID) >= cfg.NumBrokers {
+		return nil, fmt.Errorf("broker: id %d out of range (%d brokers)", cfg.ID, cfg.NumBrokers)
+	}
+	maxLocal := subid.LocalID(^uint32(0))
+	if cfg.MaxSubscriptions > 0 {
+		maxLocal = subid.LocalID(cfg.MaxSubscriptions - 1)
+	}
+	b := &Broker{
+		id:            cfg.ID,
+		schema:        cfg.Schema,
+		mode:          cfg.Mode,
+		subs:          make(map[subid.LocalID]*subEntry),
+		maxLocal:      maxLocal,
+		delta:         summary.New(cfg.Schema, cfg.Mode),
+		merged:        summary.New(cfg.Schema, cfg.Mode),
+		mergedBrokers: subid.NewMask(cfg.NumBrokers),
+		communicated:  make(map[topology.NodeID]bool),
+	}
+	b.mergedBrokers.Set(int(cfg.ID))
+	if cfg.FilterSubsumedDeltas {
+		b.filter = siena.NewSubsumptionFilter(cfg.Schema, cfg.FilterHistory)
+	}
+	return b, nil
+}
+
+// ID returns the broker's overlay node id.
+func (b *Broker) ID() topology.NodeID { return b.id }
+
+// Subscribe registers a consumer subscription, assigns it the next local
+// id, and folds it into both the delta (for the next propagation period)
+// and the local merged summary.
+func (b *Broker) Subscribe(sub *schema.Subscription, deliver DeliveryFunc) (subid.ID, error) {
+	if sub == nil || deliver == nil {
+		return subid.ID{}, fmt.Errorf("broker: nil subscription or delivery func")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.nextLocal > b.maxLocal {
+		return subid.ID{}, fmt.Errorf("broker %d: subscription id space exhausted (c2)", b.id)
+	}
+	id := subid.ID{Broker: subid.BrokerID(b.id), Local: b.nextLocal, Attrs: subid.NewMask(b.schema.Len())}
+	for _, a := range sub.AttrSet() {
+		id.Attrs.Set(int(a))
+	}
+	// Section 6 combination: a subscription subsumed by one this broker
+	// already propagates need not enter the delta at all — events matching
+	// it match the subsuming subscription too, so they still reach us.
+	skipDelta := b.filter != nil && b.filter.Subsumed(sub)
+	if skipDelta {
+		b.filteredSubs++
+	} else {
+		if err := b.delta.Insert(id, sub); err != nil {
+			return subid.ID{}, err
+		}
+		if b.filter != nil {
+			b.filter.Add(sub)
+		}
+	}
+	if err := b.merged.Insert(id, sub); err != nil {
+		return subid.ID{}, fmt.Errorf("broker %d: delta/merged diverged: %w", b.id, err)
+	}
+	b.nextLocal++
+	b.subs[id.Local] = &subEntry{id: id, sub: sub, deliver: deliver}
+	return id, nil
+}
+
+// RawSub exposes one owned subscription for snapshotting.
+type RawSub struct {
+	Local subid.LocalID
+	Sub   *schema.Subscription
+}
+
+// SnapshotSubscriptions returns the broker's raw subscriptions sorted by
+// local id (the durable state a snapshot persists; summaries are derived).
+func (b *Broker) SnapshotSubscriptions() []RawSub {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]RawSub, 0, len(b.subs))
+	for local, e := range b.subs {
+		out = append(out, RawSub{Local: local, Sub: e.sub})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Local < out[j].Local })
+	return out
+}
+
+// Restore re-registers a subscription under its original local id (used
+// when loading a snapshot). The id must not be in use; nextLocal advances
+// past it so future Subscribe calls never collide.
+func (b *Broker) Restore(local subid.LocalID, sub *schema.Subscription, deliver DeliveryFunc) error {
+	if sub == nil || deliver == nil {
+		return fmt.Errorf("broker: nil subscription or delivery func")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.subs[local]; ok {
+		return fmt.Errorf("broker %d: local id %d already in use", b.id, local)
+	}
+	if local > b.maxLocal {
+		return fmt.Errorf("broker %d: local id %d exceeds c2 capacity", b.id, local)
+	}
+	id := subid.ID{Broker: subid.BrokerID(b.id), Local: local, Attrs: subid.NewMask(b.schema.Len())}
+	for _, a := range sub.AttrSet() {
+		id.Attrs.Set(int(a))
+	}
+	if err := b.delta.Insert(id, sub); err != nil {
+		return err
+	}
+	if err := b.merged.Insert(id, sub); err != nil {
+		return fmt.Errorf("broker %d: delta/merged diverged: %w", b.id, err)
+	}
+	if b.filter != nil {
+		b.filter.Add(sub)
+	}
+	if local >= b.nextLocal {
+		b.nextLocal = local + 1
+	}
+	b.subs[local] = &subEntry{id: id, sub: sub, deliver: deliver}
+	return nil
+}
+
+// Unsubscribe removes a subscription locally (summary maintenance). Remote
+// merged summaries are corrected lazily: stale remote entries only cost a
+// spurious delivery attempt, which the exact re-match here drops.
+func (b *Broker) Unsubscribe(id subid.ID) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.subs[id.Local]; !ok || subid.BrokerID(b.id) != id.Broker {
+		return fmt.Errorf("broker %d: unknown subscription %v", b.id, id)
+	}
+	delete(b.subs, id.Local)
+	b.delta.Remove(id)
+	b.merged.Remove(id)
+	// Defragment the AACS rows churn leaves behind (cheap: linear in rows).
+	b.merged.Compact()
+	return nil
+}
+
+// NumSubscriptions returns the number of locally owned raw subscriptions.
+func (b *Broker) NumSubscriptions() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// TakeDelta returns the summary of subscriptions accumulated since the
+// previous call and resets the delta (the per-period batch of σ
+// subscriptions that Algorithm 2 propagates).
+func (b *Broker) TakeDelta() *summary.Summary {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	d := b.delta
+	b.delta = summary.New(b.schema, b.mode)
+	return d
+}
+
+// MergeSummary folds a received multi-broker summary and its
+// Merged_Brokers set into the broker's merged state.
+func (b *Broker) MergeSummary(sum *summary.Summary, brokers subid.Mask) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.merged.Merge(sum); err != nil {
+		return err
+	}
+	for _, i := range brokers.Bits() {
+		b.mergedBrokers.Set(i)
+	}
+	return nil
+}
+
+// SnapshotMerged returns deep copies of the merged summary and
+// Merged_Brokers set (what Algorithm 2 sends to the chosen neighbor).
+func (b *Broker) SnapshotMerged() (*summary.Summary, subid.Mask) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.merged.Clone(), b.mergedBrokers.Clone()
+}
+
+// MergedBrokers returns a copy of the broker's Merged_Brokers set.
+func (b *Broker) MergedBrokers() subid.Mask {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.mergedBrokers.Clone()
+}
+
+// ChooseTarget picks the Algorithm 2 send target among the broker's
+// neighbors: degree ≥ the broker's own, not yet communicated with,
+// preferring the smallest *strictly higher* degree and falling back to an
+// equal-degree neighbor (smallest id). See propagation.pickTarget for why
+// strictly-higher neighbors come first. It records the communication.
+func (b *Broker) ChooseTarget(g *topology.Graph) (topology.NodeID, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	own := g.Degree(b.id)
+	best := topology.NodeID(-1)
+	bestDegree := 0
+	for _, m := range g.Neighbors(b.id) {
+		d := g.Degree(m)
+		if d <= own || b.communicated[m] {
+			continue
+		}
+		if best < 0 || d < bestDegree || (d == bestDegree && m < best) {
+			best, bestDegree = m, d
+		}
+	}
+	if best < 0 {
+		for _, m := range g.Neighbors(b.id) {
+			if g.Degree(m) == own && !b.communicated[m] {
+				best = m
+				break
+			}
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	b.communicated[best] = true
+	return best, true
+}
+
+// ResetPeriod clears the communicated-with set at the start of a new
+// propagation phase ("has not communicated in any of the previous
+// iterations" is scoped to one phase of Algorithm 2).
+func (b *Broker) ResetPeriod() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	clear(b.communicated)
+}
+
+// RecordCommunicated marks a peer as communicated-with (the receiving side
+// of an Algorithm 2 exchange).
+func (b *Broker) RecordCommunicated(peer topology.NodeID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.communicated[peer] = true
+}
+
+// MatchMerged runs Algorithm 1 on the merged multi-broker summary and
+// returns the matched subscription ids (possibly including pre-filter
+// false positives, resolved at the owners).
+func (b *Broker) MatchMerged(ev *schema.Event) []subid.ID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.merged.Match(ev)
+}
+
+// DeliverExact re-matches the event against the broker's raw
+// subscriptions and invokes the consumers of those that truly match. It
+// returns the number of deliveries.
+func (b *Broker) DeliverExact(ev *schema.Event) int {
+	b.mu.Lock()
+	var hits []*subEntry
+	for _, e := range b.subs {
+		if e.sub.Matches(ev) {
+			hits = append(hits, e)
+		}
+	}
+	b.mu.Unlock()
+	// Deliver outside the lock; DeliveryFuncs must not call back in.
+	for _, e := range hits {
+		e.deliver(e.id, ev)
+	}
+	return len(hits)
+}
+
+// Stats describes the broker's summary state.
+type Stats struct {
+	OwnSubscriptions  int
+	MergedSummarySubs int
+	MergedBrokerCount int
+	ModelBytes        int // merged summary size under the paper's cost model
+	FilteredSubs      int // subscriptions kept out of deltas by subsumption
+}
+
+// Stats returns a snapshot (cost model: s_st = s_id = 4).
+func (b *Broker) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Stats{
+		OwnSubscriptions:  len(b.subs),
+		MergedSummarySubs: b.merged.NumSubscriptions(),
+		MergedBrokerCount: b.mergedBrokers.Count(),
+		ModelBytes:        b.merged.SizeBytes(4, 4),
+		FilteredSubs:      b.filteredSubs,
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/netsim"
+	"github.com/subsum/subsum/internal/propagation"
+	"github.com/subsum/subsum/internal/routing"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/subid"
+	"github.com/subsum/subsum/internal/summary"
+	"github.com/subsum/subsum/internal/topology"
+	"github.com/subsum/subsum/internal/workload"
+)
+
+// TestLiveEngineHopsMatchDeterministicRouter is the strongest
+// cross-validation between the two execution paths: identical
+// subscriptions go through (a) the deterministic propagation+router
+// pipeline and (b) the live engine, and the total event-processing hop
+// counts must agree exactly — forwards are KindEvent messages beyond the
+// initial publishes, deliveries are KindDeliver messages.
+func TestLiveEngineHopsMatchDeterministicRouter(t *testing.T) {
+	gen, err := workload.NewGenerator(workload.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := gen.Schema()
+	g := topology.CW24()
+	n := g.Len()
+
+	subsPerBroker := make([][]*schema.Subscription, n)
+	for i := range subsPerBroker {
+		for j := 0; j < 8; j++ {
+			subsPerBroker[i] = append(subsPerBroker[i], gen.Subscription())
+		}
+	}
+	events := make([]*schema.Event, 120)
+	for i := range events {
+		events[i] = gen.Event(0.9)
+	}
+
+	// Path (a): deterministic.
+	own := make([]*summary.Summary, n)
+	for i, list := range subsPerBroker {
+		own[i] = summary.New(s, interval.Lossy)
+		for j, sub := range list {
+			id := subid.ID{Broker: subid.BrokerID(i), Local: subid.LocalID(j)}
+			if err := own[i].Insert(id, sub); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	prop, err := propagation.Run(g, own, propagation.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := routing.NewRouter(g, prop, routing.Config{Strategy: routing.HighestDegree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantForward, wantDeliver int
+	for i, ev := range events {
+		ev := ev
+		match := func(at topology.NodeID) []topology.NodeID {
+			var out []topology.NodeID
+			seen := map[topology.NodeID]bool{}
+			for _, id := range prop.Merged[at].Match(ev) {
+				owner := topology.NodeID(id.Broker)
+				if !seen[owner] {
+					seen[owner] = true
+					out = append(out, owner)
+				}
+			}
+			return out
+		}
+		trace := router.Route(topology.NodeID(i%n), match)
+		wantForward += trace.ForwardHops
+		// The live engine sends one KindDeliver per remote owner; local
+		// owners deliver in place. Trace.DeliveryHops counts exactly the
+		// remote ones.
+		wantDeliver += trace.DeliveryHops
+	}
+
+	// Path (b): the live engine with the same inputs.
+	net, err := New(Config{Topology: g, Schema: s, Mode: interval.Lossy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	for i, list := range subsPerBroker {
+		for _, sub := range list {
+			if _, err := net.Subscribe(topology.NodeID(i), sub, func(subid.ID, *schema.Event) {}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := net.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range events {
+		if err := net.Publish(topology.NodeID(i%n), ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Flush()
+	st := net.Stats()
+	gotForward := int(st.Messages[netsim.KindEvent]) - len(events) // minus publish injections
+	gotDeliver := int(st.Messages[netsim.KindDeliver])
+	if gotForward != wantForward {
+		t.Errorf("forward hops: live %d, deterministic %d", gotForward, wantForward)
+	}
+	if gotDeliver != wantDeliver {
+		t.Errorf("delivery hops: live %d, deterministic %d", gotDeliver, wantDeliver)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/subsum/subsum/internal/netsim"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/topology"
+	"github.com/subsum/subsum/internal/workload"
+)
+
+// TestSummaryLossDoesNotBreakDelivery: even when half of the Algorithm 2
+// summary messages are dropped, every published event still reaches
+// exactly its matching consumers — Algorithm 3's BROCLI walk compensates
+// for missing merged-summary coverage by examining more brokers.
+func TestSummaryLossDoesNotBreakDelivery(t *testing.T) {
+	gen, err := workload.NewGenerator(workload.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := gen.Schema()
+	net := newNetwork(t, topology.CW24(), s)
+
+	// Drop 50% of summary messages, deterministically.
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(13))
+	net.InjectFaults(func(m netsim.Message) bool {
+		if m.Kind != netsim.KindSummary {
+			return false
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return rng.Intn(2) == 0
+	})
+
+	var rawSubs []*schema.Subscription
+	var collectors []*collector
+	for i := 0; i < 120; i++ {
+		sub := gen.Subscription()
+		c := &collector{}
+		if _, err := net.Subscribe(topology.NodeID(i%net.Len()), sub, c.deliver(s)); err != nil {
+			t.Fatal(err)
+		}
+		rawSubs = append(rawSubs, sub)
+		collectors = append(collectors, c)
+	}
+	if _, err := net.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if st := net.Stats(); st.Dropped[netsim.KindSummary] == 0 {
+		t.Fatal("fault injection inactive")
+	}
+
+	events := make([]*schema.Event, 150)
+	for i := range events {
+		events[i] = gen.Event(0.9)
+		if err := net.Publish(topology.NodeID(i%net.Len()), events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Flush()
+	for i, c := range collectors {
+		want := 0
+		for _, ev := range events {
+			if rawSubs[i].Matches(ev) {
+				want++
+			}
+		}
+		if got := c.count(); got != want {
+			t.Fatalf("subscription %d: %d deliveries, want %d (under 50%% summary loss)",
+				i, got, want)
+		}
+	}
+
+	// Healing: disable faults; the next period repairs merged coverage.
+	net.InjectFaults(nil)
+	if _, err := net.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEventLossLosesOnlyAffectedEvents: dropped delivery messages lose the
+// affected events (at-most-once semantics; the engine does not retransmit)
+// but never corrupt later traffic.
+func TestEventLossLosesOnlyAffectedEvents(t *testing.T) {
+	s := schema.MustNew(schema.Attribute{Name: "x", Type: schema.TypeFloat})
+	net := newNetwork(t, topology.Ring(6), s)
+	sub, err := schema.ParseSubscription(s, `x > 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c collector
+	if _, err := net.Subscribe(3, sub, c.deliver(s)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := schema.ParseEvent(s, `x=1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drop every event-related message while faults are active (the event
+	// dies right after the origin broker examines it; broker 3 is never
+	// reached).
+	net.InjectFaults(func(m netsim.Message) bool {
+		return m.Kind == netsim.KindDeliver || m.Kind == netsim.KindEvent && m.From != m.To
+	})
+	if err := net.Publish(0, ev); err != nil {
+		t.Fatal(err)
+	}
+	net.Flush()
+	if c.count() != 0 {
+		t.Fatalf("deliveries under total loss = %d", c.count())
+	}
+
+	// Heal; traffic resumes normally.
+	net.InjectFaults(nil)
+	if err := net.Publish(0, ev); err != nil {
+		t.Fatal(err)
+	}
+	net.Flush()
+	if c.count() != 1 {
+		t.Fatalf("deliveries after healing = %d, want 1", c.count())
+	}
+}

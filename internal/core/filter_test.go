@@ -1,0 +1,138 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"fmt"
+
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/netsim"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/subid"
+	"github.com/subsum/subsum/internal/topology"
+	"github.com/subsum/subsum/internal/workload"
+)
+
+// TestFilterSubsumedDeltasCorrectness: with the Section 6 combination on,
+// a subscription subsumed by an earlier one at the same broker still
+// receives every matching event — routed via the subsuming subscription's
+// summary entry, delivered by the owner's exact re-match.
+func TestFilterSubsumedDeltasCorrectness(t *testing.T) {
+	s := schema.MustNew(
+		schema.Attribute{Name: "symbol", Type: schema.TypeString},
+		schema.Attribute{Name: "price", Type: schema.TypeFloat},
+	)
+	net, err := New(Config{
+		Topology:             topology.Figure7Tree(),
+		Schema:               s,
+		Mode:                 interval.Lossy,
+		FilterSubsumedDeltas: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+
+	wide, _ := schema.ParseSubscription(s, `price > 5`)
+	narrow, _ := schema.ParseSubscription(s, `price > 8 && price < 9`) // subsumed by wide
+	var wideC, narrowC collector
+	if _, err := net.Subscribe(7, wide, wideC.deliver(s)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Subscribe(7, narrow, narrowC.deliver(s)); err != nil {
+		t.Fatal(err)
+	}
+	st := net.Broker(7).Stats()
+	if st.FilteredSubs != 1 {
+		t.Fatalf("FilteredSubs = %d, want 1 (narrow kept out of the delta)", st.FilteredSubs)
+	}
+	if _, err := net.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	ev, _ := schema.ParseEvent(s, `price=8.5`)
+	if err := net.Publish(0, ev); err != nil {
+		t.Fatal(err)
+	}
+	net.Flush()
+	if wideC.count() != 1 || narrowC.count() != 1 {
+		t.Fatalf("deliveries = wide %d / narrow %d, want 1/1", wideC.count(), narrowC.count())
+	}
+	// A non-matching event for the narrow subscription still only reaches
+	// the wide one.
+	ev2, _ := schema.ParseEvent(s, `price=20`)
+	if err := net.Publish(12, ev2); err != nil {
+		t.Fatal(err)
+	}
+	net.Flush()
+	if wideC.count() != 2 || narrowC.count() != 1 {
+		t.Fatalf("deliveries = wide %d / narrow %d, want 2/1", wideC.count(), narrowC.count())
+	}
+}
+
+// TestFilterSubsumedDeltasSavesBandwidth: under an anchored workload the
+// filtered network moves fewer summary bytes with identical deliveries.
+func TestFilterSubsumedDeltasSavesBandwidth(t *testing.T) {
+	gen := func() *workload.Generator {
+		g, err := workload.NewGenerator(workload.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+
+	run := func(filter bool) (int64, map[string]int) {
+		g := gen()
+		s := g.Schema()
+		net, err := New(Config{
+			Topology:             topology.CW24(),
+			Schema:               s,
+			Mode:                 interval.Lossy,
+			FilterSubsumedDeltas: filter,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer net.Close()
+		var mu sync.Mutex
+		counts := make(map[string]int)
+		for i := 0; i < 240; i++ {
+			sub := g.AnchoredSubscription(0.8)
+			// Deliveries are keyed by (broker, subscription text) so the
+			// two runs are comparable.
+			key := fmt.Sprintf("%d|%s", i%24, sub.Format(s))
+			if _, err := net.Subscribe(topology.NodeID(i%24), sub, func(_ subid.ID, ev *schema.Event) {
+				mu.Lock()
+				counts[key]++
+				mu.Unlock()
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := net.Propagate(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			ev := g.Event(0.9)
+			if err := net.Publish(topology.NodeID(i%24), ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		net.Flush()
+		return net.Stats().Bytes[netsim.KindSummary], counts
+	}
+	plainBytes, plainCounts := run(false)
+	filteredBytes, filteredCounts := run(true)
+	if filteredBytes >= plainBytes {
+		t.Fatalf("filtered %d bytes !< plain %d bytes", filteredBytes, plainBytes)
+	}
+	// Identical delivery multiset.
+	if len(plainCounts) != len(filteredCounts) {
+		t.Fatalf("delivery keys differ: %d vs %d", len(plainCounts), len(filteredCounts))
+	}
+	for k, v := range plainCounts {
+		if filteredCounts[k] != v {
+			t.Fatalf("deliveries for %q: plain %d filtered %d", k, v, filteredCounts[k])
+		}
+	}
+}

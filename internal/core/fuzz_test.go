@@ -1,0 +1,45 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/subsum/subsum/internal/broker"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/subid"
+	"github.com/subsum/subsum/internal/topology"
+)
+
+// FuzzLoadSnapshot: the snapshot loader must never panic on malformed
+// bytes, and must fully reject or fully load.
+func FuzzLoadSnapshot(f *testing.F) {
+	s := schema.MustNew(schema.Attribute{Name: "x", Type: schema.TypeFloat})
+	g := topology.Ring(3)
+	net, err := New(Config{Topology: g, Schema: s})
+	if err != nil {
+		f.Fatal(err)
+	}
+	sub, _ := schema.ParseSubscription(s, `x > 1`)
+	if _, err := net.Subscribe(0, sub, func(subid.ID, *schema.Event) {}); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := net.SaveSnapshot(&buf); err != nil {
+		f.Fatal(err)
+	}
+	net.Close()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)-3])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		factory := func(subid.ID, *schema.Subscription) broker.DeliveryFunc {
+			return func(subid.ID, *schema.Event) {}
+		}
+		restored, err := LoadSnapshot(bytes.NewReader(data), Config{Topology: topology.Ring(3)}, factory)
+		if err != nil {
+			return
+		}
+		restored.Close()
+	})
+}

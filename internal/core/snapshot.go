@@ -1,0 +1,176 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/subsum/subsum/internal/broker"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/subid"
+)
+
+// Snapshot format (little endian):
+//
+//	magic "SNP1"
+//	schema:  u16 nattrs × { u8 type, u16 namelen, name }
+//	brokers: u16 count × {
+//	    u32 nsubs × { u32 local, encoded subscription }
+//	}
+//
+// Only the durable state is persisted: the schema and every broker's raw
+// subscriptions with their original local ids. Summaries, Merged_Brokers
+// sets, and routing state are derived; after LoadSnapshot the caller runs
+// one Propagate period to rebuild them — exercising the system's own
+// recovery path rather than trusting serialized derived state.
+var snapshotMagic = [4]byte{'S', 'N', 'P', '1'}
+
+// DeliveryFactory supplies the consumer callback for each restored
+// subscription (delivery functions cannot be serialized).
+type DeliveryFactory func(id subid.ID, sub *schema.Subscription) broker.DeliveryFunc
+
+// SaveSnapshot writes the network's durable state to w.
+func (net *Network) SaveSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	buf := append([]byte(nil), snapshotMagic[:]...)
+
+	attrs := net.cfg.Schema.Attributes()
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(attrs)))
+	for _, a := range attrs {
+		buf = append(buf, byte(a.Type))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(a.Name)))
+		buf = append(buf, a.Name...)
+	}
+
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(net.brokers)))
+	for _, b := range net.brokers {
+		subs := b.SnapshotSubscriptions()
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(subs)))
+		for _, rs := range subs {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(rs.Local))
+			buf = schema.EncodeSubscription(buf, rs.Sub)
+		}
+	}
+	if _, err := bw.Write(buf); err != nil {
+		return fmt.Errorf("core: writing snapshot: %w", err)
+	}
+	return bw.Flush()
+}
+
+// LoadSnapshot reads a snapshot and builds a fresh network on the given
+// overlay. The schema is reconstructed from the snapshot (cfg.Schema is
+// ignored); deliver supplies consumer callbacks for the restored
+// subscriptions. The caller should run Propagate to rebuild multi-broker
+// summaries before publishing.
+func LoadSnapshot(r io.Reader, cfg Config, deliver DeliveryFactory) (*Network, error) {
+	if deliver == nil {
+		return nil, fmt.Errorf("core: nil delivery factory")
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading snapshot: %w", err)
+	}
+	d := &snapDecoder{buf: data}
+	if m := d.bytes(4); m == nil || string(m) != string(snapshotMagic[:]) {
+		return nil, fmt.Errorf("core: bad snapshot magic")
+	}
+
+	nAttrs := int(d.u16())
+	attrs := make([]schema.Attribute, 0, nAttrs)
+	for i := 0; i < nAttrs && d.err == nil; i++ {
+		t := schema.Type(d.u8())
+		name := string(d.bytes(int(d.u16())))
+		attrs = append(attrs, schema.Attribute{Name: name, Type: t})
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	s, err := schema.New(attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot schema: %w", err)
+	}
+	cfg.Schema = s
+
+	nBrokers := int(d.u16())
+	if cfg.Topology == nil || cfg.Topology.Len() != nBrokers {
+		return nil, fmt.Errorf("core: snapshot has %d brokers; topology disagrees", nBrokers)
+	}
+	net, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nBrokers && d.err == nil; i++ {
+		nSubs := int(d.u32())
+		for j := 0; j < nSubs && d.err == nil; j++ {
+			local := subid.LocalID(d.u32())
+			if d.err != nil {
+				break
+			}
+			sub, n, err := schema.DecodeSubscription(s, d.buf[d.off:])
+			if err != nil {
+				net.Close()
+				return nil, fmt.Errorf("core: broker %d subscription %d: %w", i, j, err)
+			}
+			d.off += n
+			id := subid.ID{Broker: subid.BrokerID(i), Local: local}
+			if err := net.brokers[i].Restore(local, sub, deliver(id, sub)); err != nil {
+				net.Close()
+				return nil, err
+			}
+		}
+	}
+	if d.err != nil {
+		net.Close()
+		return nil, d.err
+	}
+	if d.off != len(data) {
+		net.Close()
+		return nil, fmt.Errorf("core: %d trailing snapshot bytes", len(data)-d.off)
+	}
+	return net, nil
+}
+
+// snapDecoder is a bounds-checked cursor (mirrors summary's decoder).
+type snapDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *snapDecoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("core: snapshot truncated at offset %d", d.off)
+		return nil
+	}
+	out := d.buf[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+func (d *snapDecoder) u8() byte {
+	b := d.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *snapDecoder) u16() uint16 {
+	b := d.bytes(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *snapDecoder) u32() uint32 {
+	b := d.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}

@@ -1,0 +1,568 @@
+package interval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Mode selects how the AACS treats equality constraints whose value falls
+// inside an existing sub-range.
+type Mode uint8
+
+const (
+	// Lossy is the paper's behaviour (Section 3.1): the subscription id is
+	// folded into the covering sub-range row, so the summary may report the
+	// subscription for any value of the sub-range (a pre-filter false
+	// positive, resolved by exact matching at the owning broker). Queries
+	// consult AACSE only when no sub-range contains the value, exactly as
+	// Check_for_a_value_match prescribes.
+	Lossy Mode = iota
+	// Exact splits sub-ranges at equality points instead of folding, and
+	// queries consult both arrays, eliminating arithmetic false positives.
+	// Used by the equality-folding ablation.
+	Exact
+)
+
+// row is one AACSSR entry: a sub-range plus the ids of subscriptions whose
+// constraint is satisfied throughout it.
+type row struct {
+	iv  Interval
+	ids []uint64 // sorted, deduplicated
+}
+
+// neEntry is a not-equal constraint: satisfied by every value except Value.
+type neEntry struct {
+	value float64
+	ids   []uint64
+}
+
+// Set is the AACS for a single arithmetic attribute: disjoint sub-range
+// rows sorted by lower bound (AACSSR), equality values outside the ranges
+// (AACSE), and not-equal entries. The zero value is not ready; use NewSet.
+type Set struct {
+	mode Mode
+	rows []row                // disjoint, sorted by lower bound
+	eq   map[float64][]uint64 // equality values (see Mode for semantics)
+	ne   []neEntry            // sorted by value
+}
+
+// NewSet returns an empty AACS with the given equality-handling mode.
+func NewSet(mode Mode) *Set {
+	return &Set{mode: mode, eq: make(map[float64][]uint64)}
+}
+
+// Mode returns the set's equality-handling mode.
+func (s *Set) Mode() Mode { return s.mode }
+
+// Insert records that subscription id constrains this attribute to iv.
+// The caller has already intersected all of the subscription's constraints
+// on this attribute into one canonical interval (as the paper's Figure 4
+// does for "8.30 < price < 8.70"). Empty intervals are ignored: such a
+// subscription can never match.
+func (s *Set) Insert(iv Interval, id uint64) {
+	iv = iv.normalize()
+	if iv.Empty() {
+		return
+	}
+	if v, isPoint := iv.IsPoint(); isPoint {
+		s.insertPoint(v, id)
+		return
+	}
+	s.insertRange(iv, []uint64{id})
+}
+
+// InsertIDs is Insert for a batch of ids sharing one canonical interval
+// (used when merging or decoding summaries).
+func (s *Set) InsertIDs(iv Interval, ids []uint64) {
+	iv = iv.normalize()
+	if iv.Empty() || len(ids) == 0 {
+		return
+	}
+	if v, isPoint := iv.IsPoint(); isPoint {
+		for _, id := range ids {
+			s.insertPoint(v, id)
+		}
+		return
+	}
+	sorted := append([]uint64(nil), ids...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s.insertRange(iv, dedupSorted(sorted))
+}
+
+// dedupSorted removes adjacent duplicates from a sorted id list in place.
+func dedupSorted(ids []uint64) []uint64 {
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// InsertNotEqual records a ≠ constraint: id is satisfied by any value
+// other than v.
+func (s *Set) InsertNotEqual(v float64, id uint64) {
+	i := sort.Search(len(s.ne), func(i int) bool { return s.ne[i].value >= v })
+	if i < len(s.ne) && s.ne[i].value == v {
+		s.ne[i].ids = addID(s.ne[i].ids, id)
+		return
+	}
+	s.ne = append(s.ne, neEntry{})
+	copy(s.ne[i+1:], s.ne[i:])
+	s.ne[i] = neEntry{value: v, ids: []uint64{id}}
+}
+
+func (s *Set) insertPoint(v float64, id uint64) {
+	if i, ok := s.findRow(v); ok {
+		if s.mode == Lossy {
+			// Paper behaviour: fold the id into the covering sub-range.
+			s.rows[i].ids = addID(s.rows[i].ids, id)
+			return
+		}
+		// Exact: split the covering row at the point.
+		s.insertRange(Point(v), []uint64{id})
+		return
+	}
+	s.eq[v] = addID(s.eq[v], id)
+}
+
+// insertRange splices interval x carrying ids into the disjoint row list,
+// splitting overlapped rows and creating new rows in the gaps.
+func (s *Set) insertRange(x Interval, ids []uint64) {
+	out := make([]row, 0, len(s.rows)+2)
+	cursorLo, cursorOpen := x.Lo, x.LoOpen // lower bound of the uncovered remainder of x
+	covered := false                       // whether the remainder of x is exhausted
+	for _, r := range s.rows {
+		mid := Intersect(r.iv, x)
+		if mid.Empty() {
+			out = append(out, r)
+			continue
+		}
+		// Gap of x strictly before this row.
+		gap := Intersect(x, Interval{Lo: cursorLo, LoOpen: cursorOpen, Hi: r.iv.Lo, HiOpen: !r.iv.LoOpen})
+		if !gap.Empty() {
+			out = append(out, row{iv: gap, ids: append([]uint64(nil), ids...)})
+		}
+		// Part of the row below x keeps the row's ids.
+		left := Intersect(r.iv, Interval{Lo: r.iv.Lo, LoOpen: r.iv.LoOpen, Hi: x.Lo, HiOpen: !x.LoOpen})
+		if !left.Empty() {
+			out = append(out, row{iv: left, ids: append([]uint64(nil), r.ids...)})
+		}
+		// Overlap gets both id sets.
+		out = append(out, row{iv: mid, ids: mergeIDs(r.ids, ids)})
+		// Part of the row above x keeps the row's ids.
+		right := Intersect(r.iv, Interval{Lo: x.Hi, LoOpen: !x.HiOpen, Hi: r.iv.Hi, HiOpen: r.iv.HiOpen})
+		if !right.Empty() {
+			out = append(out, row{iv: right, ids: append([]uint64(nil), r.ids...)})
+		}
+		// Advance the cursor past this row.
+		cursorLo, cursorOpen = mid.Hi, !mid.HiOpen
+		if cursorLo > x.Hi || (cursorLo == x.Hi && (cursorOpen || x.HiOpen)) {
+			covered = true
+		}
+	}
+	if !covered {
+		gap := Intersect(x, Interval{Lo: cursorLo, LoOpen: cursorOpen, Hi: x.Hi, HiOpen: x.HiOpen})
+		if !gap.Empty() {
+			out = append(out, row{iv: gap, ids: append([]uint64(nil), ids...)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return lowerLess(out[i].iv, out[j].iv) })
+	s.rows = out
+	if s.mode == Lossy {
+		// Fold equality entries that the new range now covers into the
+		// covering rows, so that queries that stop at the range array
+		// (Check_for_a_value_match's "Else") still find them.
+		for v, eqIDs := range s.eq {
+			if !x.Contains(v) {
+				continue
+			}
+			if i, ok := s.findRow(v); ok {
+				s.rows[i].ids = mergeIDs(s.rows[i].ids, eqIDs)
+				delete(s.eq, v)
+			}
+		}
+	}
+}
+
+// lowerLess orders intervals by lower bound; a closed bound precedes an
+// open bound at the same value.
+func lowerLess(a, b Interval) bool {
+	if a.Lo != b.Lo {
+		return a.Lo < b.Lo
+	}
+	return !a.LoOpen && b.LoOpen
+}
+
+// findRow returns the index of the row containing v. Rows are disjoint, so
+// at most one matches.
+func (s *Set) findRow(v float64) (int, bool) {
+	// First row whose lower bound is beyond v.
+	i := sort.Search(len(s.rows), func(i int) bool {
+		r := s.rows[i].iv
+		return r.Lo > v || (r.Lo == v && r.LoOpen)
+	})
+	if i > 0 && s.rows[i-1].iv.Contains(v) {
+		return i - 1, true
+	}
+	return 0, false
+}
+
+// Query returns the ids of all subscriptions whose constraint on this
+// attribute is satisfied by value v, deduplicated, in ascending order.
+// This is Check_for_a_value_match (type arithmetic): scan the sub-range
+// array; in Lossy mode fall back to the equality array only when no
+// sub-range contains v (the paper's "Else"); in Exact mode consult both.
+// Not-equal entries contribute for every value other than their own.
+func (s *Set) Query(v float64) []uint64 {
+	var out []uint64
+	i, inRange := s.findRow(v)
+	if inRange {
+		out = append(out, s.rows[i].ids...)
+	}
+	if !inRange || s.mode == Exact {
+		out = mergeIDs(out, s.eq[v])
+	}
+	for _, ne := range s.ne {
+		if ne.value != v {
+			out = mergeIDs(out, ne.ids)
+		}
+	}
+	return out
+}
+
+// QueryInto is Query without the final allocation: it merges results into
+// dst (a set keyed by id) and returns the number of distinct ids added.
+func (s *Set) QueryInto(v float64, dst map[uint64]struct{}) int {
+	added := 0
+	note := func(ids []uint64) {
+		for _, id := range ids {
+			if _, ok := dst[id]; !ok {
+				dst[id] = struct{}{}
+				added++
+			}
+		}
+	}
+	i, inRange := s.findRow(v)
+	if inRange {
+		note(s.rows[i].ids)
+	}
+	if !inRange || s.mode == Exact {
+		note(s.eq[v])
+	}
+	for _, ne := range s.ne {
+		if ne.value != v {
+			note(ne.ids)
+		}
+	}
+	return added
+}
+
+// Remove deletes every occurrence of id (unsubscription maintenance).
+// Rows and entries left without ids are dropped.
+func (s *Set) Remove(id uint64) {
+	rows := s.rows[:0]
+	for _, r := range s.rows {
+		r.ids = removeID(r.ids, id)
+		if len(r.ids) > 0 {
+			rows = append(rows, r)
+		}
+	}
+	s.rows = rows
+	for v, ids := range s.eq {
+		ids = removeID(ids, id)
+		if len(ids) == 0 {
+			delete(s.eq, v)
+		} else {
+			s.eq[v] = ids
+		}
+	}
+	ne := s.ne[:0]
+	for _, e := range s.ne {
+		e.ids = removeID(e.ids, id)
+		if len(e.ids) > 0 {
+			ne = append(ne, e)
+		}
+	}
+	s.ne = ne
+}
+
+// Compact merges adjacent sub-range rows that carry identical id lists
+// and whose intervals touch without a gap — the fragmentation that
+// repeated insertions and removals leave behind (the paper omits its
+// maintenance discussion "because of space limitation"; this is the
+// obvious one). It returns the number of rows eliminated. Matching
+// behaviour is unchanged.
+func (s *Set) Compact() int {
+	if len(s.rows) < 2 {
+		return 0
+	}
+	out := s.rows[:1]
+	merged := 0
+	for _, r := range s.rows[1:] {
+		last := &out[len(out)-1]
+		// Touching means the upper bound of last meets the lower bound of
+		// r with no value in between: same value with exactly one side
+		// closed.
+		touching := last.iv.Hi == r.iv.Lo && last.iv.HiOpen != r.iv.LoOpen
+		if touching && equalIDs(last.ids, r.ids) {
+			last.iv.Hi, last.iv.HiOpen = r.iv.Hi, r.iv.HiOpen
+			merged++
+			continue
+		}
+		out = append(out, r)
+	}
+	s.rows = out
+	return merged
+}
+
+// equalIDs compares two sorted id lists.
+func equalIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge folds every row of o into s (multi-broker summary construction,
+// Section 4.1: "values for the same numeric attributes are simply merged").
+func (s *Set) Merge(o *Set) {
+	for _, r := range o.rows {
+		s.insertRange(r.iv, r.ids)
+	}
+	for v, ids := range o.eq {
+		for _, id := range ids {
+			s.insertPoint(v, id)
+		}
+	}
+	for _, e := range o.ne {
+		for _, id := range e.ids {
+			s.InsertNotEqual(e.value, id)
+		}
+	}
+}
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() *Set {
+	out := NewSet(s.mode)
+	out.rows = make([]row, len(s.rows))
+	for i, r := range s.rows {
+		out.rows[i] = row{iv: r.iv, ids: append([]uint64(nil), r.ids...)}
+	}
+	for v, ids := range s.eq {
+		out.eq[v] = append([]uint64(nil), ids...)
+	}
+	out.ne = make([]neEntry, len(s.ne))
+	for i, e := range s.ne {
+		out.ne[i] = neEntry{value: e.value, ids: append([]uint64(nil), e.ids...)}
+	}
+	return out
+}
+
+// Stats describes the set's shape for the size model of equation (1).
+type Stats struct {
+	NumRanges   int // n_sr: rows in AACSSR
+	NumEq       int // n_e: rows in AACSE
+	NumNE       int // not-equal entries (extension; zero in paper workloads)
+	IDEntries   int // total subscription-id list entries across all rows
+	DistinctIDs int
+}
+
+// Stats computes the set's shape.
+func (s *Set) Stats() Stats {
+	var st Stats
+	distinct := make(map[uint64]struct{})
+	st.NumRanges = len(s.rows)
+	st.NumEq = len(s.eq)
+	st.NumNE = len(s.ne)
+	for _, r := range s.rows {
+		st.IDEntries += len(r.ids)
+		for _, id := range r.ids {
+			distinct[id] = struct{}{}
+		}
+	}
+	for _, ids := range s.eq {
+		st.IDEntries += len(ids)
+		for _, id := range ids {
+			distinct[id] = struct{}{}
+		}
+	}
+	for _, e := range s.ne {
+		st.IDEntries += len(e.ids)
+		for _, id := range e.ids {
+			distinct[id] = struct{}{}
+		}
+	}
+	st.DistinctIDs = len(distinct)
+	return st
+}
+
+// SizeBytes returns the set's size under equation (1) of the paper:
+// 2·n_sr·s_st (min and max columns) + n_e·s_st + ΣL_a·s_id, with the
+// not-equal extension costed like equality rows.
+func (s *Set) SizeBytes(sst, sid int) int {
+	st := s.Stats()
+	return 2*st.NumRanges*sst + (st.NumEq+st.NumNE)*sst + st.IDEntries*sid
+}
+
+// NewSetFromRows reconstructs a set exactly from serialized views (the
+// inverse of Rows/EqRows/NeRows): rows must be sorted by lower bound,
+// pairwise disjoint, non-empty, and carry sorted non-empty id lists. This
+// bypasses Insert's splicing so a decoded set is structurally identical to
+// the encoded one (point rows stay rows; they do not migrate to AACSE).
+func NewSetFromRows(mode Mode, rows []RowView, eq, ne []EqView) (*Set, error) {
+	s := NewSet(mode)
+	for i, r := range rows {
+		if r.Interval.Empty() {
+			return nil, fmt.Errorf("interval: row %d empty", i)
+		}
+		if len(r.IDs) == 0 {
+			return nil, fmt.Errorf("interval: row %d has no ids", i)
+		}
+		for j := 1; j < len(r.IDs); j++ {
+			if r.IDs[j-1] >= r.IDs[j] {
+				return nil, fmt.Errorf("interval: row %d ids not sorted", i)
+			}
+		}
+		if i > 0 {
+			prev := rows[i-1].Interval
+			if !lowerLess(prev, r.Interval) || Overlaps(prev, r.Interval) {
+				return nil, fmt.Errorf("interval: rows %d and %d out of order or overlapping", i-1, i)
+			}
+		}
+		s.rows = append(s.rows, row{iv: r.Interval.normalize(), ids: append([]uint64(nil), r.IDs...)})
+	}
+	for _, e := range eq {
+		if len(e.IDs) == 0 {
+			return nil, fmt.Errorf("interval: equality row %g has no ids", e.Value)
+		}
+		if _, inRow := s.findRow(e.Value); inRow && mode == Lossy {
+			return nil, fmt.Errorf("interval: equality value %g inside a sub-range (lossy invariant)", e.Value)
+		}
+		if _, dup := s.eq[e.Value]; dup {
+			return nil, fmt.Errorf("interval: duplicate equality value %g", e.Value)
+		}
+		s.eq[e.Value] = append([]uint64(nil), e.IDs...)
+	}
+	for _, e := range ne {
+		for _, id := range e.IDs {
+			s.InsertNotEqual(e.Value, id)
+		}
+	}
+	return s, nil
+}
+
+// RowView exposes one AACSSR row for serialization and rendering.
+type RowView struct {
+	Interval Interval
+	IDs      []uint64
+}
+
+// Rows returns the sub-range rows in order. The id slices are shared;
+// callers must not mutate them.
+func (s *Set) Rows() []RowView {
+	out := make([]RowView, len(s.rows))
+	for i, r := range s.rows {
+		out[i] = RowView{Interval: r.iv, IDs: r.ids}
+	}
+	return out
+}
+
+// EqView exposes one AACSE row.
+type EqView struct {
+	Value float64
+	IDs   []uint64
+}
+
+// EqRows returns the equality rows sorted by value.
+func (s *Set) EqRows() []EqView {
+	out := make([]EqView, 0, len(s.eq))
+	for v, ids := range s.eq {
+		out = append(out, EqView{Value: v, IDs: ids})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out
+}
+
+// NeRows returns the not-equal rows sorted by value.
+func (s *Set) NeRows() []EqView {
+	out := make([]EqView, 0, len(s.ne))
+	for _, e := range s.ne {
+		out = append(out, EqView{Value: e.value, IDs: e.ids})
+	}
+	return out
+}
+
+// String renders the set in the style of the paper's Figure 4.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteString("ranges:")
+	for _, r := range s.rows {
+		fmt.Fprintf(&b, " %s→%v", r.iv, r.ids)
+	}
+	b.WriteString(" eq:")
+	for _, e := range s.EqRows() {
+		fmt.Fprintf(&b, " %g→%v", e.Value, e.IDs)
+	}
+	if len(s.ne) > 0 {
+		b.WriteString(" ne:")
+		for _, e := range s.ne {
+			fmt.Fprintf(&b, " %g→%v", e.value, e.ids)
+		}
+	}
+	return b.String()
+}
+
+// addID inserts id into a sorted id list if absent.
+func addID(ids []uint64, id uint64) []uint64 {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	if i < len(ids) && ids[i] == id {
+		return ids
+	}
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	return ids
+}
+
+// removeID deletes id from a sorted id list if present.
+func removeID(ids []uint64, id uint64) []uint64 {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	if i < len(ids) && ids[i] == id {
+		return append(ids[:i], ids[i+1:]...)
+	}
+	return ids
+}
+
+// mergeIDs returns the sorted union of two sorted id lists.
+func mergeIDs(a, b []uint64) []uint64 {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]uint64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,533 @@
+package interval
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// checkInvariants asserts the AACSSR structural invariants: rows sorted,
+// pairwise disjoint, none empty, all id lists non-empty and sorted, and (in
+// Lossy mode) no equality value inside any row.
+func checkInvariants(t *testing.T, s *Set) {
+	t.Helper()
+	rows := s.Rows()
+	for i, r := range rows {
+		if r.Interval.Empty() {
+			t.Fatalf("row %d empty: %v", i, r.Interval)
+		}
+		if len(r.IDs) == 0 {
+			t.Fatalf("row %d has no ids", i)
+		}
+		for j := 1; j < len(r.IDs); j++ {
+			if r.IDs[j-1] >= r.IDs[j] {
+				t.Fatalf("row %d ids not sorted/deduped: %v", i, r.IDs)
+			}
+		}
+		if i > 0 && Overlaps(rows[i-1].Interval, r.Interval) {
+			t.Fatalf("rows %d and %d overlap: %v %v", i-1, i, rows[i-1].Interval, r.Interval)
+		}
+		if i > 0 && !lowerLess(rows[i-1].Interval, r.Interval) {
+			t.Fatalf("rows %d and %d out of order", i-1, i)
+		}
+	}
+	if s.Mode() == Lossy {
+		for _, e := range s.EqRows() {
+			for _, r := range rows {
+				if r.Interval.Contains(e.Value) {
+					t.Fatalf("Lossy: equality value %g inside row %v", e.Value, r.Interval)
+				}
+			}
+		}
+	}
+}
+
+// TestPaperFigure4 reproduces the AACS of Figure 4: subscription S1 has
+// 8.30 < price < 8.70 and S2 has price = 8.20.
+func TestPaperFigure4(t *testing.T) {
+	s := NewSet(Lossy)
+	s.Insert(Range(8.30, 8.70, true, true), 1)
+	s.Insert(Point(8.20), 2)
+	checkInvariants(t, s)
+	rows := s.Rows()
+	if len(rows) != 1 || !rows[0].Interval.Equal(Range(8.30, 8.70, true, true)) {
+		t.Fatalf("rows = %v", rows)
+	}
+	if !reflect.DeepEqual(rows[0].IDs, []uint64{1}) {
+		t.Fatalf("row ids = %v", rows[0].IDs)
+	}
+	eq := s.EqRows()
+	if len(eq) != 1 || eq[0].Value != 8.20 || !reflect.DeepEqual(eq[0].IDs, []uint64{2}) {
+		t.Fatalf("eq = %v", eq)
+	}
+	// The Figure 2 event has price 8.40: S1 matches, S2 does not.
+	if got := s.Query(8.40); !reflect.DeepEqual(got, []uint64{1}) {
+		t.Fatalf("Query(8.40) = %v", got)
+	}
+	if got := s.Query(8.20); !reflect.DeepEqual(got, []uint64{2}) {
+		t.Fatalf("Query(8.20) = %v", got)
+	}
+	if got := s.Query(9.0); len(got) != 0 {
+		t.Fatalf("Query(9.0) = %v", got)
+	}
+}
+
+func TestInsertRangeSplitsOverlap(t *testing.T) {
+	s := NewSet(Lossy)
+	s.Insert(Range(1, 5, false, false), 1)
+	s.Insert(Range(3, 8, false, false), 2)
+	checkInvariants(t, s)
+	// Expect [1,3), [3,5], (5,8].
+	rows := s.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	wantIvs := []Interval{
+		Range(1, 3, false, true),
+		Range(3, 5, false, false),
+		Range(5, 8, true, false),
+	}
+	wantIDs := [][]uint64{{1}, {1, 2}, {2}}
+	for i := range wantIvs {
+		if !rows[i].Interval.Equal(wantIvs[i]) {
+			t.Errorf("row %d = %v, want %v", i, rows[i].Interval, wantIvs[i])
+		}
+		if !reflect.DeepEqual(rows[i].IDs, wantIDs[i]) {
+			t.Errorf("row %d ids = %v, want %v", i, rows[i].IDs, wantIDs[i])
+		}
+	}
+	for v, want := range map[float64][]uint64{
+		2: {1}, 3: {1, 2}, 4: {1, 2}, 5: {1, 2}, 6: {2}, 9: nil, 0: nil,
+	} {
+		got := s.Query(v)
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Query(%g) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestInsertRangeCoveringMultipleRowsAndGaps(t *testing.T) {
+	s := NewSet(Lossy)
+	s.Insert(Range(1, 2, false, false), 1)
+	s.Insert(Range(4, 5, false, false), 2)
+	s.Insert(Range(0, 6, false, false), 3)
+	checkInvariants(t, s)
+	for v, want := range map[float64][]uint64{
+		0.5: {3}, 1.5: {1, 3}, 3: {3}, 4.5: {2, 3}, 5.5: {3},
+	} {
+		if got := s.Query(v); !reflect.DeepEqual(got, want) {
+			t.Errorf("Query(%g) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestUnboundedConstraints(t *testing.T) {
+	s := NewSet(Lossy)
+	s.Insert(Above(130000, false), 2) // volume > 130000
+	s.Insert(Below(8.05, false), 7)   // low < 8.05 (different attribute in
+	// reality, but the structure is generic)
+	checkInvariants(t, s)
+	if got := s.Query(132700); !reflect.DeepEqual(got, []uint64{2, 7}) {
+		// 132700 > 130000 satisfies id 2, and 132700 < … no: Below(8.05)
+		// does not contain 132700, so only id 2.
+		if !reflect.DeepEqual(got, []uint64{2}) {
+			t.Fatalf("Query(132700) = %v", got)
+		}
+	}
+	if got := s.Query(5); !reflect.DeepEqual(got, []uint64{7}) {
+		t.Fatalf("Query(5) = %v", got)
+	}
+}
+
+func TestLossyEqualityFoldsIntoCoveringRange(t *testing.T) {
+	s := NewSet(Lossy)
+	s.Insert(Range(8, 9, false, false), 1)
+	s.Insert(Point(8.5), 2) // inside the range: folds into the row
+	checkInvariants(t, s)
+	if len(s.EqRows()) != 0 {
+		t.Fatalf("eq rows = %v, want folded", s.EqRows())
+	}
+	// The fold makes id 2 visible across the whole row (paper's lossy
+	// pre-filter), including at 8.5 (no false negative).
+	if got := s.Query(8.5); !reflect.DeepEqual(got, []uint64{1, 2}) {
+		t.Fatalf("Query(8.5) = %v", got)
+	}
+	if got := s.Query(8.7); !reflect.DeepEqual(got, []uint64{1, 2}) {
+		t.Fatalf("Query(8.7) = %v (lossy fold should over-approximate)", got)
+	}
+}
+
+func TestLossyRangeInsertMigratesEqualities(t *testing.T) {
+	s := NewSet(Lossy)
+	s.Insert(Point(8.20), 2)
+	s.Insert(Range(8, 9, false, false), 1) // arrives after the equality
+	checkInvariants(t, s)
+	if len(s.EqRows()) != 0 {
+		t.Fatalf("eq rows = %v, want migrated", s.EqRows())
+	}
+	// No false negative at the equality point.
+	got := s.Query(8.20)
+	if !reflect.DeepEqual(got, []uint64{1, 2}) {
+		t.Fatalf("Query(8.20) = %v", got)
+	}
+}
+
+func TestExactEqualitySplitsRange(t *testing.T) {
+	s := NewSet(Exact)
+	s.Insert(Range(8, 9, false, false), 1)
+	s.Insert(Point(8.5), 2)
+	checkInvariants(t, s)
+	// Exact mode: id 2 only at exactly 8.5.
+	if got := s.Query(8.5); !reflect.DeepEqual(got, []uint64{1, 2}) {
+		t.Fatalf("Query(8.5) = %v", got)
+	}
+	if got := s.Query(8.7); !reflect.DeepEqual(got, []uint64{1}) {
+		t.Fatalf("Query(8.7) = %v, want exact", got)
+	}
+	if got := s.Query(8.20); !reflect.DeepEqual(got, []uint64{1}) {
+		t.Fatalf("Query(8.20) = %v", got)
+	}
+}
+
+func TestExactEqualityOutsideRanges(t *testing.T) {
+	s := NewSet(Exact)
+	s.Insert(Point(8.20), 2)
+	s.Insert(Range(8.5, 9, false, false), 1)
+	checkInvariants(t, s)
+	if got := s.Query(8.20); !reflect.DeepEqual(got, []uint64{2}) {
+		t.Fatalf("Query(8.20) = %v", got)
+	}
+}
+
+func TestNotEqual(t *testing.T) {
+	s := NewSet(Lossy)
+	s.InsertNotEqual(5, 1)
+	s.InsertNotEqual(5, 2)
+	s.InsertNotEqual(7, 3)
+	checkInvariants(t, s)
+	if got := s.Query(5); !reflect.DeepEqual(got, []uint64{3}) {
+		t.Fatalf("Query(5) = %v", got)
+	}
+	if got := s.Query(7); !reflect.DeepEqual(got, []uint64{1, 2}) {
+		t.Fatalf("Query(7) = %v", got)
+	}
+	if got := s.Query(6); !reflect.DeepEqual(got, []uint64{1, 2, 3}) {
+		t.Fatalf("Query(6) = %v", got)
+	}
+}
+
+func TestEmptyIntervalIgnored(t *testing.T) {
+	s := NewSet(Lossy)
+	s.Insert(Range(5, 4, false, false), 1)
+	s.Insert(Intersect(Below(1, false), Above(2, false)), 2)
+	if len(s.Rows()) != 0 || len(s.EqRows()) != 0 {
+		t.Fatal("empty intervals created rows")
+	}
+}
+
+func TestDuplicateInsertIsIdempotent(t *testing.T) {
+	s := NewSet(Lossy)
+	s.Insert(Range(1, 5, false, false), 1)
+	s.Insert(Range(1, 5, false, false), 1)
+	checkInvariants(t, s)
+	if got := s.Query(3); !reflect.DeepEqual(got, []uint64{1}) {
+		t.Fatalf("Query(3) = %v", got)
+	}
+	st := s.Stats()
+	if st.IDEntries != 1 {
+		t.Fatalf("IDEntries = %d, want 1", st.IDEntries)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s := NewSet(Lossy)
+	s.Insert(Range(1, 5, false, false), 1)
+	s.Insert(Range(3, 8, false, false), 2)
+	s.Insert(Point(10), 3)
+	s.InsertNotEqual(0, 4)
+	s.Remove(2)
+	checkInvariants(t, s)
+	if got := s.Query(6); !reflect.DeepEqual(got, []uint64{4}) {
+		t.Fatalf("Query(6) after remove = %v", got)
+	}
+	if got := s.Query(4); !reflect.DeepEqual(got, []uint64{1, 4}) {
+		t.Fatalf("Query(4) after remove = %v", got)
+	}
+	s.Remove(3)
+	if len(s.EqRows()) != 0 {
+		t.Fatal("eq row not removed")
+	}
+	s.Remove(4)
+	if len(s.NeRows()) != 0 {
+		t.Fatal("ne row not removed")
+	}
+	s.Remove(999) // absent id: no-op
+	checkInvariants(t, s)
+}
+
+func TestMerge(t *testing.T) {
+	a := NewSet(Lossy)
+	a.Insert(Range(1, 5, false, false), 1)
+	a.Insert(Point(10), 2)
+	b := NewSet(Lossy)
+	b.Insert(Range(3, 8, false, false), 3)
+	b.Insert(Point(20), 4)
+	b.InsertNotEqual(0, 5)
+	a.Merge(b)
+	checkInvariants(t, a)
+	for v, want := range map[float64][]uint64{
+		2:  {1, 5},
+		4:  {1, 3, 5},
+		7:  {3, 5},
+		10: {2, 5},
+		20: {4, 5},
+		0:  nil,
+	} {
+		got := a.Query(v)
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Query(%g) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestStatsAndSizeBytes(t *testing.T) {
+	s := NewSet(Lossy)
+	s.Insert(Range(8.30, 8.70, true, true), 1)
+	s.Insert(Point(8.20), 2)
+	st := s.Stats()
+	if st.NumRanges != 1 || st.NumEq != 1 || st.IDEntries != 2 || st.DistinctIDs != 2 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	// Equation (1) with s_st = s_id = 4: 2·1·4 + 1·4 + 2·4 = 20.
+	if got := s.SizeBytes(4, 4); got != 20 {
+		t.Fatalf("SizeBytes = %d, want 20", got)
+	}
+}
+
+func TestQueryInto(t *testing.T) {
+	s := NewSet(Lossy)
+	s.Insert(Range(1, 5, false, false), 1)
+	s.Insert(Range(3, 8, false, false), 2)
+	dst := make(map[uint64]struct{})
+	added := s.QueryInto(4, dst)
+	if added != 2 || len(dst) != 2 {
+		t.Fatalf("QueryInto added %d, dst %v", added, dst)
+	}
+	// Re-querying adds nothing new.
+	if added := s.QueryInto(4, dst); added != 0 {
+		t.Fatalf("second QueryInto added %d", added)
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := NewSet(Lossy)
+	s.Insert(Range(1, 5, false, false), 1)
+	s.Insert(Point(10), 2)
+	s.InsertNotEqual(3, 4)
+	c := s.Clone()
+	c.Insert(Range(6, 9, false, false), 7)
+	c.Remove(1)
+	// v=3 hits row [1,5] (id 1) but not the ≠3 entry (id 4).
+	if got := s.Query(3); !reflect.DeepEqual(got, []uint64{1}) {
+		t.Fatalf("clone mutated original: %v", got)
+	}
+	if got := s.Query(2); !reflect.DeepEqual(got, []uint64{1, 4}) {
+		t.Fatalf("clone mutated original: %v", got)
+	}
+	if got := s.Query(7); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("clone mutated original rows: %v", got)
+	}
+}
+
+// constraintRef is the reference model: one inserted constraint.
+type constraintRef struct {
+	id uint64
+	iv Interval // for ranges and points
+	ne *float64 // for not-equal constraints
+}
+
+func (c constraintRef) satisfied(v float64) bool {
+	if c.ne != nil {
+		return v != *c.ne
+	}
+	return c.iv.Contains(v)
+}
+
+// TestRandomizedAgainstReference drives random inserts/removes and checks
+// Query against a brute-force reference: Exact mode must agree exactly;
+// Lossy mode must never produce a false negative.
+func TestRandomizedAgainstReference(t *testing.T) {
+	for _, mode := range []Mode{Lossy, Exact} {
+		mode := mode
+		name := map[Mode]string{Lossy: "lossy", Exact: "exact"}[mode]
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			s := NewSet(mode)
+			var refs []constraintRef
+			nextID := uint64(1)
+			randVal := func() float64 { return float64(rng.Intn(41) - 20) }
+			for step := 0; step < 3000; step++ {
+				switch op := rng.Intn(10); {
+				case op < 5: // range insert
+					lo, hi := randVal(), randVal()
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					iv := Range(lo, hi, rng.Intn(2) == 0, rng.Intn(2) == 0)
+					id := nextID
+					nextID++
+					s.Insert(iv, id)
+					if !iv.Empty() {
+						refs = append(refs, constraintRef{id: id, iv: iv})
+					}
+				case op < 7: // point insert
+					v := randVal()
+					id := nextID
+					nextID++
+					s.Insert(Point(v), id)
+					refs = append(refs, constraintRef{id: id, iv: Point(v)})
+				case op < 8: // not-equal insert
+					v := randVal()
+					id := nextID
+					nextID++
+					s.InsertNotEqual(v, id)
+					refs = append(refs, constraintRef{id: id, ne: &v})
+				default: // remove a random id
+					if len(refs) == 0 {
+						continue
+					}
+					i := rng.Intn(len(refs))
+					s.Remove(refs[i].id)
+					refs = append(refs[:i], refs[i+1:]...)
+				}
+				if step%50 == 0 {
+					checkInvariantsQuiet(t, s)
+				}
+				// Probe a few random values.
+				for probe := 0; probe < 4; probe++ {
+					v := randVal() + float64(rng.Intn(3))*0.5
+					got := s.Query(v)
+					gotSet := make(map[uint64]bool, len(got))
+					for _, id := range got {
+						gotSet[id] = true
+					}
+					for _, ref := range refs {
+						if ref.satisfied(v) && !gotSet[ref.id] {
+							t.Fatalf("step %d: false negative at %g: id %d missing (got %v)\nset: %v",
+								step, v, ref.id, got, s)
+						}
+					}
+					if mode == Exact {
+						want := 0
+						for _, ref := range refs {
+							if ref.satisfied(v) {
+								want++
+							}
+						}
+						if len(got) != want {
+							t.Fatalf("step %d: exact mode mismatch at %g: got %d ids, want %d\nset: %v",
+								step, v, len(got), want, s)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func checkInvariantsQuiet(t *testing.T, s *Set) {
+	t.Helper()
+	rows := s.Rows()
+	for i := 1; i < len(rows); i++ {
+		if Overlaps(rows[i-1].Interval, rows[i].Interval) {
+			t.Fatalf("rows overlap: %v %v", rows[i-1].Interval, rows[i].Interval)
+		}
+	}
+}
+
+func TestCompactMergesTouchingRowsWithEqualIDs(t *testing.T) {
+	s := NewSet(Lossy)
+	// Build fragmentation: two subs over [1,9], then remove the splitter.
+	s.Insert(Range(1, 9, false, false), 1)
+	s.Insert(Range(3, 5, false, false), 2)
+	s.Remove(2)
+	if len(s.Rows()) != 3 {
+		t.Fatalf("rows before compact = %v", s.Rows())
+	}
+	if got := s.Compact(); got != 2 {
+		t.Fatalf("Compact merged %d rows, want 2", got)
+	}
+	rows := s.Rows()
+	if len(rows) != 1 || !rows[0].Interval.Equal(Range(1, 9, false, false)) {
+		t.Fatalf("rows after compact = %v", rows)
+	}
+	checkInvariants(t, s)
+	// Behaviour unchanged.
+	for v, want := range map[float64]int{0: 0, 1: 1, 4: 1, 9: 1, 10: 0} {
+		if got := len(s.Query(v)); got != want {
+			t.Fatalf("Query(%g) = %d ids, want %d", v, got, want)
+		}
+	}
+}
+
+func TestCompactKeepsDistinctRows(t *testing.T) {
+	s := NewSet(Lossy)
+	s.Insert(Range(1, 3, false, true), 1)  // [1,3)
+	s.Insert(Range(3, 5, false, false), 2) // [3,5] — touching but different ids
+	if got := s.Compact(); got != 0 {
+		t.Fatalf("Compact merged %d rows across different id lists", got)
+	}
+	// Gap between rows: same ids but not touching.
+	s2 := NewSet(Lossy)
+	s2.Insert(Range(1, 2, false, false), 1)
+	s2.Insert(Range(3, 4, false, false), 1)
+	if got := s2.Compact(); got != 0 {
+		t.Fatalf("Compact merged %d rows across a gap", got)
+	}
+	// Double-open touch ((1,3) + (3,5)) leaves value 3 uncovered: no merge.
+	s3 := NewSet(Lossy)
+	s3.Insert(Range(1, 3, true, true), 1)
+	s3.Insert(Range(3, 5, true, true), 1)
+	if got := s3.Compact(); got != 0 {
+		t.Fatalf("Compact merged %d rows across an excluded point", got)
+	}
+}
+
+// TestCompactBehaviourPreservedRandomized: Compact never changes Query
+// results.
+func TestCompactBehaviourPreservedRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		s := NewSet(Lossy)
+		ids := []uint64{}
+		for i := uint64(1); i <= 30; i++ {
+			lo := float64(rng.Intn(20))
+			hi := lo + float64(rng.Intn(8))
+			s.Insert(Range(lo, hi, rng.Intn(2) == 0, rng.Intn(2) == 0), i)
+			ids = append(ids, i)
+		}
+		for _, id := range ids {
+			if rng.Intn(3) == 0 {
+				s.Remove(id)
+			}
+		}
+		before := map[float64][]uint64{}
+		for v := -1.0; v <= 30; v += 0.5 {
+			before[v] = s.Query(v)
+		}
+		s.Compact()
+		checkInvariantsQuiet(t, s)
+		for v, want := range before {
+			if !reflect.DeepEqual(s.Query(v), want) {
+				t.Fatalf("trial %d: Query(%g) changed after Compact: %v vs %v",
+					trial, v, s.Query(v), want)
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("P50 = %v", s.P50)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("StdDev = %v", s.StdDev)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatalf("empty Summary = %+v", z)
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int{2, 4, 6})
+	if s.Mean != 4 || s.N != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.Min <= s.P50 && s.P50 <= s.Max &&
+			s.P50 <= s.P95 && s.P95 <= s.Max &&
+			s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Figure X", "sigma", "broadcast", "summary")
+	tab.AddRow(10, int64(123456), 42.5)
+	tab.AddRow(1000, int64(9), 0.125)
+	out := tab.String()
+	if !strings.Contains(out, "Figure X") {
+		t.Fatalf("missing title: %s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d: %s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "sigma") || !strings.Contains(lines[3], "123456") {
+		t.Fatalf("table = %s", out)
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tab.NumRows())
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "sigma,broadcast,summary\n") {
+		t.Fatalf("CSV = %s", csv)
+	}
+	if !strings.Contains(csv, "10,123456,42.5") {
+		t.Fatalf("CSV = %s", csv)
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[int64]string{
+		500:           "500B",
+		1500:          "1.50KB",
+		2_500_000:     "2.50MB",
+		3_000_000_000: "3.00GB",
+		4e12:          "4.00TB",
+	}
+	for in, want := range cases {
+		if got := HumanBytes(in); got != want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package netsim provides the in-process message-passing substrate for the
+// live broker engine: one unbounded mailbox per broker, a handler
+// goroutine per broker, quiescence detection (wait until every sent
+// message has been fully processed, including messages sent while
+// processing), and per-kind byte/message accounting.
+//
+// Unbounded mailboxes rule out the classic actor deadlock where two
+// brokers block sending to each other's full inboxes; memory is bounded in
+// practice by quiescence between experiment phases.
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/subsum/subsum/internal/topology"
+)
+
+// Kind tags a message for accounting and dispatch.
+type Kind uint8
+
+// Message kinds used by the engine.
+const (
+	KindSummary Kind = iota + 1 // propagation: merged summary + Merged_Brokers
+	KindEvent                   // routing: event + BROCLI + delivered set
+	KindDeliver                 // delivery to an owning broker
+	KindControl                 // coordinator control traffic (not counted as data)
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindSummary:
+		return "summary"
+	case KindEvent:
+		return "event"
+	case KindDeliver:
+		return "deliver"
+	case KindControl:
+		return "control"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Message is one broker-to-broker datagram.
+type Message struct {
+	From, To topology.NodeID
+	Kind     Kind
+	Payload  []byte
+}
+
+// Handler processes one message on the owner's goroutine.
+type Handler func(Message)
+
+// Stats is a snapshot of bus accounting.
+type Stats struct {
+	Messages map[Kind]int64
+	Bytes    map[Kind]int64
+	Dropped  map[Kind]int64
+}
+
+// TotalMessages sums message counts over data kinds (control excluded).
+func (s Stats) TotalMessages() int64 {
+	var n int64
+	for k, v := range s.Messages {
+		if k != KindControl {
+			n += v
+		}
+	}
+	return n
+}
+
+// TotalBytes sums payload bytes over data kinds (control excluded).
+func (s Stats) TotalBytes() int64 {
+	var n int64
+	for k, v := range s.Bytes {
+		if k != KindControl {
+			n += v
+		}
+	}
+	return n
+}
+
+// mailbox is an unbounded FIFO with close support.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) push(msg Message) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.queue = append(m.queue, msg)
+	m.cond.Signal()
+	return true
+}
+
+// pop blocks until a message is available or the mailbox closes.
+func (m *mailbox) pop() (Message, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return Message{}, false
+	}
+	msg := m.queue[0]
+	m.queue = m.queue[1:]
+	return msg, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.cond.Broadcast()
+}
+
+// Bus connects n brokers with unbounded mailboxes.
+type Bus struct {
+	boxes    []*mailbox
+	pending  sync.WaitGroup
+	closed   atomic.Bool
+	handlers sync.WaitGroup
+
+	mu       sync.Mutex
+	messages map[Kind]int64
+	bytes    map[Kind]int64
+	dropped  map[Kind]int64
+	dropFn   func(Message) bool
+}
+
+// NewBus creates a bus for n brokers.
+func NewBus(n int) *Bus {
+	b := &Bus{
+		boxes:    make([]*mailbox, n),
+		messages: make(map[Kind]int64),
+		bytes:    make(map[Kind]int64),
+		dropped:  make(map[Kind]int64),
+	}
+	for i := range b.boxes {
+		b.boxes[i] = newMailbox()
+	}
+	return b
+}
+
+// Len returns the number of endpoints.
+func (b *Bus) Len() int { return len(b.boxes) }
+
+// SetDropFunc installs a fault-injection hook: messages for which fn
+// returns true are silently dropped (they still count in the Dropped
+// stats, not in Messages/Bytes). Pass nil to disable. Intended for tests;
+// fn runs under the bus lock and must be fast and deterministic.
+func (b *Bus) SetDropFunc(fn func(Message) bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.dropFn = fn
+}
+
+// Send enqueues a message for delivery. It is safe to call from handlers.
+func (b *Bus) Send(m Message) error {
+	if int(m.To) < 0 || int(m.To) >= len(b.boxes) {
+		return fmt.Errorf("netsim: destination %d out of range", m.To)
+	}
+	if b.closed.Load() {
+		return fmt.Errorf("netsim: bus closed")
+	}
+	b.mu.Lock()
+	if b.dropFn != nil && b.dropFn(m) {
+		b.dropped[m.Kind]++
+		b.mu.Unlock()
+		return nil
+	}
+	b.pending.Add(1)
+	b.messages[m.Kind]++
+	b.bytes[m.Kind] += int64(len(m.Payload))
+	b.mu.Unlock()
+	if !b.boxes[m.To].push(m) {
+		b.pending.Done()
+		return fmt.Errorf("netsim: mailbox %d closed", m.To)
+	}
+	return nil
+}
+
+// Start launches the handler goroutine for one broker. Each broker must be
+// started exactly once; the handler runs until Close.
+func (b *Bus) Start(node topology.NodeID, h Handler) {
+	b.handlers.Add(1)
+	go func() {
+		defer b.handlers.Done()
+		box := b.boxes[node]
+		for {
+			msg, ok := box.pop()
+			if !ok {
+				return
+			}
+			h(msg)
+			b.pending.Done()
+		}
+	}()
+}
+
+// Quiesce blocks until every message sent so far — including messages sent
+// by handlers while processing — has been handled.
+func (b *Bus) Quiesce() { b.pending.Wait() }
+
+// Close shuts the bus down and waits for handler goroutines to exit.
+// Unprocessed messages are dropped (their pending count is released).
+func (b *Bus) Close() {
+	if !b.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, box := range b.boxes {
+		box.mu.Lock()
+		dropped := len(box.queue)
+		box.queue = nil
+		box.closed = true
+		box.cond.Broadcast()
+		box.mu.Unlock()
+		for i := 0; i < dropped; i++ {
+			b.pending.Done()
+		}
+	}
+	b.handlers.Wait()
+}
+
+// Stats returns a snapshot of the accounting counters.
+func (b *Bus) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := Stats{
+		Messages: make(map[Kind]int64, len(b.messages)),
+		Bytes:    make(map[Kind]int64, len(b.bytes)),
+		Dropped:  make(map[Kind]int64, len(b.dropped)),
+	}
+	for k, v := range b.messages {
+		s.Messages[k] = v
+	}
+	for k, v := range b.bytes {
+		s.Bytes[k] = v
+	}
+	for k, v := range b.dropped {
+		s.Dropped[k] = v
+	}
+	return s
+}

@@ -1,0 +1,218 @@
+// Package propagation implements Algorithm 2 of the
+// subscription-summarization paper (Section 4.2): the degree-ordered,
+// iterative propagation of multi-broker subscription summaries across the
+// broker overlay.
+//
+// The protocol runs MAX_DEGREE iterations. In iteration i, every broker of
+// degree i (1) merges its own summary with every summary received in
+// previous iterations, updating its Merged_Brokers set, and (2) sends the
+// merged summary and the set to one neighbor of equal or higher degree
+// with which it has not yet communicated, preferring the neighbor with the
+// smallest degree. Because every broker sends at most once, global
+// propagation always costs fewer hops than there are brokers — the flat
+// line of Figure 9.
+package propagation
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/subsum/subsum/internal/subid"
+	"github.com/subsum/subsum/internal/summary"
+	"github.com/subsum/subsum/internal/topology"
+)
+
+// BrokerSet is a bitset over broker ids (the Merged_Brokers set).
+type BrokerSet = subid.Mask
+
+// CostModel fixes the storage sizes of the paper's cost equations:
+// SST is s_st (arithmetic value size) and SID is s_id (subscription id
+// size); both are 4 bytes in Table 2.
+type CostModel struct {
+	SST int
+	SID int
+}
+
+// DefaultCostModel returns the Table 2 sizes.
+func DefaultCostModel() CostModel { return CostModel{SST: 4, SID: 4} }
+
+// Send records one summary transmission for tracing and accounting.
+type Send struct {
+	Iteration  int
+	From, To   topology.NodeID
+	Brokers    []int // Merged_Brokers carried with the summary
+	ModelBytes int   // summary size under the paper's cost model
+	WireBytes  int   // actual encoded size
+}
+
+// Result is the outcome of one propagation phase.
+type Result struct {
+	// Merged[i] is broker i's multi-broker summary after the phase: its
+	// own subscriptions plus everything it received.
+	Merged []*summary.Summary
+	// MergedBrokers[i] is broker i's Merged_Brokers set.
+	MergedBrokers []BrokerSet
+	// Sends is the full transmission log in execution order.
+	Sends []Send
+	// Hops is the total number of broker-to-broker messages (= len(Sends)).
+	Hops int
+	// ModelBytes and WireBytes are the total bandwidth under the paper's
+	// cost model and the real codec, respectively.
+	ModelBytes int64
+	WireBytes  int64
+}
+
+// Run executes Algorithm 2 over the overlay g, where own[i] is broker i's
+// (delta) summary for this period. It returns the per-broker merged
+// summaries, Merged_Brokers sets, and full cost accounting. own summaries
+// are not mutated.
+func Run(g *topology.Graph, own []*summary.Summary, cost CostModel) (*Result, error) {
+	n := g.Len()
+	if len(own) != n {
+		return nil, fmt.Errorf("propagation: %d summaries for %d brokers", len(own), n)
+	}
+	res := &Result{
+		Merged:        make([]*summary.Summary, n),
+		MergedBrokers: make([]BrokerSet, n),
+	}
+	for i := 0; i < n; i++ {
+		if own[i] == nil {
+			return nil, fmt.Errorf("propagation: nil summary for broker %d", i)
+		}
+		res.Merged[i] = own[i].Clone()
+		res.MergedBrokers[i] = subid.NewMask(n)
+		res.MergedBrokers[i].Set(i)
+	}
+	communicated := make([]map[topology.NodeID]bool, n)
+	for i := range communicated {
+		communicated[i] = make(map[topology.NodeID]bool)
+	}
+
+	type delivery struct {
+		to      topology.NodeID
+		payload *summary.Summary
+		brokers BrokerSet
+	}
+
+	maxDegree := g.MaxDegree()
+	for iter := 1; iter <= maxDegree; iter++ {
+		var deliveries []delivery
+		for node := 0; node < n; node++ {
+			id := topology.NodeID(node)
+			if g.Degree(id) != iter {
+				continue
+			}
+			// Step 1 happened implicitly: res.Merged[node] already holds
+			// own ⊕ everything received in previous iterations.
+			target, ok := pickTarget(g, id, iter, communicated[node])
+			if !ok {
+				continue
+			}
+			payload := res.Merged[node].Clone()
+			brokers := res.MergedBrokers[node].Clone()
+			communicated[node][target] = true
+			communicated[target][id] = true
+			send := Send{
+				Iteration:  iter,
+				From:       id,
+				To:         target,
+				Brokers:    brokers.Bits(),
+				ModelBytes: payload.SizeBytes(cost.SST, cost.SID),
+				WireBytes:  payload.EncodedSize(),
+			}
+			res.Sends = append(res.Sends, send)
+			res.ModelBytes += int64(send.ModelBytes)
+			res.WireBytes += int64(send.WireBytes)
+			deliveries = append(deliveries, delivery{to: target, payload: payload, brokers: brokers})
+		}
+		// Deliveries land at the end of the iteration, so equal-degree
+		// exchanges in the same iteration do not see each other's summary.
+		for _, d := range deliveries {
+			if err := res.Merged[d.to].Merge(d.payload); err != nil {
+				return nil, fmt.Errorf("propagation: merging at broker %d: %w", d.to, err)
+			}
+			for _, b := range d.brokers.Bits() {
+				res.MergedBrokers[d.to].Set(b)
+			}
+		}
+	}
+	res.Hops = len(res.Sends)
+	return res, nil
+}
+
+// pickTarget selects the neighbor to send to among those of equal or
+// higher degree not yet communicated with, preferring the smallest degree
+// (the paper's stated preference) — but smallest among the *strictly
+// higher* degrees first, falling back to equal-degree neighbors (smallest
+// id) only when no higher-degree neighbor is eligible. Two equal-degree
+// neighbors send in the same iteration, so an exchange between them
+// strands both summaries for the rest of the phase; routing toward
+// strictly higher degrees keeps the multi-broker summaries flowing to the
+// hubs that Algorithm 3 examines first. Every choice in the paper's
+// Figure 7 walkthrough is consistent with this rule.
+func pickTarget(g *topology.Graph, node topology.NodeID, degree int, communicated map[topology.NodeID]bool) (topology.NodeID, bool) {
+	best := topology.NodeID(-1)
+	bestDegree := 0
+	for _, m := range g.Neighbors(node) {
+		d := g.Degree(m)
+		if d <= degree || communicated[m] {
+			continue
+		}
+		if best < 0 || d < bestDegree || (d == bestDegree && m < best) {
+			best, bestDegree = m, d
+		}
+	}
+	if best >= 0 {
+		return best, true
+	}
+	for _, m := range g.Neighbors(node) {
+		if g.Degree(m) == degree && !communicated[m] {
+			return m, true // equal degree, smallest id (neighbors are sorted)
+		}
+	}
+	return 0, false
+}
+
+// Coverage returns, for each broker, how many brokers' subscriptions its
+// merged summary covers — useful for diagnostics and tests.
+func (r *Result) Coverage() []int {
+	out := make([]int, len(r.MergedBrokers))
+	for i, set := range r.MergedBrokers {
+		out[i] = set.Count()
+	}
+	return out
+}
+
+// TotalCoverage reports whether the union of all Merged_Brokers sets
+// covers every broker (it always should: each broker is in its own set).
+func (r *Result) TotalCoverage() bool {
+	n := len(r.MergedBrokers)
+	union := subid.NewMask(n)
+	for _, set := range r.MergedBrokers {
+		for _, b := range set.Bits() {
+			union.Set(b)
+		}
+	}
+	return union.Count() == n
+}
+
+// FormatTrace renders the send log like the Figure 7 walkthrough (1-based
+// broker numbers to match the paper's figure).
+func (r *Result) FormatTrace() string {
+	var b []byte
+	lastIter := 0
+	for _, s := range r.Sends {
+		if s.Iteration != lastIter {
+			b = append(b, fmt.Sprintf("iteration %d:\n", s.Iteration)...)
+			lastIter = s.Iteration
+		}
+		brokers := make([]int, len(s.Brokers))
+		for i, id := range s.Brokers {
+			brokers[i] = id + 1
+		}
+		sort.Ints(brokers)
+		b = append(b, fmt.Sprintf("  broker %d -> broker %d, Merged_Brokers=%v, %d model bytes\n",
+			int(s.From)+1, int(s.To)+1, brokers, s.ModelBytes)...)
+	}
+	return string(b)
+}

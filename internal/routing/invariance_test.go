@@ -1,0 +1,81 @@
+package routing
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/subsum/subsum/internal/topology"
+)
+
+// TestStrategyDeliveryInvariance: the forwarding strategy changes the
+// examination order and hop count, never the delivered set — every
+// strategy must deliver to exactly the matched brokers.
+func TestStrategyDeliveryInvariance(t *testing.T) {
+	for _, g := range []*topology.Graph{
+		topology.CW24(),
+		topology.ATT33(),
+		topology.Figure7Tree(),
+		topology.Waxman(20, 0.4, 0.15, 5),
+	} {
+		prop, _ := propagate(t, g)
+		n := g.Len()
+		routers := make(map[Strategy]*Router)
+		for _, strat := range []Strategy{HighestDegree, RandomUnvisited, VirtualDegree} {
+			r, err := NewRouter(g, prop, Config{Strategy: strat, Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			routers[strat] = r
+		}
+		for origin := 0; origin < n; origin += 3 {
+			for trial := 0; trial < 4; trial++ {
+				matched := []topology.NodeID{
+					topology.NodeID((origin + trial*5) % n),
+					topology.NodeID((origin*3 + trial + 1) % n),
+					topology.NodeID((origin*7 + trial*11 + 2) % n),
+				}
+				var reference []topology.NodeID
+				for strat, r := range routers {
+					trace := r.Route(topology.NodeID(origin), r.PopularityMatch(matched))
+					delivered := append([]topology.NodeID(nil), trace.Delivered...)
+					sort.Slice(delivered, func(i, j int) bool { return delivered[i] < delivered[j] })
+					if reference == nil {
+						reference = delivered
+						continue
+					}
+					if !reflect.DeepEqual(delivered, reference) {
+						t.Fatalf("%s origin %d: strategy %v delivered %v, others %v",
+							g.Name(), origin, strat, delivered, reference)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropagationDeterminism: Algorithm 2 produces identical results on
+// repeated runs over the same inputs (the figures must be reproducible).
+func TestPropagationDeterminism(t *testing.T) {
+	g := topology.CW24()
+	prop1, _ := propagate(t, g)
+	prop2, _ := propagate(t, g)
+	if prop1.Hops != prop2.Hops || prop1.ModelBytes != prop2.ModelBytes {
+		t.Fatalf("propagation not deterministic: %d/%d vs %d/%d",
+			prop1.Hops, prop1.ModelBytes, prop2.Hops, prop2.ModelBytes)
+	}
+	if len(prop1.Sends) != len(prop2.Sends) {
+		t.Fatal("send logs differ")
+	}
+	for i := range prop1.Sends {
+		a, b := prop1.Sends[i], prop2.Sends[i]
+		if a.From != b.From || a.To != b.To || a.Iteration != b.Iteration {
+			t.Fatalf("send %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	for i := range prop1.MergedBrokers {
+		if !prop1.MergedBrokers[i].Equal(prop2.MergedBrokers[i]) {
+			t.Fatalf("broker %d coverage differs", i)
+		}
+	}
+}

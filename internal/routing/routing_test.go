@@ -1,0 +1,238 @@
+package routing
+
+import (
+	"testing"
+
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/propagation"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/subid"
+	"github.com/subsum/subsum/internal/summary"
+	"github.com/subsum/subsum/internal/topology"
+)
+
+// propagate builds one distinctive subscription per broker and runs
+// Algorithm 2, returning everything routing needs.
+func propagate(t testing.TB, g *topology.Graph) (*propagation.Result, *schema.Schema) {
+	t.Helper()
+	s := schema.MustNew(schema.Attribute{Name: "num00", Type: schema.TypeFloat})
+	own := make([]*summary.Summary, g.Len())
+	for i := range own {
+		own[i] = summary.New(s, interval.Lossy)
+		sub, err := schema.NewSubscription(s, schema.Constraint{
+			Attr: 0, Op: schema.OpEQ, Value: schema.FloatValue(float64(1000000 + i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := own[i].Insert(subid.ID{Broker: subid.BrokerID(i)}, sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := propagation.Run(g, own, propagation.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, s
+}
+
+// TestFigure7RoutingExample replays the paper's Example 3: an event
+// matching brokers 4, 8, and 13 arrives at broker 1. The expected path is
+// 1 → 5 (delivers to 4) → 8 (local match) → 11 (delivers to 13).
+func TestFigure7RoutingExample(t *testing.T) {
+	g := topology.Figure7Tree()
+	prop, _ := propagate(t, g)
+	r, err := NewRouter(g, prop, Config{Strategy: HighestDegree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := []topology.NodeID{3, 7, 12} // paper brokers 4, 8, 13
+	trace := r.Route(0, r.PopularityMatch(matched))
+
+	wantVisited := []topology.NodeID{0, 4, 7, 10} // brokers 1, 5, 8, 11
+	if len(trace.Visited) != len(wantVisited) {
+		t.Fatalf("visited = %v, want %v", trace.Visited, wantVisited)
+	}
+	for i := range wantVisited {
+		if trace.Visited[i] != wantVisited[i] {
+			t.Fatalf("visited = %v, want %v", trace.Visited, wantVisited)
+		}
+	}
+	// All three matched brokers delivered.
+	deliveredSet := make(map[topology.NodeID]bool)
+	for _, d := range trace.Delivered {
+		deliveredSet[d] = true
+	}
+	for _, m := range matched {
+		if !deliveredSet[m] {
+			t.Fatalf("matched broker %d not delivered (delivered %v)", m, trace.Delivered)
+		}
+	}
+	// Forward hops: 1→5, 5→8, 8→11. Delivery hops: 5→4 and 11→13
+	// (broker 8 matches locally at zero cost).
+	if trace.ForwardHops != 3 {
+		t.Fatalf("forward hops = %d, want 3", trace.ForwardHops)
+	}
+	if trace.DeliveryHops != 2 {
+		t.Fatalf("delivery hops = %d, want 2", trace.DeliveryHops)
+	}
+	if trace.Hops() != 5 {
+		t.Fatalf("total hops = %d, want 5", trace.Hops())
+	}
+}
+
+// TestAllMatchedAlwaysDelivered: for every origin and every matched set,
+// Algorithm 3 delivers the event to every matched broker — the routing
+// completeness invariant.
+func TestAllMatchedAlwaysDelivered(t *testing.T) {
+	for _, g := range []*topology.Graph{
+		topology.Figure7Tree(),
+		topology.CW24(),
+		topology.Random(18, 6, 5),
+		topology.Ring(7),
+	} {
+		prop, _ := propagate(t, g)
+		r, err := NewRouter(g, prop, Config{Strategy: HighestDegree})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := g.Len()
+		for origin := 0; origin < n; origin++ {
+			for trial := 0; trial < 5; trial++ {
+				matched := []topology.NodeID{
+					topology.NodeID((origin + trial) % n),
+					topology.NodeID((origin + trial*3 + 1) % n),
+					topology.NodeID((origin*5 + trial*7 + 2) % n),
+				}
+				trace := r.Route(topology.NodeID(origin), r.PopularityMatch(matched))
+				got := make(map[topology.NodeID]bool)
+				for _, d := range trace.Delivered {
+					got[d] = true
+				}
+				for _, m := range matched {
+					if !got[m] {
+						t.Fatalf("%s: origin %d: matched %v, delivered %v",
+							g.Name(), origin, matched, trace.Delivered)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestContentDrivenRouting wires MatchFunc to real merged summaries: an
+// event carrying broker j's distinctive value is delivered to exactly
+// broker j.
+func TestContentDrivenRouting(t *testing.T) {
+	g := topology.CW24()
+	prop, s := propagate(t, g)
+	r, err := NewRouter(g, prop, Config{Strategy: HighestDegree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for target := 0; target < g.Len(); target++ {
+		ev, err := schema.NewEvent(s, map[string]schema.Value{
+			"num00": schema.FloatValue(float64(1000000 + target)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		match := func(at topology.NodeID) []topology.NodeID {
+			var out []topology.NodeID
+			for _, id := range prop.Merged[at].Match(ev) {
+				out = append(out, topology.NodeID(id.Broker))
+			}
+			return out
+		}
+		trace := r.Route(0, match)
+		if len(trace.Delivered) != 1 || trace.Delivered[0] != topology.NodeID(target) {
+			t.Fatalf("target %d: delivered %v", target, trace.Delivered)
+		}
+	}
+}
+
+func TestNoDuplicateDeliveries(t *testing.T) {
+	g := topology.CW24()
+	prop, _ := propagate(t, g)
+	r, err := NewRouter(g, prop, Config{Strategy: HighestDegree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]topology.NodeID, g.Len())
+	for i := range all {
+		all[i] = topology.NodeID(i)
+	}
+	trace := r.Route(5, r.PopularityMatch(all))
+	seen := make(map[topology.NodeID]bool)
+	for _, d := range trace.Delivered {
+		if seen[d] {
+			t.Fatalf("broker %d delivered twice", d)
+		}
+		seen[d] = true
+	}
+	if len(trace.Delivered) != g.Len() {
+		t.Fatalf("delivered %d of %d", len(trace.Delivered), g.Len())
+	}
+}
+
+func TestVisitedChainBounded(t *testing.T) {
+	g := topology.CW24()
+	prop, _ := propagate(t, g)
+	for _, strat := range []Strategy{HighestDegree, RandomUnvisited, VirtualDegree} {
+		r, err := NewRouter(g, prop, Config{Strategy: strat, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace := r.Route(0, r.PopularityMatch(nil))
+		if len(trace.Visited) > g.Len() {
+			t.Fatalf("%v: visited %d brokers of %d", strat, len(trace.Visited), g.Len())
+		}
+		// The chain must visit distinct brokers.
+		seen := make(map[topology.NodeID]bool)
+		for _, v := range trace.Visited {
+			if seen[v] {
+				t.Fatalf("%v: broker %d examined twice", strat, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestVirtualDegreeSpreadsFirstHop(t *testing.T) {
+	g := topology.Figure7Tree() // broker 5 (node 4) has degree 5, others ≤ 3
+	prop, _ := propagate(t, g)
+	plain, err := NewRouter(g, prop, Config{Strategy: HighestDegree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	virtual, err := NewRouter(g, prop, Config{Strategy: VirtualDegree, VirtualDegreeCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under plain highest-degree, node 4 is always the first forward target
+	// from node 0; under virtual degree (cap 1) it is not.
+	pt := plain.Route(0, plain.PopularityMatch(nil))
+	if pt.Visited[1] != 4 {
+		t.Fatalf("plain: second visit = %d, want 4", pt.Visited[1])
+	}
+	vt := virtual.Route(0, virtual.PopularityMatch(nil))
+	if vt.Visited[1] == 4 {
+		t.Fatal("virtual degree did not displace the max-degree broker")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if HighestDegree.String() != "highest-degree" ||
+		RandomUnvisited.String() != "random-unvisited" ||
+		VirtualDegree.String() != "virtual-degree" {
+		t.Fatal("strategy names wrong")
+	}
+}
+
+func TestNewRouterValidation(t *testing.T) {
+	g := topology.Ring(4)
+	prop := &propagation.Result{MergedBrokers: make([]propagation.BrokerSet, 3)}
+	if _, err := NewRouter(g, prop, Config{}); err == nil {
+		t.Fatal("mismatched propagation result accepted")
+	}
+}

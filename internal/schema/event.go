@@ -1,0 +1,122 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Field is one attribute/value pair of an event.
+type Field struct {
+	Attr  AttrID
+	Value Value
+}
+
+// Event is a published notification: a set of typed attribute values
+// (Section 2.1, Figure 2). An event may carry more attributes than any
+// subscription mentions. Fields are kept sorted by attribute id, with at
+// most one field per attribute.
+type Event struct {
+	fields []Field
+}
+
+// NewEvent builds an event over the given schema from name/value pairs,
+// validating names, types, and duplicates.
+func NewEvent(s *Schema, fields map[string]Value) (*Event, error) {
+	e := &Event{fields: make([]Field, 0, len(fields))}
+	for name, v := range fields {
+		id, ok := s.ID(name)
+		if !ok {
+			return nil, fmt.Errorf("schema: event attribute %q not in schema", name)
+		}
+		if err := checkValueType(s, id, v); err != nil {
+			return nil, err
+		}
+		e.fields = append(e.fields, Field{Attr: id, Value: v})
+	}
+	sort.Slice(e.fields, func(i, j int) bool { return e.fields[i].Attr < e.fields[j].Attr })
+	return e, nil
+}
+
+// EventFromFields builds an event from pre-resolved fields, validating
+// against the schema. Duplicate attributes are an error.
+func EventFromFields(s *Schema, fields []Field) (*Event, error) {
+	e := &Event{fields: make([]Field, len(fields))}
+	copy(e.fields, fields)
+	sort.Slice(e.fields, func(i, j int) bool { return e.fields[i].Attr < e.fields[j].Attr })
+	for i, f := range e.fields {
+		if err := checkValueType(s, f.Attr, f.Value); err != nil {
+			return nil, err
+		}
+		if i > 0 && e.fields[i-1].Attr == f.Attr {
+			return nil, fmt.Errorf("schema: duplicate event attribute %q", s.Name(f.Attr))
+		}
+	}
+	return e, nil
+}
+
+func checkValueType(s *Schema, id AttrID, v Value) error {
+	a, ok := s.Attr(id)
+	if !ok {
+		return fmt.Errorf("schema: attribute id %d out of range", id)
+	}
+	if !v.Valid() {
+		return fmt.Errorf("schema: invalid value for attribute %q", a.Name)
+	}
+	// Int/float/date are interchangeable numerically only if declared so;
+	// the declared type is authoritative (paper assumption (i)).
+	if a.Type == TypeString != (v.Type == TypeString) {
+		return fmt.Errorf("schema: attribute %q is %s, got %s value", a.Name, a.Type, v.Type)
+	}
+	if a.Type != TypeString && v.Type != a.Type {
+		return fmt.Errorf("schema: attribute %q is %s, got %s value", a.Name, a.Type, v.Type)
+	}
+	return nil
+}
+
+// Len returns the number of fields in the event.
+func (e *Event) Len() int { return len(e.fields) }
+
+// Fields returns the event's fields in attribute-id order. The returned
+// slice is shared; callers must not mutate it.
+func (e *Event) Fields() []Field { return e.fields }
+
+// Value returns the value of the given attribute, if present.
+func (e *Event) Value(id AttrID) (Value, bool) {
+	i := sort.Search(len(e.fields), func(i int) bool { return e.fields[i].Attr >= id })
+	if i < len(e.fields) && e.fields[i].Attr == id {
+		return e.fields[i].Value, true
+	}
+	return Value{}, false
+}
+
+// Has reports whether the event carries the given attribute.
+func (e *Event) Has(id AttrID) bool {
+	_, ok := e.Value(id)
+	return ok
+}
+
+// WireSize returns the event's size in bytes under the paper's cost model:
+// 2 bytes of attribute id plus the value payload, per field.
+func (e *Event) WireSize() int {
+	n := 0
+	for _, f := range e.fields {
+		n += 2 + f.Value.WireSize()
+	}
+	return n
+}
+
+// String renders the event as "name=value" pairs using the schema for
+// attribute names.
+func (e *Event) Format(s *Schema) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, f := range e.fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%s", s.Name(f.Attr), f.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

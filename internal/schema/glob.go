@@ -1,0 +1,105 @@
+package schema
+
+import "strings"
+
+// GlobMatch reports whether s matches pattern, where '*' in the pattern
+// matches any (possibly empty) substring. There is no escape syntax; SACS
+// covering rows only ever need literal segments separated by stars (the
+// paper's example generalizes "microsoft" and "micronet" to "m*t").
+//
+// The matcher runs in O(len(pattern)*len(s)) worst case using the classic
+// backtracking-with-star-bookmark algorithm, which is linear for the
+// single-star patterns that dominate in practice.
+func GlobMatch(pattern, s string) bool {
+	var (
+		p, i         int // cursors into pattern and s
+		starP, starI int // bookmark of the last '*' and the s position tried
+		haveStar     bool
+	)
+	for i < len(s) {
+		switch {
+		case p < len(pattern) && pattern[p] == '*':
+			haveStar = true
+			starP, starI = p, i
+			p++
+		case p < len(pattern) && pattern[p] == s[i]:
+			p++
+			i++
+		case haveStar:
+			// Backtrack: let the last star absorb one more byte.
+			starI++
+			p, i = starP+1, starI
+		default:
+			return false
+		}
+	}
+	for p < len(pattern) && pattern[p] == '*' {
+		p++
+	}
+	return p == len(pattern)
+}
+
+// globSegments splits a glob pattern into its literal segments, recording
+// whether the pattern is anchored at the start and/or end (i.e. whether it
+// begins/ends with a literal rather than '*').
+func globSegments(pattern string) (segs []string, anchoredStart, anchoredEnd bool) {
+	anchoredStart = !strings.HasPrefix(pattern, "*")
+	anchoredEnd = !strings.HasSuffix(pattern, "*")
+	for _, seg := range strings.Split(pattern, "*") {
+		if seg != "" {
+			segs = append(segs, seg)
+		}
+	}
+	return segs, anchoredStart, anchoredEnd
+}
+
+// CanonGlob returns the canonical (Op, pattern) form of a string constraint
+// expressed as a glob, folding degenerate patterns into the cheaper
+// operators: "abc" -> OpEQ, "abc*" -> OpPrefix, "*abc" -> OpSuffix,
+// "*abc*" -> OpContains, "*"/"" -> OpContains "" (matches everything).
+// Patterns with interior stars stay OpGlob (with redundant duplicate stars
+// collapsed).
+func CanonGlob(pattern string) (Op, string) {
+	// Collapse runs of stars: "a**b" == "a*b".
+	for strings.Contains(pattern, "**") {
+		pattern = strings.ReplaceAll(pattern, "**", "*")
+	}
+	segs, start, end := globSegments(pattern)
+	switch {
+	case len(segs) == 0 && start && end:
+		// No stars and no literals: only the empty string matches.
+		return OpEQ, ""
+	case len(segs) == 0:
+		return OpContains, ""
+	case len(segs) == 1 && start && end:
+		return OpEQ, segs[0]
+	case len(segs) == 1 && start:
+		return OpPrefix, segs[0]
+	case len(segs) == 1 && end:
+		return OpSuffix, segs[0]
+	case len(segs) == 1:
+		return OpContains, segs[0]
+	default:
+		return OpGlob, pattern
+	}
+}
+
+// GlobOf converts a string constraint (op, pattern) to its equivalent glob
+// pattern. OpNE has no glob equivalent; ok is false for it and for
+// non-string operators.
+func GlobOf(op Op, pattern string) (glob string, ok bool) {
+	switch op {
+	case OpEQ:
+		return pattern, true
+	case OpPrefix:
+		return pattern + "*", true
+	case OpSuffix:
+		return "*" + pattern, true
+	case OpContains:
+		return "*" + pattern + "*", true
+	case OpGlob:
+		return pattern, true
+	default:
+		return "", false
+	}
+}

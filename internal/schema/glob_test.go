@@ -1,0 +1,198 @@
+package schema
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGlobMatchTable(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"", "", true},
+		{"", "a", false},
+		{"*", "", true},
+		{"*", "anything", true},
+		{"a", "a", true},
+		{"a", "b", false},
+		{"a*", "abc", true},
+		{"a*", "ba", false},
+		{"*a", "ba", true},
+		{"*a", "ab", false},
+		{"*a*", "xax", true},
+		{"*a*", "xxx", false},
+		{"m*t", "microsoft", true},
+		{"m*t", "micronet", true},
+		{"m*t", "mt", true},
+		{"m*t", "m", false},
+		{"m*t", "t", false},
+		{"a*b*c", "aXbYc", true},
+		{"a*b*c", "abc", true},
+		{"a*b*c", "acb", false},
+		{"a**b", "ab", true},
+		{"a*a", "aa", true},
+		{"a*a", "a", false},
+		{"*ab*ab*", "abab", true},
+		{"*ab*ab*", "aab", false},
+		{"N*SE", "NYSE", true},
+		{"N*SE", "NASDAQ", false},
+	}
+	for _, c := range cases {
+		if got := GlobMatch(c.pattern, c.s); got != c.want {
+			t.Errorf("GlobMatch(%q, %q) = %v, want %v", c.pattern, c.s, got, c.want)
+		}
+	}
+}
+
+// globToRegexp builds a reference matcher from a glob pattern.
+func globToRegexp(pattern string) *regexp.Regexp {
+	var b strings.Builder
+	b.WriteString("^")
+	for _, part := range strings.Split(pattern, "*") {
+		b.WriteString(regexp.QuoteMeta(part))
+		b.WriteString("*PLACEHOLDER*")
+	}
+	src := strings.ReplaceAll(strings.TrimSuffix(b.String(), "*PLACEHOLDER*"), "*PLACEHOLDER*", ".*")
+	return regexp.MustCompile(src + "$")
+}
+
+// TestGlobMatchAgainstRegexp cross-checks the backtracking matcher against
+// a regexp-based reference on random patterns and subjects over a tiny
+// alphabet (small alphabets maximize star-collision cases).
+func TestGlobMatchAgainstRegexp(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alphabet := "ab*"
+	randStr := func(n int, stars bool) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			ch := alphabet[rng.Intn(len(alphabet))]
+			if !stars && ch == '*' {
+				ch = 'a'
+			}
+			b.WriteByte(ch)
+		}
+		return b.String()
+	}
+	for i := 0; i < 5000; i++ {
+		pattern := randStr(rng.Intn(8), true)
+		subject := randStr(rng.Intn(10), false)
+		want := globToRegexp(pattern).MatchString(subject)
+		if got := GlobMatch(pattern, subject); got != want {
+			t.Fatalf("GlobMatch(%q, %q) = %v, regexp says %v", pattern, subject, got, want)
+		}
+	}
+}
+
+// Property: any string built by filling a pattern's stars with arbitrary
+// text matches the pattern.
+func TestGlobMatchFillProperty(t *testing.T) {
+	f := func(segsRaw []string, fills []string) bool {
+		var segs []string
+		for _, s := range segsRaw {
+			segs = append(segs, strings.ReplaceAll(s, "*", "x"))
+		}
+		if len(segs) == 0 {
+			return true
+		}
+		pattern := strings.Join(segs, "*")
+		var b strings.Builder
+		for i, seg := range segs {
+			b.WriteString(seg)
+			if i < len(segs)-1 {
+				fill := "q"
+				if i < len(fills) {
+					fill = strings.ReplaceAll(fills[i], "*", "y")
+				}
+				b.WriteString(fill)
+			}
+		}
+		return GlobMatch(pattern, b.String())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonGlob(t *testing.T) {
+	cases := []struct {
+		in      string
+		op      Op
+		pattern string
+	}{
+		{"abc", OpEQ, "abc"},
+		{"abc*", OpPrefix, "abc"},
+		{"*abc", OpSuffix, "abc"},
+		{"*abc*", OpContains, "abc"},
+		{"*", OpContains, ""},
+		{"", OpEQ, ""},
+		{"**", OpContains, ""},
+		{"a*b", OpGlob, "a*b"},
+		{"a**b", OpGlob, "a*b"},
+		{"N*SE", OpGlob, "N*SE"},
+		{"*a*b*", OpGlob, "*a*b*"},
+	}
+	for _, c := range cases {
+		op, p := CanonGlob(c.in)
+		if op != c.op || p != c.pattern {
+			t.Errorf("CanonGlob(%q) = %v,%q; want %v,%q", c.in, op, p, c.op, c.pattern)
+		}
+	}
+}
+
+// Property: CanonGlob preserves matching semantics.
+func TestCanonGlobPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	alphabet := "ab*"
+	randStr := func(n int, stars bool) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			ch := alphabet[rng.Intn(len(alphabet))]
+			if !stars && ch == '*' {
+				ch = 'b'
+			}
+			b.WriteByte(ch)
+		}
+		return b.String()
+	}
+	for i := 0; i < 3000; i++ {
+		pattern := randStr(rng.Intn(7), true)
+		subject := randStr(rng.Intn(9), false)
+		op, p := CanonGlob(pattern)
+		con := Constraint{Op: op, Value: StringValue(p)}
+		want := GlobMatch(pattern, subject)
+		if got := con.Satisfied(StringValue(subject)); got != want {
+			t.Fatalf("CanonGlob(%q)=(%v,%q): Satisfied(%q)=%v, want %v",
+				pattern, op, p, subject, got, want)
+		}
+	}
+}
+
+func TestGlobOfRoundTrip(t *testing.T) {
+	cases := []struct {
+		op      Op
+		pattern string
+		glob    string
+	}{
+		{OpEQ, "abc", "abc"},
+		{OpPrefix, "abc", "abc*"},
+		{OpSuffix, "abc", "*abc"},
+		{OpContains, "abc", "*abc*"},
+		{OpGlob, "a*b", "a*b"},
+	}
+	for _, c := range cases {
+		g, ok := GlobOf(c.op, c.pattern)
+		if !ok || g != c.glob {
+			t.Errorf("GlobOf(%v, %q) = %q,%v; want %q", c.op, c.pattern, g, ok, c.glob)
+		}
+	}
+	if _, ok := GlobOf(OpNE, "x"); ok {
+		t.Error("GlobOf should fail for OpNE")
+	}
+	if _, ok := GlobOf(OpLT, "x"); ok {
+		t.Error("GlobOf should fail for arithmetic ops")
+	}
+}

@@ -1,0 +1,255 @@
+package schema
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseSubscription parses a textual subscription: one or more constraints
+// joined by `&&`, each of the form `<attr> <op> <value>`. Examples:
+//
+//	exchange = "N*SE" && symbol = OTE && price < 8.70 && price > 8.30
+//	symbol >* OT && volume > 130000 && low < 8.05
+//
+// String values may be double-quoted (with Go escape syntax) or bare
+// tokens. For string attributes, `=` with a value containing '*' is
+// canonicalized to the matching pattern operator (prefix, suffix,
+// containment, or glob) — mirroring the paper's use of patterns like
+// "N*SE" under the equality column of Figure 3.
+func ParseSubscription(s *Schema, text string) (*Subscription, error) {
+	parts := splitConjunction(text)
+	cs := make([]Constraint, 0, len(parts))
+	for _, part := range parts {
+		if part == "" {
+			return nil, fmt.Errorf("schema: empty constraint in subscription %q", text)
+		}
+		c, err := parseConstraint(s, part)
+		if err != nil {
+			return nil, err
+		}
+		cs = append(cs, c)
+	}
+	return NewSubscription(s, cs...)
+}
+
+// splitConjunction splits on `&&` outside of double quotes.
+func splitConjunction(text string) []string {
+	var parts []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(text); i++ {
+		ch := text[i]
+		switch {
+		case ch == '"' && (i == 0 || text[i-1] != '\\'):
+			inQuote = !inQuote
+			cur.WriteByte(ch)
+		case !inQuote && ch == '&' && i+1 < len(text) && text[i+1] == '&':
+			parts = append(parts, cur.String())
+			cur.Reset()
+			i++
+		default:
+			cur.WriteByte(ch)
+		}
+	}
+	parts = append(parts, cur.String())
+	out := parts[:0]
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+func parseConstraint(s *Schema, text string) (Constraint, error) {
+	lex := lexer{src: text}
+	name, ok := lex.ident()
+	if !ok {
+		return Constraint{}, fmt.Errorf("schema: constraint %q: expected attribute name", text)
+	}
+	id, known := s.ID(name)
+	if !known {
+		return Constraint{}, fmt.Errorf("schema: constraint %q: unknown attribute %q", text, name)
+	}
+	opTok, ok := lex.operator()
+	if !ok {
+		return Constraint{}, fmt.Errorf("schema: constraint %q: expected operator after %q", text, name)
+	}
+	op, err := ParseOp(opTok)
+	if err != nil {
+		return Constraint{}, fmt.Errorf("schema: constraint %q: %w", text, err)
+	}
+	raw, ok := lex.value()
+	if !ok {
+		return Constraint{}, fmt.Errorf("schema: constraint %q: expected value", text)
+	}
+	if rest := strings.TrimSpace(lex.rest()); rest != "" {
+		return Constraint{}, fmt.Errorf("schema: constraint %q: trailing input %q", text, rest)
+	}
+	t := s.TypeOf(id)
+	v, err := ParseValue(t, raw)
+	if err != nil {
+		return Constraint{}, fmt.Errorf("schema: constraint %q: %w", text, err)
+	}
+	if t == TypeString && op == OpEQ && strings.Contains(raw, "*") {
+		op, v.Str = CanonGlob(raw)
+	}
+	c := Constraint{Attr: id, Op: op, Value: v}
+	if err := c.Validate(s); err != nil {
+		return Constraint{}, fmt.Errorf("schema: constraint %q: %w", text, err)
+	}
+	return c, nil
+}
+
+// ParseEvent parses a textual event: whitespace- or comma-separated
+// `<attr>=<value>` pairs, e.g. `exchange=NYSE symbol=OTE price=8.40`.
+func ParseEvent(s *Schema, text string) (*Event, error) {
+	fields := make(map[string]Value)
+	lex := lexer{src: text}
+	for {
+		lex.skipSeparators()
+		if lex.done() {
+			break
+		}
+		name, ok := lex.ident()
+		if !ok {
+			return nil, fmt.Errorf("schema: event %q: expected attribute name at %q", text, lex.rest())
+		}
+		opTok, ok := lex.operator()
+		if !ok || opTok != "=" {
+			return nil, fmt.Errorf("schema: event %q: expected '=' after %q", text, name)
+		}
+		raw, ok := lex.value()
+		if !ok {
+			return nil, fmt.Errorf("schema: event %q: expected value for %q", text, name)
+		}
+		id, known := s.ID(name)
+		if !known {
+			return nil, fmt.Errorf("schema: event %q: unknown attribute %q", text, name)
+		}
+		if _, dup := fields[name]; dup {
+			return nil, fmt.Errorf("schema: event %q: duplicate attribute %q", text, name)
+		}
+		v, err := ParseValue(s.TypeOf(id), raw)
+		if err != nil {
+			return nil, fmt.Errorf("schema: event %q: %w", text, err)
+		}
+		fields[name] = v
+	}
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("schema: empty event")
+	}
+	return NewEvent(s, fields)
+}
+
+// lexer is a tiny cursor-based scanner shared by the constraint and event
+// parsers.
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) done() bool { return l.pos >= len(l.src) }
+
+func (l *lexer) rest() string { return l.src[l.pos:] }
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && (l.src[l.pos] == ' ' || l.src[l.pos] == '\t') {
+		l.pos++
+	}
+}
+
+func (l *lexer) skipSeparators() {
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case ' ', '\t', ',', '\n':
+			l.pos++
+		default:
+			return
+		}
+	}
+}
+
+// ident scans an attribute identifier: a letter or '_' followed by
+// letters, digits, '_', '.', or '-'.
+func (l *lexer) ident() (string, bool) {
+	l.skipSpace()
+	start := l.pos
+	for l.pos < len(l.src) {
+		ch := rune(l.src[l.pos])
+		if l.pos == start {
+			if !unicode.IsLetter(ch) && ch != '_' {
+				break
+			}
+		} else if !unicode.IsLetter(ch) && !unicode.IsDigit(ch) && ch != '_' && ch != '.' && ch != '-' {
+			break
+		}
+		l.pos++
+	}
+	if l.pos == start {
+		return "", false
+	}
+	return l.src[start:l.pos], true
+}
+
+// operator scans the longest operator token at the cursor.
+func (l *lexer) operator() (string, bool) {
+	l.skipSpace()
+	two := []string{">=", "<=", "!=", "<>", ">*", "*<", "=="}
+	for _, op := range two {
+		if strings.HasPrefix(l.rest(), op) {
+			l.pos += 2
+			return op, true
+		}
+	}
+	one := "=<>*~"
+	if !l.done() && strings.IndexByte(one, l.src[l.pos]) >= 0 {
+		op := l.src[l.pos : l.pos+1]
+		l.pos++
+		return op, true
+	}
+	return "", false
+}
+
+// value scans a double-quoted string (Go escape syntax) or a bare token
+// terminated by whitespace or a comma.
+func (l *lexer) value() (string, bool) {
+	l.skipSpace()
+	if l.done() {
+		return "", false
+	}
+	if l.src[l.pos] == '"' {
+		end := l.pos + 1
+		for end < len(l.src) {
+			if l.src[end] == '\\' {
+				end += 2
+				continue
+			}
+			if l.src[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(l.src) {
+			return "", false
+		}
+		unq, err := strconv.Unquote(l.src[l.pos : end+1])
+		if err != nil {
+			return "", false
+		}
+		l.pos = end + 1
+		return unq, true
+	}
+	start := l.pos
+	for l.pos < len(l.src) {
+		ch := l.src[l.pos]
+		if ch == ' ' || ch == '\t' || ch == ',' || ch == '\n' {
+			break
+		}
+		l.pos++
+	}
+	if l.pos == start {
+		return "", false
+	}
+	return l.src[start:l.pos], true
+}

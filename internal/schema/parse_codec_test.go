@@ -1,0 +1,213 @@
+package schema
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestParseSubscriptionErrors(t *testing.T) {
+	s := paperSchema(t)
+	bad := []string{
+		"",
+		"price",
+		"price <",
+		"price < abc",
+		"nosuch = 1",
+		"price ? 1",
+		"price < 1 2",
+		"price < 1 && ",
+		`exchange = "unterminated`,
+		"volume > 1.5", // float literal for int attribute
+		"price >* 8.4", // string op on arithmetic attribute
+	}
+	for _, in := range bad {
+		if _, err := ParseSubscription(s, in); err == nil {
+			t.Errorf("ParseSubscription(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseSubscriptionQuotedValues(t *testing.T) {
+	s := paperSchema(t)
+	sub, err := ParseSubscription(s, `symbol = "A B && C"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sub.Constraints[0].Value.Str; got != "A B && C" {
+		t.Fatalf("quoted value = %q", got)
+	}
+	if sub.Constraints[0].Op != OpEQ {
+		t.Fatalf("op = %v, want OpEQ", sub.Constraints[0].Op)
+	}
+}
+
+func TestParseSubscriptionStarEqualityCanonicalized(t *testing.T) {
+	s := paperSchema(t)
+	cases := []struct {
+		in string
+		op Op
+	}{
+		{`symbol = "OT*"`, OpPrefix},
+		{`symbol = "*SE"`, OpSuffix},
+		{`symbol = "*YS*"`, OpContains},
+		{`symbol = "N*SE"`, OpGlob},
+	}
+	for _, c := range cases {
+		sub, err := ParseSubscription(s, c.in)
+		if err != nil {
+			t.Errorf("%q: %v", c.in, err)
+			continue
+		}
+		if sub.Constraints[0].Op != c.op {
+			t.Errorf("%q: op = %v, want %v", c.in, sub.Constraints[0].Op, c.op)
+		}
+	}
+}
+
+func TestParseEventErrors(t *testing.T) {
+	s := paperSchema(t)
+	bad := []string{
+		"",
+		"price",
+		"price<8",
+		"price=8.4 price=8.5",
+		"nosuch=1",
+		"price=abc",
+	}
+	for _, in := range bad {
+		if _, err := ParseEvent(s, in); err == nil {
+			t.Errorf("ParseEvent(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseEventSeparators(t *testing.T) {
+	s := paperSchema(t)
+	a, err := ParseEvent(s, "price=8.4, volume=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseEvent(s, "price=8.4\nvolume=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Fields(), b.Fields()) {
+		t.Fatal("comma and newline separators differ")
+	}
+}
+
+func TestEventCodecRoundTrip(t *testing.T) {
+	s := paperSchema(t)
+	ev, err := ParseEvent(s, `exchange=NYSE symbol=OTE price=8.40 volume=132700`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := EncodeEvent(nil, ev)
+	got, n, err := DecodeEvent(s, buf)
+	if err != nil {
+		t.Fatalf("DecodeEvent: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if !reflect.DeepEqual(got.Fields(), ev.Fields()) {
+		t.Fatalf("round trip mismatch: %v vs %v", got.Fields(), ev.Fields())
+	}
+}
+
+func TestSubscriptionCodecRoundTrip(t *testing.T) {
+	s := paperSchema(t)
+	sub, err := ParseSubscription(s, `exchange = "N*SE" && symbol >* OT && price < 8.70 && volume > 130000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := EncodeSubscription(nil, sub)
+	got, n, err := DecodeSubscription(s, buf)
+	if err != nil {
+		t.Fatalf("DecodeSubscription: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if !reflect.DeepEqual(got.Constraints, sub.Constraints) {
+		t.Fatalf("round trip mismatch:\n%v\n%v", got.Constraints, sub.Constraints)
+	}
+}
+
+func TestDecodeRejectsCorruptInput(t *testing.T) {
+	s := paperSchema(t)
+	sub, _ := ParseSubscription(s, `price < 8.70`)
+	buf := EncodeSubscription(nil, sub)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeSubscription(s, buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	ev, _ := ParseEvent(s, `price=8.4`)
+	ebuf := EncodeEvent(nil, ev)
+	for cut := 0; cut < len(ebuf); cut++ {
+		if _, _, err := DecodeEvent(s, ebuf[:cut]); err == nil {
+			t.Fatalf("event truncation at %d accepted", cut)
+		}
+	}
+	// Corrupt type byte.
+	bad := append([]byte(nil), ebuf...)
+	bad[4] = 0xFF
+	if _, _, err := DecodeEvent(s, bad); err == nil {
+		t.Fatal("corrupt value type accepted")
+	}
+}
+
+// TestCodecRandomRoundTrip fuzzes the codec with randomly generated valid
+// events and subscriptions.
+func TestCodecRandomRoundTrip(t *testing.T) {
+	s := paperSchema(t)
+	rng := rand.New(rand.NewSource(3))
+	attrs := s.Attributes()
+	for iter := 0; iter < 500; iter++ {
+		var fields []Field
+		for id, a := range attrs {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			var v Value
+			switch a.Type {
+			case TypeString:
+				v = StringValue(randWord(rng))
+			case TypeInt:
+				v = IntValue(int64(rng.Intn(10000)))
+			case TypeFloat:
+				v = FloatValue(float64(rng.Intn(1000)) / 8)
+			case TypeDate:
+				v = Value{Type: TypeDate, Num: float64(rng.Intn(1 << 30))}
+			}
+			fields = append(fields, Field{Attr: AttrID(id), Value: v})
+		}
+		if len(fields) == 0 {
+			continue
+		}
+		ev, err := EventFromFields(s, fields)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := EncodeEvent(nil, ev)
+		got, _, err := DecodeEvent(s, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Fields(), ev.Fields()) {
+			t.Fatal("random event round trip mismatch")
+		}
+	}
+}
+
+func randWord(rng *rand.Rand) string {
+	letters := "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	n := 1 + rng.Intn(8)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}

@@ -1,0 +1,240 @@
+// Package schema defines the event and subscription model of the
+// subscription-summarization paper (Triantafillou & Economides, ICDCS 2004,
+// Section 2.1): events are untyped sets of typed attributes, and
+// subscriptions are conjunctions of per-attribute constraints over a rich
+// operator set (=, ≠, <, ≤, >, ≥, prefix, suffix, containment, glob).
+//
+// The paper assumes (Section 3) that the set of attributes is predefined,
+// ordered, and known to every broker; Schema captures exactly that global
+// agreement. Attribute identifiers are indexes into the schema and double as
+// bit positions in the c3 component of subscription ids.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Type enumerates the attribute data types supported by the system.
+// Arithmetic types (Int, Float, Date) are normalized to float64 for
+// constraint evaluation; Date is represented as Unix seconds.
+type Type uint8
+
+// Supported attribute types.
+const (
+	TypeInvalid Type = iota
+	TypeString
+	TypeInt
+	TypeFloat
+	TypeDate
+)
+
+// String returns the lower-case name of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeString:
+		return "string"
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeDate:
+		return "date"
+	default:
+		return fmt.Sprintf("invalid(%d)", uint8(t))
+	}
+}
+
+// ParseType converts a type name to a Type.
+func ParseType(s string) (Type, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "string":
+		return TypeString, nil
+	case "int", "integer":
+		return TypeInt, nil
+	case "float", "double":
+		return TypeFloat, nil
+	case "date", "time":
+		return TypeDate, nil
+	default:
+		return TypeInvalid, fmt.Errorf("schema: unknown type %q", s)
+	}
+}
+
+// Arithmetic reports whether values of the type are matched numerically.
+func (t Type) Arithmetic() bool {
+	return t == TypeInt || t == TypeFloat || t == TypeDate
+}
+
+// AttrID identifies an attribute within a Schema. It is the attribute's
+// index in the ordered attribute list and its bit position in c3.
+type AttrID uint16
+
+// Attribute is a (name, type) pair in the global schema.
+type Attribute struct {
+	Name string
+	Type Type
+}
+
+// Schema is the ordered, system-wide set of attribute definitions shared by
+// all brokers. The zero value is an empty schema; use New or Add to build
+// one. A named attribute cannot have two different data types (paper
+// assumption (i)).
+//
+// Schemas are safe for concurrent use: the paper's Section 6 extension to
+// dynamically-changing attribute schemata only requires growing the c3
+// field of subscription ids, so attributes may be appended at runtime
+// (Add) while brokers keep matching — existing ids simply have the new
+// bits unset.
+type Schema struct {
+	mu     sync.RWMutex
+	attrs  []Attribute
+	byName map[string]AttrID
+}
+
+// New builds a schema from the given attribute definitions, in order.
+func New(attrs ...Attribute) (*Schema, error) {
+	s := &Schema{byName: make(map[string]AttrID, len(attrs))}
+	for _, a := range attrs {
+		if _, err := s.Add(a.Name, a.Type); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// MustNew is like New but panics on error. Intended for tests and examples
+// with literal attribute lists.
+func MustNew(attrs ...Attribute) *Schema {
+	s, err := New(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Add appends an attribute definition and returns its id. Appending is
+// safe while other goroutines match events (schema evolution, Section 6).
+func (s *Schema) Add(name string, t Type) (AttrID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if name == "" {
+		return 0, fmt.Errorf("schema: empty attribute name")
+	}
+	if t == TypeInvalid || t > TypeDate {
+		return 0, fmt.Errorf("schema: attribute %q has invalid type", name)
+	}
+	if s.byName == nil {
+		s.byName = make(map[string]AttrID)
+	}
+	if _, ok := s.byName[name]; ok {
+		return 0, fmt.Errorf("schema: duplicate attribute %q", name)
+	}
+	id := AttrID(len(s.attrs))
+	s.attrs = append(s.attrs, Attribute{Name: name, Type: t})
+	s.byName[name] = id
+	return id, nil
+}
+
+// Len returns the number of attributes (the paper's n_t).
+func (s *Schema) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.attrs)
+}
+
+// ID resolves an attribute name to its id.
+func (s *Schema) ID(name string) (AttrID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.byName[name]
+	return id, ok
+}
+
+// Attr returns the definition of the given attribute id.
+func (s *Schema) Attr(id AttrID) (Attribute, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if int(id) >= len(s.attrs) {
+		return Attribute{}, false
+	}
+	return s.attrs[id], true
+}
+
+// Name returns the attribute name for id, or "attr<id>" if out of range.
+func (s *Schema) Name(id AttrID) string {
+	if a, ok := s.Attr(id); ok {
+		return a.Name
+	}
+	return fmt.Sprintf("attr%d", id)
+}
+
+// TypeOf returns the type of the attribute id (TypeInvalid if unknown).
+func (s *Schema) TypeOf(id AttrID) Type {
+	a, _ := s.Attr(id)
+	return a.Type
+}
+
+// Names returns the attribute names in schema order.
+func (s *Schema) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Attributes returns a copy of the ordered attribute definitions.
+func (s *Schema) Attributes() []Attribute {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Attribute, len(s.attrs))
+	copy(out, s.attrs)
+	return out
+}
+
+// Equal reports whether two schemas define the same attributes in the same
+// order. Brokers must agree on the schema before exchanging summaries.
+// A schema is always Equal to itself, even mid-evolution.
+func (s *Schema) Equal(o *Schema) bool {
+	if s == o {
+		return true
+	}
+	a := s.Attributes()
+	b := o.Attributes()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "name:type" pairs in order.
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, a := range s.Attributes() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%s", a.Name, a.Type)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// SortedNames returns attribute names in lexicographic order; useful for
+// deterministic rendering of attribute sets.
+func (s *Schema) SortedNames() []string {
+	names := s.Names()
+	sort.Strings(names)
+	return names
+}

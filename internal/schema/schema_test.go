@@ -1,0 +1,450 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// paperSchema returns the stock-market schema of the paper's Figure 2.
+func paperSchema(t testing.TB) *Schema {
+	t.Helper()
+	s, err := New(
+		Attribute{Name: "exchange", Type: TypeString},
+		Attribute{Name: "symbol", Type: TypeString},
+		Attribute{Name: "when", Type: TypeDate},
+		Attribute{Name: "price", Type: TypeFloat},
+		Attribute{Name: "volume", Type: TypeInt},
+		Attribute{Name: "high", Type: TypeFloat},
+		Attribute{Name: "low", Type: TypeFloat},
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestSchemaAddAndLookup(t *testing.T) {
+	s := paperSchema(t)
+	if got := s.Len(); got != 7 {
+		t.Fatalf("Len = %d, want 7", got)
+	}
+	id, ok := s.ID("price")
+	if !ok || id != 3 {
+		t.Fatalf("ID(price) = %d,%v; want 3,true", id, ok)
+	}
+	a, ok := s.Attr(id)
+	if !ok || a.Name != "price" || a.Type != TypeFloat {
+		t.Fatalf("Attr(3) = %+v,%v", a, ok)
+	}
+	if s.Name(99) != "attr99" {
+		t.Fatalf("Name(99) = %q", s.Name(99))
+	}
+	if s.TypeOf(0) != TypeString || s.TypeOf(4) != TypeInt {
+		t.Fatalf("TypeOf mismatch: %v %v", s.TypeOf(0), s.TypeOf(4))
+	}
+}
+
+func TestSchemaRejectsDuplicatesAndInvalid(t *testing.T) {
+	s := MustNew(Attribute{Name: "a", Type: TypeInt})
+	if _, err := s.Add("a", TypeString); err == nil {
+		t.Fatal("duplicate attribute accepted")
+	}
+	if _, err := s.Add("", TypeInt); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := s.Add("b", TypeInvalid); err == nil {
+		t.Fatal("invalid type accepted")
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := paperSchema(t)
+	b := paperSchema(t)
+	if !a.Equal(b) {
+		t.Fatal("identical schemas not Equal")
+	}
+	c := MustNew(Attribute{Name: "exchange", Type: TypeString})
+	if a.Equal(c) {
+		t.Fatal("different schemas reported Equal")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := MustNew(
+		Attribute{Name: "x", Type: TypeInt},
+		Attribute{Name: "y", Type: TypeString},
+	)
+	want := "{x:int, y:string}"
+	if got := s.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestTypeParseRoundTrip(t *testing.T) {
+	for _, typ := range []Type{TypeString, TypeInt, TypeFloat, TypeDate} {
+		got, err := ParseType(typ.String())
+		if err != nil || got != typ {
+			t.Errorf("ParseType(%q) = %v, %v", typ.String(), got, err)
+		}
+	}
+	if _, err := ParseType("bogus"); err == nil {
+		t.Error("ParseType accepted bogus type")
+	}
+}
+
+func TestValueConstructorsAndValidity(t *testing.T) {
+	cases := []struct {
+		v     Value
+		valid bool
+		arith bool
+	}{
+		{StringValue("abc"), true, false},
+		{StringValue(""), true, false},
+		{IntValue(-7), true, true},
+		{FloatValue(3.25), true, true},
+		{DateValue(time.Unix(100, 0)), true, true},
+		{FloatValue(float64(1) / 0.0000000000000000000000001), true, true},
+		{Value{}, false, false},
+	}
+	for i, c := range cases {
+		if c.v.Valid() != c.valid {
+			t.Errorf("case %d: Valid = %v, want %v", i, c.v.Valid(), c.valid)
+		}
+		if c.v.Arithmetic() != c.arith {
+			t.Errorf("case %d: Arithmetic = %v, want %v", i, c.v.Arithmetic(), c.arith)
+		}
+	}
+}
+
+func TestValueCompareAndEqual(t *testing.T) {
+	if IntValue(3).Compare(FloatValue(3.5)) != -1 {
+		t.Error("3 < 3.5 failed")
+	}
+	if FloatValue(4).Compare(IntValue(4)) != 0 {
+		t.Error("4 == 4 failed across int/float")
+	}
+	if FloatValue(5).Compare(IntValue(4)) != 1 {
+		t.Error("5 > 4 failed")
+	}
+	if !IntValue(4).Equal(FloatValue(4)) {
+		t.Error("numeric Equal across types failed")
+	}
+	if StringValue("4").Equal(IntValue(4)) {
+		t.Error("string/number Equal should be false")
+	}
+	if !StringValue("x").Equal(StringValue("x")) {
+		t.Error("string Equal failed")
+	}
+}
+
+func TestValueWireSize(t *testing.T) {
+	if got := StringValue("NYSE").WireSize(); got != 4 {
+		t.Fatalf("string wire size = %d, want 4", got)
+	}
+	if got := FloatValue(8.4).WireSize(); got != 4 {
+		t.Fatalf("float wire size = %d, want 4 (paper s_st)", got)
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	v, err := ParseValue(TypeInt, "42")
+	if err != nil || v.Num != 42 || v.Type != TypeInt {
+		t.Fatalf("ParseValue int: %v %v", v, err)
+	}
+	if _, err := ParseValue(TypeInt, "4.2"); err == nil {
+		t.Fatal("int parse accepted float text")
+	}
+	v, err = ParseValue(TypeFloat, "8.40")
+	if err != nil || v.Num != 8.40 {
+		t.Fatalf("ParseValue float: %v %v", v, err)
+	}
+	if _, err := ParseValue(TypeFloat, "NaN"); err == nil {
+		t.Fatal("float parse accepted NaN")
+	}
+	v, err = ParseValue(TypeDate, "2003-07-01T12:05:25Z")
+	if err != nil || v.Type != TypeDate {
+		t.Fatalf("ParseValue date: %v %v", v, err)
+	}
+	v2, err := ParseValue(TypeDate, "1057061125")
+	if err != nil || v2.Num != v.Num {
+		t.Fatalf("ParseValue unix date: %v vs %v (%v)", v2, v, err)
+	}
+	if _, err := ParseValue(TypeInvalid, "x"); err == nil {
+		t.Fatal("ParseValue accepted invalid type")
+	}
+}
+
+func TestEventConstructionAndLookup(t *testing.T) {
+	s := paperSchema(t)
+	e, err := NewEvent(s, map[string]Value{
+		"exchange": StringValue("NYSE"),
+		"symbol":   StringValue("OTE"),
+		"price":    FloatValue(8.40),
+		"volume":   IntValue(132700),
+		"high":     FloatValue(8.80),
+		"low":      FloatValue(8.22),
+	})
+	if err != nil {
+		t.Fatalf("NewEvent: %v", err)
+	}
+	if e.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", e.Len())
+	}
+	id, _ := s.ID("price")
+	v, ok := e.Value(id)
+	if !ok || v.Num != 8.40 {
+		t.Fatalf("Value(price) = %v,%v", v, ok)
+	}
+	whenID, _ := s.ID("when")
+	if e.Has(whenID) {
+		t.Fatal("event should not have 'when'")
+	}
+	// Fields are sorted by attribute id.
+	fs := e.Fields()
+	for i := 1; i < len(fs); i++ {
+		if fs[i-1].Attr >= fs[i].Attr {
+			t.Fatal("fields not sorted")
+		}
+	}
+	if e.WireSize() <= 0 {
+		t.Fatal("WireSize should be positive")
+	}
+	str := e.Format(s)
+	if !strings.Contains(str, "price=8.4") || !strings.Contains(str, `exchange="NYSE"`) {
+		t.Fatalf("Format = %s", str)
+	}
+}
+
+func TestEventValidation(t *testing.T) {
+	s := paperSchema(t)
+	if _, err := NewEvent(s, map[string]Value{"nosuch": IntValue(1)}); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	if _, err := NewEvent(s, map[string]Value{"price": StringValue("x")}); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+	if _, err := NewEvent(s, map[string]Value{"volume": FloatValue(1.5)}); err == nil {
+		t.Fatal("float value for int attribute accepted")
+	}
+	priceID, _ := s.ID("price")
+	if _, err := EventFromFields(s, []Field{
+		{Attr: priceID, Value: FloatValue(1)},
+		{Attr: priceID, Value: FloatValue(2)},
+	}); err == nil {
+		t.Fatal("duplicate field accepted")
+	}
+	if _, err := EventFromFields(s, []Field{{Attr: 100, Value: FloatValue(1)}}); err == nil {
+		t.Fatal("out-of-range attribute accepted")
+	}
+}
+
+func TestOpParseAndClassify(t *testing.T) {
+	arith := []Op{OpEQ, OpNE, OpLT, OpLE, OpGT, OpGE}
+	str := []Op{OpEQ, OpNE, OpPrefix, OpSuffix, OpContains, OpGlob}
+	for _, op := range arith {
+		if !op.ArithmeticOp() {
+			t.Errorf("%v should be arithmetic", op)
+		}
+	}
+	for _, op := range str {
+		if !op.StringOp() {
+			t.Errorf("%v should be string", op)
+		}
+	}
+	if OpPrefix.ArithmeticOp() || OpLT.StringOp() {
+		t.Error("misclassified operator")
+	}
+	for _, tok := range []string{"=", "!=", "<", "<=", ">", ">=", ">*", "*<", "*", "~"} {
+		op, err := ParseOp(tok)
+		if err != nil {
+			t.Errorf("ParseOp(%q): %v", tok, err)
+			continue
+		}
+		if op.String() != tok {
+			t.Errorf("ParseOp(%q).String() = %q", tok, op.String())
+		}
+	}
+	if _, err := ParseOp("<<"); err == nil {
+		t.Error("ParseOp accepted <<")
+	}
+}
+
+func TestConstraintSatisfiedArithmetic(t *testing.T) {
+	cases := []struct {
+		op   Op
+		cv   float64
+		ev   float64
+		want bool
+	}{
+		{OpEQ, 8.4, 8.4, true},
+		{OpEQ, 8.4, 8.41, false},
+		{OpNE, 8.4, 8.41, true},
+		{OpNE, 8.4, 8.4, false},
+		{OpLT, 8.7, 8.4, true},
+		{OpLT, 8.7, 8.7, false},
+		{OpLE, 8.7, 8.7, true},
+		{OpGT, 8.3, 8.4, true},
+		{OpGT, 8.3, 8.3, false},
+		{OpGE, 8.3, 8.3, true},
+	}
+	for _, c := range cases {
+		con := Constraint{Attr: 0, Op: c.op, Value: FloatValue(c.cv)}
+		if got := con.Satisfied(FloatValue(c.ev)); got != c.want {
+			t.Errorf("%v %v vs %v: got %v, want %v", c.op, c.cv, c.ev, got, c.want)
+		}
+	}
+	// Cross-type: string event value never satisfies arithmetic constraint.
+	con := Constraint{Attr: 0, Op: OpEQ, Value: FloatValue(1)}
+	if con.Satisfied(StringValue("1")) {
+		t.Error("string satisfied arithmetic constraint")
+	}
+}
+
+func TestConstraintSatisfiedString(t *testing.T) {
+	cases := []struct {
+		op      Op
+		pattern string
+		ev      string
+		want    bool
+	}{
+		{OpEQ, "OTE", "OTE", true},
+		{OpEQ, "OTE", "OTEX", false},
+		{OpNE, "OTE", "OTEX", true},
+		{OpPrefix, "OT", "OTE", true},
+		{OpPrefix, "OT", "NOT", false},
+		{OpSuffix, "SE", "NYSE", true},
+		{OpSuffix, "SE", "SEN", false},
+		{OpContains, "YS", "NYSE", true},
+		{OpContains, "YS", "NSE", false},
+		{OpGlob, "m*t", "microsoft", true},
+		{OpGlob, "m*t", "micronet", true},
+		{OpGlob, "m*t", "microsoftx", false},
+		{OpGlob, "N*SE", "NYSE", true},
+	}
+	for _, c := range cases {
+		con := Constraint{Attr: 0, Op: c.op, Value: StringValue(c.pattern)}
+		if got := con.Satisfied(StringValue(c.ev)); got != c.want {
+			t.Errorf("%v %q vs %q: got %v, want %v", c.op, c.pattern, c.ev, got, c.want)
+		}
+	}
+	con := Constraint{Attr: 0, Op: OpEQ, Value: StringValue("1")}
+	if con.Satisfied(IntValue(1)) {
+		t.Error("number satisfied string constraint")
+	}
+}
+
+func TestConstraintValidate(t *testing.T) {
+	s := paperSchema(t)
+	priceID, _ := s.ID("price")
+	symID, _ := s.ID("symbol")
+	ok := Constraint{Attr: priceID, Op: OpLT, Value: FloatValue(8.7)}
+	if err := ok.Validate(s); err != nil {
+		t.Fatalf("valid constraint rejected: %v", err)
+	}
+	bad := []Constraint{
+		{Attr: priceID, Op: OpPrefix, Value: FloatValue(8.7)}, // string op on arithmetic
+		{Attr: symID, Op: OpLT, Value: StringValue("x")},      // arithmetic op on string
+		{Attr: 200, Op: OpEQ, Value: FloatValue(1)},           // unknown attribute
+		{Attr: priceID, Op: OpEQ, Value: StringValue("x")},    // wrong value type
+		{Attr: symID, Op: OpEQ, Value: IntValue(1)},           // wrong value type
+	}
+	for i, c := range bad {
+		if err := c.Validate(s); err == nil {
+			t.Errorf("bad constraint %d accepted", i)
+		}
+	}
+}
+
+// TestPaperExample1 reproduces the paper's Example 1 end to end at the
+// exact-matching level: the Figure 2 event matches Subscription 1 but not
+// Subscription 2 of Figure 3.
+func TestPaperExample1(t *testing.T) {
+	s := paperSchema(t)
+	sub1, err := ParseSubscription(s, `exchange = "N*SE" && symbol = OTE && price < 8.70 && price > 8.30`)
+	if err != nil {
+		t.Fatalf("sub1: %v", err)
+	}
+	sub2, err := ParseSubscription(s, `symbol >* OT && price = 8.20 && volume > 130000 && low < 8.05`)
+	if err != nil {
+		t.Fatalf("sub2: %v", err)
+	}
+	ev, err := ParseEvent(s, `exchange=NYSE symbol=OTE when=1057061125 price=8.40 volume=132700 high=8.80 low=8.22`)
+	if err != nil {
+		t.Fatalf("event: %v", err)
+	}
+	if !sub1.Matches(ev) {
+		t.Error("Subscription 1 should match the Figure 2 event")
+	}
+	if sub2.Matches(ev) {
+		t.Error("Subscription 2 should NOT match the Figure 2 event")
+	}
+	// Subscription 1 constrains 3 distinct attributes (exchange, symbol,
+	// price — price twice), subscription 2 constrains 4.
+	if n := sub1.NumAttrs(); n != 3 {
+		t.Errorf("sub1 NumAttrs = %d, want 3", n)
+	}
+	if n := sub2.NumAttrs(); n != 4 {
+		t.Errorf("sub2 NumAttrs = %d, want 4", n)
+	}
+}
+
+func TestSubscriptionAttrSetSortedDistinct(t *testing.T) {
+	s := paperSchema(t)
+	sub, err := ParseSubscription(s, `price > 1 && volume > 2 && price < 9 && exchange = X`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sub.AttrSet()
+	exID, _ := s.ID("exchange")
+	prID, _ := s.ID("price")
+	voID, _ := s.ID("volume")
+	want := []AttrID{exID, prID, voID}
+	if len(got) != len(want) {
+		t.Fatalf("AttrSet = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AttrSet = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSubscriptionRequiresConstraint(t *testing.T) {
+	s := paperSchema(t)
+	if _, err := NewSubscription(s); err == nil {
+		t.Fatal("empty subscription accepted")
+	}
+}
+
+func TestSubscriptionMissingAttributeDoesNotMatch(t *testing.T) {
+	s := paperSchema(t)
+	sub, err := ParseSubscription(s, `low < 9.0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := ParseEvent(s, `price=8.4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Matches(ev) {
+		t.Fatal("subscription matched event missing its attribute")
+	}
+}
+
+func TestSubscriptionFormatRoundTrip(t *testing.T) {
+	s := paperSchema(t)
+	in := `symbol >* "OT" && price > 8.30 && price < 8.70`
+	sub, err := ParseSubscription(s, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sub.Format(s)
+	sub2, err := ParseSubscription(s, out)
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", out, err)
+	}
+	if sub2.Format(s) != out {
+		t.Fatalf("format not stable: %q vs %q", sub2.Format(s), out)
+	}
+}

@@ -1,0 +1,117 @@
+// Package strmatch implements the String Attribute Constraint Summary
+// (SACS) of Section 3.1 of the subscription-summarization paper: for one
+// string attribute, an array of covering (generalizing) pattern rows, each
+// carrying the subscription ids whose constraint the row covers, plus a
+// not-equal list for the ≠ operator.
+//
+// A row's pattern covers a constraint when every string satisfying the
+// constraint also satisfies the pattern (e.g. "m*t" covers "microsoft" and
+// "micronet"). Covering is decided soundly: Covers never returns true for
+// a pair that is not a true subsumption, but may conservatively return
+// false for exotic glob pairs.
+package strmatch
+
+import (
+	"strings"
+
+	"github.com/subsum/subsum/internal/schema"
+)
+
+// Pattern is the canonical form of a string constraint: an operator from
+// {=, ≠, prefix, suffix, contains, glob} and its text.
+type Pattern struct {
+	Op   schema.Op
+	Text string
+}
+
+// New canonicalizes a string constraint into a Pattern. Glob texts whose
+// stars are redundant fold into the cheaper operators (e.g. glob "abc*"
+// becomes prefix "abc").
+func New(op schema.Op, text string) Pattern {
+	if op == schema.OpGlob {
+		op, text = schema.CanonGlob(text)
+	}
+	return Pattern{Op: op, Text: text}
+}
+
+// FromConstraint converts a schema string constraint to a Pattern.
+func FromConstraint(c schema.Constraint) Pattern {
+	return New(c.Op, c.Value.Str)
+}
+
+// Matches reports whether s satisfies the pattern.
+func (p Pattern) Matches(s string) bool {
+	switch p.Op {
+	case schema.OpEQ:
+		return s == p.Text
+	case schema.OpNE:
+		return s != p.Text
+	case schema.OpPrefix:
+		return strings.HasPrefix(s, p.Text)
+	case schema.OpSuffix:
+		return strings.HasSuffix(s, p.Text)
+	case schema.OpContains:
+		return strings.Contains(s, p.Text)
+	case schema.OpGlob:
+		return schema.GlobMatch(p.Text, s)
+	default:
+		return false
+	}
+}
+
+// sentinel separates glob segments in the covering check. Patterns or
+// texts containing it make the check fall back to simple equality, keeping
+// Covers sound.
+const sentinel = "\x00"
+
+// Covers reports whether a subsumes b: every string matching b matches a.
+// The check is sound (never true for a non-subsumption) and complete for
+// all operator pairs except some glob-vs-glob corner cases, where it is
+// conservatively false. Not-equal patterns only cover themselves (folding
+// other constraints into a ≠ row would make the summary uselessly
+// general, so the SACS keeps ≠ entries in a separate list anyway).
+func Covers(a, b Pattern) bool {
+	if a == b {
+		return true
+	}
+	if a.Op == schema.OpNE || b.Op == schema.OpNE {
+		return false
+	}
+	// Exact subject: just evaluate.
+	if b.Op == schema.OpEQ {
+		return a.Matches(b.Text)
+	}
+	// An equality pattern covers nothing but itself among non-equality
+	// constraints (they all match infinitely many strings).
+	if a.Op == schema.OpEQ {
+		return false
+	}
+	ga, ok := schema.GlobOf(a.Op, a.Text)
+	if !ok {
+		return false
+	}
+	gb, ok := schema.GlobOf(b.Op, b.Text)
+	if !ok {
+		return false
+	}
+	if strings.Contains(ga, sentinel) || strings.Contains(gb, sentinel) {
+		return false
+	}
+	// Generic-instantiation construction: replace each of b's stars with a
+	// sentinel byte that no literal can match. If glob a matches that
+	// pseudo-string (stars absorbing sentinels freely), then a's literal
+	// segments embed into b's literal segments in order, which yields a
+	// matching of a against ANY instantiation of b's stars.
+	pseudo := strings.ReplaceAll(gb, "*", sentinel)
+	return schema.GlobMatch(ga, pseudo)
+}
+
+// WireSize returns the pattern's size in bytes under the paper's cost
+// model: the string payload (one byte per character, average s_sv) plus
+// one operator byte.
+func (p Pattern) WireSize() int { return 1 + len(p.Text) }
+
+// String renders the pattern in the paper's notation, e.g. `>* "OT"`.
+func (p Pattern) String() string {
+	return p.Op.String() + " " + p.Text
+}

@@ -1,0 +1,386 @@
+package strmatch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/subsum/subsum/internal/schema"
+)
+
+// Set is the SACS for a single string attribute: generalizing pattern rows
+// plus a not-equal list. Each row holds the ids of the subscriptions whose
+// constraint the row's pattern covers.
+//
+// Internally, equality rows (by far the most common constraint in the
+// paper's workloads) live in a hash map for O(1) duplicate detection,
+// while genuine pattern rows (prefix/suffix/contains/glob) live in a small
+// slice scanned linearly. The invariant ties them together: no equality
+// row's text is covered by any pattern row (covered equalities are folded
+// into the covering row at insertion time, as Section 3.1 prescribes).
+//
+// The zero value is not ready; use NewSet.
+type Set struct {
+	pats []Row               // non-equality pattern rows
+	eq   map[string][]uint64 // equality rows: text → ids
+	ne   map[string][]uint64 // ≠ entries: satisfied by any other value
+}
+
+// Row is one SACS row: a covering pattern and its subscription-id list
+// (sorted, deduplicated).
+type Row struct {
+	Pattern Pattern
+	IDs     []uint64
+}
+
+// NewSet returns an empty SACS.
+func NewSet() *Set {
+	return &Set{eq: make(map[string][]uint64), ne: make(map[string][]uint64)}
+}
+
+// Insert records that subscription id has the given string constraint,
+// per Section 3.1: if an existing row covers the constraint, the id joins
+// that row's list; if the new constraint is more general than existing
+// rows, it substitutes their patterns and absorbs their lists; otherwise a
+// new row is added.
+func (s *Set) Insert(p Pattern, id uint64) { s.InsertMany(p, []uint64{id}) }
+
+// InsertMany is Insert for a batch of ids sharing one constraint (used
+// when merging summaries).
+func (s *Set) InsertMany(p Pattern, ids []uint64) {
+	if len(ids) == 0 {
+		return
+	}
+	if !p.Op.StringOp() {
+		panic(fmt.Sprintf("strmatch: non-string operator %v", p.Op))
+	}
+	switch p.Op {
+	case schema.OpNE:
+		for _, id := range ids {
+			s.ne[p.Text] = addID(s.ne[p.Text], id)
+		}
+	case schema.OpEQ:
+		if existing, ok := s.eq[p.Text]; ok {
+			s.eq[p.Text] = mergeIDs(existing, ids)
+			return
+		}
+		// Covered by an existing pattern row: join it (the paper's fold).
+		for i := range s.pats {
+			if s.pats[i].Pattern.Matches(p.Text) {
+				s.pats[i].IDs = mergeIDs(s.pats[i].IDs, ids)
+				return
+			}
+		}
+		s.eq[p.Text] = append([]uint64(nil), ids...)
+	default:
+		// Covered by an existing pattern row: join it.
+		for i := range s.pats {
+			if Covers(s.pats[i].Pattern, p) {
+				s.pats[i].IDs = mergeIDs(s.pats[i].IDs, ids)
+				return
+			}
+		}
+		// More general than existing rows: substitute and absorb.
+		newRow := Row{Pattern: p, IDs: append([]uint64(nil), ids...)}
+		kept := s.pats[:0]
+		for _, r := range s.pats {
+			if Covers(p, r.Pattern) {
+				newRow.IDs = mergeIDs(newRow.IDs, r.IDs)
+			} else {
+				kept = append(kept, r)
+			}
+		}
+		s.pats = append(kept, newRow)
+		// Absorb covered equality rows to restore the invariant.
+		for text, eqIDs := range s.eq {
+			if p.Matches(text) {
+				newRow := &s.pats[len(s.pats)-1]
+				newRow.IDs = mergeIDs(newRow.IDs, eqIDs)
+				delete(s.eq, text)
+			}
+		}
+	}
+}
+
+// NewSetFromRows reconstructs a set exactly from serialized rows (the
+// inverse of Rows/NeRows): pattern rows keep their order, equality rows go
+// to the equality map verbatim. Covered equality rows are rejected (the
+// insertion-time fold invariant would not have produced them).
+func NewSetFromRows(rows, ne []Row) (*Set, error) {
+	s := NewSet()
+	for i, r := range rows {
+		if len(r.IDs) == 0 {
+			return nil, fmt.Errorf("strmatch: row %d has no ids", i)
+		}
+		if !r.Pattern.Op.StringOp() || r.Pattern.Op == schema.OpNE {
+			return nil, fmt.Errorf("strmatch: row %d has operator %v", i, r.Pattern.Op)
+		}
+		if r.Pattern.Op == schema.OpEQ {
+			if _, dup := s.eq[r.Pattern.Text]; dup {
+				return nil, fmt.Errorf("strmatch: duplicate equality row %q", r.Pattern.Text)
+			}
+			for _, p := range s.pats {
+				if p.Pattern.Matches(r.Pattern.Text) {
+					return nil, fmt.Errorf("strmatch: equality row %q covered by pattern %v", r.Pattern.Text, p.Pattern)
+				}
+			}
+			s.eq[r.Pattern.Text] = append([]uint64(nil), r.IDs...)
+			continue
+		}
+		s.pats = append(s.pats, Row{Pattern: r.Pattern, IDs: append([]uint64(nil), r.IDs...)})
+	}
+	// Pattern rows encoded after equality rows could retroactively cover
+	// them; the encoder emits patterns first, so a violation means corrupt
+	// or adversarial input.
+	for text := range s.eq {
+		for _, p := range s.pats {
+			if p.Pattern.Matches(text) {
+				return nil, fmt.Errorf("strmatch: equality row %q covered by pattern %v", text, p.Pattern)
+			}
+		}
+	}
+	for _, r := range ne {
+		if len(r.IDs) == 0 {
+			return nil, fmt.Errorf("strmatch: ≠ row %q has no ids", r.Pattern.Text)
+		}
+		s.ne[r.Pattern.Text] = append([]uint64(nil), r.IDs...)
+	}
+	return s, nil
+}
+
+// Match returns the ids of all subscriptions whose constraint is satisfied
+// by value v, deduplicated, ascending — Check_for_a_value_match (type
+// string).
+func (s *Set) Match(v string) []uint64 {
+	var out []uint64
+	if ids, ok := s.eq[v]; ok {
+		out = mergeIDs(out, ids)
+	}
+	for _, r := range s.pats {
+		if r.Pattern.Matches(v) {
+			out = mergeIDs(out, r.IDs)
+		}
+	}
+	for text, ids := range s.ne {
+		if text != v {
+			out = mergeIDs(out, ids)
+		}
+	}
+	return out
+}
+
+// MatchInto merges matching ids into dst and returns how many distinct ids
+// were added.
+func (s *Set) MatchInto(v string, dst map[uint64]struct{}) int {
+	added := 0
+	note := func(ids []uint64) {
+		for _, id := range ids {
+			if _, ok := dst[id]; !ok {
+				dst[id] = struct{}{}
+				added++
+			}
+		}
+	}
+	note(s.eq[v])
+	for _, r := range s.pats {
+		if r.Pattern.Matches(v) {
+			note(r.IDs)
+		}
+	}
+	for text, ids := range s.ne {
+		if text != v {
+			note(ids)
+		}
+	}
+	return added
+}
+
+// Remove deletes every occurrence of id; rows and entries left empty are
+// dropped. Generalized patterns persist for the remaining ids (the summary
+// does not track which id contributed which original constraint — it is
+// summary-centric by design).
+func (s *Set) Remove(id uint64) {
+	pats := s.pats[:0]
+	for _, r := range s.pats {
+		r.IDs = removeID(r.IDs, id)
+		if len(r.IDs) > 0 {
+			pats = append(pats, r)
+		}
+	}
+	s.pats = pats
+	for text, ids := range s.eq {
+		ids = removeID(ids, id)
+		if len(ids) == 0 {
+			delete(s.eq, text)
+		} else {
+			s.eq[text] = ids
+		}
+	}
+	for text, ids := range s.ne {
+		ids = removeID(ids, id)
+		if len(ids) == 0 {
+			delete(s.ne, text)
+		} else {
+			s.ne[text] = ids
+		}
+	}
+}
+
+// Merge folds every row of o into s (multi-broker summary construction:
+// "values for the same string attributes are simply merged").
+func (s *Set) Merge(o *Set) {
+	for _, r := range o.pats {
+		s.InsertMany(r.Pattern, r.IDs)
+	}
+	for text, ids := range o.eq {
+		s.InsertMany(Pattern{Op: schema.OpEQ, Text: text}, ids)
+	}
+	for text, ids := range o.ne {
+		s.InsertMany(Pattern{Op: schema.OpNE, Text: text}, ids)
+	}
+}
+
+// Clone returns a deep copy.
+func (s *Set) Clone() *Set {
+	out := NewSet()
+	out.pats = make([]Row, len(s.pats))
+	for i, r := range s.pats {
+		out.pats[i] = Row{Pattern: r.Pattern, IDs: append([]uint64(nil), r.IDs...)}
+	}
+	for text, ids := range s.eq {
+		out.eq[text] = append([]uint64(nil), ids...)
+	}
+	for text, ids := range s.ne {
+		out.ne[text] = append([]uint64(nil), ids...)
+	}
+	return out
+}
+
+// Rows returns all rows — pattern rows in insertion order followed by
+// equality rows sorted by text. ID slices are shared; do not mutate.
+func (s *Set) Rows() []Row {
+	out := make([]Row, 0, len(s.pats)+len(s.eq))
+	out = append(out, s.pats...)
+	texts := make([]string, 0, len(s.eq))
+	for text := range s.eq {
+		texts = append(texts, text)
+	}
+	sort.Strings(texts)
+	for _, text := range texts {
+		out = append(out, Row{Pattern: Pattern{Op: schema.OpEQ, Text: text}, IDs: s.eq[text]})
+	}
+	return out
+}
+
+// NeRows returns the not-equal entries sorted by text.
+func (s *Set) NeRows() []Row {
+	out := make([]Row, 0, len(s.ne))
+	texts := make([]string, 0, len(s.ne))
+	for text := range s.ne {
+		texts = append(texts, text)
+	}
+	sort.Strings(texts)
+	for _, text := range texts {
+		out = append(out, Row{Pattern: Pattern{Op: schema.OpNE, Text: text}, IDs: s.ne[text]})
+	}
+	return out
+}
+
+// Stats describes the set's shape for equation (2) of the paper.
+type Stats struct {
+	NumRows      int // n_r
+	NumNE        int
+	IDEntries    int // ΣL_s
+	PatternBytes int // Σ per-row string value sizes (s_sv is their mean)
+}
+
+// Stats computes the set's shape.
+func (s *Set) Stats() Stats {
+	var st Stats
+	st.NumRows = len(s.pats) + len(s.eq)
+	st.NumNE = len(s.ne)
+	for _, r := range s.pats {
+		st.IDEntries += len(r.IDs)
+		st.PatternBytes += len(r.Pattern.Text)
+	}
+	for text, ids := range s.eq {
+		st.IDEntries += len(ids)
+		st.PatternBytes += len(text)
+	}
+	for text, ids := range s.ne {
+		st.IDEntries += len(ids)
+		st.PatternBytes += len(text)
+	}
+	return st
+}
+
+// SizeBytes returns the set's size under equation (2): n_r rows of string
+// values plus ΣL_s subscription ids of s_id bytes. Row string sizes use
+// the actual pattern lengths (whose generated average is the paper's
+// s_sv = 10).
+func (s *Set) SizeBytes(sid int) int {
+	st := s.Stats()
+	return st.PatternBytes + (st.NumRows + st.NumNE) + st.IDEntries*sid
+}
+
+// String renders the set in the style of the paper's Figure 5.
+func (s *Set) String() string {
+	var b strings.Builder
+	for i, r := range s.Rows() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s→%v", r.Pattern, r.IDs)
+	}
+	for _, r := range s.NeRows() {
+		fmt.Fprintf(&b, " %s→%v", r.Pattern, r.IDs)
+	}
+	return b.String()
+}
+
+// addID inserts id into a sorted id list if absent.
+func addID(ids []uint64, id uint64) []uint64 {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	if i < len(ids) && ids[i] == id {
+		return ids
+	}
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	return ids
+}
+
+// removeID deletes id from a sorted id list if present.
+func removeID(ids []uint64, id uint64) []uint64 {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	if i < len(ids) && ids[i] == id {
+		return append(ids[:i], ids[i+1:]...)
+	}
+	return ids
+}
+
+// mergeIDs returns the sorted union of two sorted id lists.
+func mergeIDs(a, b []uint64) []uint64 {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]uint64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,313 @@
+// Package subid implements the subscription identifiers of Section 3.2 of
+// the subscription-summarization paper. An id is the concatenation of three
+// parts:
+//
+//	c1 — the id of the broker that owns the subscription
+//	     (⌈log2(total brokers)⌉ bits),
+//	c2 — the broker-local id of the subscription
+//	     (⌈log2(max outstanding subscriptions per broker)⌉ bits),
+//	c3 — a bitmap with one bit per schema attribute, set for every
+//	     attribute the subscription constrains (n_t bits).
+//
+// c3 lets the matching algorithm (Algorithm 1, step 2) decide, from the id
+// alone, how many attribute lists a subscription must appear in to match —
+// no subscription entity is ever consulted. Layout captures the bit widths
+// so ids can be packed to their exact wire size.
+package subid
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// BrokerID identifies a broker (the c1 component).
+type BrokerID uint32
+
+// LocalID identifies a subscription within its owning broker (c2).
+type LocalID uint32
+
+// Mask is an attribute bitmap (the c3 component): bit i is set iff the
+// subscription constrains attribute i. The zero Mask has no bits set and
+// must be sized with NewMask before Set for attribute ids ≥ 64.
+type Mask []uint64
+
+// NewMask returns a mask able to hold attrCount attribute bits.
+func NewMask(attrCount int) Mask {
+	return make(Mask, (attrCount+63)/64)
+}
+
+// MaskOf builds a mask (sized for attrCount) with the given bits set.
+func MaskOf(attrCount int, attrs ...int) Mask {
+	m := NewMask(attrCount)
+	for _, a := range attrs {
+		m.Set(a)
+	}
+	return m
+}
+
+// Set sets bit a, growing the mask if needed.
+func (m *Mask) Set(a int) {
+	word := a / 64
+	for word >= len(*m) {
+		*m = append(*m, 0)
+	}
+	(*m)[word] |= 1 << (a % 64)
+}
+
+// Has reports whether bit a is set.
+func (m Mask) Has(a int) bool {
+	word := a / 64
+	return word < len(m) && m[word]&(1<<(a%64)) != 0
+}
+
+// Count returns the number of set bits (the number of constrained
+// attributes).
+func (m Mask) Count() int {
+	n := 0
+	for _, w := range m {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Bits returns the set bit positions in ascending order.
+func (m Mask) Bits() []int {
+	out := make([]int, 0, m.Count())
+	for wi, w := range m {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &^= 1 << b
+		}
+	}
+	return out
+}
+
+// Equal reports whether two masks have the same set bits (ignoring
+// trailing zero words).
+func (m Mask) Equal(o Mask) bool {
+	long, short := m, o
+	if len(long) < len(short) {
+		long, short = short, long
+	}
+	for i := range short {
+		if long[i] != short[i] {
+			return false
+		}
+	}
+	for _, w := range long[len(short):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the mask.
+func (m Mask) Clone() Mask {
+	out := make(Mask, len(m))
+	copy(out, m)
+	return out
+}
+
+// String renders the mask as its ascending bit positions, e.g. "{3,5,6}".
+func (m Mask) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, bit := range m.Bits() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", bit)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ID is a subscription id: the (c1, c2, c3) triple. (Broker, Local) is a
+// system-wide unique key; Attrs is derived metadata used by matching.
+type ID struct {
+	Broker BrokerID
+	Local  LocalID
+	Attrs  Mask
+}
+
+// Key packs the identity components (c1, c2) into a comparable uint64 for
+// use as a map key. c3 is derived from the subscription and carried for
+// matching, so it does not participate in identity.
+func (id ID) Key() uint64 {
+	return uint64(id.Broker)<<32 | uint64(id.Local)
+}
+
+// KeyParts recovers (c1, c2) from a Key value.
+func KeyParts(key uint64) (BrokerID, LocalID) {
+	return BrokerID(key >> 32), LocalID(key & 0xFFFFFFFF)
+}
+
+// NumAttrs returns the number of attributes the subscription constrains
+// (the popcount of c3) — the matching algorithm's per-id target counter.
+func (id ID) NumAttrs() int { return id.Attrs.Count() }
+
+// String renders the id as "B<broker>/S<local><attrs>".
+func (id ID) String() string {
+	return fmt.Sprintf("B%d/S%d%s", id.Broker, id.Local, id.Attrs)
+}
+
+// Layout fixes the bit widths of the three id components for a deployment,
+// per Section 3.2: BrokerBits = ⌈log2(brokers)⌉, LocalBits =
+// ⌈log2(max outstanding subscriptions per broker)⌉, AttrCount = n_t.
+type Layout struct {
+	BrokerBits int
+	LocalBits  int
+	AttrCount  int
+}
+
+// NewLayout derives a layout from deployment limits.
+func NewLayout(numBrokers, maxSubsPerBroker, attrCount int) (Layout, error) {
+	if numBrokers < 1 || maxSubsPerBroker < 1 || attrCount < 1 {
+		return Layout{}, fmt.Errorf("subid: layout limits must be positive (brokers=%d subs=%d attrs=%d)",
+			numBrokers, maxSubsPerBroker, attrCount)
+	}
+	l := Layout{
+		BrokerBits: bitsFor(numBrokers),
+		LocalBits:  bitsFor(maxSubsPerBroker),
+		AttrCount:  attrCount,
+	}
+	if l.BrokerBits > 32 || l.LocalBits > 32 {
+		return Layout{}, fmt.Errorf("subid: layout exceeds 32-bit component limits")
+	}
+	return l, nil
+}
+
+// bitsFor returns ⌈log2(n)⌉ with a floor of 1 bit.
+func bitsFor(n int) int {
+	if n <= 2 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// TotalBits returns the id's size in bits: |c1| + |c2| + |c3|.
+func (l Layout) TotalBits() int { return l.BrokerBits + l.LocalBits + l.AttrCount }
+
+// WireSize returns the id's packed size in bytes (the paper's s_id; with
+// the Table 2 deployment — 24 brokers, 10 attributes — ids fit in 4 bytes
+// when LocalBits ≤ 17).
+func (l Layout) WireSize() int { return (l.TotalBits() + 7) / 8 }
+
+// Validate checks that an id fits the layout.
+func (l Layout) Validate(id ID) error {
+	if l.BrokerBits < 32 && uint64(id.Broker) >= 1<<l.BrokerBits {
+		return fmt.Errorf("subid: broker %d exceeds %d-bit c1", id.Broker, l.BrokerBits)
+	}
+	if l.LocalBits < 32 && uint64(id.Local) >= 1<<l.LocalBits {
+		return fmt.Errorf("subid: local id %d exceeds %d-bit c2", id.Local, l.LocalBits)
+	}
+	for _, b := range id.Attrs.Bits() {
+		if b >= l.AttrCount {
+			return fmt.Errorf("subid: attribute bit %d exceeds c3 width %d", b, l.AttrCount)
+		}
+	}
+	return nil
+}
+
+// Pack appends the id's exact bit-packed wire form to buf: c1, then c2,
+// then c3, least-significant bit first.
+func (l Layout) Pack(buf []byte, id ID) []byte {
+	w := bitWriter{buf: buf}
+	w.write(uint64(id.Broker), l.BrokerBits)
+	w.write(uint64(id.Local), l.LocalBits)
+	for i := 0; i < l.AttrCount; i += 64 {
+		var word uint64
+		if i/64 < len(id.Attrs) {
+			word = id.Attrs[i/64]
+		}
+		n := l.AttrCount - i
+		if n > 64 {
+			n = 64
+		}
+		w.write(word, n)
+	}
+	return w.flush()
+}
+
+// Unpack decodes an id from the first WireSize() bytes of buf.
+func (l Layout) Unpack(buf []byte) (ID, error) {
+	if len(buf) < l.WireSize() {
+		return ID{}, fmt.Errorf("subid: short buffer: %d < %d", len(buf), l.WireSize())
+	}
+	r := bitReader{buf: buf}
+	var id ID
+	id.Broker = BrokerID(r.read(l.BrokerBits))
+	id.Local = LocalID(r.read(l.LocalBits))
+	id.Attrs = NewMask(l.AttrCount)
+	for i := 0; i < l.AttrCount; i += 64 {
+		n := l.AttrCount - i
+		if n > 64 {
+			n = 64
+		}
+		id.Attrs[i/64] = r.read(n)
+	}
+	return id, nil
+}
+
+// bitWriter packs little-endian bit fields into a byte slice.
+type bitWriter struct {
+	buf  []byte
+	cur  uint64
+	nCur int
+}
+
+func (w *bitWriter) write(v uint64, n int) {
+	for n > 0 {
+		take := 8 - w.nCur
+		if take > n {
+			take = n
+		}
+		w.cur |= (v & ((1 << take) - 1)) << w.nCur
+		v >>= take
+		n -= take
+		w.nCur += take
+		if w.nCur == 8 {
+			w.buf = append(w.buf, byte(w.cur))
+			w.cur, w.nCur = 0, 0
+		}
+	}
+}
+
+func (w *bitWriter) flush() []byte {
+	if w.nCur > 0 {
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur, w.nCur = 0, 0
+	}
+	return w.buf
+}
+
+// bitReader reads little-endian bit fields from a byte slice.
+type bitReader struct {
+	buf []byte
+	pos int // bit position
+}
+
+func (r *bitReader) read(n int) uint64 {
+	var out uint64
+	shift := 0
+	for n > 0 {
+		byteIdx := r.pos / 8
+		bitIdx := r.pos % 8
+		take := 8 - bitIdx
+		if take > n {
+			take = n
+		}
+		var b byte
+		if byteIdx < len(r.buf) {
+			b = r.buf[byteIdx]
+		}
+		out |= uint64((b>>bitIdx)&((1<<take)-1)) << shift
+		shift += take
+		n -= take
+		r.pos += take
+	}
+	return out
+}

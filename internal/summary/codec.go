@@ -1,0 +1,324 @@
+package summary
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/strmatch"
+	"github.com/subsum/subsum/internal/subid"
+)
+
+// Binary wire codec for summaries. This is what brokers actually exchange
+// in the TCP daemon and what netsim counts when measuring real (not
+// modelled) bytes. Layout (little endian):
+//
+//	magic "SSM1", mode u8
+//	id registry:  count u32, then per id: key u64, words u8, word u64 ×words
+//	AACS section: count u16, per attribute:
+//	    attr u16
+//	    ranges u32 × {lo f64, hi f64, flags u8, ids}
+//	    eqs    u32 × {val f64, ids}
+//	    nes    u32 × {val f64, ids}
+//	SACS section: count u16, per attribute:
+//	    attr u16
+//	    rows u32 × {op u8, textLen u16, text, ids}
+//	    nes  u32 × {textLen u16, text, ids}
+//
+// where ids = count u32 followed by that many u64 keys.
+var magic = [4]byte{'S', 'S', 'M', '1'}
+
+// Encode appends the summary's wire form to buf.
+func (sm *Summary) Encode(buf []byte) []byte {
+	buf = append(buf, magic[:]...)
+	buf = append(buf, byte(sm.mode))
+
+	// Registry, sorted by key for determinism.
+	keys := make([]uint64, 0, len(sm.ids))
+	for key := range sm.ids {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
+	for _, key := range keys {
+		buf = binary.LittleEndian.AppendUint64(buf, key)
+		mask := sm.ids[key]
+		buf = append(buf, byte(len(mask)))
+		for _, w := range mask {
+			buf = binary.LittleEndian.AppendUint64(buf, w)
+		}
+	}
+
+	// AACS section.
+	aattrs := sortedAttrs(sm.aacs)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(aattrs)))
+	for _, a := range aattrs {
+		s := sm.aacs[a]
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(a))
+		rows := s.Rows()
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rows)))
+		for _, r := range rows {
+			buf = appendFloat(buf, r.Interval.Lo)
+			buf = appendFloat(buf, r.Interval.Hi)
+			var flags byte
+			if r.Interval.LoOpen {
+				flags |= 1
+			}
+			if r.Interval.HiOpen {
+				flags |= 2
+			}
+			buf = append(buf, flags)
+			buf = appendIDs(buf, r.IDs)
+		}
+		buf = appendEqRows(buf, s.EqRows())
+		buf = appendEqRows(buf, s.NeRows())
+	}
+
+	// SACS section.
+	sattrs := sortedAttrs(sm.sacs)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(sattrs)))
+	for _, a := range sattrs {
+		s := sm.sacs[a]
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(a))
+		rows := s.Rows()
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rows)))
+		for _, r := range rows {
+			buf = append(buf, byte(r.Pattern.Op))
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Pattern.Text)))
+			buf = append(buf, r.Pattern.Text...)
+			buf = appendIDs(buf, r.IDs)
+		}
+		nes := s.NeRows()
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(nes)))
+		for _, r := range nes {
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Pattern.Text)))
+			buf = append(buf, r.Pattern.Text...)
+			buf = appendIDs(buf, r.IDs)
+		}
+	}
+	return buf
+}
+
+// EncodedSize returns the size in bytes of the summary's wire form.
+func (sm *Summary) EncodedSize() int { return len(sm.Encode(nil)) }
+
+func sortedAttrs[T any](m map[schema.AttrID]T) []schema.AttrID {
+	out := make([]schema.AttrID, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func appendFloat(buf []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+func appendIDs(buf []byte, ids []uint64) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ids)))
+	for _, id := range ids {
+		buf = binary.LittleEndian.AppendUint64(buf, id)
+	}
+	return buf
+}
+
+func appendEqRows(buf []byte, rows []interval.EqView) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rows)))
+	for _, r := range rows {
+		buf = appendFloat(buf, r.Value)
+		buf = appendIDs(buf, r.IDs)
+	}
+	return buf
+}
+
+// decoder is a bounds-checked cursor over an encoded summary.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("summary: "+format, args...)
+	}
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.fail("truncated at offset %d (need %d bytes)", d.off, n)
+		return nil
+	}
+	out := d.buf[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+func (d *decoder) u8() byte {
+	b := d.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.bytes(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) ids() []uint64 {
+	n := int(d.u32())
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if d.off+8*n > len(d.buf) {
+		d.fail("id list of %d entries exceeds buffer", n)
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = d.u64()
+	}
+	return out
+}
+
+// Decode parses a summary encoded by Encode. The schema must match the
+// encoder's (attribute ids are schema indexes).
+func Decode(s *schema.Schema, buf []byte) (*Summary, error) {
+	d := &decoder{buf: buf}
+	if m := d.bytes(4); m == nil || string(m) != string(magic[:]) {
+		return nil, fmt.Errorf("summary: bad magic")
+	}
+	mode := interval.Mode(d.u8())
+	if mode != interval.Lossy && mode != interval.Exact {
+		return nil, fmt.Errorf("summary: bad mode %d", mode)
+	}
+	sm := New(s, mode)
+
+	nIDs := int(d.u32())
+	for i := 0; i < nIDs && d.err == nil; i++ {
+		key := d.u64()
+		words := int(d.u8())
+		mask := make(subid.Mask, words)
+		for w := 0; w < words; w++ {
+			mask[w] = d.u64()
+		}
+		sm.ids[key] = mask
+	}
+
+	nAACS := int(d.u16())
+	for i := 0; i < nAACS && d.err == nil; i++ {
+		a := schema.AttrID(d.u16())
+		if int(a) >= s.Len() || !s.TypeOf(a).Arithmetic() {
+			d.fail("AACS for non-arithmetic attribute %d", a)
+			break
+		}
+		var rows []interval.RowView
+		nRows := int(d.u32())
+		for r := 0; r < nRows && d.err == nil; r++ {
+			lo, hi := d.f64(), d.f64()
+			flags := d.u8()
+			iv := interval.Range(lo, hi, flags&1 != 0, flags&2 != 0)
+			rows = append(rows, interval.RowView{Interval: iv, IDs: d.ids()})
+		}
+		var eqs, nes []interval.EqView
+		nEq := int(d.u32())
+		for r := 0; r < nEq && d.err == nil; r++ {
+			v := d.f64()
+			eqs = append(eqs, interval.EqView{Value: v, IDs: d.ids()})
+		}
+		nNe := int(d.u32())
+		for r := 0; r < nNe && d.err == nil; r++ {
+			v := d.f64()
+			nes = append(nes, interval.EqView{Value: v, IDs: d.ids()})
+		}
+		if d.err != nil {
+			break
+		}
+		set, err := interval.NewSetFromRows(mode, rows, eqs, nes)
+		if err != nil {
+			d.fail("AACS for attribute %d: %v", a, err)
+			break
+		}
+		if _, dup := sm.aacs[a]; dup {
+			d.fail("duplicate AACS section for attribute %d", a)
+			break
+		}
+		sm.aacs[a] = set
+	}
+
+	nSACS := int(d.u16())
+	for i := 0; i < nSACS && d.err == nil; i++ {
+		a := schema.AttrID(d.u16())
+		if int(a) >= s.Len() || s.TypeOf(a) != schema.TypeString {
+			d.fail("SACS for non-string attribute %d", a)
+			break
+		}
+		var rows, nes []strmatch.Row
+		nRows := int(d.u32())
+		for r := 0; r < nRows && d.err == nil; r++ {
+			op := schema.Op(d.u8())
+			if !op.StringOp() {
+				d.fail("bad SACS operator %d", op)
+				break
+			}
+			text := string(d.bytes(int(d.u16())))
+			rows = append(rows, strmatch.Row{Pattern: strmatch.Pattern{Op: op, Text: text}, IDs: d.ids()})
+		}
+		nNe := int(d.u32())
+		for r := 0; r < nNe && d.err == nil; r++ {
+			text := string(d.bytes(int(d.u16())))
+			nes = append(nes, strmatch.Row{Pattern: strmatch.Pattern{Op: schema.OpNE, Text: text}, IDs: d.ids()})
+		}
+		if d.err != nil {
+			break
+		}
+		set, err := strmatch.NewSetFromRows(rows, nes)
+		if err != nil {
+			d.fail("SACS for attribute %d: %v", a, err)
+			break
+		}
+		if _, dup := sm.sacs[a]; dup {
+			d.fail("duplicate SACS section for attribute %d", a)
+			break
+		}
+		sm.sacs[a] = set
+	}
+
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(buf) {
+		return nil, fmt.Errorf("summary: %d trailing bytes", len(buf)-d.off)
+	}
+	return sm, nil
+}

@@ -1,0 +1,43 @@
+package summary
+
+import (
+	"testing"
+
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/subid"
+)
+
+// FuzzDecode: the summary decoder must never panic and must only accept
+// inputs that re-encode losslessly. Run with `go test -fuzz=FuzzDecode`
+// for exploration; the seed corpus runs in normal test mode.
+func FuzzDecode(f *testing.F) {
+	s := stockSchema(f)
+	sm := New(s, interval.Lossy)
+	if err := sm.Insert(subid.ID{Broker: 1, Local: 2}, mustSub(f, s, `price > 8 && symbol = OTE`)); err != nil {
+		f.Fatal(err)
+	}
+	valid := sm.Encode(nil)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("SSM1"))
+	f.Add(valid[:len(valid)/2])
+	corrupted := append([]byte(nil), valid...)
+	for i := 5; i < len(corrupted); i += 7 {
+		corrupted[i] ^= 0xFF
+	}
+	f.Add(corrupted)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sm, err := Decode(s, data)
+		if err != nil {
+			return
+		}
+		// Accepted inputs must round-trip to the identical encoding.
+		again, err := Decode(s, sm.Encode(nil))
+		if err != nil {
+			t.Fatalf("re-decode of accepted input failed: %v", err)
+		}
+		if again.NumSubscriptions() != sm.NumSubscriptions() {
+			t.Fatal("re-decode changed subscription count")
+		}
+	})
+}

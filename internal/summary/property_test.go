@@ -1,0 +1,240 @@
+package summary
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/subid"
+)
+
+// TestMergeCommutative: A⊕B and B⊕A are behaviourally identical — they
+// report the same ids for any event (multi-broker summaries must not
+// depend on merge order, since Algorithm 2 merges in topology order).
+func TestMergeCommutative(t *testing.T) {
+	s := stockSchema(t)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		a := New(s, interval.Lossy)
+		b := New(s, interval.Lossy)
+		for i := 0; i < 40; i++ {
+			if err := a.Insert(subid.ID{Broker: 1, Local: subid.LocalID(i)}, randomSubscription(rng, s)); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Insert(subid.ID{Broker: 2, Local: subid.LocalID(i)}, randomSubscription(rng, s)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ab := a.Clone()
+		if err := ab.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		ba := b.Clone()
+		if err := ba.Merge(a); err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 200; probe++ {
+			ev := randomEvent(rng, s)
+			if !reflect.DeepEqual(ab.MatchKeys(ev), ba.MatchKeys(ev)) {
+				t.Fatalf("merge not commutative on %s:\nA⊕B %v\nB⊕A %v",
+					ev.Format(s), ab.MatchKeys(ev), ba.MatchKeys(ev))
+			}
+		}
+	}
+}
+
+// TestMergeAssociativeBehaviour: (A⊕B)⊕C ≡ A⊕(B⊕C) behaviourally.
+func TestMergeAssociativeBehaviour(t *testing.T) {
+	s := stockSchema(t)
+	rng := rand.New(rand.NewSource(9))
+	build := func(broker subid.BrokerID) *Summary {
+		sm := New(s, interval.Lossy)
+		for i := 0; i < 25; i++ {
+			if err := sm.Insert(subid.ID{Broker: broker, Local: subid.LocalID(i)}, randomSubscription(rng, s)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sm
+	}
+	a, b, c := build(1), build(2), build(3)
+	left := a.Clone()
+	if err := left.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := left.Merge(c); err != nil {
+		t.Fatal(err)
+	}
+	bc := b.Clone()
+	if err := bc.Merge(c); err != nil {
+		t.Fatal(err)
+	}
+	right := a.Clone()
+	if err := right.Merge(bc); err != nil {
+		t.Fatal(err)
+	}
+	for probe := 0; probe < 500; probe++ {
+		ev := randomEvent(rng, s)
+		if !reflect.DeepEqual(left.MatchKeys(ev), right.MatchKeys(ev)) {
+			t.Fatalf("merge not associative on %s", ev.Format(s))
+		}
+	}
+}
+
+// TestRemoveRestoresAbsence: inserting then removing a subscription leaves
+// no trace in matching behaviour relative to a summary that never saw it.
+func TestRemoveRestoresAbsence(t *testing.T) {
+	s := stockSchema(t)
+	rng := rand.New(rand.NewSource(10))
+	base := New(s, interval.Lossy)
+	subs := make(map[uint64]bool)
+	for i := 0; i < 30; i++ {
+		id := subid.ID{Broker: 1, Local: subid.LocalID(i)}
+		if err := base.Insert(id, randomSubscription(rng, s)); err != nil {
+			t.Fatal(err)
+		}
+		subs[id.Key()] = true
+	}
+	// A copy that takes 10 extra subscriptions and then removes them.
+	churned := base.Clone()
+	extras := make([]subid.ID, 10)
+	for i := range extras {
+		extras[i] = subid.ID{Broker: 2, Local: subid.LocalID(i)}
+		if err := churned.Insert(extras[i], randomSubscription(rng, s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range extras {
+		churned.Remove(id)
+	}
+	if churned.NumSubscriptions() != base.NumSubscriptions() {
+		t.Fatalf("subscriptions = %d, want %d", churned.NumSubscriptions(), base.NumSubscriptions())
+	}
+	for probe := 0; probe < 1000; probe++ {
+		ev := randomEvent(rng, s)
+		got := churned.MatchKeys(ev)
+		gotSet := make(map[uint64]bool, len(got))
+		for _, k := range got {
+			if !subs[k] {
+				t.Fatalf("ghost id %d after removal on %s", k, ev.Format(s))
+			}
+			gotSet[k] = true
+		}
+		// No false negatives versus base: removal must not take other ids
+		// with it. (The churned summary may report a SUPERSET: a removed
+		// subscription can leave a generalized SACS pattern behind, which
+		// is the documented lossy behaviour — precision is restored by the
+		// owner's exact re-match.)
+		for _, k := range base.MatchKeys(ev) {
+			if !gotSet[k] {
+				t.Fatalf("false negative after churn on %s: id %d missing", ev.Format(s), k)
+			}
+		}
+	}
+}
+
+// TestEncodeDeterministicAcrossClones: Encode must be a pure function of
+// summary content — clones encode identically.
+func TestEncodeDeterministicAcrossClones(t *testing.T) {
+	s := stockSchema(t)
+	rng := rand.New(rand.NewSource(11))
+	sm := New(s, interval.Lossy)
+	for i := 0; i < 60; i++ {
+		if err := sm.Insert(subid.ID{Broker: 3, Local: subid.LocalID(i)}, randomSubscription(rng, s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := sm.Encode(nil)
+	b := sm.Clone().Encode(nil)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("clone encodes differently")
+	}
+	// Decode → encode is also stable.
+	back, err := Decode(s, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Encode(nil), a) {
+		t.Fatal("decode/encode not a fixed point")
+	}
+}
+
+// TestCompactPreservesMatching: Summary.Compact never changes MatchKeys.
+func TestCompactPreservesMatching(t *testing.T) {
+	s := stockSchema(t)
+	rng := rand.New(rand.NewSource(22))
+	sm := New(s, interval.Lossy)
+	var live []subid.ID
+	for i := 0; i < 200; i++ {
+		id := subid.ID{Broker: 1, Local: subid.LocalID(i)}
+		if err := sm.Insert(id, randomSubscription(rng, s)); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, id)
+	}
+	for i := 0; i < 80; i++ {
+		j := rng.Intn(len(live))
+		sm.Remove(live[j])
+		live = append(live[:j], live[j+1:]...)
+	}
+	events := make([]*schema.Event, 300)
+	before := make([][]uint64, len(events))
+	for i := range events {
+		events[i] = randomEvent(rng, s)
+		before[i] = sm.MatchKeys(events[i])
+	}
+	merged := sm.Compact()
+	t.Logf("Compact eliminated %d rows", merged)
+	for i, ev := range events {
+		if !reflect.DeepEqual(sm.MatchKeys(ev), before[i]) {
+			t.Fatalf("matching changed after Compact on %s", ev.Format(s))
+		}
+	}
+}
+
+// TestValidateAfterChurn: the cross-structure invariants hold through
+// random insert/remove/merge/compact sequences, and Validate catches a
+// deliberately corrupted registry.
+func TestValidateAfterChurn(t *testing.T) {
+	s := stockSchema(t)
+	rng := rand.New(rand.NewSource(23))
+	sm := New(s, interval.Lossy)
+	var live []subid.ID
+	for step := 0; step < 400; step++ {
+		switch {
+		case rng.Intn(3) > 0 || len(live) == 0:
+			id := subid.ID{Broker: subid.BrokerID(rng.Intn(4)), Local: subid.LocalID(step)}
+			if err := sm.Insert(id, randomSubscription(rng, s)); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, id)
+		default:
+			j := rng.Intn(len(live))
+			sm.Remove(live[j])
+			live = append(live[:j], live[j+1:]...)
+		}
+		if step%40 == 0 {
+			sm.Compact()
+			if err := sm.Validate(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	other := New(s, interval.Lossy)
+	if err := other.Insert(subid.ID{Broker: 9, Local: 1}, randomSubscription(rng, s)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Merge(other); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Validate(); err != nil {
+		t.Fatalf("after merge: %v", err)
+	}
+	// Corrupt the registry: Validate must notice.
+	victim := subid.ID{Broker: 9, Local: 1}.Key()
+	delete(sm.ids, victim)
+	if err := sm.Validate(); err == nil {
+		t.Fatal("Validate missed an unregistered id")
+	}
+}

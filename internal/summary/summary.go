@@ -1,0 +1,387 @@
+// Package summary implements per-broker subscription summaries (Section 3)
+// and multi-broker merged summaries (Section 4.1) of the
+// subscription-summarization paper.
+//
+// A Summary is subscription-summary-centric: an incoming subscription is
+// dissolved into its attribute constraints, which are merged into the
+// per-attribute AACS (arithmetic) and SACS (string) structures; only the
+// subscription id (c1‖c2‖c3) survives, in the per-row id lists and in the
+// id registry. The paper's Algorithm 1 (Match) recovers the matching ids
+// for an incoming event from the structures alone.
+//
+// Summaries are lossy pre-filters: SACS generalization and AACS equality
+// folding can over-approximate. The owning broker re-matches raw
+// subscriptions before consumer delivery, so end-to-end matching has no
+// false positives and the summary guarantees no false negatives.
+package summary
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/strmatch"
+	"github.com/subsum/subsum/internal/subid"
+)
+
+// Summary holds the summarized subscriptions of one broker — or, after
+// merging, of a set of brokers (a multi-broker summary).
+type Summary struct {
+	schema *schema.Schema
+	mode   interval.Mode
+	aacs   map[schema.AttrID]*interval.Set
+	sacs   map[schema.AttrID]*strmatch.Set
+	ids    map[uint64]subid.Mask // id key → c3 attribute mask
+}
+
+// New returns an empty summary over the given schema. mode selects the
+// AACS equality handling (interval.Lossy is the paper's behaviour).
+func New(s *schema.Schema, mode interval.Mode) *Summary {
+	return &Summary{
+		schema: s,
+		mode:   mode,
+		aacs:   make(map[schema.AttrID]*interval.Set),
+		sacs:   make(map[schema.AttrID]*strmatch.Set),
+		ids:    make(map[uint64]subid.Mask),
+	}
+}
+
+// Schema returns the schema the summary was built over.
+func (sm *Summary) Schema() *schema.Schema { return sm.schema }
+
+// Mode returns the AACS equality-handling mode.
+func (sm *Summary) Mode() interval.Mode { return sm.mode }
+
+// NumSubscriptions returns the number of distinct subscription ids
+// summarized.
+func (sm *Summary) NumSubscriptions() int { return len(sm.ids) }
+
+// Contains reports whether the summary covers the given subscription id.
+func (sm *Summary) Contains(id subid.ID) bool {
+	_, ok := sm.ids[id.Key()]
+	return ok
+}
+
+// Insert dissolves the subscription into its attribute constraints and
+// merges them into the per-attribute summary structures. The id's c3 mask
+// is derived from the subscription if id.Attrs is nil.
+func (sm *Summary) Insert(id subid.ID, sub *schema.Subscription) error {
+	attrs := sub.AttrSet()
+	if id.Attrs == nil {
+		id.Attrs = subid.NewMask(sm.schema.Len())
+		for _, a := range attrs {
+			id.Attrs.Set(int(a))
+		}
+	}
+	key := id.Key()
+	if _, dup := sm.ids[key]; dup {
+		return fmt.Errorf("summary: duplicate subscription id %v", id)
+	}
+	// Group constraints per attribute.
+	for _, a := range attrs {
+		t := sm.schema.TypeOf(a)
+		switch {
+		case t == schema.TypeInvalid:
+			return fmt.Errorf("summary: constraint on unknown attribute %d", a)
+		case t.Arithmetic():
+			if err := sm.insertArithmetic(key, a, sub); err != nil {
+				return err
+			}
+		default:
+			if err := sm.insertString(key, a, sub); err != nil {
+				return err
+			}
+		}
+	}
+	sm.ids[key] = id.Attrs.Clone()
+	return nil
+}
+
+// insertArithmetic canonicalizes all arithmetic constraints of sub on
+// attribute a into a single interval (as Figure 4 does for
+// "8.30 < price < 8.70") plus any ≠ entries, and inserts them.
+func (sm *Summary) insertArithmetic(key uint64, a schema.AttrID, sub *schema.Subscription) error {
+	iv := interval.Full()
+	hasInterval := false
+	hasNE := false
+	for _, c := range sub.Constraints {
+		if c.Attr != a {
+			continue
+		}
+		if c.Op == schema.OpNE {
+			sm.arithSet(a).InsertNotEqual(c.Value.Num, key)
+			hasNE = true
+			continue
+		}
+		part, ok := intervalOf(c.Op, c.Value.Num)
+		if !ok {
+			return fmt.Errorf("summary: operator %v not valid on arithmetic attribute", c.Op)
+		}
+		iv = interval.Intersect(iv, part)
+		hasInterval = true
+	}
+	if hasInterval {
+		sm.arithSet(a).Insert(iv, key)
+	} else if !hasNE {
+		return fmt.Errorf("summary: attribute %d listed but unconstrained", a)
+	}
+	return nil
+}
+
+// insertString inserts each string constraint of sub on attribute a as a
+// SACS pattern.
+func (sm *Summary) insertString(key uint64, a schema.AttrID, sub *schema.Subscription) error {
+	inserted := false
+	for _, c := range sub.Constraints {
+		if c.Attr != a {
+			continue
+		}
+		if !c.Op.StringOp() {
+			return fmt.Errorf("summary: operator %v not valid on string attribute", c.Op)
+		}
+		sm.strSet(a).Insert(strmatch.FromConstraint(c), key)
+		inserted = true
+	}
+	if !inserted {
+		return fmt.Errorf("summary: attribute %d listed but unconstrained", a)
+	}
+	return nil
+}
+
+// intervalOf maps an arithmetic operator to its value interval.
+func intervalOf(op schema.Op, v float64) (interval.Interval, bool) {
+	switch op {
+	case schema.OpEQ:
+		return interval.Point(v), true
+	case schema.OpLT:
+		return interval.Below(v, false), true
+	case schema.OpLE:
+		return interval.Below(v, true), true
+	case schema.OpGT:
+		return interval.Above(v, false), true
+	case schema.OpGE:
+		return interval.Above(v, true), true
+	default:
+		return interval.Interval{}, false
+	}
+}
+
+func (sm *Summary) arithSet(a schema.AttrID) *interval.Set {
+	s, ok := sm.aacs[a]
+	if !ok {
+		s = interval.NewSet(sm.mode)
+		sm.aacs[a] = s
+	}
+	return s
+}
+
+func (sm *Summary) strSet(a schema.AttrID) *strmatch.Set {
+	s, ok := sm.sacs[a]
+	if !ok {
+		s = strmatch.NewSet()
+		sm.sacs[a] = s
+	}
+	return s
+}
+
+// Remove deletes the subscription id from every structure (the summary
+// maintenance path for unsubscription).
+func (sm *Summary) Remove(id subid.ID) {
+	key := id.Key()
+	if _, ok := sm.ids[key]; !ok {
+		return
+	}
+	delete(sm.ids, key)
+	for _, s := range sm.aacs {
+		s.Remove(key)
+	}
+	for _, s := range sm.sacs {
+		s.Remove(key)
+	}
+}
+
+// Compact merges fragmented adjacent AACS rows left behind by churn
+// (insert/remove cycles); matching behaviour is unchanged. Returns the
+// number of rows eliminated.
+func (sm *Summary) Compact() int {
+	total := 0
+	for _, s := range sm.aacs {
+		total += s.Compact()
+	}
+	return total
+}
+
+// Match implements Algorithm 1: for every attribute of the event, collect
+// the satisfied subscription-id lists from the per-attribute structures;
+// count, per id, the number of distinct attributes satisfied; report the
+// ids whose count equals their c3 attribute count. Results are sorted by
+// id key.
+func (sm *Summary) Match(e *schema.Event) []subid.ID {
+	keys := sm.MatchKeys(e)
+	out := make([]subid.ID, len(keys))
+	for i, key := range keys {
+		out[i] = sm.idFromKey(key)
+	}
+	return out
+}
+
+// MatchKeys is Match returning raw id keys (ascending), avoiding ID
+// reconstruction for hot paths.
+func (sm *Summary) MatchKeys(e *schema.Event) []uint64 {
+	keys, _ := sm.MatchKeysWithCost(e)
+	return keys
+}
+
+// MatchCost instruments one Algorithm 1 run with the operation counts of
+// the Section 5.2.4 analysis: step 1's id-list collection work (the T1
+// term) and step 2's counter scan over the P collected subscriptions (T2).
+type MatchCost struct {
+	// EventAttrs is the number of event attributes examined (n_ae + n_se).
+	EventAttrs int
+	// CollectedIDs is the total distinct ids collected across attributes —
+	// the ΣL work of T1.
+	CollectedIDs int
+	// UniqueIDs is P, the distinct subscriptions counted in step 2 (T2).
+	UniqueIDs int
+	// Matched is the number of ids whose counters reached their c3 count.
+	Matched int
+}
+
+// MatchKeysWithCost is MatchKeys returning the operation counts alongside
+// the matched keys.
+func (sm *Summary) MatchKeysWithCost(e *schema.Event) ([]uint64, MatchCost) {
+	var cost MatchCost
+	counters := make(map[uint64]int)
+	perAttr := make(map[uint64]struct{})
+	for _, f := range e.Fields() {
+		// Step 1: collect satisfied id lists for this attribute.
+		cost.EventAttrs++
+		clear(perAttr)
+		if f.Value.Arithmetic() {
+			if s, ok := sm.aacs[f.Attr]; ok {
+				cost.CollectedIDs += s.QueryInto(f.Value.Num, perAttr)
+			}
+		} else if s, ok := sm.sacs[f.Attr]; ok {
+			cost.CollectedIDs += s.MatchInto(f.Value.Str, perAttr)
+		}
+		for key := range perAttr {
+			counters[key]++
+		}
+	}
+	// Step 2: keep ids whose counter equals their c3 attribute count.
+	cost.UniqueIDs = len(counters)
+	var out []uint64
+	for key, n := range counters {
+		if mask, ok := sm.ids[key]; ok && n == mask.Count() {
+			out = append(out, key)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	cost.Matched = len(out)
+	return out, cost
+}
+
+// idFromKey reconstructs a full subscription id from its key and the
+// registry's c3 mask.
+func (sm *Summary) idFromKey(key uint64) subid.ID {
+	broker, local := subid.KeyParts(key)
+	return subid.ID{Broker: broker, Local: local, Attrs: sm.ids[key]}
+}
+
+// IDs returns all summarized subscription ids, sorted by key.
+func (sm *Summary) IDs() []subid.ID {
+	keys := make([]uint64, 0, len(sm.ids))
+	for key := range sm.ids {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]subid.ID, len(keys))
+	for i, key := range keys {
+		out[i] = sm.idFromKey(key)
+	}
+	return out
+}
+
+// Merge folds other into sm (multi-broker summary construction,
+// Section 4.1). Both summaries must share the schema; duplicate ids merge
+// idempotently.
+func (sm *Summary) Merge(other *Summary) error {
+	if !sm.schema.Equal(other.schema) {
+		return fmt.Errorf("summary: merging across different schemas")
+	}
+	for a, s := range other.aacs {
+		sm.arithSet(a).Merge(s)
+	}
+	for a, s := range other.sacs {
+		sm.strSet(a).Merge(s)
+	}
+	for key, mask := range other.ids {
+		if _, ok := sm.ids[key]; !ok {
+			sm.ids[key] = mask.Clone()
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the summary.
+func (sm *Summary) Clone() *Summary {
+	out := New(sm.schema, sm.mode)
+	for a, s := range sm.aacs {
+		out.aacs[a] = s.Clone()
+	}
+	for a, s := range sm.sacs {
+		out.sacs[a] = s.Clone()
+	}
+	for key, mask := range sm.ids {
+		out.ids[key] = mask.Clone()
+	}
+	return out
+}
+
+// Stats aggregates the shape of all per-attribute structures.
+type Stats struct {
+	Arithmetic    interval.Stats
+	Strings       strmatch.Stats
+	NumAACS       int // attributes with an AACS
+	NumSACS       int // attributes with a SACS
+	Subscriptions int
+}
+
+// Stats computes aggregate structure statistics.
+func (sm *Summary) Stats() Stats {
+	var st Stats
+	st.NumAACS = len(sm.aacs)
+	st.NumSACS = len(sm.sacs)
+	st.Subscriptions = len(sm.ids)
+	for _, s := range sm.aacs {
+		a := s.Stats()
+		st.Arithmetic.NumRanges += a.NumRanges
+		st.Arithmetic.NumEq += a.NumEq
+		st.Arithmetic.NumNE += a.NumNE
+		st.Arithmetic.IDEntries += a.IDEntries
+	}
+	for _, s := range sm.sacs {
+		b := s.Stats()
+		st.Strings.NumRows += b.NumRows
+		st.Strings.NumNE += b.NumNE
+		st.Strings.IDEntries += b.IDEntries
+		st.Strings.PatternBytes += b.PatternBytes
+	}
+	return st
+}
+
+// SizeBytes returns the summary's size under the paper's cost model:
+// equation (1) summed over arithmetic attributes plus equation (2) summed
+// over string attributes. sst and sid are the storage sizes of an
+// arithmetic value and a subscription id (both 4 in Table 2).
+func (sm *Summary) SizeBytes(sst, sid int) int {
+	n := 0
+	for _, s := range sm.aacs {
+		n += s.SizeBytes(sst, sid)
+	}
+	for _, s := range sm.sacs {
+		n += s.SizeBytes(sid)
+	}
+	return n
+}

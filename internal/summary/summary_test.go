@@ -1,0 +1,511 @@
+package summary
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/subid"
+)
+
+// stockSchema is the paper's Figure 2 schema.
+func stockSchema(t testing.TB) *schema.Schema {
+	t.Helper()
+	return schema.MustNew(
+		schema.Attribute{Name: "exchange", Type: schema.TypeString},
+		schema.Attribute{Name: "symbol", Type: schema.TypeString},
+		schema.Attribute{Name: "when", Type: schema.TypeDate},
+		schema.Attribute{Name: "price", Type: schema.TypeFloat},
+		schema.Attribute{Name: "volume", Type: schema.TypeInt},
+		schema.Attribute{Name: "high", Type: schema.TypeFloat},
+		schema.Attribute{Name: "low", Type: schema.TypeFloat},
+	)
+}
+
+func mustSub(t testing.TB, s *schema.Schema, text string) *schema.Subscription {
+	t.Helper()
+	sub, err := schema.ParseSubscription(s, text)
+	if err != nil {
+		t.Fatalf("ParseSubscription(%q): %v", text, err)
+	}
+	return sub
+}
+
+func mustEvent(t testing.TB, s *schema.Schema, text string) *schema.Event {
+	t.Helper()
+	e, err := schema.ParseEvent(s, text)
+	if err != nil {
+		t.Fatalf("ParseEvent(%q): %v", text, err)
+	}
+	return e
+}
+
+func id(broker subid.BrokerID, local subid.LocalID) subid.ID {
+	return subid.ID{Broker: broker, Local: local}
+}
+
+// TestPaperExample1 runs the full Example 1 of Section 3.3: broker A's two
+// subscriptions are summarized; the Figure 2 event, matched at broker B
+// against the summary, reports S1 but not S2.
+func TestPaperExample1(t *testing.T) {
+	s := stockSchema(t)
+	sm := New(s, interval.Lossy)
+	sub1 := mustSub(t, s, `exchange = "N*SE" && symbol = OTE && price < 8.70 && price > 8.30`)
+	sub2 := mustSub(t, s, `symbol >* OT && price = 8.20 && volume > 130000 && low < 8.05`)
+	if err := sm.Insert(id(0, 1), sub1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Insert(id(0, 2), sub2); err != nil {
+		t.Fatal(err)
+	}
+	ev := mustEvent(t, s, `exchange=NYSE symbol=OTE when=1057061125 price=8.40 volume=132700 high=8.80 low=8.22`)
+	got := sm.Match(ev)
+	if len(got) != 1 || got[0].Local != 1 {
+		t.Fatalf("Match = %v, want S1 only", got)
+	}
+	// Counters from the paper: S1 appears in 3 lists (exchange, symbol,
+	// price), S2 in 2 (symbol, volume) — S2's c3 has 4 attributes.
+	if sm.NumSubscriptions() != 2 {
+		t.Fatalf("NumSubscriptions = %d", sm.NumSubscriptions())
+	}
+}
+
+func TestMatchRequiresAllAttributes(t *testing.T) {
+	s := stockSchema(t)
+	sm := New(s, interval.Lossy)
+	sub := mustSub(t, s, `price > 8 && volume > 100`)
+	if err := sm.Insert(id(1, 1), sub); err != nil {
+		t.Fatal(err)
+	}
+	// Event carries only price: no match.
+	if got := sm.Match(mustEvent(t, s, `price=9`)); len(got) != 0 {
+		t.Fatalf("partial event matched: %v", got)
+	}
+	if got := sm.Match(mustEvent(t, s, `price=9 volume=200`)); len(got) != 1 {
+		t.Fatalf("full event did not match: %v", got)
+	}
+	// Extra event attributes are fine.
+	if got := sm.Match(mustEvent(t, s, `price=9 volume=200 low=1 exchange=X`)); len(got) != 1 {
+		t.Fatalf("event with extra attributes did not match: %v", got)
+	}
+}
+
+func TestInsertDuplicateIDRejected(t *testing.T) {
+	s := stockSchema(t)
+	sm := New(s, interval.Lossy)
+	sub := mustSub(t, s, `price > 8`)
+	if err := sm.Insert(id(1, 1), sub); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Insert(id(1, 1), sub); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+}
+
+func TestInsertDerivesC3Mask(t *testing.T) {
+	s := stockSchema(t)
+	sm := New(s, interval.Lossy)
+	sub := mustSub(t, s, `price > 8 && volume > 100 && symbol = OTE`)
+	if err := sm.Insert(id(2, 7), sub); err != nil {
+		t.Fatal(err)
+	}
+	ids := sm.IDs()
+	if len(ids) != 1 {
+		t.Fatalf("IDs = %v", ids)
+	}
+	symID, _ := s.ID("symbol")
+	priceID, _ := s.ID("price")
+	volID, _ := s.ID("volume")
+	want := subid.MaskOf(s.Len(), int(symID), int(priceID), int(volID))
+	if !ids[0].Attrs.Equal(want) {
+		t.Fatalf("c3 = %v, want %v", ids[0].Attrs, want)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s := stockSchema(t)
+	sm := New(s, interval.Lossy)
+	sub1 := mustSub(t, s, `price > 8`)
+	sub2 := mustSub(t, s, `price < 20 && symbol = OTE`)
+	if err := sm.Insert(id(1, 1), sub1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Insert(id(1, 2), sub2); err != nil {
+		t.Fatal(err)
+	}
+	ev := mustEvent(t, s, `price=10 symbol=OTE`)
+	if got := sm.Match(ev); len(got) != 2 {
+		t.Fatalf("Match = %v", got)
+	}
+	sm.Remove(id(1, 1))
+	got := sm.Match(ev)
+	if len(got) != 1 || got[0].Local != 2 {
+		t.Fatalf("Match after remove = %v", got)
+	}
+	sm.Remove(id(1, 99)) // absent: no-op
+	if sm.NumSubscriptions() != 1 {
+		t.Fatalf("NumSubscriptions = %d", sm.NumSubscriptions())
+	}
+}
+
+func TestNotEqualConstraints(t *testing.T) {
+	s := stockSchema(t)
+	sm := New(s, interval.Lossy)
+	if err := sm.Insert(id(1, 1), mustSub(t, s, `price != 5`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Insert(id(1, 2), mustSub(t, s, `exchange != NYSE`)); err != nil {
+		t.Fatal(err)
+	}
+	if got := sm.Match(mustEvent(t, s, `price=5`)); len(got) != 0 {
+		t.Fatalf("price=5 matched ≠5: %v", got)
+	}
+	if got := sm.Match(mustEvent(t, s, `price=6`)); len(got) != 1 {
+		t.Fatalf("price=6: %v", got)
+	}
+	if got := sm.Match(mustEvent(t, s, `exchange=LSE`)); len(got) != 1 {
+		t.Fatalf("exchange=LSE: %v", got)
+	}
+	if got := sm.Match(mustEvent(t, s, `exchange=NYSE`)); len(got) != 0 {
+		t.Fatalf("exchange=NYSE matched ≠NYSE: %v", got)
+	}
+}
+
+func TestRangePlusNotEqualOnSameAttribute(t *testing.T) {
+	s := stockSchema(t)
+	sm := New(s, interval.Lossy)
+	if err := sm.Insert(id(1, 1), mustSub(t, s, `price > 1 && price != 5`)); err != nil {
+		t.Fatal(err)
+	}
+	// Exact semantics: 5 excluded. Summary may over-approximate but must
+	// not miss 6.
+	if got := sm.Match(mustEvent(t, s, `price=6`)); len(got) != 1 {
+		t.Fatalf("price=6: %v", got)
+	}
+	if got := sm.Match(mustEvent(t, s, `price=0.5`)); len(got) != 0 {
+		// 0.5 is not >1 but IS ≠5, so the lossy summary reports it; the
+		// owner's exact match would reject. Either is acceptable here —
+		// but absence of S at 6 would be a bug tested above.
+		t.Logf("lossy over-approximation at 0.5: %v", got)
+	}
+}
+
+func TestMergeMultiBroker(t *testing.T) {
+	s := stockSchema(t)
+	a := New(s, interval.Lossy)
+	b := New(s, interval.Lossy)
+	if err := a.Insert(id(1, 1), mustSub(t, s, `price > 8 && price < 9`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Insert(id(2, 1), mustSub(t, s, `price > 8.5 && price < 10`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Insert(id(2, 2), mustSub(t, s, `symbol >* OT`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumSubscriptions() != 3 {
+		t.Fatalf("NumSubscriptions = %d", a.NumSubscriptions())
+	}
+	got := a.Match(mustEvent(t, s, `price=8.7`))
+	if len(got) != 2 {
+		t.Fatalf("Match(8.7) = %v", got)
+	}
+	// Merge is idempotent for duplicate ids.
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumSubscriptions() != 3 {
+		t.Fatalf("after re-merge: %d", a.NumSubscriptions())
+	}
+	got = a.Match(mustEvent(t, s, `symbol=OTE`))
+	if len(got) != 1 || got[0].Broker != 2 {
+		t.Fatalf("Match(symbol) = %v", got)
+	}
+}
+
+func TestMergeSchemaMismatch(t *testing.T) {
+	a := New(stockSchema(t), interval.Lossy)
+	other := New(schema.MustNew(schema.Attribute{Name: "x", Type: schema.TypeInt}), interval.Lossy)
+	if err := a.Merge(other); err == nil {
+		t.Fatal("cross-schema merge accepted")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := stockSchema(t)
+	a := New(s, interval.Lossy)
+	if err := a.Insert(id(1, 1), mustSub(t, s, `price > 8`)); err != nil {
+		t.Fatal(err)
+	}
+	c := a.Clone()
+	c.Remove(id(1, 1))
+	if err := c.Insert(id(3, 3), mustSub(t, s, `volume > 1`)); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumSubscriptions() != 1 || !a.Contains(id(1, 1)) {
+		t.Fatal("clone mutated original")
+	}
+	if got := a.Match(mustEvent(t, s, `volume=5`)); len(got) != 0 {
+		t.Fatalf("clone leaked row into original: %v", got)
+	}
+}
+
+func TestStatsAndSizeBytes(t *testing.T) {
+	s := stockSchema(t)
+	sm := New(s, interval.Lossy)
+	if err := sm.Insert(id(0, 1), mustSub(t, s, `price > 8.30 && price < 8.70 && symbol = OTE`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Insert(id(0, 2), mustSub(t, s, `price = 8.20`)); err != nil {
+		t.Fatal(err)
+	}
+	st := sm.Stats()
+	if st.Arithmetic.NumRanges != 1 || st.Arithmetic.NumEq != 1 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if st.Strings.NumRows != 1 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if st.Subscriptions != 2 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	// AACS: 2·1·4 + 1·4 + 2·4 = 20. SACS: 3 pattern bytes + 1 row + 1·4 = 8.
+	if got := sm.SizeBytes(4, 4); got != 28 {
+		t.Fatalf("SizeBytes = %d, want 28", got)
+	}
+	if sm.EncodedSize() <= 0 {
+		t.Fatal("EncodedSize must be positive")
+	}
+}
+
+// TestNoFalseNegativesRandomized is the load-bearing summary property: for
+// random subscriptions and events, every exact match is reported by the
+// summary pre-filter (in both AACS modes).
+func TestNoFalseNegativesRandomized(t *testing.T) {
+	s := stockSchema(t)
+	for _, mode := range []interval.Mode{interval.Lossy, interval.Exact} {
+		mode := mode
+		name := map[interval.Mode]string{interval.Lossy: "lossy", interval.Exact: "exact"}[mode]
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(2024))
+			sm := New(s, mode)
+			type entry struct {
+				id  subid.ID
+				sub *schema.Subscription
+			}
+			var subs []entry
+			for i := 0; i < 400; i++ {
+				sub := randomSubscription(rng, s)
+				sid := subid.ID{Broker: subid.BrokerID(rng.Intn(8)), Local: subid.LocalID(i)}
+				if err := sm.Insert(sid, sub); err != nil {
+					t.Fatalf("insert %d: %v", i, err)
+				}
+				subs = append(subs, entry{id: sid, sub: sub})
+			}
+			for i := 0; i < 2000; i++ {
+				ev := randomEvent(rng, s)
+				got := sm.MatchKeys(ev)
+				gotSet := make(map[uint64]bool, len(got))
+				for _, k := range got {
+					gotSet[k] = true
+				}
+				for _, e := range subs {
+					if e.sub.Matches(ev) && !gotSet[e.id.Key()] {
+						t.Fatalf("false negative: sub %v (%s) matches event %s but summary missed it",
+							e.id, e.sub.Format(s), ev.Format(s))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestExactModeNoArithmeticFalsePositives: with Exact AACS mode and only
+// equality/range arithmetic subscriptions (no string generalization in
+// play), the summary match equals the exact match.
+func TestExactModeNoArithmeticFalsePositives(t *testing.T) {
+	s := stockSchema(t)
+	rng := rand.New(rand.NewSource(77))
+	sm := New(s, interval.Exact)
+	type entry struct {
+		id  subid.ID
+		sub *schema.Subscription
+	}
+	var subs []entry
+	for i := 0; i < 200; i++ {
+		sub := randomArithmeticSubscription(rng, s)
+		sid := subid.ID{Broker: 1, Local: subid.LocalID(i)}
+		if err := sm.Insert(sid, sub); err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, entry{id: sid, sub: sub})
+	}
+	for i := 0; i < 1000; i++ {
+		ev := randomArithmeticEvent(rng, s)
+		got := sm.MatchKeys(ev)
+		want := make(map[uint64]bool)
+		for _, e := range subs {
+			if e.sub.Matches(ev) {
+				want[e.id.Key()] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("event %s: got %d matches, want %d", ev.Format(s), len(got), len(want))
+		}
+		for _, k := range got {
+			if !want[k] {
+				t.Fatalf("event %s: spurious match %d", ev.Format(s), k)
+			}
+		}
+	}
+}
+
+func randomSubscription(rng *rand.Rand, s *schema.Schema) *schema.Subscription {
+	var cs []schema.Constraint
+	nAttrs := 1 + rng.Intn(4)
+	attrs := rng.Perm(s.Len())[:nAttrs]
+	words := []string{"NYSE", "OTE", "LSE", "NASDAQ", "micronet", "microsoft"}
+	for _, ai := range attrs {
+		a := schema.AttrID(ai)
+		if s.TypeOf(a).Arithmetic() {
+			v := float64(rng.Intn(21))
+			var val schema.Value
+			switch s.TypeOf(a) {
+			case schema.TypeInt:
+				val = schema.IntValue(int64(v))
+			case schema.TypeDate:
+				val = schema.Value{Type: schema.TypeDate, Num: v}
+			default:
+				val = schema.FloatValue(v)
+			}
+			ops := []schema.Op{schema.OpEQ, schema.OpNE, schema.OpLT, schema.OpLE, schema.OpGT, schema.OpGE}
+			cs = append(cs, schema.Constraint{Attr: a, Op: ops[rng.Intn(len(ops))], Value: val})
+		} else {
+			w := words[rng.Intn(len(words))]
+			ops := []schema.Op{schema.OpEQ, schema.OpNE, schema.OpPrefix, schema.OpSuffix, schema.OpContains}
+			op := ops[rng.Intn(len(ops))]
+			text := w
+			if op != schema.OpEQ && op != schema.OpNE && len(w) > 2 {
+				text = w[:2+rng.Intn(len(w)-2)]
+			}
+			cs = append(cs, schema.Constraint{Attr: a, Op: op, Value: schema.StringValue(text)})
+		}
+	}
+	sub, err := schema.NewSubscription(s, cs...)
+	if err != nil {
+		panic(err)
+	}
+	return sub
+}
+
+func randomEvent(rng *rand.Rand, s *schema.Schema) *schema.Event {
+	words := []string{"NYSE", "OTE", "LSE", "NASDAQ", "micronet", "microsoft"}
+	var fields []schema.Field
+	for ai := 0; ai < s.Len(); ai++ {
+		if rng.Intn(3) == 0 {
+			continue
+		}
+		a := schema.AttrID(ai)
+		var v schema.Value
+		switch s.TypeOf(a) {
+		case schema.TypeString:
+			v = schema.StringValue(words[rng.Intn(len(words))])
+		case schema.TypeInt:
+			v = schema.IntValue(int64(rng.Intn(21)))
+		case schema.TypeDate:
+			v = schema.Value{Type: schema.TypeDate, Num: float64(rng.Intn(21))}
+		default:
+			v = schema.FloatValue(float64(rng.Intn(21)))
+		}
+		fields = append(fields, schema.Field{Attr: a, Value: v})
+	}
+	if len(fields) == 0 {
+		fields = append(fields, schema.Field{Attr: 3, Value: schema.FloatValue(1)})
+	}
+	e, err := schema.EventFromFields(s, fields)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func randomArithmeticSubscription(rng *rand.Rand, s *schema.Schema) *schema.Subscription {
+	priceID, _ := s.ID("price")
+	lowID, _ := s.ID("low")
+	attrs := []schema.AttrID{priceID, lowID}
+	var cs []schema.Constraint
+	for _, a := range attrs[:1+rng.Intn(2)] {
+		lo := float64(rng.Intn(15))
+		hi := lo + float64(rng.Intn(6))
+		switch rng.Intn(3) {
+		case 0:
+			cs = append(cs, schema.Constraint{Attr: a, Op: schema.OpEQ, Value: schema.FloatValue(lo)})
+		case 1:
+			cs = append(cs,
+				schema.Constraint{Attr: a, Op: schema.OpGT, Value: schema.FloatValue(lo)},
+				schema.Constraint{Attr: a, Op: schema.OpLE, Value: schema.FloatValue(hi)})
+		default:
+			cs = append(cs, schema.Constraint{Attr: a, Op: schema.OpGE, Value: schema.FloatValue(lo)})
+		}
+	}
+	sub, err := schema.NewSubscription(s, cs...)
+	if err != nil {
+		panic(err)
+	}
+	return sub
+}
+
+func randomArithmeticEvent(rng *rand.Rand, s *schema.Schema) *schema.Event {
+	priceID, _ := s.ID("price")
+	lowID, _ := s.ID("low")
+	fields := []schema.Field{
+		{Attr: priceID, Value: schema.FloatValue(float64(rng.Intn(25)))},
+		{Attr: lowID, Value: schema.FloatValue(float64(rng.Intn(25)))},
+	}
+	e, err := schema.EventFromFields(s, fields)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// TestMatchKeysWithCost: the instrumented match returns the same keys as
+// MatchKeys plus self-consistent Section 5.2.4 operation counts.
+func TestMatchKeysWithCost(t *testing.T) {
+	s := stockSchema(t)
+	sm := New(s, interval.Lossy)
+	if err := sm.Insert(id(0, 1), mustSub(t, s, `price > 8 && price < 9 && symbol = OTE`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Insert(id(0, 2), mustSub(t, s, `price > 8.2`)); err != nil {
+		t.Fatal(err)
+	}
+	ev := mustEvent(t, s, `price=8.5 symbol=OTE volume=1`)
+	keys, cost := sm.MatchKeysWithCost(ev)
+	if len(keys) != 2 {
+		t.Fatalf("keys = %v", keys)
+	}
+	if cost.EventAttrs != 3 {
+		t.Fatalf("EventAttrs = %d, want 3", cost.EventAttrs)
+	}
+	// price attribute collects ids {1,2}, symbol collects {1}: 3 entries.
+	if cost.CollectedIDs != 3 {
+		t.Fatalf("CollectedIDs = %d, want 3", cost.CollectedIDs)
+	}
+	if cost.UniqueIDs != 2 { // P = 2
+		t.Fatalf("UniqueIDs = %d, want 2", cost.UniqueIDs)
+	}
+	if cost.Matched != 2 {
+		t.Fatalf("Matched = %d, want 2", cost.Matched)
+	}
+	// Non-matching event: id 1 collected on symbol only, counter < c3.
+	ev2 := mustEvent(t, s, `symbol=OTE`)
+	keys2, cost2 := sm.MatchKeysWithCost(ev2)
+	if len(keys2) != 0 || cost2.UniqueIDs != 1 || cost2.Matched != 0 {
+		t.Fatalf("keys2 = %v cost2 = %+v", keys2, cost2)
+	}
+}

@@ -1,0 +1,64 @@
+package summary
+
+import (
+	"fmt"
+
+	"github.com/subsum/subsum/internal/schema"
+)
+
+// Validate checks the summary's cross-structure invariants; tests call it
+// after mutation sequences. It verifies that every id referenced by an
+// AACS or SACS row is registered (with a c3 mask whose bit for that
+// attribute is set), and that every registered id appears in at least one
+// per-attribute structure.
+func (sm *Summary) Validate() error {
+	seen := make(map[uint64]bool, len(sm.ids))
+	check := func(attr schema.AttrID, ids []uint64) error {
+		for _, key := range ids {
+			mask, ok := sm.ids[key]
+			if !ok {
+				return fmt.Errorf("summary: attribute %d references unregistered id %d", attr, key)
+			}
+			if !mask.Has(int(attr)) {
+				return fmt.Errorf("summary: id %d in attribute %d rows but c3 bit unset", key, attr)
+			}
+			seen[key] = true
+		}
+		return nil
+	}
+	for attr, s := range sm.aacs {
+		for _, r := range s.Rows() {
+			if err := check(attr, r.IDs); err != nil {
+				return err
+			}
+		}
+		for _, e := range s.EqRows() {
+			if err := check(attr, e.IDs); err != nil {
+				return err
+			}
+		}
+		for _, e := range s.NeRows() {
+			if err := check(attr, e.IDs); err != nil {
+				return err
+			}
+		}
+	}
+	for attr, s := range sm.sacs {
+		for _, r := range s.Rows() {
+			if err := check(attr, r.IDs); err != nil {
+				return err
+			}
+		}
+		for _, r := range s.NeRows() {
+			if err := check(attr, r.IDs); err != nil {
+				return err
+			}
+		}
+	}
+	for key := range sm.ids {
+		if !seen[key] {
+			return fmt.Errorf("summary: registered id %d appears in no structure", key)
+		}
+	}
+	return nil
+}

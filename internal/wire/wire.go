@@ -1,0 +1,377 @@
+// Package wire implements the TCP front end of the broker network: a
+// line-delimited JSON protocol through which remote clients subscribe,
+// publish, trigger propagation periods, and receive event deliveries.
+//
+// Requests (one JSON object per line):
+//
+//	{"op":"subscribe","broker":3,"expr":"symbol = OTE && price < 8.70"}
+//	{"op":"unsubscribe","broker":3,"local":0}
+//	{"op":"publish","broker":0,"event":"symbol=OTE price=8.40"}
+//	{"op":"propagate"}
+//	{"op":"stats"}
+//	{"op":"extend","attr":"newattr","attrtype":"float"}
+//	{"op":"ping"}
+//
+// Responses carry the request's op plus either a result or an error;
+// deliveries for this connection's subscriptions are pushed
+// asynchronously:
+//
+//	{"type":"reply","op":"subscribe","broker":3,"local":0}
+//	{"type":"reply","op":"propagate","hops":21}
+//	{"type":"delivery","broker":3,"local":0,"event":"{symbol=\"OTE\", ...}"}
+//	{"type":"reply","op":"publish","error":"..."}
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/subsum/subsum/internal/core"
+	"github.com/subsum/subsum/internal/netsim"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/subid"
+	"github.com/subsum/subsum/internal/topology"
+)
+
+// Request is one client request line.
+type Request struct {
+	Op       string `json:"op"`
+	Broker   int    `json:"broker,omitempty"`
+	Local    uint32 `json:"local,omitempty"`
+	Expr     string `json:"expr,omitempty"`
+	Event    string `json:"event,omitempty"`
+	Attr     string `json:"attr,omitempty"`
+	AttrType string `json:"attrtype,omitempty"`
+}
+
+// Response is one server line: a reply to a request or a pushed delivery.
+type Response struct {
+	Type   string           `json:"type"` // "reply" or "delivery"
+	Op     string           `json:"op,omitempty"`
+	Error  string           `json:"error,omitempty"`
+	Broker int              `json:"broker,omitempty"`
+	Local  uint32           `json:"local,omitempty"`
+	Event  string           `json:"event,omitempty"`
+	Hops   int              `json:"hops,omitempty"`
+	Stats  map[string]int64 `json:"stats,omitempty"`
+}
+
+// Server exposes a core.Network over TCP.
+type Server struct {
+	net    *core.Network
+	schema *schema.Schema
+	ln     net.Listener
+
+	mu    sync.Mutex
+	conns map[*conn]struct{}
+	wg    sync.WaitGroup
+}
+
+// conn is one client connection.
+type conn struct {
+	c  net.Conn
+	mu sync.Mutex // serializes writes
+}
+
+func (c *conn) send(resp Response) error {
+	buf, err := json.Marshal(resp)
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err = c.c.Write(buf)
+	return err
+}
+
+// NewServer wraps an already-running network. The caller retains ownership
+// of the network (Close does not stop it).
+func NewServer(network *core.Network, s *schema.Schema) *Server {
+	return &Server{net: network, schema: s, conns: make(map[*conn]struct{})}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address. Serve loops run in background goroutines.
+func (srv *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv.ln = ln
+	srv.wg.Add(1)
+	go srv.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (srv *Server) acceptLoop() {
+	defer srv.wg.Done()
+	for {
+		c, err := srv.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		cc := &conn{c: c}
+		srv.mu.Lock()
+		srv.conns[cc] = struct{}{}
+		srv.mu.Unlock()
+		srv.wg.Add(1)
+		go srv.serve(cc)
+	}
+}
+
+// Close stops the listener and closes all connections.
+func (srv *Server) Close() error {
+	var err error
+	if srv.ln != nil {
+		err = srv.ln.Close()
+	}
+	srv.mu.Lock()
+	for cc := range srv.conns {
+		cc.c.Close()
+	}
+	srv.mu.Unlock()
+	srv.wg.Wait()
+	return err
+}
+
+func (srv *Server) serve(cc *conn) {
+	defer srv.wg.Done()
+	defer func() {
+		srv.mu.Lock()
+		delete(srv.conns, cc)
+		srv.mu.Unlock()
+		cc.c.Close()
+	}()
+	scanner := bufio.NewScanner(cc.c)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			_ = cc.send(Response{Type: "reply", Error: fmt.Sprintf("bad request: %v", err)})
+			continue
+		}
+		resp := srv.handle(cc, req)
+		if err := cc.send(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (srv *Server) handle(cc *conn, req Request) Response {
+	resp := Response{Type: "reply", Op: req.Op}
+	fail := func(err error) Response {
+		resp.Error = err.Error()
+		return resp
+	}
+	switch req.Op {
+	case "ping":
+		return resp
+	case "subscribe":
+		sub, err := schema.ParseSubscription(srv.schema, req.Expr)
+		if err != nil {
+			return fail(err)
+		}
+		id, err := srv.net.Subscribe(topology.NodeID(req.Broker), sub, func(id subid.ID, ev *schema.Event) {
+			_ = cc.send(Response{
+				Type:   "delivery",
+				Broker: int(id.Broker),
+				Local:  uint32(id.Local),
+				Event:  ev.Format(srv.schema),
+			})
+		})
+		if err != nil {
+			return fail(err)
+		}
+		resp.Broker = int(id.Broker)
+		resp.Local = uint32(id.Local)
+		return resp
+	case "unsubscribe":
+		id := subid.ID{Broker: subid.BrokerID(req.Broker), Local: subid.LocalID(req.Local)}
+		if err := srv.net.Unsubscribe(id); err != nil {
+			return fail(err)
+		}
+		return resp
+	case "publish":
+		ev, err := schema.ParseEvent(srv.schema, req.Event)
+		if err != nil {
+			return fail(err)
+		}
+		if err := srv.net.Publish(topology.NodeID(req.Broker), ev); err != nil {
+			return fail(err)
+		}
+		// Block until routing completes so the client's subsequent reads
+		// observe all deliveries of its own publish.
+		srv.net.Flush()
+		return resp
+	case "propagate":
+		hops, err := srv.net.Propagate()
+		if err != nil {
+			return fail(err)
+		}
+		resp.Hops = hops
+		return resp
+	case "extend":
+		t, err := schema.ParseType(req.AttrType)
+		if err != nil {
+			return fail(err)
+		}
+		id, err := srv.net.ExtendSchema(req.Attr, t)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Local = uint32(id)
+		return resp
+	case "stats":
+		st := srv.net.Stats()
+		resp.Stats = map[string]int64{
+			"messages":         st.TotalMessages(),
+			"bytes":            st.TotalBytes(),
+			"summary_messages": st.Messages[netsim.KindSummary],
+			"summary_bytes":    st.Bytes[netsim.KindSummary],
+			"event_messages":   st.Messages[netsim.KindEvent],
+			"deliver_messages": st.Messages[netsim.KindDeliver],
+		}
+		return resp
+	default:
+		return fail(fmt.Errorf("unknown op %q", req.Op))
+	}
+}
+
+// Client is a minimal client for the wire protocol. Deliveries are
+// dispatched to the handler passed to Dial; replies are matched to
+// requests in FIFO order (the protocol is synchronous per connection).
+type Client struct {
+	c       net.Conn
+	scanner *bufio.Scanner
+	mu      sync.Mutex // serializes request/reply exchanges
+	onEvent func(broker int, local uint32, event string)
+	replies chan Response
+	readErr error
+	done    chan struct{}
+}
+
+// Dial connects to a wire server. onEvent receives pushed deliveries (may
+// be nil to ignore them).
+func Dial(addr string, onEvent func(broker int, local uint32, event string)) (*Client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Client{
+		c:       c,
+		onEvent: onEvent,
+		replies: make(chan Response, 16),
+		done:    make(chan struct{}),
+	}
+	cl.scanner = bufio.NewScanner(c)
+	cl.scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	go cl.readLoop()
+	return cl, nil
+}
+
+func (cl *Client) readLoop() {
+	defer close(cl.done)
+	for cl.scanner.Scan() {
+		var resp Response
+		if err := json.Unmarshal(cl.scanner.Bytes(), &resp); err != nil {
+			cl.readErr = err
+			break
+		}
+		if resp.Type == "delivery" {
+			if cl.onEvent != nil {
+				cl.onEvent(resp.Broker, resp.Local, resp.Event)
+			}
+			continue
+		}
+		cl.replies <- resp
+	}
+	if err := cl.scanner.Err(); err != nil && cl.readErr == nil {
+		cl.readErr = err
+	}
+	close(cl.replies)
+}
+
+// Close closes the connection.
+func (cl *Client) Close() error { return cl.c.Close() }
+
+// roundTrip sends one request and waits for its reply.
+func (cl *Client) roundTrip(req Request) (Response, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return Response{}, err
+	}
+	buf = append(buf, '\n')
+	if _, err := cl.c.Write(buf); err != nil {
+		return Response{}, err
+	}
+	resp, ok := <-cl.replies
+	if !ok {
+		if cl.readErr != nil {
+			return Response{}, cl.readErr
+		}
+		return Response{}, errors.New("wire: connection closed")
+	}
+	if resp.Error != "" {
+		return resp, errors.New(resp.Error)
+	}
+	return resp, nil
+}
+
+// Ping checks liveness.
+func (cl *Client) Ping() error {
+	_, err := cl.roundTrip(Request{Op: "ping"})
+	return err
+}
+
+// Subscribe registers a subscription at the given broker; deliveries
+// arrive via the Dial handler. It returns the (broker, local) id.
+func (cl *Client) Subscribe(brokerID int, expr string) (int, uint32, error) {
+	resp, err := cl.roundTrip(Request{Op: "subscribe", Broker: brokerID, Expr: expr})
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.Broker, resp.Local, nil
+}
+
+// Unsubscribe removes a subscription created on this server.
+func (cl *Client) Unsubscribe(brokerID int, local uint32) error {
+	_, err := cl.roundTrip(Request{Op: "unsubscribe", Broker: brokerID, Local: local})
+	return err
+}
+
+// Publish injects an event at the given broker and waits until routing
+// completes.
+func (cl *Client) Publish(brokerID int, event string) error {
+	_, err := cl.roundTrip(Request{Op: "publish", Broker: brokerID, Event: event})
+	return err
+}
+
+// Propagate triggers one Algorithm 2 period and returns its hop count.
+func (cl *Client) Propagate() (int, error) {
+	resp, err := cl.roundTrip(Request{Op: "propagate"})
+	return resp.Hops, err
+}
+
+// Stats fetches the server's bus accounting.
+func (cl *Client) Stats() (map[string]int64, error) {
+	resp, err := cl.roundTrip(Request{Op: "stats"})
+	return resp.Stats, err
+}
+
+// ExtendSchema appends an attribute to the server's schema at runtime
+// (schema evolution) and returns its attribute id.
+func (cl *Client) ExtendSchema(name, attrType string) (uint32, error) {
+	resp, err := cl.roundTrip(Request{Op: "extend", Attr: name, AttrType: attrType})
+	return resp.Local, err
+}

@@ -1,0 +1,270 @@
+package wire
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/subsum/subsum/internal/core"
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/topology"
+)
+
+func startServer(t *testing.T) (addr string, s *schema.Schema) {
+	t.Helper()
+	s = schema.MustNew(
+		schema.Attribute{Name: "symbol", Type: schema.TypeString},
+		schema.Attribute{Name: "price", Type: schema.TypeFloat},
+	)
+	network, err := core.New(core.Config{
+		Topology: topology.Figure7Tree(),
+		Schema:   s,
+		Mode:     interval.Lossy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(network, s)
+	addr, err = srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		network.Close()
+	})
+	return addr, s
+}
+
+// delivery collector
+type deliveries struct {
+	mu  sync.Mutex
+	got []string
+}
+
+func (d *deliveries) on(broker int, local uint32, event string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.got = append(d.got, event)
+}
+
+func (d *deliveries) list() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]string(nil), d.got...)
+}
+
+func TestSubscribePublishDeliver(t *testing.T) {
+	addr, _ := startServer(t)
+	var d deliveries
+	cl, err := Dial(addr, d.on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	broker, local, err := cl.Subscribe(3, `symbol = OTE && price < 8.70`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if broker != 3 || local != 0 {
+		t.Fatalf("id = %d/%d", broker, local)
+	}
+	hops, err := cl.Propagate()
+	if err != nil || hops <= 0 {
+		t.Fatalf("propagate: hops=%d err=%v", hops, err)
+	}
+	if err := cl.Publish(0, `symbol=OTE price=8.40`); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Publish(0, `symbol=OTE price=9.40`); err != nil {
+		t.Fatal(err)
+	}
+	// Publish blocks until routing completes; one more round trip ensures
+	// the delivery write reached us before checking.
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	got := d.list()
+	if len(got) != 1 || !strings.Contains(got[0], "8.4") {
+		t.Fatalf("deliveries = %v", got)
+	}
+}
+
+func TestTwoClientsSeparateDeliveries(t *testing.T) {
+	addr, _ := startServer(t)
+	var d1, d2 deliveries
+	c1, err := Dial(addr, d1.on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dial(addr, d2.on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, _, err := c1.Subscribe(1, `price > 10`); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c2.Subscribe(8, `price < 5`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Publish(0, `price=20`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Publish(0, `price=1`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d1.list(); len(got) != 1 || !strings.Contains(got[0], "20") {
+		t.Fatalf("client1 deliveries = %v", got)
+	}
+	if got := d2.list(); len(got) != 1 || !strings.Contains(got[0], "1") {
+		t.Fatalf("client2 deliveries = %v", got)
+	}
+}
+
+func TestUnsubscribeViaWire(t *testing.T) {
+	addr, _ := startServer(t)
+	var d deliveries
+	cl, err := Dial(addr, d.on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	broker, local, err := cl.Subscribe(2, `price > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Unsubscribe(broker, local); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Publish(0, `price=5`); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.list(); len(got) != 0 {
+		t.Fatalf("deliveries after unsubscribe = %v", got)
+	}
+	if err := cl.Unsubscribe(broker, local); err == nil {
+		t.Fatal("double unsubscribe accepted")
+	}
+}
+
+func TestStatsAndErrors(t *testing.T) {
+	addr, _ := startServer(t)
+	cl, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, _, err := cl.Subscribe(1, `nonsense <<`); err == nil {
+		t.Fatal("bad expression accepted")
+	}
+	if _, _, err := cl.Subscribe(99, `price > 1`); err == nil {
+		t.Fatal("bad broker accepted")
+	}
+	if err := cl.Publish(0, `price=notanumber`); err == nil {
+		t.Fatal("bad event accepted")
+	}
+	if _, err := cl.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["summary_messages"] <= 0 {
+		t.Fatalf("stats = %v", st)
+	}
+	// Unknown op goes through the raw round trip.
+	if _, err := cl.roundTrip(Request{Op: "bogus"}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestExtendSchemaViaWire(t *testing.T) {
+	addr, _ := startServer(t)
+	var d deliveries
+	cl, err := Dial(addr, d.on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	id, err := cl.ExtendSchema("volume", "int")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 {
+		t.Fatalf("attribute id = %d, want 2", id)
+	}
+	if _, err := cl.ExtendSchema("volume", "int"); err == nil {
+		t.Fatal("duplicate attribute accepted")
+	}
+	if _, err := cl.ExtendSchema("x", "bogus"); err == nil {
+		t.Fatal("bogus type accepted")
+	}
+	if _, _, err := cl.Subscribe(1, `volume > 100`); err != nil {
+		t.Fatalf("subscription over evolved schema: %v", err)
+	}
+	if _, err := cl.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Publish(5, `volume=500`); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.list(); len(got) != 1 {
+		t.Fatalf("deliveries = %v", got)
+	}
+}
+
+// TestServerSurvivesGarbage: malformed protocol lines get error replies
+// (or are skipped) without crashing the connection or the server.
+func TestServerSurvivesGarbage(t *testing.T) {
+	addr, _ := startServer(t)
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	garbage := []string{
+		"not json at all",
+		`{"op":123}`,
+		`{"op":"subscribe","broker":"NaN"}`,
+		"",
+		`{"op":"publish"}`,
+		string(make([]byte, 500)),
+	}
+	for _, line := range garbage {
+		if _, err := raw.Write([]byte(line + "\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The server must still answer a well-formed client afterwards.
+	cl, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("server unhealthy after garbage: %v", err)
+	}
+}

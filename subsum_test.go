@@ -1,0 +1,123 @@
+package subsum_test
+
+import (
+	"sync"
+	"testing"
+
+	subsum "github.com/subsum/subsum"
+)
+
+// TestQuickstart exercises the documented public-API flow end to end.
+func TestQuickstart(t *testing.T) {
+	s := subsum.MustSchema(
+		subsum.Attribute{Name: "symbol", Type: subsum.TypeString},
+		subsum.Attribute{Name: "price", Type: subsum.TypeFloat},
+	)
+	net, err := subsum.NewNetwork(subsum.NetworkConfig{
+		Topology: subsum.Backbone24(),
+		Schema:   s,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+
+	sub, err := subsum.ParseSubscription(s, `symbol = OTE && price < 8.70 && price > 8.30`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []string
+	if _, err := net.Subscribe(3, sub, func(id subsum.SubscriptionID, ev *subsum.Event) {
+		mu.Lock()
+		got = append(got, ev.Format(s))
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	hit, err := subsum.ParseEvent(s, `symbol=OTE price=8.40`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss, err := subsum.ParseEvent(s, `symbol=OTE price=9.40`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Publish(0, hit); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Publish(0, miss); err != nil {
+		t.Fatal(err)
+	}
+	net.Flush()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 {
+		t.Fatalf("deliveries = %v, want exactly the matching event", got)
+	}
+}
+
+func TestSummaryFacade(t *testing.T) {
+	s := subsum.MustSchema(
+		subsum.Attribute{Name: "price", Type: subsum.TypeFloat},
+	)
+	sm := subsum.NewSummary(s, subsum.Lossy)
+	sub, err := subsum.NewSubscription(s, subsum.Constraint{
+		Attr: 0, Op: subsum.OpGT, Value: subsum.Float(8.30),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Insert(subsum.SubscriptionID{Broker: 2, Local: 7}, sub); err != nil {
+		t.Fatal(err)
+	}
+	buf := sm.Encode(nil)
+	back, err := subsum.DecodeSummary(s, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := subsum.NewEvent(s, map[string]subsum.Value{"price": subsum.Float(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := back.Match(ev)
+	if len(ids) != 1 || ids[0].Broker != 2 || ids[0].Local != 7 {
+		t.Fatalf("Match = %v", ids)
+	}
+}
+
+func TestWorkloadFacade(t *testing.T) {
+	gen, err := subsum.NewWorkload(subsum.DefaultWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Schema().Len() != 10 {
+		t.Fatalf("schema len = %d", gen.Schema().Len())
+	}
+	sub := gen.Subscription()
+	if sub.NumAttrs() != 5 {
+		t.Fatalf("NumAttrs = %d", sub.NumAttrs())
+	}
+}
+
+func TestTopologyFacade(t *testing.T) {
+	if subsum.Backbone24().Len() != 24 {
+		t.Fatal("Backbone24 size")
+	}
+	if subsum.ExampleTree13().Len() != 13 {
+		t.Fatal("ExampleTree13 size")
+	}
+	g := subsum.NewGraph("mine", 3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Fatal("graph should be connected")
+	}
+}
