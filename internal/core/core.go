@@ -10,12 +10,20 @@
 // siena, and broadcast packages; this engine demonstrates the same
 // algorithms running asynchronously with real wire-format payloads and
 // per-kind byte accounting.
+//
+// Concurrency model: each broker's handler goroutine owns that broker's
+// message processing; Propagate owns the period state and publishes it to
+// handlers through an atomic pointer; every message that cannot be
+// processed (undecodable payload, rejected merge) is counted on the bus
+// rather than silently discarded.
 package core
 
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/subsum/subsum/internal/broker"
 	"github.com/subsum/subsum/internal/interval"
@@ -55,12 +63,21 @@ type Network struct {
 	bus     *netsim.Bus
 	order   []topology.NodeID // forwarding preference, by effective degree
 
+	// periodMu serializes Propagate calls; period is the working set of the
+	// propagation period currently in flight (nil between periods). It is
+	// an atomic pointer because broker handler goroutines read it while the
+	// Propagate goroutine installs and clears it — a plain field here is a
+	// data race with late summary messages around period boundaries.
 	periodMu sync.Mutex
-	period   *periodState
+	period   atomic.Pointer[periodState]
 }
 
 // periodState is the per-propagation-period working set of Algorithm 2.
+// Handler goroutines fold received summaries into it concurrently with the
+// Propagate goroutine reading it between iterations, so sums/sets are
+// guarded by mu.
 type periodState struct {
+	mu   sync.Mutex
 	sums []*summary.Summary // per broker: delta ⊕ summaries received this period
 	sets []subid.Mask       // per broker: this period's Merged_Brokers
 }
@@ -102,7 +119,8 @@ func New(cfg Config) (*Network, error) {
 }
 
 // effectiveOrder ranks brokers by the degree the strategy advertises
-// (VirtualDegree caps maximum-degree nodes).
+// (VirtualDegree caps maximum-degree nodes): effective degree descending,
+// id ascending as the tie-break.
 func (net *Network) effectiveOrder() []topology.NodeID {
 	g := net.cfg.Topology
 	n := g.Len()
@@ -126,16 +144,13 @@ func (net *Network) effectiveOrder() []topology.NodeID {
 	for i := range order {
 		order[i] = topology.NodeID(i)
 	}
-	for i := 1; i < n; i++ {
-		for j := i; j > 0; j-- {
-			a, b := order[j-1], order[j]
-			if eff[b] > eff[a] || (eff[b] == eff[a] && b < a) {
-				order[j-1], order[j] = b, a
-			} else {
-				break
-			}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if eff[a] != eff[b] {
+			return eff[a] > eff[b]
 		}
-	}
+		return a < b
+	})
 	return order
 }
 
@@ -179,21 +194,24 @@ func (net *Network) Broker(id topology.NodeID) *broker.Broker { return net.broke
 // Len returns the number of brokers.
 func (net *Network) Len() int { return len(net.brokers) }
 
-// Stats returns the bus accounting (real bytes on the wire per kind).
+// Stats returns the bus accounting (real bytes on the wire per kind, plus
+// per-kind drop/decode-error/handler-error counters).
 func (net *Network) Stats() netsim.Stats { return net.bus.Stats() }
 
 // InjectFaults installs a message-drop hook on the bus for fault testing:
-// messages for which fn returns true vanish. Summary-message loss degrades
-// merged-summary coverage but never correctness — Algorithm 3's BROCLI
-// walk examines every broker whose subscriptions it has not yet seen, so
-// events still reach every matching consumer. Pass nil to heal.
+// messages for which fn returns true vanish (counted in Stats.Dropped).
+// Summary-message loss degrades merged-summary coverage but never
+// correctness — Algorithm 3's BROCLI walk examines every broker whose
+// subscriptions it has not yet seen, so events still reach every matching
+// consumer. Pass nil to heal.
 func (net *Network) InjectFaults(fn func(netsim.Message) bool) { net.bus.SetDropFunc(fn) }
 
 // Propagate runs one Algorithm 2 period over the live bus: every broker's
 // delta (subscriptions accumulated since the previous period) is merged
 // and forwarded degree-by-degree with real summary payloads. It blocks
 // until the period completes and returns the number of summary messages
-// sent (the hop count of Figure 9).
+// sent (the hop count of Figure 9). Safe to call concurrently with
+// Publish and from multiple goroutines (periods are serialized).
 func (net *Network) Propagate() (hops int, err error) {
 	net.periodMu.Lock()
 	defer net.periodMu.Unlock()
@@ -209,8 +227,8 @@ func (net *Network) Propagate() (hops int, err error) {
 		period.sets[i] = subid.NewMask(n)
 		period.sets[i].Set(i)
 	}
-	net.period = period
-	defer func() { net.period = nil }()
+	net.period.Store(period)
+	defer net.period.Store(nil)
 
 	type send struct {
 		from, to topology.NodeID
@@ -228,7 +246,12 @@ func (net *Network) Propagate() (hops int, err error) {
 				continue
 			}
 			net.brokers[target].RecordCommunicated(node)
-			payload := encodeSummaryMsg(period.sums[i], period.sets[i])
+			period.mu.Lock()
+			payload, encErr := encodeSummaryMsg(period.sums[i], period.sets[i])
+			period.mu.Unlock()
+			if encErr != nil {
+				return hops, fmt.Errorf("core: broker %d summary: %w", node, encErr)
+			}
 			sends = append(sends, send{from: node, to: target, payload: payload})
 		}
 		for _, s := range sends {
@@ -252,7 +275,10 @@ func (net *Network) Publish(at topology.NodeID, ev *schema.Event) error {
 		return fmt.Errorf("core: broker %d out of range", at)
 	}
 	n := len(net.brokers)
-	payload := encodeEventMsg(ev, subid.NewMask(n), subid.NewMask(n))
+	payload, err := encodeEventMsg(ev, subid.NewMask(n), subid.NewMask(n))
+	if err != nil {
+		return fmt.Errorf("core: encode event: %w", err)
+	}
 	return net.bus.Send(netsim.Message{From: at, To: at, Kind: netsim.KindEvent, Payload: payload})
 }
 
@@ -260,7 +286,8 @@ func (net *Network) Publish(at topology.NodeID, ev *schema.Event) error {
 // deliveries) has been processed.
 func (net *Network) Flush() { net.bus.Quiesce() }
 
-// handle dispatches one message on broker `node`'s goroutine.
+// handle dispatches one message on broker `node`'s goroutine. Messages
+// that cannot be processed are counted on the bus, never silently dropped.
 func (net *Network) handle(node topology.NodeID, m netsim.Message) {
 	switch m.Kind {
 	case netsim.KindSummary:
@@ -270,6 +297,7 @@ func (net *Network) handle(node topology.NodeID, m netsim.Message) {
 	case netsim.KindDeliver:
 		ev, _, err := schema.DecodeEvent(net.cfg.Schema, m.Payload)
 		if err != nil {
+			net.bus.RecordDecodeError(netsim.KindDeliver)
 			return
 		}
 		net.brokers[node].DeliverExact(ev)
@@ -279,26 +307,33 @@ func (net *Network) handle(node topology.NodeID, m netsim.Message) {
 func (net *Network) handleSummary(node topology.NodeID, m netsim.Message) {
 	sum, set, err := decodeSummaryMsg(net.cfg.Schema, m.Payload)
 	if err != nil {
+		net.bus.RecordDecodeError(netsim.KindSummary)
 		return
 	}
 	b := net.brokers[node]
 	if err := b.MergeSummary(sum, set); err != nil {
+		net.bus.RecordHandlerError(netsim.KindSummary)
 		return
 	}
 	// Fold into the current period's working set so later iterations
-	// forward it (the periodMu holder quiesces between iterations, so this
-	// runs strictly between iteration boundaries).
-	if p := net.period; p != nil {
+	// forward it. Summary messages only exist while Propagate holds
+	// periodMu, but the pointer load must still be atomic: a message
+	// surviving past its period (bus backlog at Close, a dropped-then-
+	// replayed payload) would otherwise race with the period teardown.
+	if p := net.period.Load(); p != nil {
+		p.mu.Lock()
 		_ = p.sums[node].Merge(sum)
 		for _, i := range set.Bits() {
 			p.sets[node].Set(i)
 		}
+		p.mu.Unlock()
 	}
 }
 
 func (net *Network) handleEvent(node topology.NodeID, m netsim.Message) {
 	ev, brocli, delivered, err := decodeEventMsg(net.cfg.Schema, m.Payload)
 	if err != nil {
+		net.bus.RecordDecodeError(netsim.KindEvent)
 		return
 	}
 	b := net.brokers[node]
@@ -309,7 +344,9 @@ func (net *Network) handleEvent(node topology.NodeID, m netsim.Message) {
 	for _, i := range b.MergedBrokers().Bits() {
 		brocli.Set(i)
 	}
-	// Step 3: send the event to newly matched owners.
+	// Step 3: send the event to newly matched owners. The wire payload is
+	// identical for every owner, so encode it once outside the loop.
+	var deliverPayload []byte
 	for _, id := range matched {
 		owner := topology.NodeID(id.Broker)
 		if delivered.Has(int(owner)) {
@@ -320,8 +357,10 @@ func (net *Network) handleEvent(node topology.NodeID, m netsim.Message) {
 			b.DeliverExact(ev)
 			continue
 		}
-		payload := schema.EncodeEvent(nil, ev)
-		_ = net.bus.Send(netsim.Message{From: node, To: owner, Kind: netsim.KindDeliver, Payload: payload})
+		if deliverPayload == nil {
+			deliverPayload = schema.EncodeEvent(nil, ev)
+		}
+		_ = net.bus.Send(netsim.Message{From: node, To: owner, Kind: netsim.KindDeliver, Payload: deliverPayload})
 	}
 	// Step 4: forward while BROCLIe is incomplete.
 	if brocli.Count() == n {
@@ -331,40 +370,55 @@ func (net *Network) handleEvent(node topology.NodeID, m netsim.Message) {
 		if brocli.Has(int(next)) {
 			continue
 		}
-		payload := encodeEventMsg(ev, brocli, delivered)
+		payload, err := encodeEventMsg(ev, brocli, delivered)
+		if err != nil {
+			net.bus.RecordHandlerError(netsim.KindEvent)
+			return
+		}
 		_ = net.bus.Send(netsim.Message{From: node, To: next, Kind: netsim.KindEvent, Payload: payload})
 		return
 	}
 }
 
-// encodeMask writes a mask as word count (u8) + words.
-func encodeMask(buf []byte, m subid.Mask) []byte {
-	buf = append(buf, byte(len(m)))
+// maxMaskWords bounds an encoded mask: the word count travels as a u16.
+// At 64 brokers per word that is room for 4 194 240 brokers.
+const maxMaskWords = 1<<16 - 1
+
+// encodeMask writes a mask as word count (u16, little-endian) + words. It
+// fails rather than truncates when the mask exceeds the u16 word count.
+func encodeMask(buf []byte, m subid.Mask) ([]byte, error) {
+	if len(m) > maxMaskWords {
+		return nil, fmt.Errorf("core: mask of %d words exceeds wire limit %d", len(m), maxMaskWords)
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m)))
 	for _, w := range m {
 		buf = binary.LittleEndian.AppendUint64(buf, w)
 	}
-	return buf
+	return buf, nil
 }
 
 func decodeMask(buf []byte) (subid.Mask, int, error) {
-	if len(buf) < 1 {
+	if len(buf) < 2 {
 		return nil, 0, fmt.Errorf("core: short mask")
 	}
-	words := int(buf[0])
-	if len(buf) < 1+8*words {
+	words := int(binary.LittleEndian.Uint16(buf))
+	if len(buf) < 2+8*words {
 		return nil, 0, fmt.Errorf("core: truncated mask")
 	}
 	m := make(subid.Mask, words)
 	for i := 0; i < words; i++ {
-		m[i] = binary.LittleEndian.Uint64(buf[1+8*i:])
+		m[i] = binary.LittleEndian.Uint64(buf[2+8*i:])
 	}
-	return m, 1 + 8*words, nil
+	return m, 2 + 8*words, nil
 }
 
 // encodeSummaryMsg packs a summary and its Merged_Brokers set.
-func encodeSummaryMsg(sum *summary.Summary, set subid.Mask) []byte {
-	buf := encodeMask(nil, set)
-	return sum.Encode(buf)
+func encodeSummaryMsg(sum *summary.Summary, set subid.Mask) ([]byte, error) {
+	buf, err := encodeMask(nil, set)
+	if err != nil {
+		return nil, err
+	}
+	return sum.Encode(buf), nil
 }
 
 func decodeSummaryMsg(s *schema.Schema, buf []byte) (*summary.Summary, subid.Mask, error) {
@@ -380,10 +434,16 @@ func decodeSummaryMsg(s *schema.Schema, buf []byte) (*summary.Summary, subid.Mas
 }
 
 // encodeEventMsg packs an event with its BROCLI and delivered sets.
-func encodeEventMsg(ev *schema.Event, brocli, delivered subid.Mask) []byte {
-	buf := encodeMask(nil, brocli)
-	buf = encodeMask(buf, delivered)
-	return schema.EncodeEvent(buf, ev)
+func encodeEventMsg(ev *schema.Event, brocli, delivered subid.Mask) ([]byte, error) {
+	buf, err := encodeMask(nil, brocli)
+	if err != nil {
+		return nil, err
+	}
+	buf, err = encodeMask(buf, delivered)
+	if err != nil {
+		return nil, err
+	}
+	return schema.EncodeEvent(buf, ev), nil
 }
 
 func decodeEventMsg(s *schema.Schema, buf []byte) (*schema.Event, subid.Mask, subid.Mask, error) {

@@ -245,10 +245,14 @@ func TestRandomizedEndToEnd(t *testing.T) {
 				i, e.sub.Format(s), got, want)
 		}
 	}
-	// Real bytes moved on the bus.
+	// Real bytes moved on the bus, and a clean run has every loss counter
+	// at exactly zero.
 	st := net.Stats()
 	if st.Messages[netsim.KindSummary] == 0 || st.TotalBytes() == 0 {
 		t.Fatalf("stats = %+v", st)
+	}
+	if st.TotalDropped() != 0 || st.TotalErrors() != 0 {
+		t.Fatalf("loss counters non-zero on clean run: %+v", st.Counters().Snapshot())
 	}
 }
 

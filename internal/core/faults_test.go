@@ -23,8 +23,10 @@ func TestSummaryLossDoesNotBreakDelivery(t *testing.T) {
 	s := gen.Schema()
 	net := newNetwork(t, topology.CW24(), s)
 
-	// Drop 50% of summary messages, deterministically.
+	// Drop 50% of summary messages, deterministically, counting our own
+	// drops to check the bus's accounting below.
 	var mu sync.Mutex
+	var injected int64
 	rng := rand.New(rand.NewSource(13))
 	net.InjectFaults(func(m netsim.Message) bool {
 		if m.Kind != netsim.KindSummary {
@@ -32,7 +34,11 @@ func TestSummaryLossDoesNotBreakDelivery(t *testing.T) {
 		}
 		mu.Lock()
 		defer mu.Unlock()
-		return rng.Intn(2) == 0
+		if rng.Intn(2) == 0 {
+			injected++
+			return true
+		}
+		return false
 	})
 
 	var rawSubs []*schema.Subscription
@@ -49,8 +55,15 @@ func TestSummaryLossDoesNotBreakDelivery(t *testing.T) {
 	if _, err := net.Propagate(); err != nil {
 		t.Fatal(err)
 	}
-	if st := net.Stats(); st.Dropped[netsim.KindSummary] == 0 {
+	st := net.Stats()
+	mu.Lock()
+	inj := injected
+	mu.Unlock()
+	if st.Dropped[netsim.KindSummary] == 0 {
 		t.Fatal("fault injection inactive")
+	}
+	if st.Dropped[netsim.KindSummary] != inj {
+		t.Fatalf("bus dropped %d summaries, injector dropped %d", st.Dropped[netsim.KindSummary], inj)
 	}
 
 	events := make([]*schema.Event, 150)

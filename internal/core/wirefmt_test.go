@@ -1,0 +1,129 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/routing"
+	"github.com/subsum/subsum/internal/subid"
+	"github.com/subsum/subsum/internal/topology"
+)
+
+// TestMaskCodecRoundTrip covers widths around the old u8 word-count limit:
+// a 300-word mask (19 200 brokers) used to truncate to 300 mod 256 words on
+// the wire and corrupt every BROCLI/delivered set beyond broker 16 320.
+func TestMaskCodecRoundTrip(t *testing.T) {
+	for _, words := range []int{0, 1, 2, 255, 256, 300, 1024} {
+		m := make(subid.Mask, words)
+		for i := range m {
+			m[i] = uint64(i)*0x9e3779b97f4a7c15 + 1 // arbitrary non-zero pattern
+		}
+		buf, err := encodeMask(nil, m)
+		if err != nil {
+			t.Fatalf("%d words: encode: %v", words, err)
+		}
+		got, n, err := decodeMask(buf)
+		if err != nil {
+			t.Fatalf("%d words: decode: %v", words, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("%d words: consumed %d of %d bytes", words, n, len(buf))
+		}
+		if len(got) != words {
+			t.Fatalf("%d words: decoded %d words", words, len(got))
+		}
+		for i := range m {
+			if got[i] != m[i] {
+				t.Fatalf("%d words: word %d = %#x, want %#x", words, i, got[i], m[i])
+			}
+		}
+	}
+}
+
+func TestMaskCodecOverflowIsAnError(t *testing.T) {
+	m := make(subid.Mask, maxMaskWords+1)
+	if _, err := encodeMask(nil, m); err == nil || !strings.Contains(err.Error(), "exceeds wire limit") {
+		t.Fatalf("oversized mask not rejected: err=%v", err)
+	}
+	// At exactly the limit it must succeed.
+	if _, err := encodeMask(nil, make(subid.Mask, maxMaskWords)); err != nil {
+		t.Fatalf("limit-sized mask rejected: %v", err)
+	}
+}
+
+func TestMaskCodecTruncationErrors(t *testing.T) {
+	if _, _, err := decodeMask(nil); err == nil {
+		t.Fatal("nil buffer accepted")
+	}
+	if _, _, err := decodeMask([]byte{1}); err == nil {
+		t.Fatal("1-byte buffer accepted")
+	}
+	// Header claims 2 words but only one follows.
+	buf, err := encodeMask(nil, make(subid.Mask, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := decodeMask(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated words accepted")
+	}
+}
+
+// TestEffectiveOrderSorted checks the forwarding-preference invariant on
+// several topologies: effective degree descending, id ascending on ties.
+func TestEffectiveOrderSorted(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		g        *topology.Graph
+		strategy routing.Strategy
+	}{
+		{"cw24-highest", topology.CW24(), routing.HighestDegree},
+		{"cw24-virtual", topology.CW24(), routing.VirtualDegree},
+		{"tree-highest", topology.Figure7Tree(), routing.HighestDegree},
+		{"ring", topology.Ring(9), routing.HighestDegree},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			net, err := New(Config{
+				Topology: tc.g, Schema: stockSchema(t),
+				Mode: interval.Lossy, Strategy: tc.strategy,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer net.Close()
+			order := net.order
+			if len(order) != tc.g.Len() {
+				t.Fatalf("order has %d entries, want %d", len(order), tc.g.Len())
+			}
+			seen := make(map[topology.NodeID]bool, len(order))
+			eff := func(id topology.NodeID) int {
+				// Reconstruct the advertised degree the same way the engine
+				// does (VirtualDegree caps maximum-degree nodes).
+				d := tc.g.Degree(id)
+				if tc.strategy == routing.VirtualDegree && d == tc.g.MaxDegree() {
+					cap := int(tc.g.MeanDegree() + 0.5)
+					if cap < 1 {
+						cap = 1
+					}
+					if d > cap {
+						d = cap
+					}
+				}
+				return d
+			}
+			for i := 1; i < len(order); i++ {
+				a, b := order[i-1], order[i]
+				if eff(a) < eff(b) || (eff(a) == eff(b) && a >= b) {
+					t.Fatalf("order[%d..%d] = %d(deg %d), %d(deg %d): not (degree desc, id asc)",
+						i-1, i, a, eff(a), b, eff(b))
+				}
+			}
+			for _, id := range order {
+				if seen[id] {
+					t.Fatalf("duplicate node %d in order", id)
+				}
+				seen[id] = true
+			}
+		})
+	}
+}

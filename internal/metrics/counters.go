@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+)
+
+// CounterSet is a group of named, monotonically increasing counters that is
+// safe for concurrent use. The live engine uses it to account message loss
+// and decode errors; lossy summarization is acceptable only when every
+// dropped message is *counted* somewhere, so bandwidth/coverage figures
+// stay honest under faults.
+type CounterSet struct {
+	mu     sync.Mutex
+	counts map[string]int64
+}
+
+// NewCounterSet creates an empty counter set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{counts: make(map[string]int64)}
+}
+
+// Add increments the named counter by delta (which must be non-negative;
+// counters are monotonic). Unknown names are created on first use.
+func (c *CounterSet) Add(name string, delta int64) {
+	if delta < 0 {
+		panic("metrics: negative delta on monotonic counter " + name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.counts == nil {
+		c.counts = make(map[string]int64)
+	}
+	c.counts[name] += delta
+}
+
+// Get returns the named counter's value (0 if never incremented).
+func (c *CounterSet) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[name]
+}
+
+// Total sums all counters.
+func (c *CounterSet) Total() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for _, v := range c.counts {
+		n += v
+	}
+	return n
+}
+
+// Snapshot returns a copy of the current counter values.
+func (c *CounterSet) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Names returns the counter names in lexicographic order.
+func (c *CounterSet) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Table renders the counters as a two-column table, rows sorted by name.
+func (c *CounterSet) Table(title string) *Table {
+	t := NewTable(title, "counter", "count")
+	for _, name := range c.Names() {
+		t.AddRow(name, c.Get(name))
+	}
+	return t
+}

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterSetBasics(t *testing.T) {
+	c := NewCounterSet()
+	if c.Get("x") != 0 {
+		t.Fatal("fresh counter not zero")
+	}
+	c.Add("x", 2)
+	c.Add("x", 3)
+	c.Add("y", 1)
+	if c.Get("x") != 5 || c.Get("y") != 1 {
+		t.Fatalf("counts = %v", c.Snapshot())
+	}
+	if c.Total() != 6 {
+		t.Fatalf("total = %d, want 6", c.Total())
+	}
+	snap := c.Snapshot()
+	snap["x"] = 99 // snapshot is a copy
+	if c.Get("x") != 5 {
+		t.Fatal("snapshot aliases internal state")
+	}
+	if got := c.Names(); len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Fatalf("names = %v", got)
+	}
+}
+
+func TestCounterSetZeroValueUsable(t *testing.T) {
+	var c CounterSet
+	c.Add("a", 1)
+	if c.Get("a") != 1 {
+		t.Fatal("zero-value CounterSet broken")
+	}
+}
+
+func TestCounterSetNegativeDeltaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delta accepted")
+		}
+	}()
+	NewCounterSet().Add("a", -1)
+}
+
+func TestCounterSetConcurrent(t *testing.T) {
+	c := NewCounterSet()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add("hits", 1)
+				_ = c.Get("hits")
+				_ = c.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Get("hits") != 8000 {
+		t.Fatalf("hits = %d, want 8000", c.Get("hits"))
+	}
+}
+
+func TestCounterSetTable(t *testing.T) {
+	c := NewCounterSet()
+	c.Add("summary.dropped", 3)
+	c.Add("event.decode_errors", 1)
+	out := c.Table("bus loss").String()
+	if !strings.Contains(out, "bus loss") ||
+		!strings.Contains(out, "summary.dropped") ||
+		!strings.Contains(out, "event.decode_errors") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	// Rows are name-sorted: event.* before summary.*.
+	if strings.Index(out, "event.decode_errors") > strings.Index(out, "summary.dropped") {
+		t.Fatalf("rows not sorted:\n%s", out)
+	}
+}

@@ -7,6 +7,11 @@
 // Unbounded mailboxes rule out the classic actor deadlock where two
 // brokers block sending to each other's full inboxes; memory is bounded in
 // practice by quiescence between experiment phases.
+//
+// Loss is never silent: fault-injected drops, payloads the receiver could
+// not decode, and handler-side processing failures each have their own
+// per-kind counter in Stats, so experiments can verify that observed
+// bandwidth/coverage figures account for every message sent.
 package netsim
 
 import (
@@ -14,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/subsum/subsum/internal/metrics"
 	"github.com/subsum/subsum/internal/topology"
 )
 
@@ -58,7 +64,15 @@ type Handler func(Message)
 type Stats struct {
 	Messages map[Kind]int64
 	Bytes    map[Kind]int64
-	Dropped  map[Kind]int64
+	// Dropped counts messages removed by the fault-injection hook (they
+	// never reach a mailbox and are excluded from Messages/Bytes).
+	Dropped map[Kind]int64
+	// DecodeErrors counts delivered messages whose payload the receiving
+	// handler could not decode (corruption, truncation, version skew).
+	DecodeErrors map[Kind]int64
+	// HandlerErrors counts delivered, well-formed messages the receiving
+	// handler failed to process (e.g. a summary merge rejection).
+	HandlerErrors map[Kind]int64
 }
 
 // TotalMessages sums message counts over data kinds (control excluded).
@@ -81,6 +95,47 @@ func (s Stats) TotalBytes() int64 {
 		}
 	}
 	return n
+}
+
+// TotalDropped sums fault-injected drops over all kinds.
+func (s Stats) TotalDropped() int64 {
+	var n int64
+	for _, v := range s.Dropped {
+		n += v
+	}
+	return n
+}
+
+// TotalErrors sums decode and handler errors over all kinds.
+func (s Stats) TotalErrors() int64 {
+	var n int64
+	for _, v := range s.DecodeErrors {
+		n += v
+	}
+	for _, v := range s.HandlerErrors {
+		n += v
+	}
+	return n
+}
+
+// Counters flattens the snapshot into a metrics.CounterSet with
+// "<kind>.<field>" names (e.g. "summary.dropped", "event.decode_errors"),
+// ready for table rendering in experiment reports.
+func (s Stats) Counters() *metrics.CounterSet {
+	c := metrics.NewCounterSet()
+	add := func(field string, m map[Kind]int64) {
+		for k, v := range m {
+			if v != 0 {
+				c.Add(k.String()+"."+field, v)
+			}
+		}
+	}
+	add("messages", s.Messages)
+	add("bytes", s.Bytes)
+	add("dropped", s.Dropped)
+	add("decode_errors", s.DecodeErrors)
+	add("handler_errors", s.HandlerErrors)
+	return c
 }
 
 // mailbox is an unbounded FIFO with close support.
@@ -133,25 +188,39 @@ func (m *mailbox) close() {
 // Bus connects n brokers with unbounded mailboxes.
 type Bus struct {
 	boxes    []*mailbox
-	pending  sync.WaitGroup
 	closed   atomic.Bool
 	handlers sync.WaitGroup
 
-	mu       sync.Mutex
-	messages map[Kind]int64
-	bytes    map[Kind]int64
-	dropped  map[Kind]int64
-	dropFn   func(Message) bool
+	// In-flight accounting for Quiesce. A plain sync.WaitGroup is unsafe
+	// here: Send may Add from a publisher goroutine while another goroutine
+	// Waits in Quiesce, and WaitGroup forbids an Add that moves the counter
+	// off zero concurrently with Wait ("WaitGroup misuse"). A mutex+cond
+	// counter has no such restriction — Quiesce simply waits for the next
+	// moment the counter is zero.
+	qmu      sync.Mutex
+	qcond    *sync.Cond
+	inflight int64
+
+	mu          sync.Mutex
+	messages    map[Kind]int64
+	bytes       map[Kind]int64
+	dropped     map[Kind]int64
+	decodeErrs  map[Kind]int64
+	handlerErrs map[Kind]int64
+	dropFn      func(Message) bool
 }
 
 // NewBus creates a bus for n brokers.
 func NewBus(n int) *Bus {
 	b := &Bus{
-		boxes:    make([]*mailbox, n),
-		messages: make(map[Kind]int64),
-		bytes:    make(map[Kind]int64),
-		dropped:  make(map[Kind]int64),
+		boxes:       make([]*mailbox, n),
+		messages:    make(map[Kind]int64),
+		bytes:       make(map[Kind]int64),
+		dropped:     make(map[Kind]int64),
+		decodeErrs:  make(map[Kind]int64),
+		handlerErrs: make(map[Kind]int64),
 	}
+	b.qcond = sync.NewCond(&b.qmu)
 	for i := range b.boxes {
 		b.boxes[i] = newMailbox()
 	}
@@ -162,7 +231,7 @@ func NewBus(n int) *Bus {
 func (b *Bus) Len() int { return len(b.boxes) }
 
 // SetDropFunc installs a fault-injection hook: messages for which fn
-// returns true are silently dropped (they still count in the Dropped
+// returns true are dropped before delivery (they count in the Dropped
 // stats, not in Messages/Bytes). Pass nil to disable. Intended for tests;
 // fn runs under the bus lock and must be fast and deterministic.
 func (b *Bus) SetDropFunc(fn func(Message) bool) {
@@ -171,7 +240,49 @@ func (b *Bus) SetDropFunc(fn func(Message) bool) {
 	b.dropFn = fn
 }
 
-// Send enqueues a message for delivery. It is safe to call from handlers.
+// RecordDecodeError counts a delivered message whose payload the handler
+// could not decode. Called by the engine's handlers so that no message
+// vanishes without a counter.
+func (b *Bus) RecordDecodeError(k Kind) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.decodeErrs[k]++
+}
+
+// RecordHandlerError counts a delivered, decodable message whose
+// processing failed at the handler (e.g. a rejected summary merge).
+func (b *Bus) RecordHandlerError(k Kind) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.handlerErrs[k]++
+}
+
+// addInflight registers one undelivered message.
+func (b *Bus) addInflight() {
+	b.qmu.Lock()
+	b.inflight++
+	b.qmu.Unlock()
+}
+
+// doneInflight retires n delivered (or discarded) messages.
+func (b *Bus) doneInflight(n int64) {
+	if n == 0 {
+		return
+	}
+	b.qmu.Lock()
+	b.inflight -= n
+	if b.inflight < 0 {
+		b.qmu.Unlock()
+		panic("netsim: negative in-flight count")
+	}
+	if b.inflight == 0 {
+		b.qcond.Broadcast()
+	}
+	b.qmu.Unlock()
+}
+
+// Send enqueues a message for delivery. It is safe to call from handlers
+// and from any goroutine, concurrently with Quiesce.
 func (b *Bus) Send(m Message) error {
 	if int(m.To) < 0 || int(m.To) >= len(b.boxes) {
 		return fmt.Errorf("netsim: destination %d out of range", m.To)
@@ -185,12 +296,12 @@ func (b *Bus) Send(m Message) error {
 		b.mu.Unlock()
 		return nil
 	}
-	b.pending.Add(1)
 	b.messages[m.Kind]++
 	b.bytes[m.Kind] += int64(len(m.Payload))
 	b.mu.Unlock()
+	b.addInflight()
 	if !b.boxes[m.To].push(m) {
-		b.pending.Done()
+		b.doneInflight(1)
 		return fmt.Errorf("netsim: mailbox %d closed", m.To)
 	}
 	return nil
@@ -209,31 +320,37 @@ func (b *Bus) Start(node topology.NodeID, h Handler) {
 				return
 			}
 			h(msg)
-			b.pending.Done()
+			b.doneInflight(1)
 		}
 	}()
 }
 
 // Quiesce blocks until every message sent so far — including messages sent
-// by handlers while processing — has been handled.
-func (b *Bus) Quiesce() { b.pending.Wait() }
+// by handlers while processing — has been handled. With senders running
+// concurrently, it returns at a moment when the bus was observed empty;
+// messages sent after that moment are not waited for.
+func (b *Bus) Quiesce() {
+	b.qmu.Lock()
+	for b.inflight > 0 {
+		b.qcond.Wait()
+	}
+	b.qmu.Unlock()
+}
 
 // Close shuts the bus down and waits for handler goroutines to exit.
-// Unprocessed messages are dropped (their pending count is released).
+// Unprocessed messages are dropped (their in-flight count is released).
 func (b *Bus) Close() {
 	if !b.closed.CompareAndSwap(false, true) {
 		return
 	}
 	for _, box := range b.boxes {
 		box.mu.Lock()
-		dropped := len(box.queue)
+		discarded := int64(len(box.queue))
 		box.queue = nil
 		box.closed = true
 		box.cond.Broadcast()
 		box.mu.Unlock()
-		for i := 0; i < dropped; i++ {
-			b.pending.Done()
-		}
+		b.doneInflight(discarded)
 	}
 	b.handlers.Wait()
 }
@@ -243,9 +360,11 @@ func (b *Bus) Stats() Stats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	s := Stats{
-		Messages: make(map[Kind]int64, len(b.messages)),
-		Bytes:    make(map[Kind]int64, len(b.bytes)),
-		Dropped:  make(map[Kind]int64, len(b.dropped)),
+		Messages:      make(map[Kind]int64, len(b.messages)),
+		Bytes:         make(map[Kind]int64, len(b.bytes)),
+		Dropped:       make(map[Kind]int64, len(b.dropped)),
+		DecodeErrors:  make(map[Kind]int64, len(b.decodeErrs)),
+		HandlerErrors: make(map[Kind]int64, len(b.handlerErrs)),
 	}
 	for k, v := range b.messages {
 		s.Messages[k] = v
@@ -255,6 +374,12 @@ func (b *Bus) Stats() Stats {
 	}
 	for k, v := range b.dropped {
 		s.Dropped[k] = v
+	}
+	for k, v := range b.decodeErrs {
+		s.DecodeErrors[k] = v
+	}
+	for k, v := range b.handlerErrs {
+		s.HandlerErrors[k] = v
 	}
 	return s
 }

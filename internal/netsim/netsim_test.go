@@ -176,3 +176,95 @@ func TestDropFuncFaultInjection(t *testing.T) {
 		t.Fatalf("handled %d after healing, want 2", handled.Load())
 	}
 }
+
+func TestErrorCountersAndTotals(t *testing.T) {
+	b := NewBus(1)
+	defer b.Close()
+	b.Start(0, func(Message) {})
+	b.RecordDecodeError(KindSummary)
+	b.RecordDecodeError(KindSummary)
+	b.RecordDecodeError(KindEvent)
+	b.RecordHandlerError(KindSummary)
+	st := b.Stats()
+	if st.DecodeErrors[KindSummary] != 2 || st.DecodeErrors[KindEvent] != 1 {
+		t.Fatalf("decode errors = %+v", st.DecodeErrors)
+	}
+	if st.HandlerErrors[KindSummary] != 1 {
+		t.Fatalf("handler errors = %+v", st.HandlerErrors)
+	}
+	if st.TotalErrors() != 4 {
+		t.Fatalf("TotalErrors = %d, want 4", st.TotalErrors())
+	}
+	if st.TotalDropped() != 0 {
+		t.Fatalf("TotalDropped = %d, want 0", st.TotalDropped())
+	}
+}
+
+func TestStatsCountersFlatten(t *testing.T) {
+	b := NewBus(1)
+	defer b.Close()
+	b.Start(0, func(Message) {})
+	_ = b.Send(Message{To: 0, Kind: KindSummary, Payload: []byte("abcd")})
+	b.SetDropFunc(func(m Message) bool { return true })
+	_ = b.Send(Message{To: 0, Kind: KindEvent})
+	b.SetDropFunc(nil)
+	b.RecordDecodeError(KindDeliver)
+	b.Quiesce()
+	c := b.Stats().Counters()
+	checks := map[string]int64{
+		"summary.messages":      1,
+		"summary.bytes":         4,
+		"event.dropped":         1,
+		"deliver.decode_errors": 1,
+	}
+	for name, want := range checks {
+		if got := c.Get(name); got != want {
+			t.Fatalf("counter %q = %d, want %d (all: %v)", name, got, want, c.Snapshot())
+		}
+	}
+	// Zero-valued counters are omitted from the flattened set.
+	if got := c.Snapshot(); len(got) != len(checks) {
+		t.Fatalf("unexpected extra counters: %v", got)
+	}
+}
+
+// TestQuiesceRacesSenders is the regression test for the quiescence
+// counter: with sync.WaitGroup-based tracking, a Send from one goroutine
+// racing a Quiesce on another could trip "WaitGroup misuse" (Add called
+// concurrently with Wait at counter zero). The cond-based counter must
+// tolerate any interleaving.
+func TestQuiesceRacesSenders(t *testing.T) {
+	b := NewBus(2)
+	defer b.Close()
+	var handled atomic.Int64
+	b.Start(0, func(Message) { handled.Add(1) })
+	b.Start(1, func(Message) { handled.Add(1) })
+	var wg sync.WaitGroup
+	const senders, each = 4, 300
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := b.Send(Message{To: topology.NodeID(i % 2), Kind: KindEvent}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	// Quiesce continuously while the senders run: the counter repeatedly
+	// crosses zero under concurrent Adds.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			b.Quiesce()
+		}
+	}()
+	wg.Wait()
+	b.Quiesce()
+	if handled.Load() != senders*each {
+		t.Fatalf("handled %d, want %d", handled.Load(), senders*each)
+	}
+}

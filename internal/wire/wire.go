@@ -239,6 +239,9 @@ func (srv *Server) handle(cc *conn, req Request) Response {
 			"summary_bytes":    st.Bytes[netsim.KindSummary],
 			"event_messages":   st.Messages[netsim.KindEvent],
 			"deliver_messages": st.Messages[netsim.KindDeliver],
+			"dropped":          st.TotalDropped(),
+			"summary_dropped":  st.Dropped[netsim.KindSummary],
+			"errors":           st.TotalErrors(),
 		}
 		return resp
 	default:

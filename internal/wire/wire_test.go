@@ -192,6 +192,12 @@ func TestStatsAndErrors(t *testing.T) {
 	if st["summary_messages"] <= 0 {
 		t.Fatalf("stats = %v", st)
 	}
+	// Loss/error counters are present and exactly zero on a clean run.
+	for _, key := range []string{"dropped", "summary_dropped", "errors"} {
+		if v, ok := st[key]; !ok || v != 0 {
+			t.Fatalf("stats[%q] = %d (present %v), want 0", key, v, ok)
+		}
+	}
 	// Unknown op goes through the raw round trip.
 	if _, err := cl.roundTrip(Request{Op: "bogus"}); err == nil {
 		t.Fatal("unknown op accepted")
