@@ -143,6 +143,67 @@ func BenchmarkMatching(b *testing.B) {
 	}
 }
 
+// sigma100Subs is the "Sigma=100" matcher baseline workload: the paper's
+// 24-broker backbone at sigma = 100 subscriptions per broker.
+const sigma100Subs = 24 * 100
+
+// matcherWorkload builds the Sigma=100 summary and a fixed event stream
+// for the BenchmarkMatcher* family (tracked in BENCH_matching.json).
+func matcherWorkload(b *testing.B) (*subsum.Summary, []*subsum.Event) {
+	sm, gen := buildSummary(b, sigma100Subs, subsum.Lossy)
+	events := make([]*subsum.Event, 256)
+	for i := range events {
+		events[i] = gen.Event(0.5)
+	}
+	return sm, events
+}
+
+// BenchmarkMatcherMapBased is the pre-Matcher Algorithm 1 path: per-event
+// counter maps allocated inside Summary.MatchKeys. Kept as the benchmark
+// baseline the pooled matcher is measured against.
+func BenchmarkMatcherMapBased(b *testing.B) {
+	sm, events := matcherWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sm.MatchKeys(events[i%len(events)])
+	}
+}
+
+// BenchmarkMatcherPooled is the same workload through a reusable Matcher:
+// dense epoch-stamped counters, indexed SACS lookups, zero steady-state
+// allocations (asserted by TestMatcherZeroAllocs in internal/summary).
+func BenchmarkMatcherPooled(b *testing.B) {
+	sm, events := matcherWorkload(b)
+	m := sm.NewMatcher()
+	for _, ev := range events { // warm up scratch capacity
+		m.MatchKeys(ev)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MatchKeys(events[i%len(events)])
+	}
+}
+
+// BenchmarkMatcherPooledParallel drives pooled matchers from all Ps — the
+// configuration the experiments harness uses for its event sweeps.
+func BenchmarkMatcherPooledParallel(b *testing.B) {
+	sm, events := matcherWorkload(b)
+	pool := subsum.NewMatcherPool(sm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			m := pool.Get()
+			m.MatchKeys(events[i%len(events)])
+			pool.Put(m)
+			i++
+		}
+	})
+}
+
 // BenchmarkSummaryInsert measures per-subscription summarization cost.
 func BenchmarkSummaryInsert(b *testing.B) {
 	gen, err := subsum.NewWorkload(subsum.DefaultWorkload())

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	subsum "github.com/subsum/subsum"
+)
+
+// benchResult is one benchmark line of BENCH_matching.json.
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// benchReport is the tracked matching benchmark baseline: the Sigma=100
+// workload matched through the legacy map-based path and the pooled
+// Matcher, with the headline speedup.
+type benchReport struct {
+	GeneratedAt string `json:"generated_at"`
+	Workload    struct {
+		Brokers       int     `json:"brokers"`
+		Sigma         int     `json:"sigma"`
+		Subscriptions int     `json:"subscriptions"`
+		Events        int     `json:"events"`
+		HitRate       float64 `json:"hit_rate"`
+	} `json:"workload"`
+	Results                 []benchResult `json:"results"`
+	SpeedupPooledVsMapBased float64       `json:"speedup_pooled_vs_map_based"`
+}
+
+// runBenchMatch benchmarks Algorithm 1 on the Sigma=100 workload (the
+// paper's 24 brokers at 100 subscriptions each) and emits the numbers as
+// JSON — to jsonPath if non-empty, else to stdout. This is what CI
+// archives as BENCH_matching.json.
+func runBenchMatch(jsonPath string) error {
+	const (
+		brokers = 24
+		sigma   = 100
+		nEvents = 256
+		hitRate = 0.5
+	)
+	gen, err := subsum.NewWorkload(subsum.DefaultWorkload())
+	if err != nil {
+		return err
+	}
+	sm := subsum.NewSummary(gen.Schema(), subsum.Lossy)
+	for i := 0; i < brokers*sigma; i++ {
+		id := subsum.SubscriptionID{Broker: subsum.BrokerID(i % 1024), Local: subsum.LocalID(i / 1024)}
+		if err := sm.Insert(id, gen.Subscription()); err != nil {
+			return err
+		}
+	}
+	events := make([]*subsum.Event, nEvents)
+	for i := range events {
+		events[i] = gen.Event(hitRate)
+	}
+
+	record := func(name string, r testing.BenchmarkResult) benchResult {
+		return benchResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+	}
+
+	mapBased := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sm.MatchKeys(events[i%len(events)])
+		}
+	})
+	pooled := testing.Benchmark(func(b *testing.B) {
+		m := sm.NewMatcher()
+		for _, ev := range events {
+			m.MatchKeys(ev)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.MatchKeys(events[i%len(events)])
+		}
+	})
+	parallel := testing.Benchmark(func(b *testing.B) {
+		pool := subsum.NewMatcherPool(sm)
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				m := pool.Get()
+				m.MatchKeys(events[i%len(events)])
+				pool.Put(m)
+				i++
+			}
+		})
+	})
+
+	var rep benchReport
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	rep.Workload.Brokers = brokers
+	rep.Workload.Sigma = sigma
+	rep.Workload.Subscriptions = brokers * sigma
+	rep.Workload.Events = nEvents
+	rep.Workload.HitRate = hitRate
+	rep.Results = []benchResult{
+		record("MatcherMapBased", mapBased),
+		record("MatcherPooled", pooled),
+		record("MatcherPooledParallel", parallel),
+	}
+	if p := rep.Results[1].NsPerOp; p > 0 {
+		rep.SpeedupPooledVsMapBased = rep.Results[0].NsPerOp / p
+	}
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if jsonPath == "" {
+		_, err := os.Stdout.Write(out)
+		return err
+	}
+	if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchmatch: pooled %.0f ns/op vs map-based %.0f ns/op (%.1fx); wrote %s\n",
+		rep.Results[1].NsPerOp, rep.Results[0].NsPerOp, rep.SpeedupPooledVsMapBased, jsonPath)
+	return nil
+}

@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	subsum-bench -experiment fig8|fig9|fig10|fig11|matching|fig7|table2|ablations|all
+//	subsum-bench -experiment fig8|fig9|fig10|fig11|matching|benchmatch|fig7|table2|ablations|all
 //	             [-events N] [-sigmas 10,100,1000] [-csv] [-topology cw24|fig7|random]
+//	             [-workers N] [-json BENCH_matching.json]
 //
 // Each experiment prints the same rows/series the paper reports; see
 // EXPERIMENTS.md for the paper-versus-measured comparison.
@@ -30,12 +31,15 @@ func main() {
 		topoName   = flag.String("topology", "cw24", "cw24, att33, fig7, or random:<n>:<extra>:<seed>")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		asCSV      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		workers    = flag.Int("workers", 0, "parallel sweep width (0 = all CPUs, 1 = serial); results are identical at any width")
+		jsonOut    = flag.String("json", "", "benchmatch: write the JSON report to this file instead of stdout")
 	)
 	flag.Parse()
 
 	cfg := experiments.Default()
 	cfg.EventsPerBroker = *events
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	if *sigmas != "" {
 		var parsed []int
 		for _, tok := range strings.Split(*sigmas, ",") {
@@ -74,11 +78,16 @@ func main() {
 			}
 			fmt.Println(out)
 		},
-		"fig8":      func() { show(experiments.Fig8(cfg)) },
-		"fig9":      func() { show(experiments.Fig9(cfg)) },
-		"fig10":     func() { show(experiments.Fig10(cfg)) },
-		"fig11":     func() { show(experiments.Fig11(cfg)) },
-		"matching":  func() { show(experiments.MatchingCost(cfg)) },
+		"fig8":     func() { show(experiments.Fig8(cfg)) },
+		"fig9":     func() { show(experiments.Fig9(cfg)) },
+		"fig10":    func() { show(experiments.Fig10(cfg)) },
+		"fig11":    func() { show(experiments.Fig11(cfg)) },
+		"matching": func() { show(experiments.MatchingCost(cfg)) },
+		"benchmatch": func() {
+			if err := runBenchMatch(*jsonOut); err != nil {
+				fatalf("%v", err)
+			}
+		},
 		"crosstopo": func() { show(experiments.CrossTopology(cfg)) },
 		"sizemodel": func() { show(experiments.SizeModelValidation(cfg)) },
 		"ablations": func() {
@@ -88,7 +97,7 @@ func main() {
 			show(experiments.AblationBatch(cfg))
 		},
 	}
-	order := []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "matching", "sizemodel", "crosstopo", "ablations"}
+	order := []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "matching", "benchmatch", "sizemodel", "crosstopo", "ablations"}
 
 	if *experiment == "all" {
 		for _, name := range order {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/subsum/subsum/internal/broadcast"
+	"github.com/subsum/subsum/internal/core"
 	"github.com/subsum/subsum/internal/interval"
 	"github.com/subsum/subsum/internal/metrics"
 	"github.com/subsum/subsum/internal/propagation"
@@ -41,6 +42,11 @@ type Config struct {
 	SST, SID        int       // s_st and s_id of the cost equations
 	Seed            int64
 	Workload        workload.Config
+	// Workers bounds the parallel sweep width used when regenerating
+	// figures: 0 means one worker per CPU, 1 runs serially. Results are
+	// identical at any width — each sweep point draws from its own seeded
+	// generator (or from pre-drawn random state) and fills its own slot.
+	Workers int
 }
 
 // Default returns the paper's Table 2 configuration on the CW24 backbone.
@@ -99,19 +105,28 @@ func Fig8(cfg Config) (*metrics.Table, error) {
 	tab := metrics.NewTable(
 		"Figure 8 — bandwidth for subscription propagation (bytes, per period)",
 		"sigma", "broadcast", "siena-10%", "summary-10%", "siena-90%", "summary-90%")
-	for _, sigma := range cfg.Sigmas {
+	rows := make([][]any, len(cfg.Sigmas))
+	err := core.SweepErr(len(cfg.Sigmas), cfg.Workers, func(i int) error {
+		sigma := cfg.Sigmas[i]
 		bc := broadcast.Propagate(cfg.Topo, sigma, cfg.SubSize)
 		sienaLow := siena.PropagateModel(cfg.Topo, sigma, cfg.SubSize, cfg.LowSubsumption, cfg.Seed)
 		sienaHigh := siena.PropagateModel(cfg.Topo, sigma, cfg.SubSize, cfg.HighSubsumption, cfg.Seed)
 		sumLow, err := summaryBandwidth(cfg, sigma, cfg.LowSubsumption)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sumHigh, err := summaryBandwidth(cfg, sigma, cfg.HighSubsumption)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		tab.AddRow(sigma, bc.Bytes, sienaLow.Bytes, sumLow, sienaHigh.Bytes, sumHigh)
+		rows[i] = []any{sigma, bc.Bytes, sienaLow.Bytes, sumLow, sienaHigh.Bytes, sumHigh}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		tab.AddRow(r...)
 	}
 	return tab, nil
 }
@@ -145,16 +160,20 @@ func Fig9(cfg Config) (*metrics.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range cfg.Subsumptions {
+	means := make([]float64, len(cfg.Subsumptions))
+	core.Sweep(len(cfg.Subsumptions), cfg.Workers, func(i int) {
 		// Mean over per-subscription floods: sigma=1 per broker, several
 		// seeds.
 		const trials = 20
 		total := 0
 		for trial := 0; trial < trials; trial++ {
-			st := siena.PropagateModel(cfg.Topo, 1, cfg.SubSize, p, cfg.Seed+int64(trial))
+			st := siena.PropagateModel(cfg.Topo, 1, cfg.SubSize, cfg.Subsumptions[i], cfg.Seed+int64(trial))
 			total += st.Hops
 		}
-		tab.AddRow(fmt.Sprintf("%.0f", p*100), float64(total)/trials, float64(res.Hops))
+		means[i] = float64(total) / trials
+	})
+	for i, p := range cfg.Subsumptions {
+		tab.AddRow(fmt.Sprintf("%.0f", p*100), means[i], float64(res.Hops))
 	}
 	return tab, nil
 }
@@ -187,19 +206,34 @@ func Fig10(cfg Config) (*metrics.Table, error) {
 	}
 	n := cfg.Topo.Len()
 	for _, pop := range cfg.Popularities {
-		var oursTotal, sienaTotal, events int64
-		for origin := 0; origin < n; origin++ {
-			for e := 0; e < cfg.EventsPerBroker; e++ {
-				matchedInts := gen.MatchedBrokers(pop, n)
-				matched := make([]topology.NodeID, len(matchedInts))
-				for i, m := range matchedInts {
-					matched[i] = topology.NodeID(m)
-				}
-				trace := router.Route(topology.NodeID(origin), router.PopularityMatch(matched))
-				oursTotal += int64(trace.Hops())
-				sienaTotal += int64(siena.RouteEvent(cfg.Topo, topology.NodeID(origin), matched))
-				events++
+		// Pre-draw each event's matched-broker set serially, in the same
+		// origin-major order as the original loop, so the generator's
+		// random sequence — and therefore the figure — is identical at any
+		// worker count. Routing is read-only (HighestDegree consults no
+		// rng) and sweeps the events in parallel.
+		events := n * cfg.EventsPerBroker
+		matchedSets := make([][]topology.NodeID, events)
+		for i := range matchedSets {
+			matchedInts := gen.MatchedBrokers(pop, n)
+			matched := make([]topology.NodeID, len(matchedInts))
+			for j, m := range matchedInts {
+				matched[j] = topology.NodeID(m)
 			}
+			matchedSets[i] = matched
+		}
+		ourHops := make([]int64, events)
+		sienaHops := make([]int64, events)
+		core.Sweep(events, cfg.Workers, func(i int) {
+			origin := topology.NodeID(i / cfg.EventsPerBroker)
+			matched := matchedSets[i]
+			trace := router.Route(origin, router.PopularityMatch(matched))
+			ourHops[i] = int64(trace.Hops())
+			sienaHops[i] = int64(siena.RouteEvent(cfg.Topo, origin, matched))
+		})
+		var oursTotal, sienaTotal int64
+		for i := 0; i < events; i++ {
+			oursTotal += ourHops[i]
+			sienaTotal += sienaHops[i]
 		}
 		tab.AddRow(fmt.Sprintf("%.0f", pop*100),
 			float64(oursTotal)/float64(events), float64(sienaTotal)/float64(events))
@@ -213,19 +247,28 @@ func Fig11(cfg Config) (*metrics.Table, error) {
 	tab := metrics.NewTable(
 		"Figure 11 — storage requirements for subscriptions (bytes, all brokers)",
 		"subs/broker", "broadcast", "siena-10%", "summary-10%", "siena-90%", "summary-90%")
-	for _, s := range cfg.Sigmas {
+	rows := make([][]any, len(cfg.Sigmas))
+	err := core.SweepErr(len(cfg.Sigmas), cfg.Workers, func(i int) error {
+		s := cfg.Sigmas[i]
 		bc := broadcast.Propagate(cfg.Topo, s, cfg.SubSize)
 		sienaLow := siena.PropagateModel(cfg.Topo, s, cfg.SubSize, cfg.LowSubsumption, cfg.Seed)
 		sienaHigh := siena.PropagateModel(cfg.Topo, s, cfg.SubSize, cfg.HighSubsumption, cfg.Seed)
 		sumLow, err := summaryStorage(cfg, s, cfg.LowSubsumption)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sumHigh, err := summaryStorage(cfg, s, cfg.HighSubsumption)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		tab.AddRow(s, bc.StorageBytes, sienaLow.StorageBytes, sumLow, sienaHigh.StorageBytes, sumHigh)
+		rows[i] = []any{s, bc.StorageBytes, sienaLow.StorageBytes, sumLow, sienaHigh.StorageBytes, sumHigh}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		tab.AddRow(r...)
 	}
 	return tab, nil
 }
@@ -273,15 +316,29 @@ func MatchingCost(cfg Config) (*metrics.Table, error) {
 				return nil, err
 			}
 		}
-		var matched, collected, unique int64
+		// Pooled matchers sweep the probe events across all workers; the
+		// per-event counts are slot-indexed, so the aggregates are
+		// identical at any worker count.
+		perMatched := make([]int64, probes)
+		perCollected := make([]int64, probes)
+		perUnique := make([]int64, probes)
+		pool := summary.NewMatcherPool(sm)
 		start := time.Now()
-		for _, ev := range events {
-			keys, cost := sm.MatchKeysWithCost(ev)
-			matched += int64(len(keys))
-			collected += int64(cost.CollectedIDs)
-			unique += int64(cost.UniqueIDs)
-		}
+		core.Sweep(probes, cfg.Workers, func(i int) {
+			m := pool.Get()
+			keys, cost := m.MatchKeysWithCost(events[i])
+			perMatched[i] = int64(len(keys))
+			perCollected[i] = int64(cost.CollectedIDs)
+			perUnique[i] = int64(cost.UniqueIDs)
+			pool.Put(m)
+		})
 		elapsed := time.Since(start)
+		var matched, collected, unique int64
+		for i := 0; i < probes; i++ {
+			matched += perMatched[i]
+			collected += perCollected[i]
+			unique += perUnique[i]
+		}
 		perEvent := float64(elapsed.Nanoseconds()) / probes
 		tab.AddRow(n, perEvent,
 			float64(collected)/probes, float64(unique)/probes,

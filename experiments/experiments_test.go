@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"github.com/subsum/subsum/internal/metrics"
 )
 
 // quick returns a configuration small enough for unit tests while keeping
@@ -332,6 +334,61 @@ func TestTable1(t *testing.T) {
 	for _, sym := range []string{"n_t", "n_sr", "L_a", "s_id", "n_ae"} {
 		if !strings.Contains(out, sym) {
 			t.Errorf("Table1 missing %q", sym)
+		}
+	}
+}
+
+// TestParallelSweepDeterminism: regenerating the figures under the
+// parallel event sweep must produce byte-identical tables to a serial
+// run, at any worker count. MatchingCost's counter columns (everything
+// except wall-clock timing) must agree the same way.
+func TestParallelSweepDeterminism(t *testing.T) {
+	serial := quick()
+	serial.Workers = 1
+	parallel := quick()
+	parallel.Workers = 4
+	figs := []struct {
+		name string
+		run  func(Config) (*metrics.Table, error)
+	}{
+		{"Fig8", Fig8},
+		{"Fig9", Fig9},
+		{"Fig10", Fig10},
+		{"Fig11", Fig11},
+	}
+	for _, f := range figs {
+		want, err := f.run(serial)
+		if err != nil {
+			t.Fatalf("%s serial: %v", f.name, err)
+		}
+		got, err := f.run(parallel)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", f.name, err)
+		}
+		if want.CSV() != got.CSV() {
+			t.Errorf("%s differs between serial and parallel sweeps:\nserial:\n%s\nparallel:\n%s",
+				f.name, want.CSV(), got.CSV())
+		}
+	}
+	// MatchingCost reports wall-clock columns; compare only the counters.
+	wantMC, err := MatchingCost(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMC, err := MatchingCost(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells, gotCells := cells(t, wantMC.CSV()), cells(t, gotMC.CSV())
+	if len(wantCells) != len(gotCells) {
+		t.Fatalf("MatchingCost row count differs: %d vs %d", len(wantCells), len(gotCells))
+	}
+	for r := range wantCells {
+		for _, c := range []int{0, 2, 3, 4} { // subscriptions, T1, T2, matched
+			if wantCells[r][c] != gotCells[r][c] {
+				t.Errorf("MatchingCost row %d col %d: serial %v parallel %v",
+					r, c, wantCells[r][c], gotCells[r][c])
+			}
 		}
 	}
 }

@@ -46,6 +46,7 @@ type Broker struct {
 	maxLocal      subid.LocalID
 	delta         *summary.Summary // new subscriptions since the last TakeDelta
 	merged        *summary.Summary // own + received (multi-broker summary)
+	matcher       *summary.Matcher // reusable scratch for MatchMerged, guarded by mu
 	mergedBrokers subid.Mask       // Merged_Brokers
 	communicated  map[topology.NodeID]bool
 	filter        *siena.SubsumptionFilter // nil unless delta filtering is on
@@ -94,6 +95,7 @@ func New(cfg Config) (*Broker, error) {
 		mergedBrokers: subid.NewMask(cfg.NumBrokers),
 		communicated:  make(map[topology.NodeID]bool),
 	}
+	b.matcher = b.merged.NewMatcher()
 	b.mergedBrokers.Set(int(cfg.ID))
 	if cfg.FilterSubsumedDeltas {
 		b.filter = siena.NewSubsumptionFilter(cfg.Schema, cfg.FilterHistory)
@@ -318,7 +320,7 @@ func (b *Broker) RecordCommunicated(peer topology.NodeID) {
 func (b *Broker) MatchMerged(ev *schema.Event) []subid.ID {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.merged.Match(ev)
+	return b.matcher.Match(ev)
 }
 
 // DeliverExact re-matches the event against the broker's raw

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSweepCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		const n = 257
+		got := make([]int, n)
+		Sweep(n, workers, func(i int) { got[i]++ })
+		for i, c := range got {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+	ran := false
+	Sweep(0, 4, func(int) { ran = true })
+	if ran {
+		t.Fatal("Sweep(0, ...) ran an index")
+	}
+}
+
+func TestSweepErrReturnsLowestIndex(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 8} {
+		err := SweepErr(100, workers, func(i int) error {
+			switch i {
+			case 41:
+				return errA
+			case 97:
+				return errB
+			}
+			return nil
+		})
+		if err != errA {
+			t.Fatalf("workers=%d: err = %v, want lowest-index error %v", workers, err, errA)
+		}
+	}
+	if err := SweepErr(50, 8, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}

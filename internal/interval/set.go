@@ -2,6 +2,7 @@ package interval
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -129,33 +130,50 @@ func (s *Set) insertPoint(v float64, id uint64) {
 }
 
 // insertRange splices interval x carrying ids into the disjoint row list,
-// splitting overlapped rows and creating new rows in the gaps.
+// splitting overlapped rows and creating new rows in the gaps. Only the
+// window of rows interacting with x is rewritten: the rows are disjoint
+// and sorted, so both window bounds are binary searches and an insert that
+// overlaps k rows costs O(log n + k) splice work instead of rebuilding and
+// re-sorting the whole slice (Merge pays this per merged row).
 func (s *Set) insertRange(x Interval, ids []uint64) {
-	out := make([]row, 0, len(s.rows)+2)
+	// First row not entirely below x.
+	start := sort.Search(len(s.rows), func(i int) bool {
+		r := s.rows[i].iv
+		return r.Hi > x.Lo || (r.Hi == x.Lo && !r.HiOpen && !x.LoOpen)
+	})
+	// First row at or past start entirely above x.
+	end := start + sort.Search(len(s.rows)-start, func(i int) bool {
+		r := s.rows[start+i].iv
+		return r.Lo > x.Hi || (r.Lo == x.Hi && (r.LoOpen || x.HiOpen))
+	})
+
+	// Rewrite the window. Emission order is ascending by lower bound (gap
+	// precedes left only when the gap is empty), so no re-sort is needed.
+	seg := make([]row, 0, (end-start)*2+1)
 	cursorLo, cursorOpen := x.Lo, x.LoOpen // lower bound of the uncovered remainder of x
 	covered := false                       // whether the remainder of x is exhausted
-	for _, r := range s.rows {
+	for _, r := range s.rows[start:end] {
 		mid := Intersect(r.iv, x)
 		if mid.Empty() {
-			out = append(out, r)
+			seg = append(seg, r)
 			continue
 		}
 		// Gap of x strictly before this row.
 		gap := Intersect(x, Interval{Lo: cursorLo, LoOpen: cursorOpen, Hi: r.iv.Lo, HiOpen: !r.iv.LoOpen})
 		if !gap.Empty() {
-			out = append(out, row{iv: gap, ids: append([]uint64(nil), ids...)})
+			seg = append(seg, row{iv: gap, ids: append([]uint64(nil), ids...)})
 		}
 		// Part of the row below x keeps the row's ids.
 		left := Intersect(r.iv, Interval{Lo: r.iv.Lo, LoOpen: r.iv.LoOpen, Hi: x.Lo, HiOpen: !x.LoOpen})
 		if !left.Empty() {
-			out = append(out, row{iv: left, ids: append([]uint64(nil), r.ids...)})
+			seg = append(seg, row{iv: left, ids: append([]uint64(nil), r.ids...)})
 		}
 		// Overlap gets both id sets.
-		out = append(out, row{iv: mid, ids: mergeIDs(r.ids, ids)})
+		seg = append(seg, row{iv: mid, ids: mergeIDs(r.ids, ids)})
 		// Part of the row above x keeps the row's ids.
 		right := Intersect(r.iv, Interval{Lo: x.Hi, LoOpen: !x.HiOpen, Hi: r.iv.Hi, HiOpen: r.iv.HiOpen})
 		if !right.Empty() {
-			out = append(out, row{iv: right, ids: append([]uint64(nil), r.ids...)})
+			seg = append(seg, row{iv: right, ids: append([]uint64(nil), r.ids...)})
 		}
 		// Advance the cursor past this row.
 		cursorLo, cursorOpen = mid.Hi, !mid.HiOpen
@@ -166,11 +184,26 @@ func (s *Set) insertRange(x Interval, ids []uint64) {
 	if !covered {
 		gap := Intersect(x, Interval{Lo: cursorLo, LoOpen: cursorOpen, Hi: x.Hi, HiOpen: x.HiOpen})
 		if !gap.Empty() {
-			out = append(out, row{iv: gap, ids: append([]uint64(nil), ids...)})
+			seg = append(seg, row{iv: gap, ids: append([]uint64(nil), ids...)})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return lowerLess(out[i].iv, out[j].iv) })
-	s.rows = out
+
+	// Splice seg in place of rows[start:end], reusing capacity when it fits
+	// (copy is memmove-safe for the overlapping tail shift).
+	tail := len(s.rows) - end
+	newLen := start + len(seg) + tail
+	if cap(s.rows) >= newLen {
+		old := s.rows
+		s.rows = s.rows[:newLen]
+		copy(s.rows[start+len(seg):], old[end:])
+		copy(s.rows[start:], seg)
+	} else {
+		grown := make([]row, 0, newLen+newLen/2)
+		grown = append(grown, s.rows[:start]...)
+		grown = append(grown, seg...)
+		grown = append(grown, s.rows[end:]...)
+		s.rows = grown
+	}
 	if s.mode == Lossy {
 		// Fold equality entries that the new range now covers into the
 		// covering rows, so that queries that stop at the range array
@@ -217,20 +250,35 @@ func (s *Set) findRow(v float64) (int, bool) {
 // sub-range contains v (the paper's "Else"); in Exact mode consult both.
 // Not-equal entries contribute for every value other than their own.
 func (s *Set) Query(v float64) []uint64 {
-	var out []uint64
+	// Collect once, then sort and dedup once — not a merge per ≠ entry.
+	out := s.AppendMatches(nil, v)
+	if len(out) == 0 {
+		return nil
+	}
+	slices.Sort(out)
+	return slices.Compact(out)
+}
+
+// AppendMatches appends the ids of all subscriptions whose constraint on
+// this attribute is satisfied by v to dst and returns the extended slice.
+// Unlike Query it performs no sorting or deduplication — an id may repeat
+// when it appears in more than one consulted structure — and beyond
+// growing dst it does not allocate. It is the scratch-friendly primitive
+// the summary Matcher builds on, and is safe for concurrent readers.
+func (s *Set) AppendMatches(dst []uint64, v float64) []uint64 {
 	i, inRange := s.findRow(v)
 	if inRange {
-		out = append(out, s.rows[i].ids...)
+		dst = append(dst, s.rows[i].ids...)
 	}
 	if !inRange || s.mode == Exact {
-		out = mergeIDs(out, s.eq[v])
+		dst = append(dst, s.eq[v]...)
 	}
 	for _, ne := range s.ne {
 		if ne.value != v {
-			out = mergeIDs(out, ne.ids)
+			dst = append(dst, ne.ids...)
 		}
 	}
-	return out
+	return dst
 }
 
 // QueryInto is Query without the final allocation: it merges results into
@@ -406,10 +454,21 @@ func (s *Set) Stats() Stats {
 
 // SizeBytes returns the set's size under equation (1) of the paper:
 // 2·n_sr·s_st (min and max columns) + n_e·s_st + ΣL_a·s_id, with the
-// not-equal extension costed like equality rows.
+// not-equal extension costed like equality rows. It is computed directly
+// from row lengths — the propagation loop calls this every round, so it
+// must not build Stats' DistinctIDs map.
 func (s *Set) SizeBytes(sst, sid int) int {
-	st := s.Stats()
-	return 2*st.NumRanges*sst + (st.NumEq+st.NumNE)*sst + st.IDEntries*sid
+	entries := 0
+	for _, r := range s.rows {
+		entries += len(r.ids)
+	}
+	for _, ids := range s.eq {
+		entries += len(ids)
+	}
+	for _, e := range s.ne {
+		entries += len(e.ids)
+	}
+	return 2*len(s.rows)*sst + (len(s.eq)+len(s.ne))*sst + entries*sid
 }
 
 // NewSetFromRows reconstructs a set exactly from serialized views (the

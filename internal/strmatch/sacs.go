@@ -2,8 +2,10 @@ package strmatch
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"github.com/subsum/subsum/internal/schema"
 )
@@ -24,6 +26,12 @@ type Set struct {
 	pats []Row               // non-equality pattern rows
 	eq   map[string][]uint64 // equality rows: text → ids
 	ne   map[string][]uint64 // ≠ entries: satisfied by any other value
+
+	// idx is the operator-class index over pats, built lazily by index()
+	// and reset to nil whenever pats changes shape. Atomic so that
+	// concurrent readers racing to build the first index after a mutation
+	// stay benign (both build identical values).
+	idx atomic.Pointer[opIndex]
 }
 
 // Row is one SACS row: a covering pattern and its subscription-id list
@@ -81,6 +89,7 @@ func (s *Set) InsertMany(p Pattern, ids []uint64) {
 			}
 		}
 		// More general than existing rows: substitute and absorb.
+		s.idx.Store(nil) // pattern rows change shape below
 		newRow := Row{Pattern: p, IDs: append([]uint64(nil), ids...)}
 		kept := s.pats[:0]
 		for _, r := range s.pats {
@@ -152,21 +161,69 @@ func NewSetFromRows(rows, ne []Row) (*Set, error) {
 // by value v, deduplicated, ascending — Check_for_a_value_match (type
 // string).
 func (s *Set) Match(v string) []uint64 {
-	var out []uint64
-	if ids, ok := s.eq[v]; ok {
-		out = mergeIDs(out, ids)
+	// Collect once, then sort and dedup once — not a merge per row.
+	out := s.AppendMatches(nil, v)
+	if len(out) == 0 {
+		return nil
 	}
-	for _, r := range s.pats {
-		if r.Pattern.Matches(v) {
-			out = mergeIDs(out, r.IDs)
+	slices.Sort(out)
+	return slices.Compact(out)
+}
+
+// index returns the operator-class index, building it if the pattern rows
+// changed since the last lookup. Mutating the set concurrently with
+// lookups is unsupported (as for every other method), but any number of
+// concurrent readers are safe.
+func (s *Set) index() *opIndex {
+	if ix := s.idx.Load(); ix != nil {
+		return ix
+	}
+	ix := buildIndex(s.pats)
+	s.idx.Store(ix)
+	return ix
+}
+
+// AppendMatches appends the ids of all subscriptions whose constraint is
+// satisfied by v to dst and returns the extended slice. Unlike Match it
+// performs no sorting or deduplication — an id may repeat when several
+// rows match — and beyond growing dst it does not allocate. Lookup cost
+// scales with the rows that can match v: equality by hash, prefix and
+// suffix by one binary search per distinct pattern length, and a linear
+// scan only over contains/glob rows and ≠ entries.
+func (s *Set) AppendMatches(dst []uint64, v string) []uint64 {
+	if ids, ok := s.eq[v]; ok {
+		dst = append(dst, ids...)
+	}
+	ix := s.index()
+	for _, l := range ix.prefixLens {
+		if l > len(v) {
+			break
+		}
+		lo, hi := ix.prefixMatchRange(v[:l])
+		for ; lo < hi; lo++ {
+			dst = append(dst, s.pats[ix.prefixRows[lo]].IDs...)
+		}
+	}
+	for _, l := range ix.suffixLens {
+		if l > len(v) {
+			break
+		}
+		lo, hi := ix.suffixMatchRange(v, l)
+		for ; lo < hi; lo++ {
+			dst = append(dst, s.pats[ix.suffixRows[lo]].IDs...)
+		}
+	}
+	for _, i := range ix.scan {
+		if s.pats[i].Pattern.Matches(v) {
+			dst = append(dst, s.pats[i].IDs...)
 		}
 	}
 	for text, ids := range s.ne {
 		if text != v {
-			out = mergeIDs(out, ids)
+			dst = append(dst, ids...)
 		}
 	}
-	return out
+	return dst
 }
 
 // MatchInto merges matching ids into dst and returns how many distinct ids
@@ -201,13 +258,19 @@ func (s *Set) MatchInto(v string, dst map[uint64]struct{}) int {
 // summary-centric by design).
 func (s *Set) Remove(id uint64) {
 	pats := s.pats[:0]
+	dropped := false
 	for _, r := range s.pats {
 		r.IDs = removeID(r.IDs, id)
 		if len(r.IDs) > 0 {
 			pats = append(pats, r)
+		} else {
+			dropped = true
 		}
 	}
 	s.pats = pats
+	if dropped {
+		s.idx.Store(nil) // row positions shifted
+	}
 	for text, ids := range s.eq {
 		ids = removeID(ids, id)
 		if len(ids) == 0 {
@@ -317,10 +380,24 @@ func (s *Set) Stats() Stats {
 // SizeBytes returns the set's size under equation (2): n_r rows of string
 // values plus ΣL_s subscription ids of s_id bytes. Row string sizes use
 // the actual pattern lengths (whose generated average is the paper's
-// s_sv = 10).
+// s_sv = 10). Computed directly from row lengths — the propagation loop
+// calls this every round, so it must not take Stats' full walk.
 func (s *Set) SizeBytes(sid int) int {
-	st := s.Stats()
-	return st.PatternBytes + (st.NumRows + st.NumNE) + st.IDEntries*sid
+	bytes, entries := 0, 0
+	for _, r := range s.pats {
+		entries += len(r.IDs)
+		bytes += len(r.Pattern.Text)
+	}
+	for text, ids := range s.eq {
+		entries += len(ids)
+		bytes += len(text)
+	}
+	for text, ids := range s.ne {
+		entries += len(ids)
+		bytes += len(text)
+	}
+	rows := len(s.pats) + len(s.eq)
+	return bytes + (rows + len(s.ne)) + entries*sid
 }
 
 // String renders the set in the style of the paper's Figure 5.

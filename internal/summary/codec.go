@@ -37,15 +37,12 @@ func (sm *Summary) Encode(buf []byte) []byte {
 	buf = append(buf, byte(sm.mode))
 
 	// Registry, sorted by key for determinism.
-	keys := make([]uint64, 0, len(sm.ids))
-	for key := range sm.ids {
-		keys = append(keys, key)
-	}
+	keys := append([]uint64(nil), sm.keys...)
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
 	for _, key := range keys {
 		buf = binary.LittleEndian.AppendUint64(buf, key)
-		mask := sm.ids[key]
+		mask := sm.maskOf(key)
 		buf = append(buf, byte(len(mask)))
 		for _, w := range mask {
 			buf = binary.LittleEndian.AppendUint64(buf, w)
@@ -232,7 +229,10 @@ func Decode(s *schema.Schema, buf []byte) (*Summary, error) {
 		for w := 0; w < words; w++ {
 			mask[w] = d.u64()
 		}
-		sm.ids[key] = mask
+		if !sm.registerID(key, mask) {
+			d.fail("duplicate registry id %d", key)
+			break
+		}
 	}
 
 	nAACS := int(d.u16())

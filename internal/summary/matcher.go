@@ -1,0 +1,145 @@
+package summary
+
+import (
+	"slices"
+	"sync"
+
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/subid"
+)
+
+// Matcher runs Algorithm 1 against one Summary with zero steady-state
+// allocations. It replaces Summary.MatchKeysWithCost's per-event counter
+// maps with dense scratch arrays keyed by the summary's id registry index,
+// and collects per-attribute id lists through the structures' append-style
+// fast paths (interval.Set.AppendMatches, strmatch.Set.AppendMatches)
+// instead of map sinks.
+//
+// A Matcher must not be used concurrently with itself or with mutations of
+// its summary, but any number of matchers may match concurrently against
+// the same summary (see MatcherPool). The summary should satisfy Validate:
+// ids referenced by rows but absent from the registry — possible only in
+// hand-built or corrupt summaries — are counted by the map-based path's
+// CollectedIDs/UniqueIDs yet skipped here.
+type Matcher struct {
+	sm *Summary
+
+	// token is a monotonically increasing epoch: one tick per event plus
+	// one per event attribute with matches. mark[i] records the token at
+	// which dense id i was last counted, so "already counted for this
+	// attribute" is mark[i] == attrToken and "first sighting this event"
+	// is mark[i] < eventToken — no clearing between events.
+	token   uint64
+	mark    []uint64
+	count   []int32
+	touched []int32  // dense ids seen this event, in first-seen order
+	buf     []uint64 // per-attribute id-list collection scratch
+	out     []uint64 // matched keys of the last call
+}
+
+// NewMatcher returns a Matcher bound to sm.
+func (sm *Summary) NewMatcher() *Matcher {
+	return &Matcher{sm: sm}
+}
+
+// Summary returns the summary the matcher is bound to.
+func (m *Matcher) Summary() *Summary { return m.sm }
+
+// Match is Summary.Match run through the matcher's reusable scratch. The
+// returned ids are freshly allocated and owned by the caller.
+func (m *Matcher) Match(e *schema.Event) []subid.ID {
+	keys := m.MatchKeys(e)
+	out := make([]subid.ID, len(keys))
+	for i, key := range keys {
+		out[i] = m.sm.idFromKey(key)
+	}
+	return out
+}
+
+// MatchKeys returns the matched id keys in ascending order. The slice is
+// scratch owned by the matcher, valid until the next call.
+func (m *Matcher) MatchKeys(e *schema.Event) []uint64 {
+	keys, _ := m.MatchKeysWithCost(e)
+	return keys
+}
+
+// MatchKeysWithCost is MatchKeys with the Section 5.2.4 operation counts.
+// Keys and cost are identical to Summary.MatchKeysWithCost's, without the
+// per-event map allocations.
+func (m *Matcher) MatchKeysWithCost(e *schema.Event) ([]uint64, MatchCost) {
+	sm := m.sm
+	if n := len(sm.keys); len(m.mark) < n {
+		// The registry grew (or this is the first event): extend the dense
+		// scratch. Fresh slots are zero, which every token treats as stale.
+		m.mark = append(m.mark, make([]uint64, n-len(m.mark))...)
+		m.count = append(m.count, make([]int32, n-len(m.count))...)
+	}
+	var cost MatchCost
+	m.token++
+	eventToken := m.token
+	m.touched = m.touched[:0]
+	for _, f := range e.Fields() {
+		// Step 1: collect satisfied id lists for this attribute.
+		cost.EventAttrs++
+		m.buf = m.buf[:0]
+		if f.Value.Arithmetic() {
+			if s, ok := sm.aacs[f.Attr]; ok {
+				m.buf = s.AppendMatches(m.buf, f.Value.Num)
+			}
+		} else if s, ok := sm.sacs[f.Attr]; ok {
+			m.buf = s.AppendMatches(m.buf, f.Value.Str)
+		}
+		if len(m.buf) == 0 {
+			continue
+		}
+		m.token++
+		attrToken := m.token
+		for _, key := range m.buf {
+			idx, ok := sm.ids[key]
+			if !ok {
+				continue // unregistered id; see the type comment
+			}
+			if m.mark[idx] == attrToken {
+				continue // already counted for this attribute
+			}
+			if m.mark[idx] < eventToken {
+				m.count[idx] = 0
+				m.touched = append(m.touched, idx)
+			}
+			m.mark[idx] = attrToken
+			m.count[idx]++
+			cost.CollectedIDs++
+		}
+	}
+	// Step 2: keep ids whose counter equals their c3 attribute count.
+	cost.UniqueIDs = len(m.touched)
+	m.out = m.out[:0]
+	for _, idx := range m.touched {
+		if m.count[idx] == sm.targets[idx] {
+			m.out = append(m.out, sm.keys[idx])
+		}
+	}
+	slices.Sort(m.out)
+	cost.Matched = len(m.out)
+	return m.out, cost
+}
+
+// MatcherPool pools Matchers bound to one summary for concurrent event
+// sweeps: each worker Gets a matcher, matches a batch, and Puts it back,
+// reusing scratch state across events and workers without locking.
+type MatcherPool struct {
+	pool sync.Pool
+}
+
+// NewMatcherPool returns a pool whose matchers are bound to sm.
+func NewMatcherPool(sm *Summary) *MatcherPool {
+	p := &MatcherPool{}
+	p.pool.New = func() any { return sm.NewMatcher() }
+	return p
+}
+
+// Get returns a matcher bound to the pool's summary.
+func (p *MatcherPool) Get() *Matcher { return p.pool.Get().(*Matcher) }
+
+// Put returns m to the pool.
+func (p *MatcherPool) Put(m *Matcher) { p.pool.Put(m) }

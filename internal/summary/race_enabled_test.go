@@ -1,0 +1,7 @@
+//go:build race
+
+package summary
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// assertions are skipped under -race because instrumentation allocates.
+const raceEnabled = true

@@ -32,7 +32,15 @@ type Summary struct {
 	mode   interval.Mode
 	aacs   map[schema.AttrID]*interval.Set
 	sacs   map[schema.AttrID]*strmatch.Set
-	ids    map[uint64]subid.Mask // id key → c3 attribute mask
+
+	// Subscription-id registry. ids maps an id key (c1‖c2) to a dense
+	// index into the parallel keys/masks/targets slices; Matcher keys its
+	// epoch-stamped counters by that dense index, so Algorithm 1's step 2
+	// runs over plain slices instead of a per-event hash map.
+	ids     map[uint64]int32
+	keys    []uint64
+	masks   []subid.Mask
+	targets []int32 // masks[i].Count(), cached (the c3 match target)
 }
 
 // New returns an empty summary over the given schema. mode selects the
@@ -43,8 +51,29 @@ func New(s *schema.Schema, mode interval.Mode) *Summary {
 		mode:   mode,
 		aacs:   make(map[schema.AttrID]*interval.Set),
 		sacs:   make(map[schema.AttrID]*strmatch.Set),
-		ids:    make(map[uint64]subid.Mask),
+		ids:    make(map[uint64]int32),
 	}
+}
+
+// registerID adds key→mask to the registry, taking ownership of mask.
+// It reports false if the key is already registered.
+func (sm *Summary) registerID(key uint64, mask subid.Mask) bool {
+	if _, dup := sm.ids[key]; dup {
+		return false
+	}
+	sm.ids[key] = int32(len(sm.keys))
+	sm.keys = append(sm.keys, key)
+	sm.masks = append(sm.masks, mask)
+	sm.targets = append(sm.targets, int32(mask.Count()))
+	return true
+}
+
+// maskOf returns the registered c3 mask for key, nil if unregistered.
+func (sm *Summary) maskOf(key uint64) subid.Mask {
+	if i, ok := sm.ids[key]; ok {
+		return sm.masks[i]
+	}
+	return nil
 }
 
 // Schema returns the schema the summary was built over.
@@ -55,7 +84,7 @@ func (sm *Summary) Mode() interval.Mode { return sm.mode }
 
 // NumSubscriptions returns the number of distinct subscription ids
 // summarized.
-func (sm *Summary) NumSubscriptions() int { return len(sm.ids) }
+func (sm *Summary) NumSubscriptions() int { return len(sm.keys) }
 
 // Contains reports whether the summary covers the given subscription id.
 func (sm *Summary) Contains(id subid.ID) bool {
@@ -94,7 +123,7 @@ func (sm *Summary) Insert(id subid.ID, sub *schema.Subscription) error {
 			}
 		}
 	}
-	sm.ids[key] = id.Attrs.Clone()
+	sm.registerID(key, id.Attrs.Clone())
 	return nil
 }
 
@@ -189,9 +218,22 @@ func (sm *Summary) strSet(a schema.AttrID) *strmatch.Set {
 // maintenance path for unsubscription).
 func (sm *Summary) Remove(id subid.ID) {
 	key := id.Key()
-	if _, ok := sm.ids[key]; !ok {
+	i, ok := sm.ids[key]
+	if !ok {
 		return
 	}
+	// Swap-delete from the dense registry: the last key takes the vacated
+	// index so the slices stay dense.
+	last := int32(len(sm.keys) - 1)
+	if i != last {
+		sm.keys[i] = sm.keys[last]
+		sm.masks[i] = sm.masks[last]
+		sm.targets[i] = sm.targets[last]
+		sm.ids[sm.keys[i]] = i
+	}
+	sm.keys = sm.keys[:last]
+	sm.masks = sm.masks[:last]
+	sm.targets = sm.targets[:last]
 	delete(sm.ids, key)
 	for _, s := range sm.aacs {
 		s.Remove(key)
@@ -273,7 +315,7 @@ func (sm *Summary) MatchKeysWithCost(e *schema.Event) ([]uint64, MatchCost) {
 	cost.UniqueIDs = len(counters)
 	var out []uint64
 	for key, n := range counters {
-		if mask, ok := sm.ids[key]; ok && n == mask.Count() {
+		if i, ok := sm.ids[key]; ok && n == int(sm.targets[i]) {
 			out = append(out, key)
 		}
 	}
@@ -286,15 +328,12 @@ func (sm *Summary) MatchKeysWithCost(e *schema.Event) ([]uint64, MatchCost) {
 // registry's c3 mask.
 func (sm *Summary) idFromKey(key uint64) subid.ID {
 	broker, local := subid.KeyParts(key)
-	return subid.ID{Broker: broker, Local: local, Attrs: sm.ids[key]}
+	return subid.ID{Broker: broker, Local: local, Attrs: sm.maskOf(key)}
 }
 
 // IDs returns all summarized subscription ids, sorted by key.
 func (sm *Summary) IDs() []subid.ID {
-	keys := make([]uint64, 0, len(sm.ids))
-	for key := range sm.ids {
-		keys = append(keys, key)
-	}
+	keys := append([]uint64(nil), sm.keys...)
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	out := make([]subid.ID, len(keys))
 	for i, key := range keys {
@@ -316,9 +355,9 @@ func (sm *Summary) Merge(other *Summary) error {
 	for a, s := range other.sacs {
 		sm.strSet(a).Merge(s)
 	}
-	for key, mask := range other.ids {
+	for i, key := range other.keys {
 		if _, ok := sm.ids[key]; !ok {
-			sm.ids[key] = mask.Clone()
+			sm.registerID(key, other.masks[i].Clone())
 		}
 	}
 	return nil
@@ -333,8 +372,8 @@ func (sm *Summary) Clone() *Summary {
 	for a, s := range sm.sacs {
 		out.sacs[a] = s.Clone()
 	}
-	for key, mask := range sm.ids {
-		out.ids[key] = mask.Clone()
+	for i, key := range sm.keys {
+		out.registerID(key, sm.masks[i].Clone())
 	}
 	return out
 }
@@ -353,7 +392,7 @@ func (sm *Summary) Stats() Stats {
 	var st Stats
 	st.NumAACS = len(sm.aacs)
 	st.NumSACS = len(sm.sacs)
-	st.Subscriptions = len(sm.ids)
+	st.Subscriptions = len(sm.keys)
 	for _, s := range sm.aacs {
 		a := s.Stats()
 		st.Arithmetic.NumRanges += a.NumRanges

@@ -12,14 +12,28 @@ import (
 // attribute is set), and that every registered id appears in at least one
 // per-attribute structure.
 func (sm *Summary) Validate() error {
+	// Dense-registry consistency: ids, keys, masks, and targets describe
+	// the same set of subscriptions, with targets caching the mask counts.
+	if len(sm.keys) != len(sm.ids) || len(sm.masks) != len(sm.keys) || len(sm.targets) != len(sm.keys) {
+		return fmt.Errorf("summary: registry slices out of sync (%d ids, %d keys, %d masks, %d targets)",
+			len(sm.ids), len(sm.keys), len(sm.masks), len(sm.targets))
+	}
+	for i, key := range sm.keys {
+		if j, ok := sm.ids[key]; !ok || int(j) != i {
+			return fmt.Errorf("summary: registry index for id %d is stale", key)
+		}
+		if int(sm.targets[i]) != sm.masks[i].Count() {
+			return fmt.Errorf("summary: cached target for id %d is %d, mask has %d", key, sm.targets[i], sm.masks[i].Count())
+		}
+	}
 	seen := make(map[uint64]bool, len(sm.ids))
 	check := func(attr schema.AttrID, ids []uint64) error {
 		for _, key := range ids {
-			mask, ok := sm.ids[key]
+			i, ok := sm.ids[key]
 			if !ok {
 				return fmt.Errorf("summary: attribute %d references unregistered id %d", attr, key)
 			}
-			if !mask.Has(int(attr)) {
+			if !sm.masks[i].Has(int(attr)) {
 				return fmt.Errorf("summary: id %d in attribute %d rows but c3 bit unset", key, attr)
 			}
 			seen[key] = true

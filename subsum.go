@@ -168,6 +168,29 @@ const (
 // NewSummary returns an empty summary over the schema.
 func NewSummary(s *Schema, mode SummaryMode) *Summary { return summary.New(s, mode) }
 
+// Allocation-free matching (Algorithm 1 hot path).
+type (
+	// Matcher runs Algorithm 1 against one summary with reusable scratch
+	// state — zero steady-state allocations per matched event. Create one
+	// with Summary.NewMatcher; a matcher is single-threaded, but any
+	// number may run concurrently against the same summary.
+	Matcher = summary.Matcher
+	// MatcherPool pools matchers bound to one summary for concurrent
+	// event sweeps.
+	MatcherPool = summary.MatcherPool
+	// MatchCost reports the Section 5.2.4 operation counts (T1/T2 terms)
+	// of one Algorithm 1 run.
+	MatchCost = summary.MatchCost
+)
+
+// NewMatcherPool returns a pool whose matchers are bound to sm.
+func NewMatcherPool(sm *Summary) *MatcherPool { return summary.NewMatcherPool(sm) }
+
+// Sweep runs fn(i) for every i in [0, n) across a bounded worker pool
+// (workers <= 0 means one per CPU, 1 runs inline). Results are
+// deterministic as long as fn(i) writes only to index-i state.
+func Sweep(n, workers int, fn func(i int)) { core.Sweep(n, workers, fn) }
+
 // DecodeSummary parses a summary from its binary wire form.
 func DecodeSummary(s *Schema, buf []byte) (*Summary, error) { return summary.Decode(s, buf) }
 
