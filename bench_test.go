@@ -266,6 +266,97 @@ func BenchmarkSummaryDecode(b *testing.B) {
 	}
 }
 
+// propagationWorkload builds per-broker Sigma=100 summaries over the
+// 24-broker backbone — one Algorithm 2 phase's worth of input (tracked in
+// BENCH_propagation.json via cmd/subsum-bench -experiment benchprop).
+func propagationWorkload(b *testing.B) (*subsum.Graph, []*subsum.Summary) {
+	b.Helper()
+	g := subsum.Backbone24()
+	gen, err := subsum.NewWorkload(subsum.DefaultWorkload())
+	if err != nil {
+		b.Fatal(err)
+	}
+	own := make([]*subsum.Summary, g.Len())
+	for i := range own {
+		own[i] = subsum.NewSummary(gen.Schema(), subsum.Lossy)
+		for j := 0; j < 100; j++ {
+			id := subsum.SubscriptionID{Broker: subsum.BrokerID(i), Local: subsum.LocalID(j)}
+			if err := own[i].Insert(id, gen.Subscription()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return g, own
+}
+
+// BenchmarkPropagationRun is the clone-free Algorithm 2 phase: one encode
+// per send into a pooled buffer, MergeEncoded at the receiver,
+// copy-on-receive merged summaries.
+func BenchmarkPropagationRun(b *testing.B) {
+	g, own := propagationWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := subsum.RunPropagation(g, own); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPropagationCloneBaseline is the clone-per-send reference path
+// (wire codec v1) the pooled Run is measured against.
+func BenchmarkPropagationCloneBaseline(b *testing.B) {
+	g, own := propagationWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := subsum.RunPropagationReference(g, own); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecEncode compares the varint-delta v2 wire form against the
+// legacy fixed-width v1 form on a Sigma=100 broker summary.
+func BenchmarkCodecEncode(b *testing.B) {
+	sm, _ := buildSummary(b, 100, subsum.Lossy)
+	b.Run("v1", func(b *testing.B) {
+		b.SetBytes(int64(len(sm.EncodeV1(nil))))
+		b.ReportAllocs()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = sm.EncodeV1(buf[:0])
+		}
+	})
+	b.Run("v2", func(b *testing.B) {
+		b.SetBytes(int64(len(sm.Encode(nil))))
+		b.ReportAllocs()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = sm.Encode(buf[:0])
+		}
+	})
+}
+
+// BenchmarkCodecDecode parses both wire versions of the same summary.
+func BenchmarkCodecDecode(b *testing.B) {
+	sm, gen := buildSummary(b, 100, subsum.Lossy)
+	for _, v := range []struct {
+		name string
+		wire []byte
+	}{{"v1", sm.EncodeV1(nil)}, {"v2", sm.Encode(nil)}} {
+		b.Run(v.name, func(b *testing.B) {
+			b.SetBytes(int64(len(v.wire)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := subsum.DecodeSummary(gen.Schema(), v.wire); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkLiveEngineEndToEnd runs the full asynchronous engine: one
 // propagation period plus a burst of published events with deliveries.
 func BenchmarkLiveEngineEndToEnd(b *testing.B) {

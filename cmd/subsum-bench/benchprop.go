@@ -1,0 +1,207 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/propagation"
+	"github.com/subsum/subsum/internal/subid"
+	"github.com/subsum/subsum/internal/summary"
+	"github.com/subsum/subsum/internal/topology"
+	"github.com/subsum/subsum/internal/workload"
+)
+
+// propReport is the tracked propagation benchmark baseline: one full
+// Algorithm 2 phase over the paper's 24-broker backbone at Sigma=100,
+// measured through the clone-free pooled path (wire codec v2) and the
+// clone-per-send reference path (wire codec v1).
+type propReport struct {
+	GeneratedAt string `json:"generated_at"`
+	Workload    struct {
+		Topology      string `json:"topology"`
+		Brokers       int    `json:"brokers"`
+		Sigma         int    `json:"sigma"`
+		Subscriptions int    `json:"subscriptions"`
+	} `json:"workload"`
+	// Wire is the total bytes shipped by one propagation phase — every
+	// Algorithm 2 send summed — under each codec version.
+	Wire struct {
+		V1Bytes      int64   `json:"v1_bytes"`
+		V2Bytes      int64   `json:"v2_bytes"`
+		ReductionPct float64 `json:"reduction_pct"`
+	} `json:"wire"`
+	// SingleSummary compares the codecs on one broker's Sigma=100 summary
+	// (the payload of a first-iteration send).
+	SingleSummary struct {
+		V1Bytes      int     `json:"v1_bytes"`
+		V2Bytes      int     `json:"v2_bytes"`
+		ReductionPct float64 `json:"reduction_pct"`
+	} `json:"single_summary"`
+	Results []benchResult `json:"results"`
+	// AllocRatioCloneVsPooled is allocs/op of the clone-per-send reference
+	// divided by allocs/op of the pooled clone-free Run.
+	AllocRatioCloneVsPooled float64 `json:"alloc_ratio_clone_vs_pooled"`
+}
+
+// benchSummaries builds per-broker Sigma-subscription summaries from the
+// paper's stock workload (the non-test twin of the propagation package's
+// workloadSummaries helper).
+func benchSummaries(g *topology.Graph, sigma int) ([]*summary.Summary, error) {
+	gen, err := workload.NewGenerator(workload.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	own := make([]*summary.Summary, g.Len())
+	for i := range own {
+		own[i] = summary.New(gen.Schema(), interval.Lossy)
+		for j := 0; j < sigma; j++ {
+			id := subid.ID{Broker: subid.BrokerID(i), Local: subid.LocalID(j)}
+			if err := own[i].Insert(id, gen.Subscription()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return own, nil
+}
+
+// runBenchProp benchmarks Algorithm 2 propagation on the Table 2 workload
+// (CW24, Sigma=100) and emits the numbers as JSON — to jsonPath if
+// non-empty, else to stdout. This is what CI archives as
+// BENCH_propagation.json.
+func runBenchProp(jsonPath string) error {
+	const sigma = 100
+	g := topology.CW24()
+	cost := propagation.DefaultCostModel()
+	own, err := benchSummaries(g, sigma)
+	if err != nil {
+		return err
+	}
+
+	// One phase through each path for the wire-byte totals. The
+	// differential test in internal/propagation proves the merged state is
+	// byte-identical, so only the codec version separates the two counts.
+	pooled, err := propagation.Run(g, own, cost)
+	if err != nil {
+		return err
+	}
+	reference, err := propagation.RunReference(g, own, cost)
+	if err != nil {
+		return err
+	}
+
+	record := func(name string, r testing.BenchmarkResult) benchResult {
+		return benchResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+	}
+
+	// Run does not mutate own (copy-on-receive), so each iteration is a
+	// fresh full phase over the same inputs.
+	runBench := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := propagation.Run(g, own, cost); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	refBench := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := propagation.RunReference(g, own, cost); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Codec microbenchmarks on one broker's summary — the payload of a
+	// first-iteration send.
+	one := own[0]
+	v1Wire := one.EncodeV1(nil)
+	v2Wire := one.Encode(nil)
+	s := one.Schema()
+	encodeV1 := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = one.EncodeV1(buf[:0])
+		}
+	})
+	encodeV2 := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = one.Encode(buf[:0])
+		}
+	})
+	decodeV1 := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := summary.Decode(s, v1Wire); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	decodeV2 := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := summary.Decode(s, v2Wire); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	var rep propReport
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	rep.Workload.Topology = "cw24"
+	rep.Workload.Brokers = g.Len()
+	rep.Workload.Sigma = sigma
+	rep.Workload.Subscriptions = g.Len() * sigma
+	rep.Wire.V1Bytes = reference.WireBytes
+	rep.Wire.V2Bytes = pooled.WireBytes
+	if reference.WireBytes > 0 {
+		rep.Wire.ReductionPct = 100 * (1 - float64(pooled.WireBytes)/float64(reference.WireBytes))
+	}
+	rep.SingleSummary.V1Bytes = len(v1Wire)
+	rep.SingleSummary.V2Bytes = len(v2Wire)
+	if len(v1Wire) > 0 {
+		rep.SingleSummary.ReductionPct = 100 * (1 - float64(len(v2Wire))/float64(len(v1Wire)))
+	}
+	rep.Results = []benchResult{
+		record("PropagationRunPooled", runBench),
+		record("PropagationCloneReference", refBench),
+		record("CodecEncodeV1", encodeV1),
+		record("CodecEncodeV2", encodeV2),
+		record("CodecDecodeV1", decodeV1),
+		record("CodecDecodeV2", decodeV2),
+	}
+	if a := rep.Results[0].AllocsPerOp; a > 0 {
+		rep.AllocRatioCloneVsPooled = float64(rep.Results[1].AllocsPerOp) / float64(a)
+	}
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if jsonPath == "" {
+		_, err := os.Stdout.Write(out)
+		return err
+	}
+	if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchprop: wire %d B (v2) vs %d B (v1), %.1f%% smaller; allocs/op %d vs %d (%.1fx); wrote %s\n",
+		rep.Wire.V2Bytes, rep.Wire.V1Bytes, rep.Wire.ReductionPct,
+		rep.Results[0].AllocsPerOp, rep.Results[1].AllocsPerOp,
+		rep.AllocRatioCloneVsPooled, jsonPath)
+	return nil
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	subsum-bench -experiment fig8|fig9|fig10|fig11|matching|benchmatch|fig7|table2|ablations|all
+//	subsum-bench -experiment fig8|fig9|fig10|fig11|matching|benchmatch|benchprop|fig7|table2|ablations|all
 //	             [-events N] [-sigmas 10,100,1000] [-csv] [-topology cw24|fig7|random]
 //	             [-workers N] [-json BENCH_matching.json]
 //
@@ -32,7 +32,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "workload seed")
 		asCSV      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		workers    = flag.Int("workers", 0, "parallel sweep width (0 = all CPUs, 1 = serial); results are identical at any width")
-		jsonOut    = flag.String("json", "", "benchmatch: write the JSON report to this file instead of stdout")
+		jsonOut    = flag.String("json", "", "benchmatch/benchprop: write the JSON report to this file instead of stdout")
 	)
 	flag.Parse()
 
@@ -88,6 +88,11 @@ func main() {
 				fatalf("%v", err)
 			}
 		},
+		"benchprop": func() {
+			if err := runBenchProp(*jsonOut); err != nil {
+				fatalf("%v", err)
+			}
+		},
 		"crosstopo": func() { show(experiments.CrossTopology(cfg)) },
 		"sizemodel": func() { show(experiments.SizeModelValidation(cfg)) },
 		"ablations": func() {
@@ -97,7 +102,7 @@ func main() {
 			show(experiments.AblationBatch(cfg))
 		},
 	}
-	order := []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "matching", "benchmatch", "sizemodel", "crosstopo", "ablations"}
+	order := []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "matching", "benchmatch", "benchprop", "sizemodel", "crosstopo", "ablations"}
 
 	if *experiment == "all" {
 		for _, name := range order {

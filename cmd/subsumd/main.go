@@ -46,6 +46,7 @@ func main() {
 			"comma-separated name:type attribute list (types: string,int,float,date)")
 		topoName = flag.String("topology", "cw24", "cw24, fig7, or ring:<n>")
 		every    = flag.Duration("propagate-every", 5*time.Second, "summary propagation period (0 disables)")
+		fullSync = flag.Int("full-sync-every", 0, "ship the full merged summary every k-th propagation period instead of the delta (0 disables; recovers coverage lost to message loss)")
 		exact    = flag.Bool("exact", false, "use exact AACS equality handling instead of the paper's lossy folding")
 		snapshot = flag.String("snapshot", "", "path to write a snapshot of all subscriptions on shutdown (and load on startup if present)")
 	)
@@ -72,7 +73,7 @@ func main() {
 			// matched and counted but delivered nowhere until a client
 			// re-subscribes. Operators typically pair snapshots with
 			// durable consumer queues; this daemon logs instead.
-			network, err = core.LoadSnapshot(f, core.Config{Topology: topo, Mode: mode},
+			network, err = core.LoadSnapshot(f, core.Config{Topology: topo, Mode: mode, FullSyncEvery: *fullSync},
 				func(id subid.ID, sub *schema.Subscription) broker.DeliveryFunc {
 					return func(id subid.ID, ev *schema.Event) {
 						log.Printf("delivery for restored %v: %s", id, ev.Format(s))
@@ -93,7 +94,7 @@ func main() {
 	}
 	if network == nil {
 		var err error
-		network, err = core.New(core.Config{Topology: topo, Schema: s, Mode: mode})
+		network, err = core.New(core.Config{Topology: topo, Schema: s, Mode: mode, FullSyncEvery: *fullSync})
 		if err != nil {
 			log.Fatal(err)
 		}

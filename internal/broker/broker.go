@@ -225,11 +225,23 @@ func (b *Broker) NumSubscriptions() int {
 // TakeDelta returns the summary of subscriptions accumulated since the
 // previous call and resets the delta (the per-period batch of σ
 // subscriptions that Algorithm 2 propagates).
-func (b *Broker) TakeDelta() *summary.Summary {
+func (b *Broker) TakeDelta() *summary.Summary { return b.TakePeriodSummary(false) }
+
+// TakePeriodSummary returns the summary this broker should propagate in
+// the starting period and drains the delta. In a normal period that is
+// the delta itself — only subscriptions accumulated since the last
+// period. On a full-sync period it is a clone of the whole merged
+// summary, which subsumes the drained delta: full syncs let peers that
+// lost earlier summary messages (drops, decode failures) recover the
+// missing coverage.
+func (b *Broker) TakePeriodSummary(fullSync bool) *summary.Summary {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	d := b.delta
 	b.delta = summary.New(b.schema, b.mode)
+	if fullSync {
+		return b.merged.Clone()
+	}
 	return d
 }
 
@@ -239,6 +251,26 @@ func (b *Broker) MergeSummary(sum *summary.Summary, brokers subid.Mask) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if err := b.merged.Merge(sum); err != nil {
+		return err
+	}
+	for _, i := range brokers.Bits() {
+		b.mergedBrokers.Set(i)
+	}
+	return nil
+}
+
+// MergeEncodedSummary folds a wire-form summary payload directly into the
+// broker's merged state, without materializing an intermediate decoded
+// Summary. On a malformed payload the merged summary may retain a partial
+// merge; that is indistinguishable from the message having been lost in
+// transit — partially inserted ids can never reach their c3 attribute
+// count, so they never match, and the Merged_Brokers bits are applied
+// only after a fully successful merge. Coverage loss, never correctness
+// loss.
+func (b *Broker) MergeEncodedSummary(payload []byte, brokers subid.Mask) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.merged.MergeEncoded(payload); err != nil {
 		return err
 	}
 	for _, i := range brokers.Bits() {

@@ -1,0 +1,99 @@
+package broker
+
+import (
+	"testing"
+
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/subid"
+	"github.com/subsum/subsum/internal/summary"
+)
+
+// TestTakePeriodSummaryFullSync: a full-sync period ships the whole
+// merged summary (own plus received), drains the delta either way, and
+// hands out a clone that later merges cannot corrupt.
+func TestTakePeriodSummaryFullSync(t *testing.T) {
+	s := testSchema(t)
+	b := newBroker(t, 0, 3)
+	sub, _ := schema.ParseSubscription(s, `price > 1`)
+	if _, err := b.Subscribe(sub, noDeliver); err != nil {
+		t.Fatal(err)
+	}
+	// Fold in a remote broker's summary, as Algorithm 2 would.
+	remote := summary.New(s, interval.Lossy)
+	rsub, _ := schema.ParseSubscription(s, `price < -5`)
+	rid := subid.ID{Broker: 2, Local: 0, Attrs: subid.NewMask(s.Len())}
+	rid.Attrs.Set(1)
+	if err := remote.Insert(rid, rsub); err != nil {
+		t.Fatal(err)
+	}
+	remoteSet := subid.NewMask(3)
+	remoteSet.Set(2)
+	if err := b.MergeEncodedSummary(remote.Encode(nil), remoteSet); err != nil {
+		t.Fatal(err)
+	}
+
+	full := b.TakePeriodSummary(true)
+	if full.NumSubscriptions() != 2 {
+		t.Fatalf("full-sync summary subs = %d, want own + remote = 2", full.NumSubscriptions())
+	}
+	// The delta was drained by the full sync.
+	if d := b.TakePeriodSummary(false); d.NumSubscriptions() != 0 {
+		t.Fatalf("delta after full sync = %d subs, want 0", d.NumSubscriptions())
+	}
+	// The full-sync summary is a clone: growing the broker's merged state
+	// must not affect it.
+	sub2, _ := schema.ParseSubscription(s, `symbol = XYZ`)
+	if _, err := b.Subscribe(sub2, noDeliver); err != nil {
+		t.Fatal(err)
+	}
+	if full.NumSubscriptions() != 2 {
+		t.Fatalf("full-sync summary grew to %d subs; not a clone", full.NumSubscriptions())
+	}
+}
+
+// TestMergeEncodedSummaryMatchesMergeSummary: the wire-form merge is the
+// same state transition as decode-plus-MergeSummary.
+func TestMergeEncodedSummaryMatchesMergeSummary(t *testing.T) {
+	s := testSchema(t)
+	sub, _ := schema.ParseSubscription(s, `price > 10 && symbol = OTE`)
+	remote := summary.New(s, interval.Lossy)
+	rid := subid.ID{Broker: 1, Local: 7, Attrs: subid.NewMask(s.Len())}
+	rid.Attrs.Set(0)
+	rid.Attrs.Set(1)
+	if err := remote.Insert(rid, sub); err != nil {
+		t.Fatal(err)
+	}
+	wire := remote.Encode(nil)
+	set := subid.NewMask(3)
+	set.Set(1)
+
+	viaDecode := newBroker(t, 0, 3)
+	decoded, err := summary.Decode(s, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := viaDecode.MergeSummary(decoded, set); err != nil {
+		t.Fatal(err)
+	}
+	direct := newBroker(t, 0, 3)
+	if err := direct.MergeEncodedSummary(wire, set); err != nil {
+		t.Fatal(err)
+	}
+	a, aSet := viaDecode.SnapshotMerged()
+	b, bSet := direct.SnapshotMerged()
+	if string(a.Encode(nil)) != string(b.Encode(nil)) {
+		t.Fatal("merged state differs between MergeSummary and MergeEncodedSummary")
+	}
+	if len(aSet.Bits()) != len(bSet.Bits()) || aSet.Bits()[1] != bSet.Bits()[1] {
+		t.Fatalf("Merged_Brokers differ: %v vs %v", aSet.Bits(), bSet.Bits())
+	}
+	// A malformed payload must not extend Merged_Brokers.
+	bad := newBroker(t, 0, 3)
+	if err := bad.MergeEncodedSummary(wire[:len(wire)-2], set); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	if _, badSet := bad.SnapshotMerged(); badSet.Count() != 1 {
+		t.Fatalf("Merged_Brokers extended on failed merge: %v", badSet.Bits())
+	}
+}

@@ -54,6 +54,12 @@ type Config struct {
 	// combination at every broker: locally subsumed subscriptions stay out
 	// of propagation deltas (pure bandwidth saving; delivery is unchanged).
 	FilterSubsumedDeltas bool
+	// FullSyncEvery makes every k-th Propagate period ship the full merged
+	// summary (with the full Merged_Brokers set) instead of the per-period
+	// delta, so peers that lost summary messages in earlier periods recover
+	// the missing coverage. 0 disables full syncs; 1 makes every period a
+	// full sync (the pre-delta behavior).
+	FullSyncEvery int
 }
 
 // Network is a running broker network. Create with New, stop with Close.
@@ -70,6 +76,9 @@ type Network struct {
 	// data race with late summary messages around period boundaries.
 	periodMu sync.Mutex
 	period   atomic.Pointer[periodState]
+	// periods counts completed Propagate calls (under periodMu), driving
+	// the FullSyncEvery schedule.
+	periods int
 }
 
 // periodState is the per-propagation-period working set of Algorithm 2.
@@ -217,22 +226,30 @@ func (net *Network) Propagate() (hops int, err error) {
 	defer net.periodMu.Unlock()
 	g := net.cfg.Topology
 	n := len(net.brokers)
+	net.periods++
+	fullSync := net.cfg.FullSyncEvery > 0 && net.periods%net.cfg.FullSyncEvery == 0
 	period := &periodState{
 		sums: make([]*summary.Summary, n),
 		sets: make([]subid.Mask, n),
 	}
 	for i, b := range net.brokers {
 		b.ResetPeriod()
-		period.sums[i] = b.TakeDelta()
-		period.sets[i] = subid.NewMask(n)
-		period.sets[i].Set(i)
+		period.sums[i] = b.TakePeriodSummary(fullSync)
+		if fullSync {
+			// The payload carries every broker's subscriptions this broker
+			// has merged, so the carried set credits them all.
+			period.sets[i] = b.MergedBrokers()
+		} else {
+			period.sets[i] = subid.NewMask(n)
+			period.sets[i].Set(i)
+		}
 	}
 	net.period.Store(period)
 	defer net.period.Store(nil)
 
 	type send struct {
 		from, to topology.NodeID
-		payload  []byte
+		sb       *netsim.SharedBuf
 	}
 	for iter := 1; iter <= g.MaxDegree(); iter++ {
 		var sends []send
@@ -246,18 +263,27 @@ func (net *Network) Propagate() (hops int, err error) {
 				continue
 			}
 			net.brokers[target].RecordCommunicated(node)
+			// Encode once into a pooled buffer; the bus shares the bytes
+			// with the recipient and recycles them after handling.
+			sb := netsim.AcquireBuf()
 			period.mu.Lock()
-			payload, encErr := encodeSummaryMsg(period.sums[i], period.sets[i])
+			sb.B, err = encodeSummaryMsg(sb.B, period.sums[i], period.sets[i])
 			period.mu.Unlock()
-			if encErr != nil {
-				return hops, fmt.Errorf("core: broker %d summary: %w", node, encErr)
+			if err != nil {
+				sb.Release()
+				for _, s := range sends {
+					s.sb.Release()
+				}
+				return hops, fmt.Errorf("core: broker %d summary: %w", node, err)
 			}
-			sends = append(sends, send{from: node, to: target, payload: payload})
+			sends = append(sends, send{from: node, to: target, sb: sb})
 		}
 		for _, s := range sends {
-			if err := net.bus.Send(netsim.Message{
-				From: s.from, To: s.to, Kind: netsim.KindSummary, Payload: s.payload,
-			}); err != nil {
+			err := net.bus.SendShared(netsim.Message{
+				From: s.from, To: s.to, Kind: netsim.KindSummary,
+			}, s.sb)
+			s.sb.Release()
+			if err != nil {
 				return hops, err
 			}
 			hops++
@@ -275,11 +301,16 @@ func (net *Network) Publish(at topology.NodeID, ev *schema.Event) error {
 		return fmt.Errorf("core: broker %d out of range", at)
 	}
 	n := len(net.brokers)
-	payload, err := encodeEventMsg(ev, subid.NewMask(n), subid.NewMask(n))
+	sb := netsim.AcquireBuf()
+	var err error
+	sb.B, err = encodeEventMsg(sb.B, ev, subid.NewMask(n), subid.NewMask(n))
 	if err != nil {
+		sb.Release()
 		return fmt.Errorf("core: encode event: %w", err)
 	}
-	return net.bus.Send(netsim.Message{From: at, To: at, Kind: netsim.KindEvent, Payload: payload})
+	sendErr := net.bus.SendShared(netsim.Message{From: at, To: at, Kind: netsim.KindEvent}, sb)
+	sb.Release()
+	return sendErr
 }
 
 // Flush blocks until every in-flight message (propagation, routing,
@@ -305,14 +336,21 @@ func (net *Network) handle(node topology.NodeID, m netsim.Message) {
 }
 
 func (net *Network) handleSummary(node topology.NodeID, m netsim.Message) {
-	sum, set, err := decodeSummaryMsg(net.cfg.Schema, m.Payload)
+	// The payload is a Merged_Brokers mask followed by a wire-form summary;
+	// both fold in directly, so no intermediate Summary is materialized and
+	// nothing of m.Payload (a pooled shared buffer) is retained.
+	set, off, err := decodeMask(m.Payload)
 	if err != nil {
 		net.bus.RecordDecodeError(netsim.KindSummary)
 		return
 	}
+	sumWire := m.Payload[off:]
 	b := net.brokers[node]
-	if err := b.MergeSummary(sum, set); err != nil {
-		net.bus.RecordHandlerError(netsim.KindSummary)
+	if err := b.MergeEncodedSummary(sumWire, set); err != nil {
+		// A malformed summary payload leaves at most a partial merge — the
+		// documented dropped-message equivalence — and counts as a decode
+		// error: the bytes, not the broker, were at fault.
+		net.bus.RecordDecodeError(netsim.KindSummary)
 		return
 	}
 	// Fold into the current period's working set so later iterations
@@ -320,9 +358,10 @@ func (net *Network) handleSummary(node topology.NodeID, m netsim.Message) {
 	// periodMu, but the pointer load must still be atomic: a message
 	// surviving past its period (bus backlog at Close, a dropped-then-
 	// replayed payload) would otherwise race with the period teardown.
+	// MergeEncoded cannot fail here: the same bytes just merged cleanly.
 	if p := net.period.Load(); p != nil {
 		p.mu.Lock()
-		_ = p.sums[node].Merge(sum)
+		_ = p.sums[node].MergeEncoded(sumWire)
 		for _, i := range set.Bits() {
 			p.sets[node].Set(i)
 		}
@@ -345,8 +384,9 @@ func (net *Network) handleEvent(node topology.NodeID, m netsim.Message) {
 		brocli.Set(i)
 	}
 	// Step 3: send the event to newly matched owners. The wire payload is
-	// identical for every owner, so encode it once outside the loop.
-	var deliverPayload []byte
+	// identical for every owner, so encode it once into a pooled shared
+	// buffer and multicast it — the bus refcounts the bytes per recipient.
+	var deliverBuf *netsim.SharedBuf
 	for _, id := range matched {
 		owner := topology.NodeID(id.Broker)
 		if delivered.Has(int(owner)) {
@@ -357,10 +397,14 @@ func (net *Network) handleEvent(node topology.NodeID, m netsim.Message) {
 			b.DeliverExact(ev)
 			continue
 		}
-		if deliverPayload == nil {
-			deliverPayload = schema.EncodeEvent(nil, ev)
+		if deliverBuf == nil {
+			deliverBuf = netsim.AcquireBuf()
+			deliverBuf.B = schema.EncodeEvent(deliverBuf.B, ev)
 		}
-		_ = net.bus.Send(netsim.Message{From: node, To: owner, Kind: netsim.KindDeliver, Payload: deliverPayload})
+		_ = net.bus.SendShared(netsim.Message{From: node, To: owner, Kind: netsim.KindDeliver}, deliverBuf)
+	}
+	if deliverBuf != nil {
+		deliverBuf.Release()
 	}
 	// Step 4: forward while BROCLIe is incomplete.
 	if brocli.Count() == n {
@@ -370,12 +414,16 @@ func (net *Network) handleEvent(node topology.NodeID, m netsim.Message) {
 		if brocli.Has(int(next)) {
 			continue
 		}
-		payload, err := encodeEventMsg(ev, brocli, delivered)
+		sb := netsim.AcquireBuf()
+		var err error
+		sb.B, err = encodeEventMsg(sb.B, ev, brocli, delivered)
 		if err != nil {
+			sb.Release()
 			net.bus.RecordHandlerError(netsim.KindEvent)
 			return
 		}
-		_ = net.bus.Send(netsim.Message{From: node, To: next, Kind: netsim.KindEvent, Payload: payload})
+		_ = net.bus.SendShared(netsim.Message{From: node, To: next, Kind: netsim.KindEvent}, sb)
+		sb.Release()
 		return
 	}
 }
@@ -412,9 +460,10 @@ func decodeMask(buf []byte) (subid.Mask, int, error) {
 	return m, 2 + 8*words, nil
 }
 
-// encodeSummaryMsg packs a summary and its Merged_Brokers set.
-func encodeSummaryMsg(sum *summary.Summary, set subid.Mask) ([]byte, error) {
-	buf, err := encodeMask(nil, set)
+// encodeSummaryMsg appends a packed summary and its Merged_Brokers set
+// to buf (pass a pooled buffer's contents to avoid the allocation).
+func encodeSummaryMsg(buf []byte, sum *summary.Summary, set subid.Mask) ([]byte, error) {
+	buf, err := encodeMask(buf, set)
 	if err != nil {
 		return nil, err
 	}
@@ -433,9 +482,10 @@ func decodeSummaryMsg(s *schema.Schema, buf []byte) (*summary.Summary, subid.Mas
 	return sum, set, nil
 }
 
-// encodeEventMsg packs an event with its BROCLI and delivered sets.
-func encodeEventMsg(ev *schema.Event, brocli, delivered subid.Mask) ([]byte, error) {
-	buf, err := encodeMask(nil, brocli)
+// encodeEventMsg appends a packed event with its BROCLI and delivered
+// sets to buf.
+func encodeEventMsg(buf []byte, ev *schema.Event, brocli, delivered subid.Mask) ([]byte, error) {
+	buf, err := encodeMask(buf, brocli)
 	if err != nil {
 		return nil, err
 	}

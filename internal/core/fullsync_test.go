@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/netsim"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/subid"
+	"github.com/subsum/subsum/internal/topology"
+)
+
+// fullSyncNetwork builds a network with the given FullSyncEvery and one
+// distinctive subscription per broker (price = 1000000+i).
+func fullSyncNetwork(t *testing.T, g *topology.Graph, s *schema.Schema, fullSyncEvery int) *Network {
+	t.Helper()
+	net, err := New(Config{Topology: g, Schema: s, Mode: interval.Lossy, FullSyncEvery: fullSyncEvery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(net.Close)
+	for i := 0; i < g.Len(); i++ {
+		sub, err := schema.ParseSubscription(s, fmt.Sprintf(`price = %d`, 1000000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.Subscribe(topology.NodeID(i), sub, func(subid.ID, *schema.Event) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net
+}
+
+// TestFullSyncRecoversLostCoverage: deltas drained during a period whose
+// summary messages were all lost are gone for good under pure
+// delta-propagation — but a full-sync period re-ships the merged state
+// and restores exactly the coverage an undisturbed network would have.
+func TestFullSyncRecoversLostCoverage(t *testing.T) {
+	g := topology.Figure7Tree()
+	s := stockSchema(t)
+
+	// Reference: one clean propagation period, no loss.
+	ref := fullSyncNetwork(t, g, s, 0)
+	if _, err := ref.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Victim with full syncs every 2nd period: period 1 loses every
+	// summary message, so all per-period deltas are drained and lost.
+	vic := fullSyncNetwork(t, g, s, 2)
+	vic.InjectFaults(func(m netsim.Message) bool { return m.Kind == netsim.KindSummary })
+	if _, err := vic.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.Len(); i++ {
+		if got := vic.Broker(topology.NodeID(i)).Stats().MergedBrokerCount; got != 1 {
+			t.Fatalf("broker %d coverage %d under total summary loss, want 1", i, got)
+		}
+	}
+	// Control without full syncs: healing the network does not bring the
+	// lost deltas back — the next delta period ships empty summaries, so
+	// merged content stays at each broker's own subscription. (Coverage
+	// *bits* can still spread, overstating coverage: Merged_Brokers
+	// travels with every period's message while the lost content does
+	// not. That divergence is precisely the exposure FullSyncEvery
+	// bounds.)
+	ctl := fullSyncNetwork(t, g, s, 0)
+	ctl.InjectFaults(func(m netsim.Message) bool { return m.Kind == netsim.KindSummary })
+	if _, err := ctl.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	ctl.InjectFaults(nil)
+	if _, err := ctl.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.Len(); i++ {
+		if got := ctl.Broker(topology.NodeID(i)).Stats().MergedSummarySubs; got != 1 {
+			t.Fatalf("control broker %d merged subs %d, want 1 (lost deltas never return)", i, got)
+		}
+	}
+
+	// Victim heals; period 2 is a full sync and must reproduce the
+	// reference coverage and summary content at every broker.
+	vic.InjectFaults(nil)
+	if _, err := vic.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.Len(); i++ {
+		got := vic.Broker(topology.NodeID(i)).Stats()
+		want := ref.Broker(topology.NodeID(i)).Stats()
+		if got.MergedBrokerCount != want.MergedBrokerCount {
+			t.Errorf("broker %d: coverage %d after full sync, want %d",
+				i, got.MergedBrokerCount, want.MergedBrokerCount)
+		}
+		if got.MergedSummarySubs != want.MergedSummarySubs {
+			t.Errorf("broker %d: merged subs %d after full sync, want %d",
+				i, got.MergedSummarySubs, want.MergedSummarySubs)
+		}
+	}
+}
+
+// TestFullSyncEveryPeriodMatchesPreDeltaBehavior: FullSyncEvery=1 ships
+// the full merged summary every period; repeating periods with no new
+// subscriptions must keep coverage stable (idempotent merges).
+func TestFullSyncEveryPeriodMatchesPreDeltaBehavior(t *testing.T) {
+	g := topology.CW24()
+	s := stockSchema(t)
+	net := fullSyncNetwork(t, g, s, 1)
+	if _, err := net.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	cov := make([]int, g.Len())
+	subs := make([]int, g.Len())
+	for i := range cov {
+		st := net.Broker(topology.NodeID(i)).Stats()
+		cov[i], subs[i] = st.MergedBrokerCount, st.MergedSummarySubs
+	}
+	for round := 0; round < 3; round++ {
+		if _, err := net.Propagate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range cov {
+		st := net.Broker(topology.NodeID(i)).Stats()
+		if st.MergedBrokerCount < cov[i] || st.MergedSummarySubs != subs[i] {
+			t.Fatalf("broker %d: coverage %d/%d subs after repeats, had %d/%d",
+				i, st.MergedBrokerCount, st.MergedSummarySubs, cov[i], subs[i])
+		}
+	}
+}

@@ -46,6 +46,29 @@ type Set struct {
 	rows []row                // disjoint, sorted by lower bound
 	eq   map[float64][]uint64 // equality values (see Mode for semantics)
 	ne   []neEntry            // sorted by value
+
+	// slab backs the id lists the wire-merge paths (MergePoint,
+	// MergeNotEqual) retain, so a merge that adds many rows costs one
+	// allocation per chunk instead of one per row. Never shared between
+	// sets (Clone and NewSetFromRows build fresh sets).
+	slab []uint64
+}
+
+// slabCopy returns a copy of ids carved from the set's slab. The copy has
+// no spare capacity, so a later in-place growth reallocates rather than
+// bleeding into the next carve.
+func (s *Set) slabCopy(ids []uint64) []uint64 {
+	if len(s.slab) < len(ids) {
+		n := 1024
+		if len(ids) > n {
+			n = len(ids)
+		}
+		s.slab = make([]uint64, n)
+	}
+	out := s.slab[:len(ids):len(ids)]
+	s.slab = s.slab[len(ids):]
+	copy(out, ids)
+	return out
 }
 
 // NewSet returns an empty AACS with the given equality-handling mode.
@@ -86,9 +109,128 @@ func (s *Set) InsertIDs(iv Interval, ids []uint64) {
 		}
 		return
 	}
-	sorted := append([]uint64(nil), ids...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	s.insertRange(iv, dedupSorted(sorted))
+	if !strictlyAscending(ids) {
+		sorted := append([]uint64(nil), ids...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		ids = dedupSorted(sorted)
+	}
+	s.insertRange(iv, ids)
+}
+
+// strictlyAscending reports whether ids is sorted ascending with no
+// duplicates — the invariant every stored id list maintains.
+func strictlyAscending(ids []uint64) bool {
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeRow folds one serialized AACSSR row into the set exactly as Merge
+// folds a row of another set: always through the range-splicing path, even
+// when the interval is a single point (point rows must stay rows, not
+// migrate to the equality map, so that a wire-form merge reproduces Merge
+// byte for byte). ids must be sorted ascending without duplicates; the
+// slice is not retained.
+func (s *Set) MergeRow(iv Interval, ids []uint64) {
+	iv = iv.normalize()
+	if iv.Empty() || len(ids) == 0 {
+		return
+	}
+	s.insertRange(iv, ids)
+}
+
+// MergePoint folds one serialized AACSE row into the set exactly as Merge
+// folds an equality entry of another set (the resulting id lists are the
+// same sorted unions insertPoint would build one id at a time, without the
+// per-id churn). ids must be sorted ascending without duplicates; the
+// slice is not retained.
+func (s *Set) MergePoint(v float64, ids []uint64) {
+	if len(ids) == 0 {
+		return
+	}
+	if i, ok := s.findRow(v); ok {
+		if s.mode == Lossy {
+			// Paper behaviour: fold the ids into the covering sub-range.
+			s.rows[i].ids = mergeInto(s.rows[i].ids, ids)
+			return
+		}
+		// Exact: split the covering row at the point.
+		s.insertRange(Point(v), ids)
+		return
+	}
+	if existing, ok := s.eq[v]; ok {
+		s.eq[v] = mergeInto(existing, ids)
+		return
+	}
+	s.eq[v] = s.slabCopy(ids)
+}
+
+// MergeNotEqual folds one serialized ≠ row into the set, equivalent to
+// calling InsertNotEqual for each id. ids must be sorted ascending without
+// duplicates; the slice is not retained.
+func (s *Set) MergeNotEqual(v float64, ids []uint64) {
+	if len(ids) == 0 {
+		return
+	}
+	i := sort.Search(len(s.ne), func(i int) bool { return s.ne[i].value >= v })
+	if i < len(s.ne) && s.ne[i].value == v {
+		s.ne[i].ids = mergeInto(s.ne[i].ids, ids)
+		return
+	}
+	s.ne = append(s.ne, neEntry{})
+	copy(s.ne[i+1:], s.ne[i:])
+	s.ne[i] = neEntry{value: v, ids: s.slabCopy(ids)}
+}
+
+// mergeInto merges sorted id list src into sorted dst in place, returning
+// the union. It allocates only when dst lacks capacity for the ids src
+// adds; in the wire-merge steady state (src ⊆ dst) it is a read-only scan.
+func mergeInto(dst, src []uint64) []uint64 {
+	extra := 0
+	i, j := 0, 0
+	for i < len(dst) && j < len(src) {
+		switch {
+		case dst[i] < src[j]:
+			i++
+		case dst[i] > src[j]:
+			extra++
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	extra += len(src) - j
+	if extra == 0 {
+		return dst
+	}
+	n := len(dst)
+	if cap(dst) < n+extra {
+		grown := make([]uint64, n, n+extra)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:n+extra]
+	// Merge from the back so unshifted dst elements are read before they
+	// are overwritten.
+	for i, j, k := n-1, len(src)-1, n+extra-1; j >= 0; k-- {
+		switch {
+		case i >= 0 && dst[i] > src[j]:
+			dst[k] = dst[i]
+			i--
+		case i >= 0 && dst[i] == src[j]:
+			dst[k] = dst[i]
+			i--
+			j--
+		default:
+			dst[k] = src[j]
+			j--
+		}
+	}
+	return dst
 }
 
 // dedupSorted removes adjacent duplicates from a sorted id list in place.

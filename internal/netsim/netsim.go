@@ -57,8 +57,44 @@ type Message struct {
 	Payload  []byte
 }
 
-// Handler processes one message on the owner's goroutine.
+// Handler processes one message on the owner's goroutine. The payload is
+// only valid for the duration of the call when the sender used a shared
+// buffer (SendShared): handlers must decode, not retain, Payload.
 type Handler func(Message)
+
+// SharedBuf is a pooled, reference-counted payload buffer. One encode can
+// be multicast to many recipients: each successful SendShared takes a
+// reference, the bus releases it after the recipient's handler returns
+// (or on drop/close), and the final release returns the buffer to the
+// pool. The sender holds the initial reference from AcquireBuf and gives
+// it up with Release once all sends are issued.
+type SharedBuf struct {
+	// B is the payload. The owner may resize/overwrite it only between
+	// AcquireBuf and the first SendShared.
+	B    []byte
+	refs atomic.Int32
+}
+
+var sharedBufPool = sync.Pool{New: func() any { return new(SharedBuf) }}
+
+// AcquireBuf returns a pooled buffer with one reference (the caller's)
+// and zero length; capacity is recycled from earlier sends.
+func AcquireBuf() *SharedBuf {
+	sb := sharedBufPool.Get().(*SharedBuf)
+	sb.B = sb.B[:0]
+	sb.refs.Store(1)
+	return sb
+}
+
+// Release drops one reference; the last release recycles the buffer.
+func (sb *SharedBuf) Release() {
+	switch n := sb.refs.Add(-1); {
+	case n == 0:
+		sharedBufPool.Put(sb)
+	case n < 0:
+		panic("netsim: SharedBuf over-released")
+	}
+}
 
 // Stats is a snapshot of bus accounting.
 type Stats struct {
@@ -138,11 +174,18 @@ func (s Stats) Counters() *metrics.CounterSet {
 	return c
 }
 
+// queued is one mailbox entry: the message plus its shared buffer, if
+// the sender used one (released after the handler runs).
+type queued struct {
+	msg Message
+	sb  *SharedBuf
+}
+
 // mailbox is an unbounded FIFO with close support.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []Message
+	queue  []queued
 	closed bool
 }
 
@@ -152,30 +195,30 @@ func newMailbox() *mailbox {
 	return m
 }
 
-func (m *mailbox) push(msg Message) bool {
+func (m *mailbox) push(q queued) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return false
 	}
-	m.queue = append(m.queue, msg)
+	m.queue = append(m.queue, q)
 	m.cond.Signal()
 	return true
 }
 
 // pop blocks until a message is available or the mailbox closes.
-func (m *mailbox) pop() (Message, bool) {
+func (m *mailbox) pop() (queued, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for len(m.queue) == 0 && !m.closed {
 		m.cond.Wait()
 	}
 	if len(m.queue) == 0 {
-		return Message{}, false
+		return queued{}, false
 	}
-	msg := m.queue[0]
+	q := m.queue[0]
 	m.queue = m.queue[1:]
-	return msg, true
+	return q, true
 }
 
 func (m *mailbox) close() {
@@ -283,7 +326,22 @@ func (b *Bus) doneInflight(n int64) {
 
 // Send enqueues a message for delivery. It is safe to call from handlers
 // and from any goroutine, concurrently with Quiesce.
-func (b *Bus) Send(m Message) error {
+func (b *Bus) Send(m Message) error { return b.send(m, nil) }
+
+// SendShared enqueues m with its payload backed by the shared buffer sb
+// (m.Payload is set to sb.B). On successful enqueue the bus takes one
+// reference, released after the recipient's handler returns — so one
+// encoded summary or event can fan out to any number of recipients with
+// zero payload copies, while per-recipient byte accounting still counts
+// the full payload length for every delivery. Dropped and rejected
+// messages take no reference. The caller still owns its AcquireBuf
+// reference and must Release it after the last send.
+func (b *Bus) SendShared(m Message, sb *SharedBuf) error {
+	m.Payload = sb.B
+	return b.send(m, sb)
+}
+
+func (b *Bus) send(m Message, sb *SharedBuf) error {
 	if int(m.To) < 0 || int(m.To) >= len(b.boxes) {
 		return fmt.Errorf("netsim: destination %d out of range", m.To)
 	}
@@ -300,7 +358,13 @@ func (b *Bus) Send(m Message) error {
 	b.bytes[m.Kind] += int64(len(m.Payload))
 	b.mu.Unlock()
 	b.addInflight()
-	if !b.boxes[m.To].push(m) {
+	if sb != nil {
+		sb.refs.Add(1)
+	}
+	if !b.boxes[m.To].push(queued{msg: m, sb: sb}) {
+		if sb != nil {
+			sb.Release()
+		}
 		b.doneInflight(1)
 		return fmt.Errorf("netsim: mailbox %d closed", m.To)
 	}
@@ -315,11 +379,14 @@ func (b *Bus) Start(node topology.NodeID, h Handler) {
 		defer b.handlers.Done()
 		box := b.boxes[node]
 		for {
-			msg, ok := box.pop()
+			q, ok := box.pop()
 			if !ok {
 				return
 			}
-			h(msg)
+			h(q.msg)
+			if q.sb != nil {
+				q.sb.Release()
+			}
 			b.doneInflight(1)
 		}
 	}()
@@ -345,12 +412,17 @@ func (b *Bus) Close() {
 	}
 	for _, box := range b.boxes {
 		box.mu.Lock()
-		discarded := int64(len(box.queue))
+		discarded := box.queue
 		box.queue = nil
 		box.closed = true
 		box.cond.Broadcast()
 		box.mu.Unlock()
-		b.doneInflight(discarded)
+		for _, q := range discarded {
+			if q.sb != nil {
+				q.sb.Release()
+			}
+		}
+		b.doneInflight(int64(len(discarded)))
 	}
 	b.handlers.Wait()
 }

@@ -1,0 +1,112 @@
+package netsim
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"github.com/subsum/subsum/internal/topology"
+)
+
+// TestSendSharedMulticast: one pooled buffer fans out to many recipients
+// with correct per-recipient byte accounting, and every reference is
+// released once all handlers have run.
+func TestSendSharedMulticast(t *testing.T) {
+	const n = 8
+	b := NewBus(n)
+	defer b.Close()
+	payload := []byte("shared-payload")
+	var mu sync.Mutex
+	got := 0
+	for i := 0; i < n; i++ {
+		b.Start(topology.NodeID(i), func(m Message) {
+			mu.Lock()
+			defer mu.Unlock()
+			if !bytes.Equal(m.Payload, payload) {
+				t.Errorf("payload = %q", m.Payload)
+			}
+			got++
+		})
+	}
+	sb := AcquireBuf()
+	sb.B = append(sb.B, payload...)
+	for i := 1; i < n; i++ {
+		if err := b.SendShared(Message{From: 0, To: topology.NodeID(i), Kind: KindDeliver}, sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sb.Release()
+	b.Quiesce()
+	mu.Lock()
+	defer mu.Unlock()
+	if got != n-1 {
+		t.Fatalf("handled %d of %d", got, n-1)
+	}
+	s := b.Stats()
+	if want := int64((n - 1) * len(payload)); s.Bytes[KindDeliver] != want {
+		t.Fatalf("bytes = %d, want %d (true payload size per recipient)", s.Bytes[KindDeliver], want)
+	}
+	if refs := sb.refs.Load(); refs != 0 {
+		t.Fatalf("buffer refs = %d after quiesce, want 0", refs)
+	}
+}
+
+// TestSendSharedDropReleases: a fault-injected drop must not take a
+// buffer reference nor count bytes.
+func TestSendSharedDropReleases(t *testing.T) {
+	b := NewBus(2)
+	defer b.Close()
+	b.Start(0, func(Message) {})
+	b.Start(1, func(Message) {})
+	b.SetDropFunc(func(m Message) bool { return m.Kind == KindSummary })
+	sb := AcquireBuf()
+	sb.B = append(sb.B, "dropped"...)
+	if err := b.SendShared(Message{From: 0, To: 1, Kind: KindSummary}, sb); err != nil {
+		t.Fatal(err)
+	}
+	if refs := sb.refs.Load(); refs != 1 {
+		t.Fatalf("refs = %d after drop, want caller's 1", refs)
+	}
+	sb.Release()
+	s := b.Stats()
+	if s.Dropped[KindSummary] != 1 || s.Bytes[KindSummary] != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if refs := sb.refs.Load(); refs != 0 {
+		t.Fatalf("refs = %d, want 0", refs)
+	}
+}
+
+// TestCloseReleasesQueuedSharedBufs: messages still queued at Close (their
+// handler never started) must release their buffer references.
+func TestCloseReleasesQueuedSharedBufs(t *testing.T) {
+	b := NewBus(2)
+	b.Start(0, func(Message) {})
+	// Node 1 is never started: its mailbox accumulates.
+	sb := AcquireBuf()
+	sb.B = append(sb.B, "stuck"...)
+	if err := b.SendShared(Message{From: 0, To: 1, Kind: KindEvent}, sb); err != nil {
+		t.Fatal(err)
+	}
+	sb.Release() // caller's reference; bus still holds one
+	if refs := sb.refs.Load(); refs != 1 {
+		t.Fatalf("refs = %d before close, want bus's 1", refs)
+	}
+	b.Close()
+	if refs := sb.refs.Load(); refs != 0 {
+		t.Fatalf("refs = %d after close, want 0", refs)
+	}
+}
+
+// TestAcquireBufRecycles: a released buffer's capacity comes back from
+// the pool.
+func TestAcquireBufRecycles(t *testing.T) {
+	sb := AcquireBuf()
+	sb.B = append(sb.B, make([]byte, 4096)...)
+	sb.Release()
+	sb2 := AcquireBuf()
+	defer sb2.Release()
+	if len(sb2.B) != 0 {
+		t.Fatalf("recycled buffer has length %d, want 0", len(sb2.B))
+	}
+}

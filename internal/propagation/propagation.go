@@ -16,6 +16,7 @@ package propagation
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/subsum/subsum/internal/subid"
 	"github.com/subsum/subsum/internal/summary"
@@ -62,11 +63,111 @@ type Result struct {
 	WireBytes  int64
 }
 
+// encBufPool recycles per-send encode buffers across Run invocations.
+var encBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // Run executes Algorithm 2 over the overlay g, where own[i] is broker i's
 // (delta) summary for this period. It returns the per-broker merged
 // summaries, Merged_Brokers sets, and full cost accounting. own summaries
-// are not mutated.
+// are not mutated; a broker that receives nothing keeps Merged[i] as an
+// alias of own[i] (copy-on-receive), so callers must treat Result.Merged
+// as read-only.
+//
+// Each send encodes the sender's merged summary once into a pooled
+// buffer; the immutable byte slice is what travels (its length is the
+// send's WireBytes) and the receiver folds it in with MergeEncoded — no
+// per-send Clone, no intermediate decoded Summary.
 func Run(g *topology.Graph, own []*summary.Summary, cost CostModel) (*Result, error) {
+	n := g.Len()
+	if len(own) != n {
+		return nil, fmt.Errorf("propagation: %d summaries for %d brokers", len(own), n)
+	}
+	res := &Result{
+		Merged:        make([]*summary.Summary, n),
+		MergedBrokers: make([]BrokerSet, n),
+	}
+	for i := 0; i < n; i++ {
+		if own[i] == nil {
+			return nil, fmt.Errorf("propagation: nil summary for broker %d", i)
+		}
+		res.Merged[i] = own[i]
+		res.MergedBrokers[i] = subid.NewMask(n)
+		res.MergedBrokers[i].Set(i)
+	}
+	// owned[i] flips when Merged[i] becomes a private clone (first receive).
+	owned := make([]bool, n)
+	communicated := make([]map[topology.NodeID]bool, n)
+	for i := range communicated {
+		communicated[i] = make(map[topology.NodeID]bool)
+	}
+
+	type delivery struct {
+		to      topology.NodeID
+		payload *[]byte // pooled wire-form summary, shared with WireBytes accounting
+		brokers BrokerSet
+	}
+
+	maxDegree := g.MaxDegree()
+	for iter := 1; iter <= maxDegree; iter++ {
+		var deliveries []delivery
+		for node := 0; node < n; node++ {
+			id := topology.NodeID(node)
+			if g.Degree(id) != iter {
+				continue
+			}
+			// Step 1 happened implicitly: res.Merged[node] already holds
+			// own ⊕ everything received in previous iterations.
+			target, ok := pickTarget(g, id, iter, communicated[node])
+			if !ok {
+				continue
+			}
+			payload := encBufPool.Get().(*[]byte)
+			*payload = res.Merged[node].Encode((*payload)[:0])
+			brokers := res.MergedBrokers[node].Clone()
+			communicated[node][target] = true
+			communicated[target][id] = true
+			send := Send{
+				Iteration:  iter,
+				From:       id,
+				To:         target,
+				Brokers:    brokers.Bits(),
+				ModelBytes: res.Merged[node].SizeBytes(cost.SST, cost.SID),
+				WireBytes:  len(*payload),
+			}
+			res.Sends = append(res.Sends, send)
+			res.ModelBytes += int64(send.ModelBytes)
+			res.WireBytes += int64(send.WireBytes)
+			deliveries = append(deliveries, delivery{to: target, payload: payload, brokers: brokers})
+		}
+		// Deliveries land at the end of the iteration, so equal-degree
+		// exchanges in the same iteration do not see each other's summary.
+		for _, d := range deliveries {
+			if !owned[d.to] {
+				res.Merged[d.to] = res.Merged[d.to].Clone()
+				owned[d.to] = true
+			}
+			err := res.Merged[d.to].MergeEncoded(*d.payload)
+			encBufPool.Put(d.payload)
+			if err != nil {
+				return nil, fmt.Errorf("propagation: merging at broker %d: %w", d.to, err)
+			}
+			for _, b := range d.brokers.Bits() {
+				res.MergedBrokers[d.to].Set(b)
+			}
+		}
+	}
+	res.Hops = len(res.Sends)
+	return res, nil
+}
+
+// RunReference is the pre-optimization Algorithm 2 implementation: it
+// deep-Clones the merged summary for every send, accounts wire bytes by
+// actually encoding each payload with the fixed-width v1 codec (as the
+// original EncodedSize did), and folds deliveries in as in-memory Summary
+// values. It is retained as the differential-testing and benchmark
+// baseline for Run — both must produce identical merged state, sends, and
+// model bytes (WireBytes differ: v1 versus v2 encoding).
+func RunReference(g *topology.Graph, own []*summary.Summary, cost CostModel) (*Result, error) {
 	n := g.Len()
 	if len(own) != n {
 		return nil, fmt.Errorf("propagation: %d summaries for %d brokers", len(own), n)
@@ -102,8 +203,6 @@ func Run(g *topology.Graph, own []*summary.Summary, cost CostModel) (*Result, er
 			if g.Degree(id) != iter {
 				continue
 			}
-			// Step 1 happened implicitly: res.Merged[node] already holds
-			// own ⊕ everything received in previous iterations.
 			target, ok := pickTarget(g, id, iter, communicated[node])
 			if !ok {
 				continue
@@ -118,15 +217,13 @@ func Run(g *topology.Graph, own []*summary.Summary, cost CostModel) (*Result, er
 				To:         target,
 				Brokers:    brokers.Bits(),
 				ModelBytes: payload.SizeBytes(cost.SST, cost.SID),
-				WireBytes:  payload.EncodedSize(),
+				WireBytes:  len(payload.EncodeV1(nil)),
 			}
 			res.Sends = append(res.Sends, send)
 			res.ModelBytes += int64(send.ModelBytes)
 			res.WireBytes += int64(send.WireBytes)
 			deliveries = append(deliveries, delivery{to: target, payload: payload, brokers: brokers})
 		}
-		// Deliveries land at the end of the iteration, so equal-degree
-		// exchanges in the same iteration do not see each other's summary.
 		for _, d := range deliveries {
 			if err := res.Merged[d.to].Merge(d.payload); err != nil {
 				return nil, fmt.Errorf("propagation: merging at broker %d: %w", d.to, err)

@@ -5,6 +5,7 @@ import (
 	"slices"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"github.com/subsum/subsum/internal/schema"
@@ -32,6 +33,58 @@ type Set struct {
 	// concurrent readers racing to build the first index after a mutation
 	// stay benign (both build identical values).
 	idx atomic.Pointer[opIndex]
+
+	// slab backs the id lists MergeRowBytes retains, so a wire merge that
+	// adds many rows costs one allocation per chunk instead of one per
+	// row. Never shared between sets (Clone and NewSetFromRows build
+	// fresh sets).
+	slab []uint64
+}
+
+// slabCopy returns a copy of ids carved from the set's slab. The copy has
+// no spare capacity, so a later in-place growth reallocates rather than
+// bleeding into the next carve.
+func (s *Set) slabCopy(ids []uint64) []uint64 {
+	if len(s.slab) < len(ids) {
+		n := 1024
+		if len(ids) > n {
+			n = len(ids)
+		}
+		s.slab = make([]uint64, n)
+	}
+	out := s.slab[:len(ids):len(ids)]
+	s.slab = s.slab[len(ids):]
+	copy(out, ids)
+	return out
+}
+
+// internPool canonicalizes SACS row texts decoded from wire form. Every
+// propagation period re-ships the same constraint texts, so sharing one
+// string per distinct text process-wide turns the per-merge string
+// materialization into a read-mostly map hit. Entries are never evicted;
+// the pool is bounded by the set of distinct constraint texts seen.
+var internPool = struct {
+	sync.RWMutex
+	m map[string]string
+}{m: make(map[string]string)}
+
+// internText returns the canonical string for b, allocating only the
+// first time a text is seen.
+func internText(b []byte) string {
+	internPool.RLock()
+	s, ok := internPool.m[string(b)]
+	internPool.RUnlock()
+	if ok {
+		return s
+	}
+	internPool.Lock()
+	s, ok = internPool.m[string(b)]
+	if !ok {
+		s = string(b)
+		internPool.m[s] = s
+	}
+	internPool.Unlock()
+	return s
 }
 
 // Row is one SACS row: a covering pattern and its subscription-id list
@@ -109,6 +162,105 @@ func (s *Set) InsertMany(p Pattern, ids []uint64) {
 			}
 		}
 	}
+}
+
+// MergeRowBytes folds one serialized SACS row into the set with the same
+// result as InsertMany(Pattern{Op: op, Text: string(text)}, ids), but
+// without materializing the text string when the set already has a row
+// for it — the Algorithm 2 wire-merge hot path, where most incoming rows
+// repeat rows the receiver merged in earlier periods. ids must be sorted
+// ascending without duplicates; neither slice is retained.
+func (s *Set) MergeRowBytes(op schema.Op, text []byte, ids []uint64) {
+	if len(ids) == 0 {
+		return
+	}
+	switch op {
+	case schema.OpNE:
+		if existing, ok := s.ne[string(text)]; ok {
+			if merged := mergeInto(existing, ids); len(merged) != len(existing) {
+				s.ne[string(text)] = merged
+			}
+			return
+		}
+		s.ne[internText(text)] = s.slabCopy(ids)
+	case schema.OpEQ:
+		if existing, ok := s.eq[string(text)]; ok {
+			if merged := mergeInto(existing, ids); len(merged) != len(existing) {
+				s.eq[string(text)] = merged
+			}
+			return
+		}
+		// Covered by an existing pattern row: join it (the paper's fold),
+		// exactly as InsertMany would.
+		t := internText(text)
+		for i := range s.pats {
+			if s.pats[i].Pattern.Matches(t) {
+				s.pats[i].IDs = mergeInto(s.pats[i].IDs, ids)
+				return
+			}
+		}
+		s.eq[t] = s.slabCopy(ids)
+	default:
+		// An exact-match row, when present, is the unique covering row:
+		// pattern rows are pairwise non-covering (Insert folds covered
+		// patterns and substitutes less general ones), and any other row
+		// covering this pattern would also cover the identical row.
+		for i := range s.pats {
+			if r := &s.pats[i]; r.Pattern.Op == op && r.Pattern.Text == string(text) {
+				r.IDs = mergeInto(r.IDs, ids)
+				return
+			}
+		}
+		s.InsertMany(Pattern{Op: op, Text: internText(text)}, ids)
+	}
+}
+
+// mergeInto merges sorted id list src into sorted dst in place, returning
+// the union. It allocates only when dst lacks capacity for the ids src
+// adds; in the wire-merge steady state (src ⊆ dst) it is a read-only scan.
+func mergeInto(dst, src []uint64) []uint64 {
+	extra := 0
+	i, j := 0, 0
+	for i < len(dst) && j < len(src) {
+		switch {
+		case dst[i] < src[j]:
+			i++
+		case dst[i] > src[j]:
+			extra++
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	extra += len(src) - j
+	if extra == 0 {
+		return dst
+	}
+	n := len(dst)
+	if cap(dst) < n+extra {
+		grown := make([]uint64, n, n+extra)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:n+extra]
+	// Merge from the back so unshifted dst elements are read before they
+	// are overwritten.
+	for i, j, k := n-1, len(src)-1, n+extra-1; j >= 0; k-- {
+		switch {
+		case i >= 0 && dst[i] > src[j]:
+			dst[k] = dst[i]
+			i--
+		case i >= 0 && dst[i] == src[j]:
+			dst[k] = dst[i]
+			i--
+			j--
+		default:
+			dst[k] = src[j]
+			j--
+		}
+	}
+	return dst
 }
 
 // NewSetFromRows reconstructs a set exactly from serialized rows (the

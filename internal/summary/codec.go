@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"github.com/subsum/subsum/internal/interval"
@@ -14,10 +15,24 @@ import (
 
 // Binary wire codec for summaries. This is what brokers actually exchange
 // in the TCP daemon and what netsim counts when measuring real (not
-// modelled) bytes. Layout (little endian):
+// modelled) bytes.
 //
-//	magic "SSM1", mode u8
-//	id registry:  count u32, then per id: key u64, words u8, word u64 ×words
+// Two wire versions share one layout skeleton; the fourth magic byte is
+// the version. v1 ("SSM1") is the original fixed-width format; v2
+// ("SSM2") is the bandwidth-lean format: id keys and id lists travel
+// sorted and delta-encoded as uvarints (ids owned by one broker share the
+// c1 high bits, so consecutive deltas are tiny), and c3 mask words are
+// uvarints (attribute counts are small, so high words are zero). Floats,
+// section counts, and row counts are unchanged. Encode emits v2; Decode
+// accepts both.
+//
+// Shared layout (little endian; "ids" and starred fields differ per
+// version as noted):
+//
+//	magic "SSM", version byte '1' | '2', mode u8
+//	id registry:  count u32 | *uvarint, then per id (v2: sorted by key):
+//	    key u64 | *uvarint delta from previous key (first key verbatim)
+//	    words u8, word u64 ×words | *uvarint ×words
 //	AACS section: count u16, per attribute:
 //	    attr u16
 //	    ranges u32 × {lo f64, hi f64, flags u8, ids}
@@ -28,24 +43,54 @@ import (
 //	    rows u32 × {op u8, textLen u16, text, ids}
 //	    nes  u32 × {textLen u16, text, ids}
 //
-// where ids = count u32 followed by that many u64 keys.
-var magic = [4]byte{'S', 'S', 'M', '1'}
+// where ids is, in v1, count u32 followed by that many u64 keys and, in
+// v2, count uvarint followed by the first key as a uvarint and count-1
+// strictly positive uvarint deltas (the list is sorted ascending).
+const (
+	versionV1 = '1'
+	versionV2 = '2'
+)
 
-// Encode appends the summary's wire form to buf.
-func (sm *Summary) Encode(buf []byte) []byte {
-	buf = append(buf, magic[:]...)
-	buf = append(buf, byte(sm.mode))
+var magicPrefix = [3]byte{'S', 'S', 'M'}
 
-	// Registry, sorted by key for determinism.
+// Encode appends the summary's wire form (version 2) to buf.
+func (sm *Summary) Encode(buf []byte) []byte { return sm.encode(buf, versionV2) }
+
+// EncodeV1 appends the summary's legacy fixed-width wire form to buf, for
+// interoperating with peers that predate the v2 codec.
+func (sm *Summary) EncodeV1(buf []byte) []byte { return sm.encode(buf, versionV1) }
+
+func (sm *Summary) encode(buf []byte, version byte) []byte {
+	buf = append(buf, magicPrefix[:]...)
+	buf = append(buf, version, byte(sm.mode))
+
+	// Registry, sorted by key for determinism (and, in v2, for the delta
+	// encoding).
 	keys := append([]uint64(nil), sm.keys...)
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
-	for _, key := range keys {
-		buf = binary.LittleEndian.AppendUint64(buf, key)
+	if version == versionV1 {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
+	} else {
+		buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	}
+	prev := uint64(0)
+	for i, key := range keys {
+		if version == versionV1 {
+			buf = binary.LittleEndian.AppendUint64(buf, key)
+		} else if i == 0 {
+			buf = binary.AppendUvarint(buf, key)
+		} else {
+			buf = binary.AppendUvarint(buf, key-prev)
+		}
+		prev = key
 		mask := sm.maskOf(key)
 		buf = append(buf, byte(len(mask)))
 		for _, w := range mask {
-			buf = binary.LittleEndian.AppendUint64(buf, w)
+			if version == versionV1 {
+				buf = binary.LittleEndian.AppendUint64(buf, w)
+			} else {
+				buf = binary.AppendUvarint(buf, w)
+			}
 		}
 	}
 
@@ -68,10 +113,10 @@ func (sm *Summary) Encode(buf []byte) []byte {
 				flags |= 2
 			}
 			buf = append(buf, flags)
-			buf = appendIDs(buf, r.IDs)
+			buf = appendIDs(buf, r.IDs, version)
 		}
-		buf = appendEqRows(buf, s.EqRows())
-		buf = appendEqRows(buf, s.NeRows())
+		buf = appendEqRows(buf, s.EqRows(), version)
+		buf = appendEqRows(buf, s.NeRows(), version)
 	}
 
 	// SACS section.
@@ -86,21 +131,101 @@ func (sm *Summary) Encode(buf []byte) []byte {
 			buf = append(buf, byte(r.Pattern.Op))
 			buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Pattern.Text)))
 			buf = append(buf, r.Pattern.Text...)
-			buf = appendIDs(buf, r.IDs)
+			buf = appendIDs(buf, r.IDs, version)
 		}
 		nes := s.NeRows()
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(nes)))
 		for _, r := range nes {
 			buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Pattern.Text)))
 			buf = append(buf, r.Pattern.Text...)
-			buf = appendIDs(buf, r.IDs)
+			buf = appendIDs(buf, r.IDs, version)
 		}
 	}
 	return buf
 }
 
-// EncodedSize returns the size in bytes of the summary's wire form.
-func (sm *Summary) EncodedSize() int { return len(sm.Encode(nil)) }
+// EncodedSize returns the size in bytes of the summary's v2 wire form,
+// computed directly — no encode buffer is built.
+func (sm *Summary) EncodedSize() int { return sm.encodedSize(versionV2) }
+
+// EncodedSizeV1 returns the size in bytes of the summary's legacy v1 wire
+// form, computed directly.
+func (sm *Summary) EncodedSizeV1() int { return sm.encodedSize(versionV1) }
+
+func (sm *Summary) encodedSize(version byte) int {
+	n := 5 // magic + version + mode
+	if version == versionV1 {
+		n += 4 // registry count u32
+		for i := range sm.keys {
+			n += 8 + 1 + 8*len(sm.masks[i])
+		}
+	} else {
+		n += uvarintLen(uint64(len(sm.keys)))
+		// Key deltas depend on sorted order.
+		keys := append([]uint64(nil), sm.keys...)
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		prev := uint64(0)
+		for i, key := range keys {
+			if i == 0 {
+				n += uvarintLen(key)
+			} else {
+				n += uvarintLen(key - prev)
+			}
+			prev = key
+			n++ // words u8
+			for _, w := range sm.maskOf(key) {
+				n += uvarintLen(w)
+			}
+		}
+	}
+
+	n += 2 // AACS count
+	for _, s := range sm.aacs {
+		n += 2 + 4 + 4 + 4 // attr + three row counts
+		for _, r := range s.Rows() {
+			n += 17 + idsLen(r.IDs, version) // lo + hi + flags + ids
+		}
+		for _, r := range s.EqRows() {
+			n += 8 + idsLen(r.IDs, version)
+		}
+		for _, r := range s.NeRows() {
+			n += 8 + idsLen(r.IDs, version)
+		}
+	}
+
+	n += 2 // SACS count
+	for _, s := range sm.sacs {
+		n += 2 + 4 + 4 // attr + two row counts
+		for _, r := range s.Rows() {
+			n += 3 + len(r.Pattern.Text) + idsLen(r.IDs, version)
+		}
+		for _, r := range s.NeRows() {
+			n += 2 + len(r.Pattern.Text) + idsLen(r.IDs, version)
+		}
+	}
+	return n
+}
+
+// uvarintLen returns the encoded length of v as a uvarint.
+func uvarintLen(v uint64) int { return (bits.Len64(v|1) + 6) / 7 }
+
+// idsLen returns the encoded size of an id list without building it.
+func idsLen(ids []uint64, version byte) int {
+	if version == versionV1 {
+		return 4 + 8*len(ids)
+	}
+	n := uvarintLen(uint64(len(ids)))
+	prev := uint64(0)
+	for i, id := range ids {
+		if i == 0 {
+			n += uvarintLen(id)
+		} else {
+			n += uvarintLen(id - prev)
+		}
+		prev = id
+	}
+	return n
+}
 
 func sortedAttrs[T any](m map[schema.AttrID]T) []schema.AttrID {
 	out := make([]schema.AttrID, 0, len(m))
@@ -115,28 +240,51 @@ func appendFloat(buf []byte, v float64) []byte {
 	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
 }
 
-func appendIDs(buf []byte, ids []uint64) []byte {
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ids)))
-	for _, id := range ids {
-		buf = binary.LittleEndian.AppendUint64(buf, id)
+// appendIDs writes an id list. Stored id lists are sorted ascending
+// without duplicates (the structures' insertion invariant); appendIDs
+// falls back to sorting a scratch copy if handed a list that is not, so
+// v2 output is always well-formed.
+func appendIDs(buf []byte, ids []uint64, version byte) []byte {
+	if version == versionV1 {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ids)))
+		for _, id := range ids {
+			buf = binary.LittleEndian.AppendUint64(buf, id)
+		}
+		return buf
+	}
+	if !sort.SliceIsSorted(ids, func(i, j int) bool { return ids[i] < ids[j] }) {
+		sorted := append([]uint64(nil), ids...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		ids = sorted
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	prev := uint64(0)
+	for i, id := range ids {
+		if i == 0 {
+			buf = binary.AppendUvarint(buf, id)
+		} else {
+			buf = binary.AppendUvarint(buf, id-prev)
+		}
+		prev = id
 	}
 	return buf
 }
 
-func appendEqRows(buf []byte, rows []interval.EqView) []byte {
+func appendEqRows(buf []byte, rows []interval.EqView, version byte) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rows)))
 	for _, r := range rows {
 		buf = appendFloat(buf, r.Value)
-		buf = appendIDs(buf, r.IDs)
+		buf = appendIDs(buf, r.IDs, version)
 	}
 	return buf
 }
 
 // decoder is a bounds-checked cursor over an encoded summary.
 type decoder struct {
-	buf []byte
-	off int
-	err error
+	buf     []byte
+	off     int
+	version byte
+	err     error
 }
 
 func (d *decoder) fail(format string, args ...any) {
@@ -190,46 +338,173 @@ func (d *decoder) u64() uint64 {
 	return binary.LittleEndian.Uint64(b)
 }
 
-func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *decoder) f64() float64 {
+	v := math.Float64frombits(d.u64())
+	if math.IsNaN(v) {
+		// NaN compares false against everything, which would corrupt the
+		// sorted row invariants downstream; no encoder emits it.
+		d.fail("NaN float at offset %d", d.off)
+	}
+	return v
+}
 
-func (d *decoder) ids() []uint64 {
-	n := int(d.u32())
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// count reads an id/registry element count bounded by the remaining
+// buffer, where each remaining element occupies at least minBytes bytes —
+// a corrupt length can therefore never trigger a huge allocation.
+func (d *decoder) count(minBytes int) int {
+	var n uint64
+	if d.version == versionV1 {
+		n = uint64(d.u32())
+	} else {
+		n = d.uvarint()
+	}
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.buf)-d.off)/uint64(minBytes)+1 {
+		d.fail("count %d exceeds buffer at offset %d", n, d.off)
+		return 0
+	}
+	return int(n)
+}
+
+// ids decodes one id list into dst (reused between calls by MergeEncoded;
+// Decode passes nil to get fresh slices). The returned list is sorted
+// ascending in v2 by construction; v1 lists are returned verbatim.
+func (d *decoder) ids(dst []uint64) []uint64 {
+	if d.version == versionV1 {
+		n := d.count(8)
+		if d.err != nil || n == 0 {
+			return nil
+		}
+		if cap(dst) < n {
+			dst = make([]uint64, n)
+		}
+		dst = dst[:n]
+		for i := range dst {
+			dst[i] = d.u64()
+		}
+		return dst
+	}
+	n := d.count(1)
 	if d.err != nil || n == 0 {
 		return nil
 	}
-	if d.off+8*n > len(d.buf) {
-		d.fail("id list of %d entries exceeds buffer", n)
+	if cap(dst) < n {
+		dst = make([]uint64, n)
+	}
+	dst = dst[:n]
+	prev := uint64(0)
+	for i := range dst {
+		v := d.uvarint()
+		if i > 0 {
+			if v == 0 {
+				d.fail("id list not strictly ascending at offset %d", d.off)
+				return nil
+			}
+			next := prev + v
+			if next < prev {
+				d.fail("id delta overflow at offset %d", d.off)
+				return nil
+			}
+			v = next
+		}
+		dst[i] = v
+		prev = v
+	}
+	if d.err != nil {
 		return nil
 	}
-	out := make([]uint64, n)
-	for i := range out {
-		out[i] = d.u64()
-	}
-	return out
+	return dst
 }
 
-// Decode parses a summary encoded by Encode. The schema must match the
-// encoder's (attribute ids are schema indexes).
-func Decode(s *schema.Schema, buf []byte) (*Summary, error) {
-	d := &decoder{buf: buf}
-	if m := d.bytes(4); m == nil || string(m) != string(magic[:]) {
-		return nil, fmt.Errorf("summary: bad magic")
+// header validates the magic, version, and mode bytes.
+func (d *decoder) header() (interval.Mode, error) {
+	m := d.bytes(3)
+	if m == nil || string(m) != string(magicPrefix[:]) {
+		return 0, fmt.Errorf("summary: bad magic")
+	}
+	d.version = d.u8()
+	if d.version != versionV1 && d.version != versionV2 {
+		return 0, fmt.Errorf("summary: unsupported wire version %q", d.version)
 	}
 	mode := interval.Mode(d.u8())
 	if mode != interval.Lossy && mode != interval.Exact {
-		return nil, fmt.Errorf("summary: bad mode %d", mode)
+		return 0, fmt.Errorf("summary: bad mode %d", mode)
+	}
+	return mode, nil
+}
+
+// registryEntry decodes one registry entry: the id key (delta-decoded in
+// v2 against prev) and its c3 mask, read into maskScratch.
+func (d *decoder) registryEntry(i int, prev uint64, maskScratch subid.Mask) (uint64, subid.Mask) {
+	var key uint64
+	if d.version == versionV1 {
+		key = d.u64()
+	} else {
+		v := d.uvarint()
+		if i > 0 {
+			if v == 0 {
+				d.fail("registry keys not strictly ascending at offset %d", d.off)
+				return 0, nil
+			}
+			key = prev + v
+			if key < prev {
+				d.fail("registry key delta overflow at offset %d", d.off)
+				return 0, nil
+			}
+		} else {
+			key = v
+		}
+	}
+	words := int(d.u8())
+	if cap(maskScratch) < words {
+		maskScratch = make(subid.Mask, words)
+	}
+	maskScratch = maskScratch[:words]
+	for w := 0; w < words; w++ {
+		if d.version == versionV1 {
+			maskScratch[w] = d.u64()
+		} else {
+			maskScratch[w] = d.uvarint()
+		}
+	}
+	return key, maskScratch
+}
+
+// Decode parses a summary encoded by Encode or EncodeV1 (the version byte
+// selects the codec). The schema must match the encoder's (attribute ids
+// are schema indexes).
+func Decode(s *schema.Schema, buf []byte) (*Summary, error) {
+	d := &decoder{buf: buf}
+	mode, err := d.header()
+	if err != nil {
+		return nil, err
 	}
 	sm := New(s, mode)
 
-	nIDs := int(d.u32())
+	nIDs := d.count(2)
+	prev := uint64(0)
 	for i := 0; i < nIDs && d.err == nil; i++ {
-		key := d.u64()
-		words := int(d.u8())
-		mask := make(subid.Mask, words)
-		for w := 0; w < words; w++ {
-			mask[w] = d.u64()
+		key, mask := d.registryEntry(i, prev, nil)
+		if d.err != nil {
+			break
 		}
-		if !sm.registerID(key, mask) {
+		prev = key
+		if !sm.registerID(key, mask.Clone()) {
 			d.fail("duplicate registry id %d", key)
 			break
 		}
@@ -248,18 +523,18 @@ func Decode(s *schema.Schema, buf []byte) (*Summary, error) {
 			lo, hi := d.f64(), d.f64()
 			flags := d.u8()
 			iv := interval.Range(lo, hi, flags&1 != 0, flags&2 != 0)
-			rows = append(rows, interval.RowView{Interval: iv, IDs: d.ids()})
+			rows = append(rows, interval.RowView{Interval: iv, IDs: d.ids(nil)})
 		}
 		var eqs, nes []interval.EqView
 		nEq := int(d.u32())
 		for r := 0; r < nEq && d.err == nil; r++ {
 			v := d.f64()
-			eqs = append(eqs, interval.EqView{Value: v, IDs: d.ids()})
+			eqs = append(eqs, interval.EqView{Value: v, IDs: d.ids(nil)})
 		}
 		nNe := int(d.u32())
 		for r := 0; r < nNe && d.err == nil; r++ {
 			v := d.f64()
-			nes = append(nes, interval.EqView{Value: v, IDs: d.ids()})
+			nes = append(nes, interval.EqView{Value: v, IDs: d.ids(nil)})
 		}
 		if d.err != nil {
 			break
@@ -292,12 +567,12 @@ func Decode(s *schema.Schema, buf []byte) (*Summary, error) {
 				break
 			}
 			text := string(d.bytes(int(d.u16())))
-			rows = append(rows, strmatch.Row{Pattern: strmatch.Pattern{Op: op, Text: text}, IDs: d.ids()})
+			rows = append(rows, strmatch.Row{Pattern: strmatch.Pattern{Op: op, Text: text}, IDs: d.ids(nil)})
 		}
 		nNe := int(d.u32())
 		for r := 0; r < nNe && d.err == nil; r++ {
 			text := string(d.bytes(int(d.u16())))
-			nes = append(nes, strmatch.Row{Pattern: strmatch.Pattern{Op: schema.OpNE, Text: text}, IDs: d.ids()})
+			nes = append(nes, strmatch.Row{Pattern: strmatch.Pattern{Op: schema.OpNE, Text: text}, IDs: d.ids(nil)})
 		}
 		if d.err != nil {
 			break
@@ -321,4 +596,127 @@ func Decode(s *schema.Schema, buf []byte) (*Summary, error) {
 		return nil, fmt.Errorf("summary: %d trailing bytes", len(buf)-d.off)
 	}
 	return sm, nil
+}
+
+// MergeEncoded folds a wire-form summary (either version) directly into
+// sm, with the same semantics as Decode followed by Merge but without
+// materializing the intermediate Summary — the hot path of Algorithm 2
+// delivery. Scratch buffers are reused across rows, so a merge allocates
+// only what the receiving summary retains.
+//
+// On error the summary may hold a partial merge: some rows and registry
+// entries of the payload applied, the rest not. That is equivalent to the
+// message having been lost mid-transfer — coverage is degraded (ids with
+// incomplete attribute rows simply never reach their c3 count and the
+// caller does not extend Merged_Brokers), but matching stays correct, the
+// same guarantee the engine gives for dropped summary messages.
+func (sm *Summary) MergeEncoded(buf []byte) error {
+	d := &decoder{buf: buf}
+	mode, err := d.header()
+	if err != nil {
+		return err
+	}
+	_ = mode // the receiver's own mode governs merged semantics, as in Merge
+
+	var idScratch []uint64
+	var maskScratch subid.Mask
+	// Registered masks are read-only after insertion, so new keys take
+	// slices of a shared slab instead of one allocation per key.
+	var maskSlab []uint64
+
+	nIDs := d.count(2)
+	prev := uint64(0)
+	for i := 0; i < nIDs && d.err == nil; i++ {
+		var key uint64
+		key, maskScratch = d.registryEntry(i, prev, maskScratch)
+		if d.err != nil {
+			break
+		}
+		prev = key
+		if _, ok := sm.ids[key]; !ok {
+			w := len(maskScratch)
+			if len(maskSlab) < w {
+				maskSlab = make([]uint64, 256*w)
+			}
+			mask := subid.Mask(maskSlab[:w:w])
+			maskSlab = maskSlab[w:]
+			copy(mask, maskScratch)
+			sm.registerID(key, mask)
+		}
+	}
+
+	nAACS := int(d.u16())
+	for i := 0; i < nAACS && d.err == nil; i++ {
+		a := schema.AttrID(d.u16())
+		if int(a) >= sm.schema.Len() || !sm.schema.TypeOf(a).Arithmetic() {
+			d.fail("AACS for non-arithmetic attribute %d", a)
+			break
+		}
+		set := sm.arithSet(a)
+		nRows := int(d.u32())
+		for r := 0; r < nRows && d.err == nil; r++ {
+			lo, hi := d.f64(), d.f64()
+			flags := d.u8()
+			iv := interval.Range(lo, hi, flags&1 != 0, flags&2 != 0)
+			idScratch = d.ids(idScratch[:0])
+			if d.err == nil {
+				set.MergeRow(iv, idScratch)
+			}
+		}
+		nEq := int(d.u32())
+		for r := 0; r < nEq && d.err == nil; r++ {
+			v := d.f64()
+			idScratch = d.ids(idScratch[:0])
+			if d.err == nil {
+				set.MergePoint(v, idScratch)
+			}
+		}
+		nNe := int(d.u32())
+		for r := 0; r < nNe && d.err == nil; r++ {
+			v := d.f64()
+			idScratch = d.ids(idScratch[:0])
+			if d.err == nil {
+				set.MergeNotEqual(v, idScratch)
+			}
+		}
+	}
+
+	nSACS := int(d.u16())
+	for i := 0; i < nSACS && d.err == nil; i++ {
+		a := schema.AttrID(d.u16())
+		if int(a) >= sm.schema.Len() || sm.schema.TypeOf(a) != schema.TypeString {
+			d.fail("SACS for non-string attribute %d", a)
+			break
+		}
+		set := sm.strSet(a)
+		nRows := int(d.u32())
+		for r := 0; r < nRows && d.err == nil; r++ {
+			op := schema.Op(d.u8())
+			if !op.StringOp() || op == schema.OpNE {
+				d.fail("bad SACS operator %d", op)
+				break
+			}
+			text := d.bytes(int(d.u16()))
+			idScratch = d.ids(idScratch[:0])
+			if d.err == nil {
+				set.MergeRowBytes(op, text, idScratch)
+			}
+		}
+		nNe := int(d.u32())
+		for r := 0; r < nNe && d.err == nil; r++ {
+			text := d.bytes(int(d.u16()))
+			idScratch = d.ids(idScratch[:0])
+			if d.err == nil {
+				set.MergeRowBytes(schema.OpNE, text, idScratch)
+			}
+		}
+	}
+
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(buf) {
+		return fmt.Errorf("summary: %d trailing bytes", len(buf)-d.off)
+	}
+	return nil
 }

@@ -1,0 +1,188 @@
+package summary
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/subid"
+)
+
+// randomSummary builds a summary with n random subscriptions spread over a
+// handful of brokers, mimicking the per-broker id locality the v2 delta
+// encoding exploits.
+func randomSummary(t *testing.T, rng *rand.Rand, mode interval.Mode, n int) *Summary {
+	t.Helper()
+	s := stockSchema(t)
+	sm := New(s, mode)
+	for i := 0; i < n; i++ {
+		sub := randomSubscription(rng, s)
+		id := subid.ID{Broker: subid.BrokerID(rng.Intn(8)), Local: subid.LocalID(i)}
+		if err := sm.Insert(id, sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sm
+}
+
+func TestEncodedSizeMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, mode := range []interval.Mode{interval.Lossy, interval.Exact} {
+		for _, n := range []int{0, 1, 10, 120} {
+			sm := randomSummary(t, rng, mode, n)
+			if got, want := sm.EncodedSize(), len(sm.Encode(nil)); got != want {
+				t.Errorf("mode %v n=%d: EncodedSize = %d, len(Encode) = %d", mode, n, got, want)
+			}
+			if got, want := sm.EncodedSizeV1(), len(sm.EncodeV1(nil)); got != want {
+				t.Errorf("mode %v n=%d: EncodedSizeV1 = %d, len(EncodeV1) = %d", mode, n, got, want)
+			}
+		}
+	}
+}
+
+// TestCrossVersionRoundTrip: a summary decoded from its v1 wire form must
+// be semantically equal to one decoded from v2 — identical canonical
+// (v2) re-encoding and identical matching behaviour.
+func TestCrossVersionRoundTrip(t *testing.T) {
+	s := stockSchema(t)
+	rng := rand.New(rand.NewSource(11))
+	for _, mode := range []interval.Mode{interval.Lossy, interval.Exact} {
+		sm := randomSummary(t, rng, mode, 100)
+		canonical := sm.Encode(nil)
+
+		fromV1, err := Decode(s, sm.EncodeV1(nil))
+		if err != nil {
+			t.Fatalf("mode %v: decode v1: %v", mode, err)
+		}
+		fromV2, err := Decode(s, canonical)
+		if err != nil {
+			t.Fatalf("mode %v: decode v2: %v", mode, err)
+		}
+		if !bytes.Equal(fromV1.Encode(nil), canonical) {
+			t.Fatalf("mode %v: v1 round trip re-encodes differently", mode)
+		}
+		if !bytes.Equal(fromV2.Encode(nil), canonical) {
+			t.Fatalf("mode %v: v2 round trip re-encodes differently", mode)
+		}
+		for i := 0; i < 300; i++ {
+			ev := randomEvent(rng, s)
+			want := sm.MatchKeys(ev)
+			if !reflect.DeepEqual(fromV1.MatchKeys(ev), want) {
+				t.Fatalf("mode %v: v1 decode diverges on %s", mode, ev.Format(s))
+			}
+			if !reflect.DeepEqual(fromV2.MatchKeys(ev), want) {
+				t.Fatalf("mode %v: v2 decode diverges on %s", mode, ev.Format(s))
+			}
+		}
+	}
+}
+
+// TestV2SmallerThanV1 checks the point of the exercise: on a workload
+// with per-broker id locality, the varint delta encoding must shrink the
+// wire form by a wide margin (the acceptance floor is 30%).
+func TestV2SmallerThanV1(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sm := randomSummary(t, rng, interval.Lossy, 200)
+	v1, v2 := sm.EncodedSizeV1(), sm.EncodedSize()
+	if v2 >= v1 {
+		t.Fatalf("v2 (%d bytes) not smaller than v1 (%d bytes)", v2, v1)
+	}
+	if reduction := 1 - float64(v2)/float64(v1); reduction < 0.30 {
+		t.Errorf("v2 reduction %.1f%% below the 30%% acceptance floor (v1=%d v2=%d)",
+			100*reduction, v1, v2)
+	}
+}
+
+// TestMergeEncodedEquivalentToDecodeMerge: folding a wire-form summary in
+// directly must produce byte-identical state to Decode-then-Merge, for
+// both wire versions, including repeated merges and self-merge.
+func TestMergeEncodedEquivalentToDecodeMerge(t *testing.T) {
+	s := stockSchema(t)
+	rng := rand.New(rand.NewSource(17))
+	for _, mode := range []interval.Mode{interval.Lossy, interval.Exact} {
+		base := randomSummary(t, rng, mode, 80)
+		other := randomSummary(t, rng, mode, 80)
+		for _, encode := range []struct {
+			name string
+			wire []byte
+		}{
+			{"v2", other.Encode(nil)},
+			{"v1", other.EncodeV1(nil)},
+		} {
+			viaDecode := base.Clone()
+			decoded, err := Decode(s, encode.wire)
+			if err != nil {
+				t.Fatalf("mode %v %s: %v", mode, encode.name, err)
+			}
+			if err := viaDecode.Merge(decoded); err != nil {
+				t.Fatalf("mode %v %s: Merge: %v", mode, encode.name, err)
+			}
+			direct := base.Clone()
+			if err := direct.MergeEncoded(encode.wire); err != nil {
+				t.Fatalf("mode %v %s: MergeEncoded: %v", mode, encode.name, err)
+			}
+			if !bytes.Equal(direct.Encode(nil), viaDecode.Encode(nil)) {
+				t.Fatalf("mode %v %s: MergeEncoded state differs from Decode+Merge", mode, encode.name)
+			}
+			// Merging the same payload again must be idempotent, as Merge is.
+			if err := direct.MergeEncoded(encode.wire); err != nil {
+				t.Fatalf("mode %v %s: repeated MergeEncoded: %v", mode, encode.name, err)
+			}
+			if !bytes.Equal(direct.Encode(nil), viaDecode.Encode(nil)) {
+				t.Fatalf("mode %v %s: repeated MergeEncoded not idempotent", mode, encode.name)
+			}
+		}
+	}
+}
+
+// TestMergeEncodedIntoEmpty: merging into a fresh summary reproduces
+// Decode exactly.
+func TestMergeEncodedIntoEmpty(t *testing.T) {
+	s := stockSchema(t)
+	rng := rand.New(rand.NewSource(23))
+	sm := randomSummary(t, rng, interval.Lossy, 60)
+	wire := sm.Encode(nil)
+	into := New(s, interval.Lossy)
+	if err := into.MergeEncoded(wire); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(into.Encode(nil), wire) {
+		t.Fatal("MergeEncoded into empty summary differs from Decode")
+	}
+}
+
+func TestMergeEncodedRejectsCorrupt(t *testing.T) {
+	s := stockSchema(t)
+	rng := rand.New(rand.NewSource(29))
+	sm := randomSummary(t, rng, interval.Lossy, 20)
+	wire := sm.Encode(nil)
+	for cut := 0; cut < len(wire); cut += 5 {
+		into := New(s, interval.Lossy)
+		if err := into.MergeEncoded(wire[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	into := New(s, interval.Lossy)
+	if err := into.MergeEncoded(append(append([]byte(nil), wire...), 0x00)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// TestDecodeV2RejectsNonAscendingIDs: a zero delta (duplicate id) in a v2
+// id list must be rejected, preserving the sorted-unique invariant.
+func TestDecodeV2RejectsHostileCounts(t *testing.T) {
+	s := stockSchema(t)
+	// Handcraft a v2 header claiming a gigantic registry count with no
+	// bytes behind it; the decoder must fail fast, not allocate.
+	buf := []byte{'S', 'S', 'M', '2', byte(interval.Lossy),
+		0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01} // uvarint 2^63-ish
+	if _, err := Decode(s, buf); err == nil {
+		t.Fatal("hostile registry count accepted")
+	}
+	into := New(s, interval.Lossy)
+	if err := into.MergeEncoded(buf); err == nil {
+		t.Fatal("hostile registry count accepted by MergeEncoded")
+	}
+}
