@@ -1,0 +1,177 @@
+// Command benchcheck compares a freshly generated benchmark report
+// against a committed baseline and writes a markdown summary, flagging
+// results whose ns/op regressed beyond a threshold. It is advisory:
+// the exit status is 0 even when regressions are found (shared CI
+// runners are too noisy to gate on), unless -gate is set.
+//
+// Usage:
+//
+//	benchcheck -baseline BENCH_matching.json -current /tmp/fresh.json \
+//	           [-threshold 10] [-summary "$GITHUB_STEP_SUMMARY"] [-gate]
+//
+// The reports are the JSON files written by subsum-bench: an object
+// with a "results" array of {name, ns_per_op, allocs_per_op, ...}.
+// Results are matched by name; names present in only one file are
+// listed but never flagged.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+type report struct {
+	Results []result `json:"results"`
+}
+
+type result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int64   `json:"iterations"`
+}
+
+func loadReport(path string) (map[string]result, []string, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var r report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]result, len(r.Results))
+	order := make([]string, 0, len(r.Results))
+	for _, res := range r.Results {
+		if _, dup := m[res.Name]; !dup {
+			order = append(order, res.Name)
+		}
+		m[res.Name] = res
+	}
+	return m, order, nil
+}
+
+// row is one comparison line of the summary table.
+type row struct {
+	name      string
+	base, cur float64
+	deltaPct  float64
+	status    string
+}
+
+func compare(base, cur map[string]result, order []string, thresholdPct float64) (rows []row, regressions int) {
+	names := append([]string(nil), order...)
+	// Baseline-only names go at the end so disappearing benchmarks are
+	// visible too.
+	var missing []string
+	for name := range base {
+		if _, ok := cur[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	names = append(names, missing...)
+
+	for _, name := range names {
+		b, inBase := base[name]
+		c, inCur := cur[name]
+		switch {
+		case !inBase:
+			rows = append(rows, row{name: name, cur: c.NsPerOp, status: "new (no baseline)"})
+		case !inCur:
+			rows = append(rows, row{name: name, base: b.NsPerOp, status: "missing from current run"})
+		default:
+			delta := 0.0
+			if b.NsPerOp > 0 {
+				delta = (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+			}
+			r := row{name: name, base: b.NsPerOp, cur: c.NsPerOp, deltaPct: delta}
+			switch {
+			case delta > thresholdPct:
+				r.status = fmt.Sprintf("REGRESSION (>%g%%)", thresholdPct)
+				regressions++
+			case delta < -thresholdPct:
+				r.status = "improved"
+			default:
+				r.status = "ok"
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, regressions
+}
+
+func writeMarkdown(w io.Writer, title string, rows []row, regressions int) {
+	fmt.Fprintf(w, "### benchcheck: %s\n\n", title)
+	if regressions > 0 {
+		fmt.Fprintf(w, "**%d result(s) regressed** — advisory only; shared runners are noisy, re-run before acting.\n\n", regressions)
+	} else {
+		fmt.Fprintf(w, "No regressions above threshold.\n\n")
+	}
+	fmt.Fprintf(w, "| benchmark | baseline ns/op | current ns/op | delta | status |\n")
+	fmt.Fprintf(w, "|---|---:|---:|---:|---|\n")
+	for _, r := range rows {
+		baseS, curS, deltaS := "—", "—", "—"
+		if r.base > 0 {
+			baseS = fmt.Sprintf("%.0f", r.base)
+		}
+		if r.cur > 0 {
+			curS = fmt.Sprintf("%.0f", r.cur)
+		}
+		if r.base > 0 && r.cur > 0 {
+			deltaS = fmt.Sprintf("%+.1f%%", r.deltaPct)
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s |\n", r.name, baseS, curS, deltaS, r.status)
+	}
+	fmt.Fprintln(w)
+}
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "", "committed baseline report (required)")
+		current   = flag.String("current", "", "freshly generated report (required)")
+		threshold = flag.Float64("threshold", 10, "ns/op regression percentage to flag")
+		summary   = flag.String("summary", "", "append the markdown table to this file (e.g. $GITHUB_STEP_SUMMARY); stdout if empty")
+		gate      = flag.Bool("gate", false, "exit nonzero when regressions are found (default: advisory)")
+	)
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -baseline and -current are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, _, err := loadReport(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	cur, order, err := loadReport(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+
+	rows, regressions := compare(base, cur, order, *threshold)
+
+	out := io.Writer(os.Stdout)
+	if *summary != "" {
+		f, err := os.OpenFile(*summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		out = f
+	}
+	writeMarkdown(out, fmt.Sprintf("%s vs %s", *current, *baseline), rows, regressions)
+
+	if *gate && regressions > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", `{"results":[
+		{"name":"A","ns_per_op":100},
+		{"name":"B","ns_per_op":100},
+		{"name":"C","ns_per_op":100},
+		{"name":"Gone","ns_per_op":50}]}`)
+	cur := writeReport(t, dir, "cur.json", `{"results":[
+		{"name":"A","ns_per_op":105},
+		{"name":"B","ns_per_op":125},
+		{"name":"C","ns_per_op":80},
+		{"name":"New","ns_per_op":10}]}`)
+
+	b, _, err := loadReport(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, order, err := loadReport(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, regressions := compare(b, c, order, 10)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (B)", regressions)
+	}
+	status := map[string]string{}
+	for _, r := range rows {
+		status[r.name] = r.status
+	}
+	if status["A"] != "ok" {
+		t.Errorf("A: %q", status["A"])
+	}
+	if !strings.HasPrefix(status["B"], "REGRESSION") {
+		t.Errorf("B: %q", status["B"])
+	}
+	if status["C"] != "improved" {
+		t.Errorf("C: %q", status["C"])
+	}
+	if status["New"] != "new (no baseline)" {
+		t.Errorf("New: %q", status["New"])
+	}
+	if status["Gone"] != "missing from current run" {
+		t.Errorf("Gone: %q", status["Gone"])
+	}
+
+	var sb strings.Builder
+	writeMarkdown(&sb, "test", rows, regressions)
+	md := sb.String()
+	if !strings.Contains(md, "| B | 100 | 125 | +25.0% | REGRESSION") {
+		t.Errorf("markdown missing regression row:\n%s", md)
+	}
+	if !strings.Contains(md, "**1 result(s) regressed**") {
+		t.Errorf("markdown missing headline:\n%s", md)
+	}
+}
+
+func TestCompareAgainstRealBaselines(t *testing.T) {
+	// The committed reports must parse and compare clean against
+	// themselves (zero delta everywhere).
+	for _, path := range []string{"../../BENCH_matching.json", "../../BENCH_propagation.json"} {
+		m, order, err := loadReport(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(m) == 0 {
+			t.Fatalf("%s: no results", path)
+		}
+		rows, regressions := compare(m, m, order, 10)
+		if regressions != 0 {
+			t.Fatalf("%s vs itself: %d regressions", path, regressions)
+		}
+		for _, r := range rows {
+			if r.status != "ok" || r.deltaPct != 0 {
+				t.Fatalf("%s: self-compare row %+v", path, r)
+			}
+		}
+	}
+}

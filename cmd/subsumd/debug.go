@@ -1,0 +1,82 @@
+// Debug HTTP surface for subsumd, enabled with -http. Serves the
+// engine's instrument registry, sampled hop traces, Go pprof profiles,
+// and expvar — everything needed to observe a live broker network
+// without attaching a debugger.
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"github.com/subsum/subsum/internal/core"
+)
+
+// newDebugMux builds the -http handler:
+//
+//	GET /metrics              registry snapshot, text key-value
+//	GET /metrics?format=json  same snapshot as a JSON object
+//	GET /trace                retained hop traces, newest first (JSON)
+//	GET /trace?sample=N       set sampling to every Nth publish (0 = off)
+//	    /debug/pprof/...      standard Go profiles
+//	GET /debug/vars           expvar (memstats, cmdline)
+func newDebugMux(network *core.Network) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = network.Metrics().WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = network.Metrics().WriteText(w)
+	})
+
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if s := r.URL.Query().Get("sample"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				http.Error(w, "sample must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			network.SetTraceSampling(n)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Sampling int          `json:"sampling"`
+			Traces   []core.Trace `json:"traces"`
+		}{network.TraceSampling(), network.Traces()})
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+
+	return mux
+}
+
+// startDebugServer binds the -http listener and serves the debug mux in
+// the background. It returns the bound address and a shutdown func.
+func startDebugServer(addr string, network *core.Network, logger *slog.Logger) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: newDebugMux(network)}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			logger.Error("debug http server failed", "err", err)
+		}
+	}()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/subsum/subsum/internal/core"
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/subid"
+	"github.com/subsum/subsum/internal/topology"
+)
+
+func testNetwork(t *testing.T) (*core.Network, *schema.Schema) {
+	t.Helper()
+	s := schema.MustNew(
+		schema.Attribute{Name: "symbol", Type: schema.TypeString},
+		schema.Attribute{Name: "price", Type: schema.TypeFloat},
+	)
+	network, err := core.New(core.Config{
+		Topology: topology.Figure7Tree(),
+		Schema:   s,
+		Mode:     interval.Lossy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { network.Close() })
+	return network, s
+}
+
+func TestDebugMetricsEndpoint(t *testing.T) {
+	network, s := testNetwork(t)
+	ts := httptest.NewServer(newDebugMux(network))
+	defer ts.Close()
+
+	sub, err := schema.ParseSubscription(s, `symbol = OTE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := network.Subscribe(5, sub, func(subid.ID, *schema.Event) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := network.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := schema.ParseEvent(s, "symbol=OTE price=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := network.Publish(0, ev); err != nil {
+		t.Fatal(err)
+	}
+	network.Flush()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{"events_published 1", "propagation_periods 1", "bus_messages{event}"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics text missing %q:\n%s", want, text)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]float64
+	err = json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/metrics json: %v", err)
+	}
+	if m["events_published"] != 1 {
+		t.Fatalf("json events_published = %v", m["events_published"])
+	}
+}
+
+func TestDebugTraceEndpoint(t *testing.T) {
+	network, s := testNetwork(t)
+	ts := httptest.NewServer(newDebugMux(network))
+	defer ts.Close()
+
+	get := func(url string) (int, []core.Trace) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Sampling int          `json:"sampling"`
+			Traces   []core.Trace `json:"traces"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Sampling, out.Traces
+	}
+
+	if sampling, traces := get(ts.URL + "/trace"); sampling != 0 || len(traces) != 0 {
+		t.Fatalf("fresh network: sampling=%d traces=%d", sampling, len(traces))
+	}
+	if sampling, _ := get(ts.URL + "/trace?sample=1"); sampling != 1 {
+		t.Fatalf("sampling after ?sample=1: %d", sampling)
+	}
+
+	ev, err := schema.ParseEvent(s, "symbol=OTE price=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := network.Publish(2, ev); err != nil {
+		t.Fatal(err)
+	}
+	network.Flush()
+
+	_, traces := get(ts.URL + "/trace")
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	if traces[0].Origin != 2 || len(traces[0].Path) == 0 || traces[0].Path[0] != 2 {
+		t.Fatalf("trace = %+v", traces[0])
+	}
+
+	resp, err := http.Get(ts.URL + "/trace?sample=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus sample: %d", resp.StatusCode)
+	}
+}
+
+func TestDebugPprofAndVars(t *testing.T) {
+	network, _ := testNetwork(t)
+	ts := httptest.NewServer(newDebugMux(network))
+	defer ts.Close()
+
+	for _, path := range []string{"/debug/pprof/", "/debug/vars"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Fatalf("%s: empty body", path)
+		}
+	}
+}

@@ -7,7 +7,8 @@
 //	subsumd -addr 127.0.0.1:7070 \
 //	        -schema "exchange:string,symbol:string,price:float,volume:int" \
 //	        -topology cw24 \
-//	        -propagate-every 5s
+//	        -propagate-every 5s \
+//	        -http 127.0.0.1:7071
 //
 // Clients send one JSON object per line:
 //
@@ -18,12 +19,16 @@
 //
 // and receive replies plus pushed {"type":"delivery",...} lines for their
 // subscriptions. Try it interactively with `nc`.
+//
+// With -http set, a debug listener serves /metrics (instrument-registry
+// snapshot, text or ?format=json), /trace (sampled hop traces;
+// ?sample=N adjusts the rate), /debug/pprof/ and /debug/vars.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -33,6 +38,7 @@ import (
 	"github.com/subsum/subsum/internal/broker"
 	"github.com/subsum/subsum/internal/core"
 	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/metrics"
 	"github.com/subsum/subsum/internal/schema"
 	"github.com/subsum/subsum/internal/subid"
 	"github.com/subsum/subsum/internal/topology"
@@ -49,23 +55,38 @@ func main() {
 		fullSync = flag.Int("full-sync-every", 0, "ship the full merged summary every k-th propagation period instead of the delta (0 disables; recovers coverage lost to message loss)")
 		exact    = flag.Bool("exact", false, "use exact AACS equality handling instead of the paper's lossy folding")
 		snapshot = flag.String("snapshot", "", "path to write a snapshot of all subscriptions on shutdown (and load on startup if present)")
+		httpAddr = flag.String("http", "", "debug listen address serving /metrics, /trace, /debug/pprof (empty disables)")
+		traceN   = flag.Int("trace-sample", 0, "record a hop trace for every Nth published event (0 disables)")
+		logJSON  = flag.Bool("log-json", false, "emit structured JSON logs instead of text")
 	)
 	flag.Parse()
-	log.SetPrefix("subsumd: ")
-	log.SetFlags(log.LstdFlags)
+
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler).With("component", "subsumd")
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	s, err := parseSchema(*schemaStr)
 	if err != nil {
-		log.Fatal(err)
+		fatal("bad -schema", "err", err)
 	}
 	topo, err := parseTopology(*topoName)
 	if err != nil {
-		log.Fatal(err)
+		fatal("bad -topology", "err", err)
 	}
 	mode := interval.Lossy
 	if *exact {
 		mode = interval.Exact
 	}
+	reg := metrics.NewRegistry()
 	var network *core.Network
 	if *snapshot != "" {
 		if f, err := os.Open(*snapshot); err == nil {
@@ -73,76 +94,105 @@ func main() {
 			// matched and counted but delivered nowhere until a client
 			// re-subscribes. Operators typically pair snapshots with
 			// durable consumer queues; this daemon logs instead.
-			network, err = core.LoadSnapshot(f, core.Config{Topology: topo, Mode: mode, FullSyncEvery: *fullSync},
+			network, err = core.LoadSnapshot(f, core.Config{Topology: topo, Mode: mode, FullSyncEvery: *fullSync, Metrics: reg},
 				func(id subid.ID, sub *schema.Subscription) broker.DeliveryFunc {
+					blog := logger.With("broker", int(id.Broker), "local", uint32(id.Local))
 					return func(id subid.ID, ev *schema.Event) {
-						log.Printf("delivery for restored %v: %s", id, ev.Format(s))
+						blog.Info("delivery for restored subscription", "event", ev.Format(s))
 					}
 				})
 			f.Close()
 			if err != nil {
-				log.Fatalf("loading snapshot %s: %v", *snapshot, err)
+				fatal("loading snapshot", "path", *snapshot, "err", err)
 			}
-			log.Printf("restored snapshot from %s", *snapshot)
+			logger.Info("restored snapshot", "path", *snapshot)
 			// The snapshot's schema is authoritative for the restored
 			// network; the -schema flag is ignored in that case.
 			s = network.Schema()
 			if _, err := network.Propagate(); err != nil {
-				log.Fatalf("rebuilding summaries: %v", err)
+				fatal("rebuilding summaries", "err", err)
 			}
 		}
 	}
 	if network == nil {
 		var err error
-		network, err = core.New(core.Config{Topology: topo, Schema: s, Mode: mode, FullSyncEvery: *fullSync})
+		network, err = core.New(core.Config{Topology: topo, Schema: s, Mode: mode, FullSyncEvery: *fullSync, Metrics: reg})
 		if err != nil {
-			log.Fatal(err)
+			fatal("building network", "err", err)
 		}
 	}
 	defer network.Close()
+	network.SetTraceSampling(*traceN)
 
 	srv := wire.NewServer(network, s)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
-		log.Fatal(err)
+		fatal("listen", "addr", *addr, "err", err)
 	}
 	defer srv.Close()
-	log.Printf("listening on %s — %s, schema %s", bound, topo, s)
+	logger.Info("listening", "addr", bound, "topology", topo.String(), "schema", s.String())
+
+	if *httpAddr != "" {
+		dbgAddr, stopDebug, err := startDebugServer(*httpAddr, network, logger)
+		if err != nil {
+			fatal("debug listen", "addr", *httpAddr, "err", err)
+		}
+		defer stopDebug()
+		logger.Info("debug http listening", "addr", dbgAddr,
+			"endpoints", "/metrics /trace /debug/pprof/ /debug/vars")
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
+	// The propagation loop owns a done channel so shutdown actually stops
+	// it: ranging over ticker.C alone would leave the goroutine parked
+	// forever, since Ticker.Stop does not close the channel.
+	propDone := make(chan struct{})
+	propStopped := make(chan struct{})
 	if *every > 0 {
 		ticker := time.NewTicker(*every)
-		defer ticker.Stop()
+		plog := logger.With("subsystem", "propagation")
 		go func() {
-			for range ticker.C {
-				hops, err := network.Propagate()
-				if err != nil {
-					log.Printf("propagation failed: %v", err)
-					continue
-				}
-				if hops > 0 {
-					log.Printf("propagation period: %d summary hops", hops)
+			defer close(propStopped)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-propDone:
+					plog.Info("propagation loop stopped")
+					return
+				case <-ticker.C:
+					hops, err := network.Propagate()
+					if err != nil {
+						plog.Error("propagation failed", "err", err)
+						continue
+					}
+					if hops > 0 {
+						plog.Info("propagation period", "summary_hops", hops)
+					}
 				}
 			}
 		}()
+	} else {
+		close(propStopped)
 	}
 
 	<-stop
+	close(propDone)
+	<-propStopped
 	if *snapshot != "" {
 		f, err := os.Create(*snapshot)
 		if err != nil {
-			log.Printf("snapshot: %v", err)
+			logger.Error("snapshot", "err", err)
 		} else {
 			if err := network.SaveSnapshot(f); err != nil {
-				log.Printf("snapshot: %v", err)
+				logger.Error("snapshot", "err", err)
 			}
 			f.Close()
-			log.Printf("snapshot written to %s", *snapshot)
+			logger.Info("snapshot written", "path", *snapshot)
 		}
 	}
-	log.Print("shutting down")
+	logger.Info("shutting down")
 }
 
 func parseSchema(spec string) (*schema.Schema, error) {

@@ -12,9 +12,12 @@ package broker
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/metrics"
 	"github.com/subsum/subsum/internal/schema"
 	"github.com/subsum/subsum/internal/siena"
 	"github.com/subsum/subsum/internal/subid"
@@ -51,6 +54,36 @@ type Broker struct {
 	communicated  map[topology.NodeID]bool
 	filter        *siena.SubsumptionFilter // nil unless delta filtering is on
 	filteredSubs  int                      // subscriptions kept out of deltas
+	obs           *brokerObs               // nil unless Config.Metrics was set
+}
+
+// brokerObs holds this broker's registry instruments, resolved once at
+// New under "name{broker}" labels. The histogram observations bracket the
+// two latency-sensitive operations (merged-summary matching and wire-form
+// merges); everything else is counter/gauge updates on paths already
+// holding b.mu.
+type brokerObs struct {
+	matchSeconds   *metrics.Histogram // MatchMerged latency
+	mergeSeconds   *metrics.Histogram // MergeEncodedSummary latency
+	deliveries     *metrics.Counter   // exact consumer deliveries
+	falsePositives *metrics.Counter   // events reaching exact match with 0 hits
+	summaryMerges  *metrics.Counter   // received summaries folded in
+	subscriptions  *metrics.Gauge     // own raw subscriptions
+	mergedSubs     *metrics.Gauge     // subscriptions visible in the merged summary
+}
+
+// newBrokerObs wires the per-broker instrument family.
+func newBrokerObs(r *metrics.Registry, id topology.NodeID) *brokerObs {
+	label := strconv.Itoa(int(id))
+	return &brokerObs{
+		matchSeconds:   r.HistogramVec("broker_match_seconds", metrics.DefLatencyBuckets).With(label),
+		mergeSeconds:   r.HistogramVec("broker_merge_seconds", metrics.DefLatencyBuckets).With(label),
+		deliveries:     r.CounterVec("broker_deliveries").With(label),
+		falsePositives: r.CounterVec("broker_false_positives").With(label),
+		summaryMerges:  r.CounterVec("broker_summary_merges").With(label),
+		subscriptions:  r.GaugeVec("broker_subscriptions").With(label),
+		mergedSubs:     r.GaugeVec("broker_merged_subs").With(label),
+	}
 }
 
 // Config parametrizes a broker.
@@ -70,6 +103,11 @@ type Config struct {
 	// FilterHistory bounds the filter's retained subscriptions (0 =
 	// unbounded). Only used with FilterSubsumedDeltas.
 	FilterHistory int
+	// Metrics, when non-nil, wires this broker's match/merge latency
+	// histograms, delivery and false-positive counters, and subscription
+	// gauges into the registry under "name{broker-id}" labels. Nil keeps
+	// the broker entirely uninstrumented (the pre-observability behavior).
+	Metrics *metrics.Registry
 }
 
 // New creates an empty broker.
@@ -99,6 +137,15 @@ func New(cfg Config) (*Broker, error) {
 	b.mergedBrokers.Set(int(cfg.ID))
 	if cfg.FilterSubsumedDeltas {
 		b.filter = siena.NewSubsumptionFilter(cfg.Schema, cfg.FilterHistory)
+	}
+	if cfg.Metrics != nil {
+		b.obs = newBrokerObs(cfg.Metrics, cfg.ID)
+		label := strconv.Itoa(int(cfg.ID))
+		b.matcher.SetObs(&summary.MatcherObs{
+			Events:    cfg.Metrics.CounterVec("broker_match_events").With(label),
+			Collected: cfg.Metrics.CounterVec("broker_collected_ids").With(label),
+			Matched:   cfg.Metrics.CounterVec("broker_filter_hits").With(label),
+		})
 	}
 	return b, nil
 }
@@ -141,7 +188,18 @@ func (b *Broker) Subscribe(sub *schema.Subscription, deliver DeliveryFunc) (subi
 	}
 	b.nextLocal++
 	b.subs[id.Local] = &subEntry{id: id, sub: sub, deliver: deliver}
+	b.updateSubGauges()
 	return id, nil
+}
+
+// updateSubGauges refreshes the subscription-level gauges; callers hold
+// b.mu.
+func (b *Broker) updateSubGauges() {
+	if b.obs == nil {
+		return
+	}
+	b.obs.subscriptions.Set(int64(len(b.subs)))
+	b.obs.mergedSubs.Set(int64(b.merged.NumSubscriptions()))
 }
 
 // RawSub exposes one owned subscription for snapshotting.
@@ -195,6 +253,7 @@ func (b *Broker) Restore(local subid.LocalID, sub *schema.Subscription, deliver 
 		b.nextLocal = local + 1
 	}
 	b.subs[local] = &subEntry{id: id, sub: sub, deliver: deliver}
+	b.updateSubGauges()
 	return nil
 }
 
@@ -212,6 +271,7 @@ func (b *Broker) Unsubscribe(id subid.ID) error {
 	b.merged.Remove(id)
 	// Defragment the AACS rows churn leaves behind (cheap: linear in rows).
 	b.merged.Compact()
+	b.updateSubGauges()
 	return nil
 }
 
@@ -256,6 +316,10 @@ func (b *Broker) MergeSummary(sum *summary.Summary, brokers subid.Mask) error {
 	for _, i := range brokers.Bits() {
 		b.mergedBrokers.Set(i)
 	}
+	if b.obs != nil {
+		b.obs.summaryMerges.Inc()
+		b.updateSubGauges()
+	}
 	return nil
 }
 
@@ -270,11 +334,20 @@ func (b *Broker) MergeSummary(sum *summary.Summary, brokers subid.Mask) error {
 func (b *Broker) MergeEncodedSummary(payload []byte, brokers subid.Mask) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	var start time.Time
+	if b.obs != nil {
+		start = time.Now()
+	}
 	if err := b.merged.MergeEncoded(payload); err != nil {
 		return err
 	}
 	for _, i := range brokers.Bits() {
 		b.mergedBrokers.Set(i)
+	}
+	if b.obs != nil {
+		b.obs.mergeSeconds.Observe(time.Since(start).Seconds())
+		b.obs.summaryMerges.Inc()
+		b.updateSubGauges()
 	}
 	return nil
 }
@@ -352,7 +425,13 @@ func (b *Broker) RecordCommunicated(peer topology.NodeID) {
 func (b *Broker) MatchMerged(ev *schema.Event) []subid.ID {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.matcher.Match(ev)
+	if b.obs == nil {
+		return b.matcher.Match(ev)
+	}
+	start := time.Now()
+	ids := b.matcher.Match(ev)
+	b.obs.matchSeconds.Observe(time.Since(start).Seconds())
+	return ids
 }
 
 // DeliverExact re-matches the event against the broker's raw
@@ -366,7 +445,19 @@ func (b *Broker) DeliverExact(ev *schema.Event) int {
 			hits = append(hits, e)
 		}
 	}
+	obs := b.obs
 	b.mu.Unlock()
+	if obs != nil {
+		if len(hits) == 0 {
+			// The event reached this broker's exact-match stage — some
+			// summary admitted it — but no raw subscription matches: a
+			// summary false positive (or a stale remote entry after an
+			// unsubscribe).
+			obs.falsePositives.Inc()
+		} else {
+			obs.deliveries.Add(int64(len(hits)))
+		}
+	}
 	// Deliver outside the lock; DeliveryFuncs must not call back in.
 	for _, e := range hits {
 		e.deliver(e.id, ev)

@@ -24,9 +24,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/subsum/subsum/internal/broker"
 	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/metrics"
 	"github.com/subsum/subsum/internal/netsim"
 	"github.com/subsum/subsum/internal/routing"
 	"github.com/subsum/subsum/internal/schema"
@@ -60,6 +62,11 @@ type Config struct {
 	// the missing coverage. 0 disables full syncs; 1 makes every period a
 	// full sync (the pre-delta behavior).
 	FullSyncEvery int
+	// Metrics receives the network's runtime instruments (engine counters,
+	// per-broker families, bus accounting). When nil, New creates a private
+	// registry — the engine is always instrumented; Metrics only controls
+	// where the numbers land. Retrieve it with Network.Metrics.
+	Metrics *metrics.Registry
 }
 
 // Network is a running broker network. Create with New, stop with Close.
@@ -79,6 +86,37 @@ type Network struct {
 	// periods counts completed Propagate calls (under periodMu), driving
 	// the FullSyncEvery schedule.
 	periods int
+
+	metrics *metrics.Registry
+	obs     netObs
+	tracer  tracer
+}
+
+// netObs holds the engine-level instruments, resolved once in New.
+type netObs struct {
+	eventsPublished    *metrics.Counter   // Publish calls accepted
+	eventsRouted       *metrics.Counter   // Algorithm 3 hops processed
+	eventsForwarded    *metrics.Counter   // events sent on to the next broker
+	deliverSends       *metrics.Counter   // remote owner deliveries sent
+	propagationPeriods *metrics.Counter   // completed Algorithm 2 periods
+	propagationHops    *metrics.Counter   // summary messages sent
+	propagationBytes   *metrics.Counter   // cumulative summary payload bytes
+	periodBytes        *metrics.Histogram // summary payload bytes per period
+	periodSeconds      *metrics.Histogram // wall time per period
+}
+
+func newNetObs(r *metrics.Registry) netObs {
+	return netObs{
+		eventsPublished:    r.Counter("events_published"),
+		eventsRouted:       r.Counter("events_routed"),
+		eventsForwarded:    r.Counter("events_forwarded"),
+		deliverSends:       r.Counter("deliver_sends"),
+		propagationPeriods: r.Counter("propagation_periods"),
+		propagationHops:    r.Counter("propagation_hops"),
+		propagationBytes:   r.Counter("propagation_bytes"),
+		periodBytes:        r.Histogram("propagation_period_bytes", metrics.DefSizeBuckets),
+		periodSeconds:      r.Histogram("propagation_period_seconds", metrics.DefLatencyBuckets),
+	}
 }
 
 // periodState is the per-propagation-period working set of Algorithm 2.
@@ -100,11 +138,18 @@ func New(cfg Config) (*Network, error) {
 		return nil, fmt.Errorf("core: RandomUnvisited is not supported by the live engine")
 	}
 	n := cfg.Topology.Len()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	net := &Network{
 		cfg:     cfg,
 		brokers: make([]*broker.Broker, n),
 		bus:     netsim.NewBus(n),
+		metrics: reg,
 	}
+	net.obs = newNetObs(reg)
+	net.bus.Instrument(reg)
 	for i := 0; i < n; i++ {
 		b, err := broker.New(broker.Config{
 			ID:                   topology.NodeID(i),
@@ -113,6 +158,7 @@ func New(cfg Config) (*Network, error) {
 			NumBrokers:           n,
 			MaxSubscriptions:     cfg.MaxSubscriptionsPerBroker,
 			FilterSubsumedDeltas: cfg.FilterSubsumedDeltas,
+			Metrics:              reg,
 		})
 		if err != nil {
 			return nil, err
@@ -207,6 +253,10 @@ func (net *Network) Len() int { return len(net.brokers) }
 // per-kind drop/decode-error/handler-error counters).
 func (net *Network) Stats() netsim.Stats { return net.bus.Stats() }
 
+// Metrics returns the network's instrument registry: engine counters,
+// per-broker instrument families, and bus accounting, all live.
+func (net *Network) Metrics() *metrics.Registry { return net.metrics }
+
 // InjectFaults installs a message-drop hook on the bus for fault testing:
 // messages for which fn returns true vanish (counted in Stats.Dropped).
 // Summary-message loss degrades merged-summary coverage but never
@@ -224,6 +274,15 @@ func (net *Network) InjectFaults(fn func(netsim.Message) bool) { net.bus.SetDrop
 func (net *Network) Propagate() (hops int, err error) {
 	net.periodMu.Lock()
 	defer net.periodMu.Unlock()
+	start := time.Now()
+	var periodBytes int64
+	defer func() {
+		net.obs.propagationPeriods.Inc()
+		net.obs.propagationHops.Add(int64(hops))
+		net.obs.propagationBytes.Add(periodBytes)
+		net.obs.periodBytes.Observe(float64(periodBytes))
+		net.obs.periodSeconds.Observe(time.Since(start).Seconds())
+	}()
 	g := net.cfg.Topology
 	n := len(net.brokers)
 	net.periods++
@@ -279,6 +338,7 @@ func (net *Network) Propagate() (hops int, err error) {
 			sends = append(sends, send{from: node, to: target, sb: sb})
 		}
 		for _, s := range sends {
+			payloadLen := int64(len(s.sb.B))
 			err := net.bus.SendShared(netsim.Message{
 				From: s.from, To: s.to, Kind: netsim.KindSummary,
 			}, s.sb)
@@ -287,6 +347,7 @@ func (net *Network) Propagate() (hops int, err error) {
 				return hops, err
 			}
 			hops++
+			periodBytes += payloadLen
 		}
 		// Deliveries land before the next iteration, as in Algorithm 2.
 		net.bus.Quiesce()
@@ -296,20 +357,30 @@ func (net *Network) Propagate() (hops int, err error) {
 
 // Publish injects an event at the given broker and returns immediately;
 // Algorithm 3 runs asynchronously. Call Flush to wait for all deliveries.
+// When trace sampling is on (SetTraceSampling), every Nth publish carries
+// a trace context recording its hop-by-hop walk; with sampling off the
+// only cost here is one atomic load.
 func (net *Network) Publish(at topology.NodeID, ev *schema.Event) error {
 	if int(at) < 0 || int(at) >= len(net.brokers) {
 		return fmt.Errorf("core: broker %d out of range", at)
 	}
+	traceID := net.tracer.sample()
+	if traceID != 0 {
+		net.tracer.begin(traceID, at, ev.Format(net.cfg.Schema))
+	}
 	n := len(net.brokers)
 	sb := netsim.AcquireBuf()
 	var err error
-	sb.B, err = encodeEventMsg(sb.B, ev, subid.NewMask(n), subid.NewMask(n))
+	sb.B, err = encodeEventMsg(sb.B, ev, subid.NewMask(n), subid.NewMask(n), traceID)
 	if err != nil {
 		sb.Release()
 		return fmt.Errorf("core: encode event: %w", err)
 	}
 	sendErr := net.bus.SendShared(netsim.Message{From: at, To: at, Kind: netsim.KindEvent}, sb)
 	sb.Release()
+	if sendErr == nil {
+		net.obs.eventsPublished.Inc()
+	}
 	return sendErr
 }
 
@@ -326,12 +397,20 @@ func (net *Network) handle(node topology.NodeID, m netsim.Message) {
 	case netsim.KindEvent:
 		net.handleEvent(node, m)
 	case netsim.KindDeliver:
-		ev, _, err := schema.DecodeEvent(net.cfg.Schema, m.Payload)
+		ev, traceID, err := decodeDeliverMsg(net.cfg.Schema, m.Payload)
 		if err != nil {
 			net.bus.RecordDecodeError(netsim.KindDeliver)
 			return
 		}
-		net.brokers[node].DeliverExact(ev)
+		hits := net.brokers[node].DeliverExact(ev)
+		if traceID != 0 {
+			net.tracer.addBytes(traceID, len(m.Payload))
+			decision := DecisionDelivered
+			if hits == 0 {
+				decision = DecisionFalsePositive
+			}
+			net.tracer.hop(traceID, node, decision, hits, len(m.Payload))
+		}
 	}
 }
 
@@ -370,10 +449,14 @@ func (net *Network) handleSummary(node topology.NodeID, m netsim.Message) {
 }
 
 func (net *Network) handleEvent(node topology.NodeID, m netsim.Message) {
-	ev, brocli, delivered, err := decodeEventMsg(net.cfg.Schema, m.Payload)
+	ev, brocli, delivered, traceID, err := decodeEventMsg(net.cfg.Schema, m.Payload)
 	if err != nil {
 		net.bus.RecordDecodeError(netsim.KindEvent)
 		return
+	}
+	net.obs.eventsRouted.Inc()
+	if traceID != 0 {
+		net.tracer.visit(traceID, node, len(m.Payload))
 	}
 	b := net.brokers[node]
 	n := len(net.brokers)
@@ -394,20 +477,32 @@ func (net *Network) handleEvent(node topology.NodeID, m netsim.Message) {
 		}
 		delivered.Set(int(owner))
 		if owner == node {
-			b.DeliverExact(ev)
+			hits := b.DeliverExact(ev)
+			if traceID != 0 {
+				decision := DecisionDelivered
+				if hits == 0 {
+					decision = DecisionFalsePositive
+				}
+				net.tracer.hop(traceID, node, decision, len(matched), 0)
+			}
 			continue
 		}
 		if deliverBuf == nil {
 			deliverBuf = netsim.AcquireBuf()
-			deliverBuf.B = schema.EncodeEvent(deliverBuf.B, ev)
+			deliverBuf.B = encodeDeliverMsg(deliverBuf.B, ev, traceID)
 		}
-		_ = net.bus.SendShared(netsim.Message{From: node, To: owner, Kind: netsim.KindDeliver}, deliverBuf)
+		if net.bus.SendShared(netsim.Message{From: node, To: owner, Kind: netsim.KindDeliver}, deliverBuf) == nil {
+			net.obs.deliverSends.Inc()
+		}
 	}
 	if deliverBuf != nil {
 		deliverBuf.Release()
 	}
 	// Step 4: forward while BROCLIe is incomplete.
 	if brocli.Count() == n {
+		if traceID != 0 {
+			net.tracer.hop(traceID, node, DecisionSuppressed, len(matched), 0)
+		}
 		return
 	}
 	for _, next := range net.order {
@@ -416,13 +511,19 @@ func (net *Network) handleEvent(node topology.NodeID, m netsim.Message) {
 		}
 		sb := netsim.AcquireBuf()
 		var err error
-		sb.B, err = encodeEventMsg(sb.B, ev, brocli, delivered)
+		sb.B, err = encodeEventMsg(sb.B, ev, brocli, delivered, traceID)
 		if err != nil {
 			sb.Release()
 			net.bus.RecordHandlerError(netsim.KindEvent)
 			return
 		}
-		_ = net.bus.SendShared(netsim.Message{From: node, To: next, Kind: netsim.KindEvent}, sb)
+		payloadLen := len(sb.B)
+		if net.bus.SendShared(netsim.Message{From: node, To: next, Kind: netsim.KindEvent}, sb) == nil {
+			net.obs.eventsForwarded.Inc()
+			if traceID != 0 {
+				net.tracer.hop(traceID, node, DecisionForwarded, len(matched), payloadLen)
+			}
+		}
 		sb.Release()
 		return
 	}
@@ -482,9 +583,46 @@ func decodeSummaryMsg(s *schema.Schema, buf []byte) (*summary.Summary, subid.Mas
 	return sum, set, nil
 }
 
+// msgFlagTrace marks an event/deliver payload carrying a trace id (u64,
+// little-endian) right after the flags byte. Untraced messages cost one
+// flag byte; the trace context itself travels only on sampled events.
+const msgFlagTrace = 0x01
+
+// appendMsgHeader writes the flags byte and optional trace id.
+func appendMsgHeader(buf []byte, traceID uint64) []byte {
+	if traceID == 0 {
+		return append(buf, 0)
+	}
+	buf = append(buf, msgFlagTrace)
+	return binary.LittleEndian.AppendUint64(buf, traceID)
+}
+
+// decodeMsgHeader reads the flags byte and optional trace id, returning
+// the consumed length.
+func decodeMsgHeader(buf []byte) (traceID uint64, n int, err error) {
+	if len(buf) < 1 {
+		return 0, 0, fmt.Errorf("core: short message header")
+	}
+	flags := buf[0]
+	if flags&^msgFlagTrace != 0 {
+		return 0, 0, fmt.Errorf("core: unknown message flags %#x", flags)
+	}
+	n = 1
+	if flags&msgFlagTrace != 0 {
+		if len(buf) < 9 {
+			return 0, 0, fmt.Errorf("core: truncated trace id")
+		}
+		traceID = binary.LittleEndian.Uint64(buf[1:9])
+		n = 9
+	}
+	return traceID, n, nil
+}
+
 // encodeEventMsg appends a packed event with its BROCLI and delivered
-// sets to buf.
-func encodeEventMsg(buf []byte, ev *schema.Event, brocli, delivered subid.Mask) ([]byte, error) {
+// sets to buf, carrying the trace context of sampled events (traceID 0 =
+// untraced).
+func encodeEventMsg(buf []byte, ev *schema.Event, brocli, delivered subid.Mask, traceID uint64) ([]byte, error) {
+	buf = appendMsgHeader(buf, traceID)
 	buf, err := encodeMask(buf, brocli)
 	if err != nil {
 		return nil, err
@@ -496,18 +634,42 @@ func encodeEventMsg(buf []byte, ev *schema.Event, brocli, delivered subid.Mask) 
 	return schema.EncodeEvent(buf, ev), nil
 }
 
-func decodeEventMsg(s *schema.Schema, buf []byte) (*schema.Event, subid.Mask, subid.Mask, error) {
+func decodeEventMsg(s *schema.Schema, buf []byte) (*schema.Event, subid.Mask, subid.Mask, uint64, error) {
+	traceID, n0, err := decodeMsgHeader(buf)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	buf = buf[n0:]
 	brocli, n1, err := decodeMask(buf)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, 0, err
 	}
 	delivered, n2, err := decodeMask(buf[n1:])
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, 0, err
 	}
 	ev, _, err := schema.DecodeEvent(s, buf[n1+n2:])
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, 0, err
 	}
-	return ev, brocli, delivered, nil
+	return ev, brocli, delivered, traceID, nil
+}
+
+// encodeDeliverMsg appends a packed owner-delivery payload: header plus
+// the bare event.
+func encodeDeliverMsg(buf []byte, ev *schema.Event, traceID uint64) []byte {
+	buf = appendMsgHeader(buf, traceID)
+	return schema.EncodeEvent(buf, ev)
+}
+
+func decodeDeliverMsg(s *schema.Schema, buf []byte) (*schema.Event, uint64, error) {
+	traceID, n, err := decodeMsgHeader(buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	ev, _, err := schema.DecodeEvent(s, buf[n:])
+	if err != nil {
+		return nil, 0, err
+	}
+	return ev, traceID, nil
 }

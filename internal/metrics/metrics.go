@@ -14,7 +14,7 @@ import (
 type Summary struct {
 	N              int
 	Mean, Min, Max float64
-	P50, P95       float64
+	P50, P95, P99  float64
 	StdDev         float64
 }
 
@@ -45,6 +45,7 @@ func Summarize(xs []float64) Summary {
 	sort.Float64s(sorted)
 	s.P50 = percentile(sorted, 0.50)
 	s.P95 = percentile(sorted, 0.95)
+	s.P99 = percentile(sorted, 0.99)
 	return s
 }
 
@@ -147,16 +148,34 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// CSV renders the table as comma-separated values (header + rows).
+// CSV renders the table as RFC 4180 comma-separated values (header +
+// rows): cells containing commas, quotes, or line breaks are quoted, with
+// embedded quotes doubled — pattern texts like `contains "a,b"` survive a
+// round trip through spreadsheet tools.
 func (t *Table) CSV() string {
 	var b strings.Builder
-	b.WriteString(strings.Join(t.Columns, ","))
-	b.WriteByte('\n')
-	for _, row := range t.rows {
-		b.WriteString(strings.Join(row, ","))
+	writeCells := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvQuote(cell))
+		}
 		b.WriteByte('\n')
 	}
+	writeCells(t.Columns)
+	for _, row := range t.rows {
+		writeCells(row)
+	}
 	return b.String()
+}
+
+// csvQuote wraps a cell in double quotes when RFC 4180 requires it.
+func csvQuote(cell string) string {
+	if !strings.ContainsAny(cell, ",\"\n\r") {
+		return cell
+	}
+	return `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
 }
 
 // HumanBytes renders a byte count with binary-ish magnitude suffixes as

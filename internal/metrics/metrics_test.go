@@ -44,7 +44,7 @@ func TestSummarizeProperties(t *testing.T) {
 		s := Summarize(clean)
 		return s.Min <= s.Mean && s.Mean <= s.Max &&
 			s.Min <= s.P50 && s.P50 <= s.Max &&
-			s.P50 <= s.P95 && s.P95 <= s.Max &&
+			s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max &&
 			s.StdDev >= 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
@@ -76,6 +76,64 @@ func TestTableRendering(t *testing.T) {
 	}
 	if !strings.Contains(csv, "10,123456,42.5") {
 		t.Fatalf("CSV = %s", csv)
+	}
+}
+
+func TestSummarizeP99(t *testing.T) {
+	// 1..100: nearest-rank percentiles of the integer ramp are exact.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	s := Summarize(xs)
+	if s.P50 != 51 {
+		t.Errorf("P50 = %v, want 51", s.P50)
+	}
+	if s.P95 != 95 {
+		t.Errorf("P95 = %v, want 95", s.P95)
+	}
+	if s.P99 != 99 {
+		t.Errorf("P99 = %v, want 99", s.P99)
+	}
+	// A heavy-tailed sample: P99 must see the tail that P95 misses.
+	tail := append(make([]float64, 0, 208), xs...)
+	for i := 0; i < 98; i++ {
+		tail = append(tail, 10)
+	}
+	for i := 0; i < 10; i++ {
+		tail = append(tail, 5000+float64(i)*400)
+	}
+	st := Summarize(tail)
+	if st.P99 < 1000 || st.P95 > 101 {
+		t.Errorf("heavy tail: P95 = %v, P99 = %v", st.P95, st.P99)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tab := NewTable("", "pattern", "count")
+	tab.AddRow(`contains "a,b"`, 3)
+	tab.AddRow("plain", 1)
+	tab.AddRow("line\nbreak", 2)
+	csv := tab.CSV()
+	lines := strings.Split(csv, "\n")
+	if lines[0] != "pattern,count" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != `"contains ""a,b""",3` {
+		t.Fatalf("quoted row = %q", lines[1])
+	}
+	if lines[2] != "plain,1" {
+		t.Fatalf("plain row = %q", lines[2])
+	}
+	// The embedded newline stays inside one quoted cell.
+	if !strings.Contains(csv, "\"line\nbreak\",2\n") {
+		t.Fatalf("newline cell mangled: %q", csv)
+	}
+	// A comma-bearing column header must be quoted too.
+	tab2 := NewTable("", "a,b")
+	tab2.AddRow("x")
+	if !strings.HasPrefix(tab2.CSV(), `"a,b"`+"\n") {
+		t.Fatalf("header quoting: %q", tab2.CSV())
 	}
 }
 

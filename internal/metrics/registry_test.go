@@ -1,0 +1,243 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("events") != c {
+		t.Fatal("same name returned a different counter")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("negative Add on counter did not panic")
+			}
+		}()
+		c.Add(-1)
+	}()
+
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	// Uniform 0..8 in 0.5 steps: quantiles are known to bucket precision.
+	for v := 0.5; v <= 8; v += 0.5 {
+		h.Observe(v)
+	}
+	if h.Count() != 16 {
+		t.Fatalf("count = %d, want 16", h.Count())
+	}
+	if got, want := h.Sum(), 68.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	// Interpolated quantiles of a uniform sample track the value range.
+	if p50 := h.Quantile(0.50); p50 < 3 || p50 > 5 {
+		t.Fatalf("p50 = %v, want ≈4", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 7 || p99 > 8 {
+		t.Fatalf("p99 = %v, want ≈8", p99)
+	}
+	// Out-of-range observations land in the open bucket and clamp to the
+	// last bound.
+	h.Observe(1e9)
+	if q := h.Quantile(1.0); q != 8 {
+		t.Fatalf("overflow quantile = %v, want clamp to 8", q)
+	}
+	bounds, counts := h.Buckets()
+	if len(counts) != len(bounds)+1 {
+		t.Fatalf("%d counts for %d bounds", len(counts), len(bounds))
+	}
+	if counts[len(counts)-1] != 1 {
+		t.Fatalf("open bucket = %d, want 1", counts[len(counts)-1])
+	}
+}
+
+func TestHistogramQuantileKnownDistribution(t *testing.T) {
+	// 1..1000 against fine buckets: p50/p95/p99 must land within one
+	// bucket width of the exact order statistics.
+	h := NewHistogram(ExpBuckets(1, 1.25, 40))
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.50, 500, 125},
+		{0.95, 950, 240},
+		{0.99, 990, 250},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("q%.2f = %v, want %v ± %v", tc.q, got, tc.want, tc.tol)
+		}
+	}
+	if h.Quantile(0.5) >= h.Quantile(0.95) || h.Quantile(0.95) >= h.Quantile(0.99) {
+		t.Fatal("quantiles not monotone")
+	}
+}
+
+func TestHistogramEmptyAndValidation(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if h.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted bounds accepted")
+		}
+	}()
+	NewHistogram([]float64{2, 1})
+}
+
+func TestRegistrySnapshotSortedFlat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_last").Add(3)
+	r.Gauge("a_first").Set(-2)
+	h := r.Histogram("lat", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	snap := r.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name >= snap[i].Name {
+			t.Fatalf("snapshot not sorted: %q ≥ %q", snap[i-1].Name, snap[i].Name)
+		}
+	}
+	m := r.Map()
+	if m["z_last"] != 3 || m["a_first"] != -2 {
+		t.Fatalf("map = %v", m)
+	}
+	if m["lat.count"] != 2 || m["lat.sum"] != 5.5 {
+		t.Fatalf("histogram derived samples wrong: %v", m)
+	}
+	for _, want := range []string{"lat.mean", "lat.p50", "lat.p95", "lat.p99"} {
+		if _, ok := m[want]; !ok {
+			t.Errorf("snapshot missing %s", want)
+		}
+	}
+}
+
+func TestRegistryTextAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Add(7)
+	r.Gauge("y").Set(2)
+	var text bytes.Buffer
+	if err := r.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if got := text.String(); !strings.Contains(got, "x 7\n") || !strings.Contains(got, "y 2\n") {
+		t.Fatalf("text = %q", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["x"] != 7 || m["y"] != 2 {
+		t.Fatalf("json = %v", m)
+	}
+}
+
+func TestLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("broker_matches")
+	v.With("3").Inc()
+	v.With("3").Inc()
+	v.With("11").Inc()
+	if got := r.Counter("broker_matches{3}").Value(); got != 2 {
+		t.Fatalf("broker_matches{3} = %d, want 2", got)
+	}
+	if got := r.Counter("broker_matches{11}").Value(); got != 1 {
+		t.Fatalf("broker_matches{11} = %d, want 1", got)
+	}
+	if name := Label("f", "a", "b"); name != "f{a,b}" {
+		t.Fatalf("Label = %q", name)
+	}
+	if name := Label("f"); name != "f" {
+		t.Fatalf("Label no-labels = %q", name)
+	}
+	g := r.GaugeVec("depth").With("0")
+	g.Set(5)
+	if r.Gauge("depth{0}").Value() != 5 {
+		t.Fatal("gauge family miswired")
+	}
+	h := r.HistogramVec("lat", []float64{1}).With("0")
+	h.Observe(0.5)
+	if r.Histogram("lat{0}", nil).Count() != 1 {
+		t.Fatal("histogram family miswired")
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("lat", []float64{1, 2, 4})
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				r.Gauge(fmt.Sprintf("g%d", w)).Set(int64(i))
+				h.Observe(float64(i % 5))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("shared = %d, want 8000", got)
+	}
+	if got := r.Histogram("lat", nil).Count(); got != 8000 {
+		t.Fatalf("lat count = %d, want 8000", got)
+	}
+}
+
+// BenchmarkRegistryInc proves the counter hot path allocates nothing: the
+// instrument is looked up once at wiring time and incremented directly.
+func BenchmarkRegistryInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("hot")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { c.Inc() }); allocs != 0 {
+		b.Fatalf("Counter.Inc allocates %v/op", allocs)
+	}
+}
+
+// BenchmarkRegistryHistogramObserve covers the histogram hot path (bucket
+// scan + CAS sum), which must also stay allocation-free.
+func BenchmarkRegistryHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("lat", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i&1023) * 1e-6)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { h.Observe(3e-5) }); allocs != 0 {
+		b.Fatalf("Histogram.Observe allocates %v/op", allocs)
+	}
+}

@@ -174,6 +174,54 @@ func (s Stats) Counters() *metrics.CounterSet {
 	return c
 }
 
+// busInstruments mirrors the bus accounting into a metrics.Registry so a
+// live daemon can watch traffic without polling Stats. Instruments are
+// resolved once at Instrument time; the per-kind arrays are indexed by
+// Kind so the send path pays one atomic pointer load, one bounds check,
+// and one atomic add per counter.
+type busInstruments struct {
+	messages    [KindControl + 1]*metrics.Counter
+	bytes       [KindControl + 1]*metrics.Counter
+	dropped     [KindControl + 1]*metrics.Counter
+	decodeErrs  [KindControl + 1]*metrics.Counter
+	handlerErrs [KindControl + 1]*metrics.Counter
+	inflight    *metrics.Gauge
+}
+
+// Instrument mirrors bus counters into r under "bus_*{kind}" families and
+// exposes the in-flight message depth as the "bus_inflight" gauge. Pass
+// nil to detach. Safe to call at any time; accounting before the call is
+// not back-filled.
+func (b *Bus) Instrument(r *metrics.Registry) {
+	if r == nil {
+		b.instr.Store(nil)
+		return
+	}
+	in := &busInstruments{inflight: r.Gauge("bus_inflight")}
+	msgs := r.CounterVec("bus_messages")
+	bts := r.CounterVec("bus_bytes")
+	drop := r.CounterVec("bus_dropped")
+	dec := r.CounterVec("bus_decode_errors")
+	han := r.CounterVec("bus_handler_errors")
+	for k := KindSummary; k <= KindControl; k++ {
+		in.messages[k] = msgs.With(k.String())
+		in.bytes[k] = bts.With(k.String())
+		in.dropped[k] = drop.With(k.String())
+		in.decodeErrs[k] = dec.With(k.String())
+		in.handlerErrs[k] = han.With(k.String())
+	}
+	b.instr.Store(in)
+}
+
+// kindCounter fetches the per-kind counter, tolerating out-of-range kinds
+// (counted nowhere rather than panicking on a corrupt tag).
+func kindCounter(arr *[KindControl + 1]*metrics.Counter, k Kind) *metrics.Counter {
+	if int(k) >= len(arr) {
+		return nil
+	}
+	return arr[k]
+}
+
 // queued is one mailbox entry: the message plus its shared buffer, if
 // the sender used one (released after the handler runs).
 type queued struct {
@@ -244,6 +292,10 @@ type Bus struct {
 	qcond    *sync.Cond
 	inflight int64
 
+	// instr optionally mirrors accounting into a metrics registry; nil
+	// (the default) costs one atomic load and branch per event.
+	instr atomic.Pointer[busInstruments]
+
 	mu          sync.Mutex
 	messages    map[Kind]int64
 	bytes       map[Kind]int64
@@ -288,22 +340,35 @@ func (b *Bus) SetDropFunc(fn func(Message) bool) {
 // vanishes without a counter.
 func (b *Bus) RecordDecodeError(k Kind) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.decodeErrs[k]++
+	b.mu.Unlock()
+	if in := b.instr.Load(); in != nil {
+		if c := kindCounter(&in.decodeErrs, k); c != nil {
+			c.Inc()
+		}
+	}
 }
 
 // RecordHandlerError counts a delivered, decodable message whose
 // processing failed at the handler (e.g. a rejected summary merge).
 func (b *Bus) RecordHandlerError(k Kind) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.handlerErrs[k]++
+	b.mu.Unlock()
+	if in := b.instr.Load(); in != nil {
+		if c := kindCounter(&in.handlerErrs, k); c != nil {
+			c.Inc()
+		}
+	}
 }
 
 // addInflight registers one undelivered message.
 func (b *Bus) addInflight() {
 	b.qmu.Lock()
 	b.inflight++
+	if in := b.instr.Load(); in != nil {
+		in.inflight.Set(b.inflight)
+	}
 	b.qmu.Unlock()
 }
 
@@ -320,6 +385,9 @@ func (b *Bus) doneInflight(n int64) {
 	}
 	if b.inflight == 0 {
 		b.qcond.Broadcast()
+	}
+	if in := b.instr.Load(); in != nil {
+		in.inflight.Set(b.inflight)
 	}
 	b.qmu.Unlock()
 }
@@ -348,15 +416,29 @@ func (b *Bus) send(m Message, sb *SharedBuf) error {
 	if b.closed.Load() {
 		return fmt.Errorf("netsim: bus closed")
 	}
+	in := b.instr.Load()
 	b.mu.Lock()
 	if b.dropFn != nil && b.dropFn(m) {
 		b.dropped[m.Kind]++
 		b.mu.Unlock()
+		if in != nil {
+			if c := kindCounter(&in.dropped, m.Kind); c != nil {
+				c.Inc()
+			}
+		}
 		return nil
 	}
 	b.messages[m.Kind]++
 	b.bytes[m.Kind] += int64(len(m.Payload))
 	b.mu.Unlock()
+	if in != nil {
+		if c := kindCounter(&in.messages, m.Kind); c != nil {
+			c.Inc()
+		}
+		if c := kindCounter(&in.bytes, m.Kind); c != nil {
+			c.Add(int64(len(m.Payload)))
+		}
+	}
 	b.addInflight()
 	if sb != nil {
 		sb.refs.Add(1)

@@ -17,7 +17,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"github.com/subsum/subsum/internal/metrics"
 	"github.com/subsum/subsum/internal/subid"
 	"github.com/subsum/subsum/internal/summary"
 	"github.com/subsum/subsum/internal/topology"
@@ -66,6 +69,41 @@ type Result struct {
 // encBufPool recycles per-send encode buffers across Run invocations.
 var encBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
+// propInstruments are the package's optional registry instruments. Run
+// loads the pointer once per invocation; when unset (the default, and the
+// benchmark configuration) the cost is that single atomic load plus a nil
+// branch per recording site.
+type propInstruments struct {
+	runs         *metrics.Counter   // completed Algorithm 2 phases
+	sends        *metrics.Counter   // summary transmissions
+	wireBytes    *metrics.Counter   // cumulative encoded payload bytes
+	modelBytes   *metrics.Counter   // cumulative cost-model bytes
+	mergeSeconds *metrics.Histogram // per-delivery MergeEncoded latency
+	periodBytes  *metrics.Histogram // wire bytes per completed phase
+}
+
+var instruments atomic.Pointer[propInstruments]
+
+// Instrument mirrors propagation accounting into r: propagation_runs,
+// propagation_sends, propagation_wire_bytes, propagation_model_bytes
+// counters plus propagation_merge_seconds and propagation_period_bytes
+// histograms. Pass nil to detach (the default). The hook is process-wide
+// because Run is a pure function with no receiver to hang state off.
+func Instrument(r *metrics.Registry) {
+	if r == nil {
+		instruments.Store(nil)
+		return
+	}
+	instruments.Store(&propInstruments{
+		runs:         r.Counter("propagation_runs"),
+		sends:        r.Counter("propagation_sends"),
+		wireBytes:    r.Counter("propagation_wire_bytes"),
+		modelBytes:   r.Counter("propagation_model_bytes"),
+		mergeSeconds: r.Histogram("propagation_merge_seconds", metrics.DefLatencyBuckets),
+		periodBytes:  r.Histogram("propagation_period_bytes", metrics.DefSizeBuckets),
+	})
+}
+
 // Run executes Algorithm 2 over the overlay g, where own[i] is broker i's
 // (delta) summary for this period. It returns the per-broker merged
 // summaries, Merged_Brokers sets, and full cost accounting. own summaries
@@ -82,6 +120,7 @@ func Run(g *topology.Graph, own []*summary.Summary, cost CostModel) (*Result, er
 	if len(own) != n {
 		return nil, fmt.Errorf("propagation: %d summaries for %d brokers", len(own), n)
 	}
+	obs := instruments.Load()
 	res := &Result{
 		Merged:        make([]*summary.Summary, n),
 		MergedBrokers: make([]BrokerSet, n),
@@ -146,7 +185,14 @@ func Run(g *topology.Graph, own []*summary.Summary, cost CostModel) (*Result, er
 				res.Merged[d.to] = res.Merged[d.to].Clone()
 				owned[d.to] = true
 			}
+			var start time.Time
+			if obs != nil {
+				start = time.Now()
+			}
 			err := res.Merged[d.to].MergeEncoded(*d.payload)
+			if obs != nil {
+				obs.mergeSeconds.Observe(time.Since(start).Seconds())
+			}
 			encBufPool.Put(d.payload)
 			if err != nil {
 				return nil, fmt.Errorf("propagation: merging at broker %d: %w", d.to, err)
@@ -157,6 +203,13 @@ func Run(g *topology.Graph, own []*summary.Summary, cost CostModel) (*Result, er
 		}
 	}
 	res.Hops = len(res.Sends)
+	if obs != nil {
+		obs.runs.Inc()
+		obs.sends.Add(int64(res.Hops))
+		obs.wireBytes.Add(res.WireBytes)
+		obs.modelBytes.Add(res.ModelBytes)
+		obs.periodBytes.Observe(float64(res.WireBytes))
+	}
 	return res, nil
 }
 

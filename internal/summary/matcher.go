@@ -4,6 +4,7 @@ import (
 	"slices"
 	"sync"
 
+	"github.com/subsum/subsum/internal/metrics"
 	"github.com/subsum/subsum/internal/schema"
 	"github.com/subsum/subsum/internal/subid"
 )
@@ -35,7 +36,25 @@ type Matcher struct {
 	touched []int32  // dense ids seen this event, in first-seen order
 	buf     []uint64 // per-attribute id-list collection scratch
 	out     []uint64 // matched keys of the last call
+
+	obs *MatcherObs // optional cost instrumentation; nil = one branch per event
 }
+
+// MatcherObs aggregates the Section 5.2.4 operation counts of every match
+// into registry counters: Events counts matched events, Collected the
+// per-attribute id-list entries examined, and Matched the ids that
+// reached their c3 attribute count (the summary filter hits forwarded for
+// exact re-matching). All fields are optional; nil counters are skipped.
+type MatcherObs struct {
+	Events    *metrics.Counter
+	Collected *metrics.Counter
+	Matched   *metrics.Counter
+}
+
+// SetObs attaches cost instrumentation to the matcher (nil detaches).
+// When detached the steady-state overhead is a single nil check per
+// event, preserving the matcher's zero-allocation hot path.
+func (m *Matcher) SetObs(obs *MatcherObs) { m.obs = obs }
 
 // NewMatcher returns a Matcher bound to sm.
 func (sm *Summary) NewMatcher() *Matcher {
@@ -121,6 +140,17 @@ func (m *Matcher) MatchKeysWithCost(e *schema.Event) ([]uint64, MatchCost) {
 	}
 	slices.Sort(m.out)
 	cost.Matched = len(m.out)
+	if m.obs != nil {
+		if m.obs.Events != nil {
+			m.obs.Events.Inc()
+		}
+		if m.obs.Collected != nil {
+			m.obs.Collected.Add(int64(cost.CollectedIDs))
+		}
+		if m.obs.Matched != nil {
+			m.obs.Matched.Add(int64(cost.Matched))
+		}
+	}
 	return m.out, cost
 }
 

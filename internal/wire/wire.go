@@ -58,6 +58,9 @@ type Response struct {
 	Event  string           `json:"event,omitempty"`
 	Hops   int              `json:"hops,omitempty"`
 	Stats  map[string]int64 `json:"stats,omitempty"`
+	// Metrics carries the network's full instrument-registry snapshot
+	// (counters, gauges, and histogram-derived quantiles) on stats replies.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Server exposes a core.Network over TCP.
@@ -243,6 +246,7 @@ func (srv *Server) handle(cc *conn, req Request) Response {
 			"summary_dropped":  st.Dropped[netsim.KindSummary],
 			"errors":           st.TotalErrors(),
 		}
+		resp.Metrics = srv.net.Metrics().Map()
 		return resp
 	default:
 		return fail(fmt.Errorf("unknown op %q", req.Op))
@@ -370,6 +374,14 @@ func (cl *Client) Propagate() (int, error) {
 func (cl *Client) Stats() (map[string]int64, error) {
 	resp, err := cl.roundTrip(Request{Op: "stats"})
 	return resp.Stats, err
+}
+
+// Metrics fetches the server's instrument-registry snapshot: every
+// counter, gauge, and histogram aggregate the engine maintains, as a
+// flat name → value map.
+func (cl *Client) Metrics() (map[string]float64, error) {
+	resp, err := cl.roundTrip(Request{Op: "stats"})
+	return resp.Metrics, err
 }
 
 // ExtendSchema appends an attribute to the server's schema at runtime

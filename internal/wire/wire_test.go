@@ -274,3 +274,72 @@ func TestServerSurvivesGarbage(t *testing.T) {
 		t.Fatalf("server unhealthy after garbage: %v", err)
 	}
 }
+
+// TestStatsMetricsEndToEnd drives the full wire path — subscribe,
+// propagate, publish, deliver — and asserts the stats reply carries the
+// engine's instrument-registry snapshot with the counters that workload
+// must have moved.
+func TestStatsMetricsEndToEnd(t *testing.T) {
+	addr, _ := startServer(t)
+	var d deliveries
+	cl, err := Dial(addr, d.on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, _, err := cl.Subscribe(7, `symbol = OTE && price < 9`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Publish(2, `symbol=OTE price=8.40`); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.list(); len(got) != 1 {
+		t.Fatalf("deliveries = %v", got)
+	}
+
+	m, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Counters this workload must have moved.
+	for _, name := range []string{
+		"events_published",
+		"events_routed",
+		"events_forwarded",
+		"broker_deliveries{7}",
+		"broker_filter_hits{7}",
+		"propagation_periods",
+		"bus_messages{event}",
+		"bus_messages{summary}",
+	} {
+		if m[name] == 0 {
+			t.Errorf("metrics[%q] = 0, want nonzero", name)
+		}
+	}
+	// Drop accounting must be present (and zero on a healthy run).
+	for _, name := range []string{"bus_dropped{event}", "bus_dropped{summary}"} {
+		if v, ok := m[name]; !ok {
+			t.Errorf("metrics[%q] missing", name)
+		} else if v != 0 {
+			t.Errorf("metrics[%q] = %v, want 0 on healthy run", name, v)
+		}
+	}
+
+	// The legacy bus-accounting stats ride the same reply and must agree
+	// with the registry's view of event traffic.
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["event_messages"] == 0 || st["dropped"] != 0 {
+		t.Fatalf("stats = %v", st)
+	}
+	if float64(st["event_messages"]) != m["bus_messages{event}"] {
+		t.Fatalf("bus accounting disagrees: stats=%d registry=%v",
+			st["event_messages"], m["bus_messages{event}"])
+	}
+}
