@@ -1,8 +1,12 @@
 // Command benchcheck compares a freshly generated benchmark report
 // against a committed baseline and writes a markdown summary, flagging
-// results whose ns/op regressed beyond a threshold. It is advisory:
-// the exit status is 0 even when regressions are found (shared CI
-// runners are too noisy to gate on), unless -gate is set.
+// results whose ns/op regressed beyond a threshold. When both reports
+// carry allocation data (allocs_per_op / bytes_per_op), those are
+// compared too: the pooled matcher and codec paths promise zero
+// steady-state allocations, so any allocs/op increase is flagged
+// outright — allocation counts are deterministic, unlike wall time.
+// It is advisory: the exit status is 0 even when regressions are found
+// (shared CI runners are too noisy to gate on), unless -gate is set.
 //
 // Usage:
 //
@@ -12,7 +16,8 @@
 // The reports are the JSON files written by subsum-bench: an object
 // with a "results" array of {name, ns_per_op, allocs_per_op, ...}.
 // Results are matched by name; names present in only one file are
-// listed but never flagged.
+// listed but never flagged. Reports from older tool versions that omit
+// the allocation fields simply skip those comparisons.
 package main
 
 import (
@@ -28,11 +33,15 @@ type report struct {
 	Results []result `json:"results"`
 }
 
+// result is one benchmark's numbers. The allocation fields are pointers
+// so "the report does not carry them" (old tool version) is
+// distinguishable from a genuine zero — zero allocs/op is the headline
+// result of the pooled paths and must compare as a real value.
 type result struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp *int64  `json:"allocs_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op"`
 	Iterations  int64   `json:"iterations"`
 }
 
@@ -56,10 +65,14 @@ func loadReport(path string) (map[string]result, []string, error) {
 	return m, order, nil
 }
 
-// row is one comparison line of the summary table.
+// row is one comparison line of the summary table: one benchmark, one
+// metric (ns/op, allocs/op, or B/op).
 type row struct {
 	name      string
+	metric    string
 	base, cur float64
+	hasBase   bool
+	hasCur    bool
 	deltaPct  float64
 	status    string
 }
@@ -82,25 +95,71 @@ func compare(base, cur map[string]result, order []string, thresholdPct float64) 
 		c, inCur := cur[name]
 		switch {
 		case !inBase:
-			rows = append(rows, row{name: name, cur: c.NsPerOp, status: "new (no baseline)"})
+			rows = append(rows, row{name: name, metric: "ns/op", cur: c.NsPerOp, hasCur: true, status: "new (no baseline)"})
 		case !inCur:
-			rows = append(rows, row{name: name, base: b.NsPerOp, status: "missing from current run"})
+			rows = append(rows, row{name: name, metric: "ns/op", base: b.NsPerOp, hasBase: true, status: "missing from current run"})
 		default:
-			delta := 0.0
+			// ns/op: wall time is noisy on shared runners, so only a
+			// percentage drift beyond the threshold is called out.
+			r := row{name: name, metric: "ns/op", base: b.NsPerOp, cur: c.NsPerOp, hasBase: true, hasCur: true}
 			if b.NsPerOp > 0 {
-				delta = (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+				r.deltaPct = (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
 			}
-			r := row{name: name, base: b.NsPerOp, cur: c.NsPerOp, deltaPct: delta}
 			switch {
-			case delta > thresholdPct:
+			case r.deltaPct > thresholdPct:
 				r.status = fmt.Sprintf("REGRESSION (>%g%%)", thresholdPct)
 				regressions++
-			case delta < -thresholdPct:
+			case r.deltaPct < -thresholdPct:
 				r.status = "improved"
 			default:
 				r.status = "ok"
 			}
 			rows = append(rows, r)
+
+			// allocs/op: deterministic, so any increase is a regression —
+			// a pooled path that starts allocating again has lost the very
+			// property its benchmark exists to defend.
+			if b.AllocsPerOp != nil && c.AllocsPerOp != nil {
+				ar := row{name: name, metric: "allocs/op", base: float64(*b.AllocsPerOp), cur: float64(*c.AllocsPerOp), hasBase: true, hasCur: true}
+				if ar.base > 0 {
+					ar.deltaPct = (ar.cur - ar.base) / ar.base * 100
+				}
+				switch {
+				case ar.cur > ar.base:
+					ar.status = "REGRESSION (allocs increased)"
+					regressions++
+				case ar.cur < ar.base:
+					ar.status = "improved"
+				default:
+					ar.status = "ok"
+				}
+				rows = append(rows, ar)
+			}
+
+			// B/op: allocation bytes are near-deterministic but can wobble
+			// with map growth patterns, so the percentage threshold applies.
+			if b.BytesPerOp != nil && c.BytesPerOp != nil {
+				br := row{name: name, metric: "B/op", base: float64(*b.BytesPerOp), cur: float64(*c.BytesPerOp), hasBase: true, hasCur: true}
+				switch {
+				case br.base == 0 && br.cur > 0:
+					br.status = "REGRESSION (was 0 B/op)"
+					regressions++
+				case br.base == 0:
+					br.status = "ok"
+				default:
+					br.deltaPct = (br.cur - br.base) / br.base * 100
+					switch {
+					case br.deltaPct > thresholdPct:
+						br.status = fmt.Sprintf("REGRESSION (>%g%%)", thresholdPct)
+						regressions++
+					case br.deltaPct < -thresholdPct:
+						br.status = "improved"
+					default:
+						br.status = "ok"
+					}
+				}
+				rows = append(rows, br)
+			}
 		}
 	}
 	return rows, regressions
@@ -109,24 +168,24 @@ func compare(base, cur map[string]result, order []string, thresholdPct float64) 
 func writeMarkdown(w io.Writer, title string, rows []row, regressions int) {
 	fmt.Fprintf(w, "### benchcheck: %s\n\n", title)
 	if regressions > 0 {
-		fmt.Fprintf(w, "**%d result(s) regressed** — advisory only; shared runners are noisy, re-run before acting.\n\n", regressions)
+		fmt.Fprintf(w, "**%d result(s) regressed** — advisory only; shared runners are noisy, re-run before acting (allocs/op is deterministic and worth believing).\n\n", regressions)
 	} else {
 		fmt.Fprintf(w, "No regressions above threshold.\n\n")
 	}
-	fmt.Fprintf(w, "| benchmark | baseline ns/op | current ns/op | delta | status |\n")
-	fmt.Fprintf(w, "|---|---:|---:|---:|---|\n")
+	fmt.Fprintf(w, "| benchmark | metric | baseline | current | delta | status |\n")
+	fmt.Fprintf(w, "|---|---|---:|---:|---:|---|\n")
 	for _, r := range rows {
 		baseS, curS, deltaS := "—", "—", "—"
-		if r.base > 0 {
+		if r.hasBase {
 			baseS = fmt.Sprintf("%.0f", r.base)
 		}
-		if r.cur > 0 {
+		if r.hasCur {
 			curS = fmt.Sprintf("%.0f", r.cur)
 		}
-		if r.base > 0 && r.cur > 0 {
+		if r.hasBase && r.hasCur {
 			deltaS = fmt.Sprintf("%+.1f%%", r.deltaPct)
 		}
-		fmt.Fprintf(w, "| %s | %s | %s | %s | %s |\n", r.name, baseS, curS, deltaS, r.status)
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s |\n", r.name, r.metric, baseS, curS, deltaS, r.status)
 	}
 	fmt.Fprintln(w)
 }
@@ -135,7 +194,7 @@ func main() {
 	var (
 		baseline  = flag.String("baseline", "", "committed baseline report (required)")
 		current   = flag.String("current", "", "freshly generated report (required)")
-		threshold = flag.Float64("threshold", 10, "ns/op regression percentage to flag")
+		threshold = flag.Float64("threshold", 10, "ns/op and B/op regression percentage to flag (allocs/op flags any increase)")
 		summary   = flag.String("summary", "", "append the markdown table to this file (e.g. $GITHUB_STEP_SUMMARY); stdout if empty")
 		gate      = flag.Bool("gate", false, "exit nonzero when regressions are found (default: advisory)")
 	)

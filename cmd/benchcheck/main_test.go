@@ -16,6 +16,16 @@ func writeReport(t *testing.T, dir, name, body string) string {
 	return path
 }
 
+// statusKey indexes compare output by "name metric" so tests can assert
+// on individual comparison rows.
+func statusKey(rows []row) map[string]string {
+	m := map[string]string{}
+	for _, r := range rows {
+		m[r.name+" "+r.metric] = r.status
+	}
+	return m
+}
+
 func TestCompareFlagsRegressions(t *testing.T) {
 	dir := t.TempDir()
 	base := writeReport(t, dir, "base.json", `{"results":[
@@ -41,30 +51,33 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	if regressions != 1 {
 		t.Fatalf("regressions = %d, want 1 (B)", regressions)
 	}
-	status := map[string]string{}
-	for _, r := range rows {
-		status[r.name] = r.status
+	status := statusKey(rows)
+	if status["A ns/op"] != "ok" {
+		t.Errorf("A: %q", status["A ns/op"])
 	}
-	if status["A"] != "ok" {
-		t.Errorf("A: %q", status["A"])
+	if !strings.HasPrefix(status["B ns/op"], "REGRESSION") {
+		t.Errorf("B: %q", status["B ns/op"])
 	}
-	if !strings.HasPrefix(status["B"], "REGRESSION") {
-		t.Errorf("B: %q", status["B"])
+	if status["C ns/op"] != "improved" {
+		t.Errorf("C: %q", status["C ns/op"])
 	}
-	if status["C"] != "improved" {
-		t.Errorf("C: %q", status["C"])
+	if status["New ns/op"] != "new (no baseline)" {
+		t.Errorf("New: %q", status["New ns/op"])
 	}
-	if status["New"] != "new (no baseline)" {
-		t.Errorf("New: %q", status["New"])
+	if status["Gone ns/op"] != "missing from current run" {
+		t.Errorf("Gone: %q", status["Gone ns/op"])
 	}
-	if status["Gone"] != "missing from current run" {
-		t.Errorf("Gone: %q", status["Gone"])
+	// Neither report carries allocation fields, so no allocs/B rows.
+	for key := range status {
+		if strings.Contains(key, "allocs/op") || strings.Contains(key, "B/op") {
+			t.Errorf("unexpected allocation row %q without allocation data", key)
+		}
 	}
 
 	var sb strings.Builder
 	writeMarkdown(&sb, "test", rows, regressions)
 	md := sb.String()
-	if !strings.Contains(md, "| B | 100 | 125 | +25.0% | REGRESSION") {
+	if !strings.Contains(md, "| B | ns/op | 100 | 125 | +25.0% | REGRESSION") {
 		t.Errorf("markdown missing regression row:\n%s", md)
 	}
 	if !strings.Contains(md, "**1 result(s) regressed**") {
@@ -72,9 +85,96 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	}
 }
 
+// TestCompareFlagsAllocationRegressions is the satellite regression
+// test: a pooled benchmark that starts allocating again must be flagged
+// even when its ns/op stays flat, and B/op growth past the threshold is
+// flagged independently.
+func TestCompareFlagsAllocationRegressions(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", `{"results":[
+		{"name":"Pooled","ns_per_op":100,"allocs_per_op":0,"bytes_per_op":0},
+		{"name":"Mapped","ns_per_op":100,"allocs_per_op":27,"bytes_per_op":1000},
+		{"name":"Better","ns_per_op":100,"allocs_per_op":5,"bytes_per_op":1000}]}`)
+	cur := writeReport(t, dir, "cur.json", `{"results":[
+		{"name":"Pooled","ns_per_op":100,"allocs_per_op":2,"bytes_per_op":64},
+		{"name":"Mapped","ns_per_op":100,"allocs_per_op":27,"bytes_per_op":1200},
+		{"name":"Better","ns_per_op":100,"allocs_per_op":3,"bytes_per_op":990}]}`)
+
+	b, _, err := loadReport(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, order, err := loadReport(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, regressions := compare(b, c, order, 10)
+	status := statusKey(rows)
+	// Pooled: 0→2 allocs and 0→64 B are both regressions; ns/op is flat.
+	if status["Pooled ns/op"] != "ok" {
+		t.Errorf("Pooled ns/op: %q", status["Pooled ns/op"])
+	}
+	if status["Pooled allocs/op"] != "REGRESSION (allocs increased)" {
+		t.Errorf("Pooled allocs/op: %q", status["Pooled allocs/op"])
+	}
+	if status["Pooled B/op"] != "REGRESSION (was 0 B/op)" {
+		t.Errorf("Pooled B/op: %q", status["Pooled B/op"])
+	}
+	// Mapped: allocs unchanged (ok), bytes +20% past the 10% threshold.
+	if status["Mapped allocs/op"] != "ok" {
+		t.Errorf("Mapped allocs/op: %q", status["Mapped allocs/op"])
+	}
+	if !strings.HasPrefix(status["Mapped B/op"], "REGRESSION") {
+		t.Errorf("Mapped B/op: %q", status["Mapped B/op"])
+	}
+	// Better: allocs dropped (improved), bytes -1% within threshold (ok).
+	if status["Better allocs/op"] != "improved" {
+		t.Errorf("Better allocs/op: %q", status["Better allocs/op"])
+	}
+	if status["Better B/op"] != "ok" {
+		t.Errorf("Better B/op: %q", status["Better B/op"])
+	}
+	if regressions != 3 {
+		t.Fatalf("regressions = %d, want 3", regressions)
+	}
+
+	var sb strings.Builder
+	writeMarkdown(&sb, "allocs", rows, regressions)
+	md := sb.String()
+	if !strings.Contains(md, "| Pooled | allocs/op | 0 | 2 | +0.0% | REGRESSION (allocs increased)") {
+		t.Errorf("markdown missing alloc regression row:\n%s", md)
+	}
+}
+
+// TestCompareSkipsAllocsWhenOneSideLacksThem covers the mixed-version
+// case: a baseline written before allocation tracking compares ns/op
+// only, without phantom zero-alloc rows.
+func TestCompareSkipsAllocsWhenOneSideLacksThem(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", `{"results":[{"name":"A","ns_per_op":100}]}`)
+	cur := writeReport(t, dir, "cur.json", `{"results":[{"name":"A","ns_per_op":100,"allocs_per_op":9,"bytes_per_op":128}]}`)
+
+	b, _, err := loadReport(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, order, err := loadReport(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, regressions := compare(b, c, order, 10)
+	if regressions != 0 {
+		t.Fatalf("regressions = %d, want 0", regressions)
+	}
+	if len(rows) != 1 || rows[0].metric != "ns/op" {
+		t.Fatalf("rows = %+v, want single ns/op row", rows)
+	}
+}
+
 func TestCompareAgainstRealBaselines(t *testing.T) {
 	// The committed reports must parse and compare clean against
-	// themselves (zero delta everywhere).
+	// themselves (zero delta everywhere). They carry allocation data, so
+	// the self-compare must produce allocs/op and B/op rows too.
 	for _, path := range []string{"../../BENCH_matching.json", "../../BENCH_propagation.json"} {
 		m, order, err := loadReport(path)
 		if err != nil {
@@ -87,10 +187,15 @@ func TestCompareAgainstRealBaselines(t *testing.T) {
 		if regressions != 0 {
 			t.Fatalf("%s vs itself: %d regressions", path, regressions)
 		}
+		metrics := map[string]int{}
 		for _, r := range rows {
 			if r.status != "ok" || r.deltaPct != 0 {
 				t.Fatalf("%s: self-compare row %+v", path, r)
 			}
+			metrics[r.metric]++
+		}
+		if metrics["allocs/op"] == 0 || metrics["B/op"] == 0 {
+			t.Fatalf("%s: no allocation rows in self-compare (%v)", path, metrics)
 		}
 	}
 }

@@ -1,7 +1,9 @@
 // Debug HTTP surface for subsumd, enabled with -http. Serves the
-// engine's instrument registry, sampled hop traces, Go pprof profiles,
-// and expvar — everything needed to observe a live broker network
-// without attaching a debugger.
+// engine's instrument registry (including Prometheus text exposition),
+// retained metrics time-series, the flight-recorder journal, sampled hop
+// traces (JSON or Chrome trace-event format), Go pprof profiles, and
+// expvar — everything needed to observe a live broker network without
+// attaching a debugger.
 package main
 
 import (
@@ -12,23 +14,48 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 
 	"github.com/subsum/subsum/internal/core"
+	"github.com/subsum/subsum/internal/flight"
+	"github.com/subsum/subsum/internal/metrics"
 )
+
+// debugState carries the optional observability attachments the debug
+// mux serves alongside the network itself.
+type debugState struct {
+	network *core.Network
+	sampler *metrics.Sampler // nil: /debug/history is 404
+	rec     *flight.Recorder // nil: /debug/journal is 404
+}
 
 // newDebugMux builds the -http handler:
 //
 //	GET /metrics              registry snapshot, text key-value
 //	GET /metrics?format=json  same snapshot as a JSON object
+//	GET /metrics with Accept: text/plain; version=0.0.4
+//	                          Prometheus text exposition (also ?format=prometheus)
+//	GET /debug/history        sampler time-series (values, deltas, rates)
+//	GET /debug/journal        flight-recorder journal (?format=text for one line per record)
 //	GET /trace                retained hop traces, newest first (JSON)
 //	GET /trace?sample=N       set sampling to every Nth publish (0 = off)
+//	GET /trace?capacity=N     bound the trace store to N traces (0 = default)
+//	GET /trace?clear=1        discard retained traces
+//	GET /trace?format=chrome  Chrome trace-event JSON (chrome://tracing, Perfetto)
 //	    /debug/pprof/...      standard Go profiles
 //	GET /debug/vars           expvar (memstats, cmdline)
-func newDebugMux(network *core.Network) *http.ServeMux {
+func newDebugMux(st debugState) *http.ServeMux {
+	network := st.network
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Query().Get("format") == "json" {
+		format := r.URL.Query().Get("format")
+		if format == "prometheus" || strings.Contains(r.Header.Get("Accept"), "version=0.0.4") {
+			w.Header().Set("Content-Type", metrics.PromContentType)
+			_ = network.Metrics().WritePrometheus(w)
+			return
+		}
+		if format == "json" {
 			w.Header().Set("Content-Type", "application/json")
 			_ = network.Metrics().WriteJSON(w)
 			return
@@ -37,8 +64,32 @@ func newDebugMux(network *core.Network) *http.ServeMux {
 		_ = network.Metrics().WriteText(w)
 	})
 
+	mux.HandleFunc("/debug/history", func(w http.ResponseWriter, r *http.Request) {
+		if st.sampler == nil {
+			http.Error(w, "no sampler running (metrics history disabled)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = st.sampler.WriteJSON(w)
+	})
+
+	mux.HandleFunc("/debug/journal", func(w http.ResponseWriter, r *http.Request) {
+		if st.rec == nil {
+			http.Error(w, "no flight recorder running (journal disabled)", http.StatusNotFound)
+			return
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = st.rec.WriteText(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = st.rec.WriteJSON(w)
+	})
+
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
-		if s := r.URL.Query().Get("sample"); s != "" {
+		q := r.URL.Query()
+		if s := q.Get("sample"); s != "" {
 			n, err := strconv.Atoi(s)
 			if err != nil || n < 0 {
 				http.Error(w, "sample must be a non-negative integer", http.StatusBadRequest)
@@ -46,13 +97,30 @@ func newDebugMux(network *core.Network) *http.ServeMux {
 			}
 			network.SetTraceSampling(n)
 		}
+		if s := q.Get("capacity"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				http.Error(w, "capacity must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			network.SetTraceCapacity(n)
+		}
+		if q.Get("clear") == "1" {
+			network.ClearTraces()
+		}
+		if q.Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = network.WriteChromeTrace(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(struct {
 			Sampling int          `json:"sampling"`
+			Capacity int          `json:"capacity"`
 			Traces   []core.Trace `json:"traces"`
-		}{network.TraceSampling(), network.Traces()})
+		}{network.TraceSampling(), network.TraceCapacity(), network.Traces()})
 	})
 
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -67,12 +135,12 @@ func newDebugMux(network *core.Network) *http.ServeMux {
 
 // startDebugServer binds the -http listener and serves the debug mux in
 // the background. It returns the bound address and a shutdown func.
-func startDebugServer(addr string, network *core.Network, logger *slog.Logger) (string, func(), error) {
+func startDebugServer(addr string, st debugState, logger *slog.Logger) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: newDebugMux(network)}
+	srv := &http.Server{Handler: newDebugMux(st)}
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			logger.Error("debug http server failed", "err", err)

@@ -7,9 +7,12 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/subsum/subsum/internal/core"
+	"github.com/subsum/subsum/internal/flight"
 	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/metrics"
 	"github.com/subsum/subsum/internal/schema"
 	"github.com/subsum/subsum/internal/subid"
 	"github.com/subsum/subsum/internal/topology"
@@ -35,7 +38,7 @@ func testNetwork(t *testing.T) (*core.Network, *schema.Schema) {
 
 func TestDebugMetricsEndpoint(t *testing.T) {
 	network, s := testNetwork(t)
-	ts := httptest.NewServer(newDebugMux(network))
+	ts := httptest.NewServer(newDebugMux(debugState{network: network}))
 	defer ts.Close()
 
 	sub, err := schema.ParseSubscription(s, `symbol = OTE`)
@@ -90,7 +93,7 @@ func TestDebugMetricsEndpoint(t *testing.T) {
 
 func TestDebugTraceEndpoint(t *testing.T) {
 	network, s := testNetwork(t)
-	ts := httptest.NewServer(newDebugMux(network))
+	ts := httptest.NewServer(newDebugMux(debugState{network: network}))
 	defer ts.Close()
 
 	get := func(url string) (int, []core.Trace) {
@@ -146,7 +149,7 @@ func TestDebugTraceEndpoint(t *testing.T) {
 
 func TestDebugPprofAndVars(t *testing.T) {
 	network, _ := testNetwork(t)
-	ts := httptest.NewServer(newDebugMux(network))
+	ts := httptest.NewServer(newDebugMux(debugState{network: network}))
 	defer ts.Close()
 
 	for _, path := range []string{"/debug/pprof/", "/debug/vars"} {
@@ -162,5 +165,236 @@ func TestDebugPprofAndVars(t *testing.T) {
 		if len(body) == 0 {
 			t.Fatalf("%s: empty body", path)
 		}
+	}
+}
+
+func TestDebugMetricsPrometheus(t *testing.T) {
+	network, s := testNetwork(t)
+	ts := httptest.NewServer(newDebugMux(debugState{network: network}))
+	defer ts.Close()
+
+	ev, err := schema.ParseEvent(s, "symbol=OTE price=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := network.Publish(0, ev); err != nil {
+		t.Fatal(err)
+	}
+	network.Flush()
+
+	check := func(req *http.Request) {
+		t.Helper()
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != metrics.PromContentType {
+			t.Fatalf("Content-Type = %q", ct)
+		}
+		text := string(body)
+		for _, want := range []string{"# TYPE events_published counter", "events_published 1"} {
+			if !strings.Contains(text, want) {
+				t.Errorf("prometheus exposition missing %q:\n%s", want, text)
+			}
+		}
+	}
+
+	// Prometheus servers negotiate via the Accept header; humans can ask
+	// explicitly with ?format=prometheus.
+	req, _ := http.NewRequest("GET", ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain; version=0.0.4; charset=utf-8")
+	check(req)
+	req, _ = http.NewRequest("GET", ts.URL+"/metrics?format=prometheus", nil)
+	check(req)
+}
+
+func TestDebugHistoryEndpoint(t *testing.T) {
+	network, s := testNetwork(t)
+	sampler := metrics.NewSampler(network.Metrics(), time.Hour, 16)
+	ts := httptest.NewServer(newDebugMux(debugState{network: network, sampler: sampler}))
+	defer ts.Close()
+
+	ev, err := schema.ParseEvent(s, "symbol=OTE price=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := network.Publish(0, ev); err != nil {
+		t.Fatal(err)
+	}
+	network.Flush()
+	sampler.Tick(time.Now())
+
+	resp, err := http.Get(ts.URL + "/debug/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist metrics.History
+	err = json.NewDecoder(resp.Body).Decode(&hist)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Ticks != 1 {
+		t.Fatalf("history ticks = %d, want 1", hist.Ticks)
+	}
+	pt, ok := hist.Latest("events_published")
+	if !ok || pt.Value != 1 {
+		t.Fatalf("events_published latest = %+v ok=%v", pt, ok)
+	}
+}
+
+func TestDebugJournalEndpoint(t *testing.T) {
+	s := schema.MustNew(
+		schema.Attribute{Name: "symbol", Type: schema.TypeString},
+		schema.Attribute{Name: "price", Type: schema.TypeFloat},
+	)
+	rec := flight.NewRecorder(1 << 16)
+	network, err := core.New(core.Config{
+		Topology: topology.Figure7Tree(),
+		Schema:   s,
+		Mode:     interval.Lossy,
+		Flight:   rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer network.Close()
+	ts := httptest.NewServer(newDebugMux(debugState{network: network, rec: rec}))
+	defer ts.Close()
+
+	sub, err := schema.ParseSubscription(s, `symbol = OTE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := network.Subscribe(5, sub, func(subid.ID, *schema.Event) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := network.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Stats   flight.Stats    `json:"stats"`
+		Records []flight.Record `json:"records"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Records) == 0 {
+		t.Fatal("journal has no records after subscribe+propagate")
+	}
+	seen := map[string]bool{}
+	for _, r := range doc.Records {
+		seen[r.TypeName] = true
+	}
+	for _, want := range []string{flight.EvSubscribe.String(), flight.EvPeriodStart.String(), flight.EvPeriodEnd.String()} {
+		if !seen[want] {
+			t.Errorf("journal missing %q records", want)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/journal?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "subscribe") {
+		t.Fatalf("text journal missing subscribe line:\n%s", body)
+	}
+}
+
+func TestDebugHistoryJournalDisabled(t *testing.T) {
+	network, _ := testNetwork(t)
+	ts := httptest.NewServer(newDebugMux(debugState{network: network}))
+	defer ts.Close()
+
+	for _, path := range []string{"/debug/history", "/debug/journal"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s without attachment: %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestDebugTraceChromeCapacityClear(t *testing.T) {
+	network, s := testNetwork(t)
+	ts := httptest.NewServer(newDebugMux(debugState{network: network}))
+	defer ts.Close()
+
+	network.SetTraceSampling(1)
+	ev, err := schema.ParseEvent(s, "symbol=OTE price=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := network.Publish(2, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	network.Flush()
+
+	resp, err := http.Get(ts.URL + "/trace?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Phase string `json:"ph"`
+			Name  string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slices int
+	for _, e := range doc.TraceEvents {
+		if e.Phase == "X" {
+			slices++
+		}
+	}
+	if slices == 0 {
+		t.Fatalf("chrome trace has no slices: %+v", doc)
+	}
+
+	get := func(url string) (capacity int, traces []core.Trace) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Capacity int          `json:"capacity"`
+			Traces   []core.Trace `json:"traces"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Capacity, out.Traces
+	}
+
+	if capacity, traces := get(ts.URL + "/trace?capacity=3"); capacity != 3 || len(traces) != 3 {
+		t.Fatalf("after ?capacity=3: capacity=%d traces=%d", capacity, len(traces))
+	}
+	if _, traces := get(ts.URL + "/trace?clear=1"); len(traces) != 0 {
+		t.Fatalf("after ?clear=1: traces=%d", len(traces))
 	}
 }

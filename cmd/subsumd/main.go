@@ -21,8 +21,18 @@
 // subscriptions. Try it interactively with `nc`.
 //
 // With -http set, a debug listener serves /metrics (instrument-registry
-// snapshot, text or ?format=json), /trace (sampled hop traces;
-// ?sample=N adjusts the rate), /debug/pprof/ and /debug/vars.
+// snapshot, text, ?format=json, or Prometheus exposition via the Accept
+// header), /debug/history (metrics time-series), /debug/journal (the
+// flight-recorder journal), /trace (sampled hop traces; ?sample=N
+// adjusts the rate, ?format=chrome exports for chrome://tracing),
+// /debug/pprof/ and /debug/vars.
+//
+// The daemon keeps a bounded flight-recorder journal of engine events
+// (-journal-kb), samples the metrics registry into ring-buffer
+// time-series (-sample-interval, -history-cap), and runs an invariant
+// watchdog (-watchdog) that cross-checks coverage, flow conservation,
+// and byte accounting. On panic or SIGQUIT it writes a crash dump —
+// journal plus metrics snapshot — to -crash-dump (stderr when unset).
 package main
 
 import (
@@ -37,6 +47,7 @@ import (
 
 	"github.com/subsum/subsum/internal/broker"
 	"github.com/subsum/subsum/internal/core"
+	"github.com/subsum/subsum/internal/flight"
 	"github.com/subsum/subsum/internal/interval"
 	"github.com/subsum/subsum/internal/metrics"
 	"github.com/subsum/subsum/internal/schema"
@@ -58,6 +69,12 @@ func main() {
 		httpAddr = flag.String("http", "", "debug listen address serving /metrics, /trace, /debug/pprof (empty disables)")
 		traceN   = flag.Int("trace-sample", 0, "record a hop trace for every Nth published event (0 disables)")
 		logJSON  = flag.Bool("log-json", false, "emit structured JSON logs instead of text")
+
+		sampleEvery = flag.Duration("sample-interval", time.Second, "metrics time-series sampling interval (0 disables /debug/history and the history wire op)")
+		historyCap  = flag.Int("history-cap", 300, "points retained per metrics time-series")
+		journalKB   = flag.Int("journal-kb", 256, "flight-recorder journal capacity in KiB (0 disables /debug/journal and crash-dump journals)")
+		wdEvery     = flag.Duration("watchdog", 10*time.Second, "invariant watchdog check interval (0 disables)")
+		crashDump   = flag.String("crash-dump", "", "path for the crash dump written on panic or SIGQUIT (empty: dump to stderr)")
 	)
 	flag.Parse()
 
@@ -87,6 +104,20 @@ func main() {
 		mode = interval.Exact
 	}
 	reg := metrics.NewRegistry()
+	var rec *flight.Recorder
+	if *journalKB > 0 {
+		rec = flight.NewRecorder(*journalKB * 1024)
+	}
+	// A panicking daemon leaves its last seconds of history behind: the
+	// recover writes the journal + metrics crash dump, then re-panics so
+	// the process still dies with the original stack trace.
+	defer func() {
+		if r := recover(); r != nil {
+			logger.Error("panic: writing crash dump", "panic", fmt.Sprint(r))
+			writeCrashDump(*crashDump, rec, reg, logger)
+			panic(r)
+		}
+	}()
 	var network *core.Network
 	if *snapshot != "" {
 		if f, err := os.Open(*snapshot); err == nil {
@@ -94,7 +125,7 @@ func main() {
 			// matched and counted but delivered nowhere until a client
 			// re-subscribes. Operators typically pair snapshots with
 			// durable consumer queues; this daemon logs instead.
-			network, err = core.LoadSnapshot(f, core.Config{Topology: topo, Mode: mode, FullSyncEvery: *fullSync, Metrics: reg},
+			network, err = core.LoadSnapshot(f, core.Config{Topology: topo, Mode: mode, FullSyncEvery: *fullSync, Metrics: reg, Flight: rec},
 				func(id subid.ID, sub *schema.Subscription) broker.DeliveryFunc {
 					blog := logger.With("broker", int(id.Broker), "local", uint32(id.Local))
 					return func(id subid.ID, ev *schema.Event) {
@@ -116,7 +147,7 @@ func main() {
 	}
 	if network == nil {
 		var err error
-		network, err = core.New(core.Config{Topology: topo, Schema: s, Mode: mode, FullSyncEvery: *fullSync, Metrics: reg})
+		network, err = core.New(core.Config{Topology: topo, Schema: s, Mode: mode, FullSyncEvery: *fullSync, Metrics: reg, Flight: rec})
 		if err != nil {
 			fatal("building network", "err", err)
 		}
@@ -124,7 +155,20 @@ func main() {
 	defer network.Close()
 	network.SetTraceSampling(*traceN)
 
+	var sampler *metrics.Sampler
+	if *sampleEvery > 0 {
+		sampler = metrics.NewSampler(reg, *sampleEvery, *historyCap)
+		sampler.Start()
+		defer sampler.Stop()
+	}
+	if *wdEvery > 0 {
+		network.StartWatchdog(*wdEvery)
+	}
+
 	srv := wire.NewServer(network, s)
+	if sampler != nil {
+		srv.SetSampler(sampler)
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fatal("listen", "addr", *addr, "err", err)
@@ -133,17 +177,29 @@ func main() {
 	logger.Info("listening", "addr", bound, "topology", topo.String(), "schema", s.String())
 
 	if *httpAddr != "" {
-		dbgAddr, stopDebug, err := startDebugServer(*httpAddr, network, logger)
+		dbgAddr, stopDebug, err := startDebugServer(*httpAddr, debugState{network: network, sampler: sampler, rec: rec}, logger)
 		if err != nil {
 			fatal("debug listen", "addr", *httpAddr, "err", err)
 		}
 		defer stopDebug()
 		logger.Info("debug http listening", "addr", dbgAddr,
-			"endpoints", "/metrics /trace /debug/pprof/ /debug/vars")
+			"endpoints", "/metrics /debug/history /debug/journal /trace /debug/pprof/ /debug/vars")
 	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	// SIGQUIT is the operator's "tell me what you were doing" signal:
+	// write the crash dump and exit without running the normal shutdown
+	// path, mirroring the Go runtime's fatal handling of the signal.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		<-quit
+		logger.Info("SIGQUIT: writing crash dump")
+		writeCrashDump(*crashDump, rec, reg, logger)
+		os.Exit(2)
+	}()
 
 	// The propagation loop owns a done channel so shutdown actually stops
 	// it: ranging over ticker.C alone would leave the goroutine parked
@@ -193,6 +249,20 @@ func main() {
 		}
 	}
 	logger.Info("shutting down")
+}
+
+// writeCrashDump serializes the flight journal plus a metrics snapshot
+// to path, or to stderr when path is empty.
+func writeCrashDump(path string, rec *flight.Recorder, reg *metrics.Registry, logger *slog.Logger) {
+	if path == "" {
+		_ = flight.Dump(os.Stderr, rec, reg)
+		return
+	}
+	if err := flight.DumpToFile(path, rec, reg); err != nil {
+		logger.Error("crash dump failed", "path", path, "err", err)
+		return
+	}
+	logger.Info("crash dump written", "path", path)
 }
 
 func parseSchema(spec string) (*schema.Schema, error) {

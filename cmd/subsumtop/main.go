@@ -1,0 +1,253 @@
+// Command subsumtop is a polling terminal dashboard for a running
+// subsumd. It speaks the same line-delimited JSON protocol as any other
+// client, combining the "stats" op (instrument-registry snapshot) with
+// the "history" op (the server-side sampler's retained time-series) to
+// show both current totals and per-interval rates:
+//
+//	subsumtop -addr 127.0.0.1:7070 -every 2s
+//
+// Each frame shows event flow (published/routed/forwarded/suppressed
+// with rates), propagation traffic, bus health, watchdog status, and a
+// per-broker table (subscriptions, merged coverage, deliveries, false
+// positives, match latency p95). Rates come from the server's history
+// ring, so they reflect the sampler's interval, not subsumtop's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/subsum/subsum/internal/metrics"
+	"github.com/subsum/subsum/internal/wire"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:7070", "subsumd wire address")
+		every  = flag.Duration("every", 2*time.Second, "refresh interval")
+		frames = flag.Int("frames", 0, "number of frames to render before exiting (0 = run until interrupted)")
+		once   = flag.Bool("once", false, "render one frame and exit (same as -frames 1)")
+	)
+	flag.Parse()
+	n := *frames
+	if *once {
+		n = 1
+	}
+	if err := run(os.Stdout, topConfig{addr: *addr, every: *every, frames: n, clear: true}); err != nil {
+		fmt.Fprintln(os.Stderr, "subsumtop:", err)
+		os.Exit(1)
+	}
+}
+
+// topConfig parametrizes run so tests can render a bounded number of
+// frames into a buffer without ANSI escapes.
+type topConfig struct {
+	addr   string
+	every  time.Duration
+	frames int  // 0 = loop until a poll fails
+	clear  bool // home-and-clear the terminal between frames
+}
+
+// run dials the server and renders frames until cfg.frames is exhausted
+// or a poll fails. The first frame renders immediately.
+func run(w io.Writer, cfg topConfig) error {
+	cl, err := wire.Dial(cfg.addr, nil)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	for frame := 1; ; frame++ {
+		m, err := cl.Metrics()
+		if err != nil {
+			return fmt.Errorf("stats: %w", err)
+		}
+		// History is optional server-side (-sample-interval 0); the
+		// dashboard still works, just without rates.
+		hist, _ := cl.History()
+		if cfg.clear {
+			fmt.Fprint(w, "\x1b[2J\x1b[H")
+		}
+		renderFrame(w, cfg.addr, frame, m, hist)
+		if cfg.frames > 0 && frame >= cfg.frames {
+			return nil
+		}
+		time.Sleep(cfg.every)
+	}
+}
+
+// renderFrame writes one dashboard frame from a registry snapshot and an
+// optional history document.
+func renderFrame(w io.Writer, addr string, frame int, m map[string]float64, hist *metrics.History) {
+	rate := func(name string) string {
+		if hist == nil {
+			return ""
+		}
+		pt, ok := hist.Latest(name)
+		if !ok {
+			return ""
+		}
+		return fmt.Sprintf("%10.1f/s", pt.Rate)
+	}
+
+	histNote := "history: off"
+	if hist != nil {
+		histNote = fmt.Sprintf("history: %d ticks @ %gs", hist.Ticks, hist.IntervalSeconds)
+	}
+	fmt.Fprintf(w, "subsumtop — %s    frame %d    %s\n\n", addr, frame, histNote)
+
+	fmt.Fprintf(w, "EVENTS\n")
+	for _, row := range []struct{ label, name string }{
+		{"published", "events_published"},
+		{"routed", "events_routed"},
+		{"forwarded", "events_forwarded"},
+		{"suppressed", "events_suppressed"},
+		{"delivered", "deliver_sends"},
+	} {
+		fmt.Fprintf(w, "  %-10s %12.0f %s\n", row.label, m[row.name], rate(row.name))
+	}
+	fp := sumLabeled(m, "broker_false_positives")
+	del := sumLabeled(m, "broker_deliveries")
+	ratio := 0.0
+	if fp+del > 0 {
+		ratio = fp / (fp + del)
+	}
+	fmt.Fprintf(w, "  %-10s %12.0f   (%.1f%% of exact matches)\n", "false pos", fp, 100*ratio)
+
+	fmt.Fprintf(w, "\nPROPAGATION\n")
+	fmt.Fprintf(w, "  periods %.0f    hops %.0f    wire bytes %.0f %s\n",
+		m["propagation_periods"], m["propagation_hops"], m["propagation_bytes"], rate("propagation_bytes"))
+	fmt.Fprintf(w, "  period bytes p95 %.0f    period seconds p95 %.4f\n",
+		m["propagation_period_bytes.p95"], m["propagation_period_seconds.p95"])
+
+	fmt.Fprintf(w, "\nBUS\n")
+	fmt.Fprintf(w, "  inflight %.0f    messages %.0f    dropped %.0f (%.0f B)    decode errors %.0f    handler errors %.0f\n",
+		m["bus_inflight"], sumLabeled(m, "bus_messages"), sumLabeled(m, "bus_dropped"),
+		sumLabeled(m, "bus_dropped_bytes"), sumLabeled(m, "bus_decode_errors"), sumLabeled(m, "bus_handler_errors"))
+
+	status := "OK"
+	if m["watchdog_violations"] > 0 {
+		status = "VIOLATIONS"
+	}
+	fmt.Fprintf(w, "\nWATCHDOG\n")
+	fmt.Fprintf(w, "  checks %.0f    violations %.0f    %s\n", m["watchdog_checks"], m["watchdog_violations"], status)
+
+	rows := brokerRows(m)
+	if len(rows) > 0 {
+		fmt.Fprintf(w, "\nBROKERS%12s%8s%8s%8s%8s%14s\n", "subs", "merged", "deliv", "fpos", "merges", "match p95")
+		for _, r := range rows {
+			fmt.Fprintf(w, "  %-5d%12.0f%8.0f%8.0f%8.0f%8.0f%14s\n",
+				r.id, r.subs, r.merged, r.deliveries, r.falsePos, r.merges, fmtSeconds(r.matchP95))
+		}
+	}
+}
+
+// brokerRow is one line of the per-broker table, assembled from the
+// "family{broker}" entries of the registry snapshot.
+type brokerRow struct {
+	id         int
+	subs       float64
+	merged     float64
+	deliveries float64
+	falsePos   float64
+	merges     float64
+	matchP95   float64
+}
+
+// brokerRows collects the per-broker instrument families into sorted
+// table rows. Brokers appear once any of their labeled instruments has
+// been registered.
+func brokerRows(m map[string]float64) []brokerRow {
+	byID := map[int]*brokerRow{}
+	row := func(id int) *brokerRow {
+		if r, ok := byID[id]; ok {
+			return r
+		}
+		r := &brokerRow{id: id}
+		byID[id] = r
+		return r
+	}
+	for name, v := range m {
+		family, label, ok := splitLabeled(name)
+		if !ok {
+			continue
+		}
+		id, err := strconv.Atoi(label)
+		if err != nil {
+			continue
+		}
+		switch family {
+		case "broker_subscriptions":
+			row(id).subs = v
+		case "broker_merged_subs":
+			row(id).merged = v
+		case "broker_deliveries":
+			row(id).deliveries = v
+		case "broker_false_positives":
+			row(id).falsePos = v
+		case "broker_summary_merges":
+			row(id).merges = v
+		}
+	}
+	// Histogram-derived samples keep their suffix outside the braces:
+	// "broker_match_seconds{3}.p95".
+	for name, v := range m {
+		const fam = "broker_match_seconds{"
+		if !strings.HasPrefix(name, fam) || !strings.HasSuffix(name, "}.p95") {
+			continue
+		}
+		label := name[len(fam) : len(name)-len("}.p95")]
+		if id, err := strconv.Atoi(label); err == nil {
+			row(id).matchP95 = v
+		}
+	}
+	rows := make([]brokerRow, 0, len(byID))
+	for _, r := range byID {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+	return rows
+}
+
+// splitLabeled splits "family{label}" and reports whether name has that
+// exact shape (no derived-sample suffix).
+func splitLabeled(name string) (family, label string, ok bool) {
+	open := strings.IndexByte(name, '{')
+	if open < 0 || !strings.HasSuffix(name, "}") {
+		return "", "", false
+	}
+	return name[:open], name[open+1 : len(name)-1], true
+}
+
+// sumLabeled totals every "family{...}" entry of one vec family,
+// skipping derived samples.
+func sumLabeled(m map[string]float64, family string) float64 {
+	var sum float64
+	for name, v := range m {
+		f, _, ok := splitLabeled(name)
+		if ok && f == family {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// fmtSeconds renders a latency in the most readable unit.
+func fmtSeconds(s float64) string {
+	switch {
+	case s == 0:
+		return "-"
+	case s < 1e-4:
+		return fmt.Sprintf("%.1fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}

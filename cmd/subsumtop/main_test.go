@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/subsum/subsum/internal/core"
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/metrics"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/subid"
+	"github.com/subsum/subsum/internal/topology"
+	"github.com/subsum/subsum/internal/wire"
+)
+
+// TestRunRendersLiveServer is the subsumtop e2e: a real network behind a
+// real wire server with a sampler attached, polled over TCP via the
+// stats and history ops.
+func TestRunRendersLiveServer(t *testing.T) {
+	s := schema.MustNew(
+		schema.Attribute{Name: "symbol", Type: schema.TypeString},
+		schema.Attribute{Name: "price", Type: schema.TypeFloat},
+	)
+	reg := metrics.NewRegistry()
+	network, err := core.New(core.Config{
+		Topology: topology.Figure7Tree(),
+		Schema:   s,
+		Mode:     interval.Lossy,
+		Metrics:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer network.Close()
+
+	sampler := metrics.NewSampler(reg, time.Hour, 16)
+	srv := wire.NewServer(network, s)
+	srv.SetSampler(sampler)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	sub, err := schema.ParseSubscription(s, `symbol = OTE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := network.Subscribe(5, sub, func(subid.ID, *schema.Event) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := network.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := schema.ParseEvent(s, "symbol=OTE price=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := network.Publish(0, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	network.Flush()
+	sampler.Tick(time.Now())
+	sampler.Tick(time.Now().Add(time.Second))
+
+	var buf bytes.Buffer
+	if err := run(&buf, topConfig{addr: addr, every: time.Millisecond, frames: 2, clear: false}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"subsumtop — " + addr,
+		"frame 2",                 // both frames rendered
+		"history: 2 ticks",        // the history op answered
+		"published             3", // registry totals made it across the wire
+		"WATCHDOG",
+		"BROKERS",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[") {
+		t.Error("clear=false frame still contains ANSI escapes")
+	}
+	// The per-broker table must include broker 5 (the subscriber) with
+	// its subscription and delivery counted.
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) >= 4 && f[0] == "5" && f[1] == "1" && f[3] == "3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("broker 5 row (subs=1 deliv=3) not found:\n%s", out)
+	}
+}
+
+func TestRunDialFailure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, topConfig{addr: "127.0.0.1:1", every: time.Millisecond, frames: 1}); err == nil {
+		t.Fatal("expected dial error")
+	}
+}
+
+func TestRenderFrameWithoutHistory(t *testing.T) {
+	var buf bytes.Buffer
+	renderFrame(&buf, "x", 1, map[string]float64{"events_published": 7}, nil)
+	out := buf.String()
+	if !strings.Contains(out, "history: off") {
+		t.Errorf("missing history-off note:\n%s", out)
+	}
+	if !strings.Contains(out, "published             7") {
+		t.Errorf("missing published total:\n%s", out)
+	}
+}
+
+func TestBrokerRowsAndHelpers(t *testing.T) {
+	m := map[string]float64{
+		"broker_subscriptions{3}":       2,
+		"broker_merged_subs{3}":         2,
+		"broker_deliveries{3}":          9,
+		"broker_false_positives{3}":     1,
+		"broker_summary_merges{3}":      4,
+		"broker_match_seconds{3}.p95":   0.0005,
+		"broker_subscriptions{10}":      1,
+		"broker_match_seconds{3}.count": 12, // derived, not a row field
+		"events_published":              100,
+		"bus_messages{event}":           6,
+		"bus_messages{summary}":         4,
+	}
+	rows := brokerRows(m)
+	if len(rows) != 2 || rows[0].id != 3 || rows[1].id != 10 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	r := rows[0]
+	if r.subs != 2 || r.deliveries != 9 || r.falsePos != 1 || r.merges != 4 || r.matchP95 != 0.0005 {
+		t.Fatalf("broker 3 row = %+v", r)
+	}
+	if got := sumLabeled(m, "bus_messages"); got != 10 {
+		t.Fatalf("sumLabeled(bus_messages) = %v", got)
+	}
+	if got := fmtSeconds(0.0005); got != "0.50ms" {
+		t.Fatalf("fmtSeconds(0.0005) = %q", got)
+	}
+	if got := fmtSeconds(0); got != "-" {
+		t.Fatalf("fmtSeconds(0) = %q", got)
+	}
+}

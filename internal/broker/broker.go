@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/subsum/subsum/internal/flight"
 	"github.com/subsum/subsum/internal/interval"
 	"github.com/subsum/subsum/internal/metrics"
 	"github.com/subsum/subsum/internal/schema"
@@ -55,6 +56,7 @@ type Broker struct {
 	filter        *siena.SubsumptionFilter // nil unless delta filtering is on
 	filteredSubs  int                      // subscriptions kept out of deltas
 	obs           *brokerObs               // nil unless Config.Metrics was set
+	rec           *flight.Recorder         // nil unless Config.Flight was set
 }
 
 // brokerObs holds this broker's registry instruments, resolved once at
@@ -108,6 +110,10 @@ type Config struct {
 	// gauges into the registry under "name{broker-id}" labels. Nil keeps
 	// the broker entirely uninstrumented (the pre-observability behavior).
 	Metrics *metrics.Registry
+	// Flight, when non-nil, journals subscription churn and wire-form merge
+	// outcomes into the flight recorder. Nil (and the Recorder's own
+	// nil-receiver tolerance) keeps the hot paths branch-cheap.
+	Flight *flight.Recorder
 }
 
 // New creates an empty broker.
@@ -132,6 +138,7 @@ func New(cfg Config) (*Broker, error) {
 		merged:        summary.New(cfg.Schema, cfg.Mode),
 		mergedBrokers: subid.NewMask(cfg.NumBrokers),
 		communicated:  make(map[topology.NodeID]bool),
+		rec:           cfg.Flight,
 	}
 	b.matcher = b.merged.NewMatcher()
 	b.mergedBrokers.Set(int(cfg.ID))
@@ -189,6 +196,7 @@ func (b *Broker) Subscribe(sub *schema.Subscription, deliver DeliveryFunc) (subi
 	b.nextLocal++
 	b.subs[id.Local] = &subEntry{id: id, sub: sub, deliver: deliver}
 	b.updateSubGauges()
+	b.rec.Record(flight.EvSubscribe, int(b.id), int64(id.Local), int64(len(sub.AttrSet())), 0, "")
 	return id, nil
 }
 
@@ -272,6 +280,7 @@ func (b *Broker) Unsubscribe(id subid.ID) error {
 	// Defragment the AACS rows churn leaves behind (cheap: linear in rows).
 	b.merged.Compact()
 	b.updateSubGauges()
+	b.rec.Record(flight.EvUnsubscribe, int(b.id), int64(id.Local), 0, 0, "")
 	return nil
 }
 
@@ -339,6 +348,7 @@ func (b *Broker) MergeEncodedSummary(payload []byte, brokers subid.Mask) error {
 		start = time.Now()
 	}
 	if err := b.merged.MergeEncoded(payload); err != nil {
+		b.rec.Record(flight.EvMergeError, int(b.id), int64(len(payload)), 0, 0, err.Error())
 		return err
 	}
 	for _, i := range brokers.Bits() {
@@ -349,6 +359,7 @@ func (b *Broker) MergeEncodedSummary(payload []byte, brokers subid.Mask) error {
 		b.obs.summaryMerges.Inc()
 		b.updateSubGauges()
 	}
+	b.rec.Record(flight.EvMergeOK, int(b.id), int64(len(payload)), int64(b.merged.NumSubscriptions()), 0, "")
 	return nil
 }
 
@@ -472,6 +483,36 @@ type Stats struct {
 	MergedBrokerCount int
 	ModelBytes        int // merged summary size under the paper's cost model
 	FilteredSubs      int // subscriptions kept out of deltas by subsumption
+}
+
+// MissingFromMerged returns the ids of locally-owned subscriptions that
+// are absent from this broker's own merged summary. The invariant the
+// watchdog checks is that this list is always empty: the merged summary
+// may overstate coverage (lossy false positives are by design) but must
+// never understate it, because an understated own-summary can suppress
+// events that a local consumer subscribed to — the one failure mode the
+// paper's "no false negatives" guarantee forbids.
+func (b *Broker) MissingFromMerged() []subid.ID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var missing []subid.ID
+	for _, e := range b.subs {
+		if !b.merged.Contains(e.id) {
+			missing = append(missing, e.id)
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i].Local < missing[j].Local })
+	return missing
+}
+
+// CorruptMerged removes id from the merged summary while leaving the raw
+// subscription registered — a deliberate coverage understatement. Test
+// hook for proving the watchdog detects exactly this class of fault;
+// never called by the engine.
+func (b *Broker) CorruptMerged(id subid.ID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.merged.Remove(id)
 }
 
 // Stats returns a snapshot (cost model: s_st = s_id = 4).

@@ -1,0 +1,110 @@
+// Chrome trace-event export: renders the retained hop traces in the
+// Trace Event Format consumed by chrome://tracing and Perfetto
+// (https://ui.perfetto.dev). Each broker becomes one named thread track;
+// each filter decision of each sampled event becomes a complete ("X")
+// slice on its broker's track, so the visual timeline shows where events
+// spent their walk and which summaries suppressed them — turning the
+// flight data into a picture an operator can scrub.
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// chromeEvent is one entry of the traceEvents array. Fields follow the
+// Trace Event Format: ph is the phase ("X" complete slice, "M"
+// metadata), ts/dur are microseconds, pid/tid place the slice on a
+// track.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TsUs  float64        `json:"ts"`
+	DurUs float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTraceDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the retained hop traces as a Chrome
+// trace-event JSON document: one thread track per broker (pid 0), one
+// complete slice per hop decision. A hop's slice spans from the previous
+// recorded timestamp of its trace (the publish time for the first hop)
+// to the hop's own timestamp — the wait-plus-process interval that
+// decision accounts for. Traces recorded before timestamping existed
+// (all-zero times) are skipped.
+func (net *Network) WriteChromeTrace(w io.Writer) error {
+	traces := net.Traces()
+	doc := chromeTraceDoc{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+
+	// Stable time origin: the earliest publish among retained traces.
+	var t0 int64
+	brokers := map[int]bool{}
+	for _, tr := range traces {
+		if tr.StartUnixNanos == 0 {
+			continue
+		}
+		if t0 == 0 || tr.StartUnixNanos < t0 {
+			t0 = tr.StartUnixNanos
+		}
+	}
+	us := func(ns int64) float64 { return float64(ns-t0) / 1e3 }
+
+	for _, tr := range traces {
+		if tr.StartUnixNanos == 0 {
+			continue
+		}
+		prev := tr.StartUnixNanos
+		for _, hop := range tr.Hops {
+			if hop.UnixNanos == 0 {
+				continue
+			}
+			start, end := prev, hop.UnixNanos
+			if end < start {
+				start = end
+			}
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name:  hop.Decision,
+				Phase: "X",
+				TsUs:  us(start),
+				DurUs: float64(end-start) / 1e3,
+				PID:   0,
+				TID:   hop.Broker,
+				Args: map[string]any{
+					"trace_id": tr.ID,
+					"event":    tr.Event,
+					"origin":   tr.Origin,
+					"matched":  hop.Matched,
+					"bytes":    hop.Bytes,
+				},
+			})
+			brokers[hop.Broker] = true
+			prev = hop.UnixNanos
+		}
+	}
+
+	// Thread-name metadata so tracks read "broker N" instead of bare tids.
+	ids := make([]int, 0, len(brokers))
+	for id := range brokers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	meta := make([]chromeEvent, 0, len(ids))
+	for _, id := range ids {
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 0, TID: id,
+			Args: map[string]any{"name": "broker " + strconv.Itoa(id)},
+		})
+	}
+	doc.TraceEvents = append(meta, doc.TraceEvents...)
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"github.com/subsum/subsum/internal/broker"
+	"github.com/subsum/subsum/internal/flight"
 	"github.com/subsum/subsum/internal/interval"
 	"github.com/subsum/subsum/internal/metrics"
 	"github.com/subsum/subsum/internal/netsim"
@@ -67,6 +68,11 @@ type Config struct {
 	// registry — the engine is always instrumented; Metrics only controls
 	// where the numbers land. Retrieve it with Network.Metrics.
 	Metrics *metrics.Registry
+	// Flight, when non-nil, journals structured engine events (subscription
+	// churn, propagation periods, merge outcomes, drops, decode errors,
+	// watchdog violations) into a bounded flight recorder. Nil costs one
+	// branch on the affected paths. Retrieve it with Network.Flight.
+	Flight *flight.Recorder
 }
 
 // Network is a running broker network. Create with New, stop with Close.
@@ -90,6 +96,9 @@ type Network struct {
 	metrics *metrics.Registry
 	obs     netObs
 	tracer  tracer
+	rec     *flight.Recorder // nil unless Config.Flight was set
+
+	watchdog *Watchdog // nil until StartWatchdog
 }
 
 // netObs holds the engine-level instruments, resolved once in New.
@@ -97,6 +106,7 @@ type netObs struct {
 	eventsPublished    *metrics.Counter   // Publish calls accepted
 	eventsRouted       *metrics.Counter   // Algorithm 3 hops processed
 	eventsForwarded    *metrics.Counter   // events sent on to the next broker
+	eventsSuppressed   *metrics.Counter   // walks ended by a complete BROCLI
 	deliverSends       *metrics.Counter   // remote owner deliveries sent
 	propagationPeriods *metrics.Counter   // completed Algorithm 2 periods
 	propagationHops    *metrics.Counter   // summary messages sent
@@ -110,6 +120,7 @@ func newNetObs(r *metrics.Registry) netObs {
 		eventsPublished:    r.Counter("events_published"),
 		eventsRouted:       r.Counter("events_routed"),
 		eventsForwarded:    r.Counter("events_forwarded"),
+		eventsSuppressed:   r.Counter("events_suppressed"),
 		deliverSends:       r.Counter("deliver_sends"),
 		propagationPeriods: r.Counter("propagation_periods"),
 		propagationHops:    r.Counter("propagation_hops"),
@@ -147,9 +158,12 @@ func New(cfg Config) (*Network, error) {
 		brokers: make([]*broker.Broker, n),
 		bus:     netsim.NewBus(n),
 		metrics: reg,
+		rec:     cfg.Flight,
 	}
 	net.obs = newNetObs(reg)
+	net.tracer.depth = reg.Gauge("trace_store_depth")
 	net.bus.Instrument(reg)
+	net.bus.SetFlight(cfg.Flight)
 	for i := 0; i < n; i++ {
 		b, err := broker.New(broker.Config{
 			ID:                   topology.NodeID(i),
@@ -159,6 +173,7 @@ func New(cfg Config) (*Network, error) {
 			MaxSubscriptions:     cfg.MaxSubscriptionsPerBroker,
 			FilterSubsumedDeltas: cfg.FilterSubsumedDeltas,
 			Metrics:              reg,
+			Flight:               cfg.Flight,
 		})
 		if err != nil {
 			return nil, err
@@ -209,8 +224,18 @@ func (net *Network) effectiveOrder() []topology.NodeID {
 	return order
 }
 
-// Close shuts down the network; pending messages are dropped.
-func (net *Network) Close() { net.bus.Close() }
+// Close shuts down the network; pending messages are dropped. A running
+// watchdog is stopped first so it never checks a closed bus.
+func (net *Network) Close() {
+	if net.watchdog != nil {
+		net.watchdog.Stop()
+	}
+	net.bus.Close()
+}
+
+// Flight returns the network's flight recorder (nil when Config.Flight
+// was not set).
+func (net *Network) Flight() *flight.Recorder { return net.rec }
 
 // Subscribe registers a consumer subscription at the given broker.
 func (net *Network) Subscribe(at topology.NodeID, sub *schema.Subscription, deliver broker.DeliveryFunc) (subid.ID, error) {
@@ -282,11 +307,16 @@ func (net *Network) Propagate() (hops int, err error) {
 		net.obs.propagationBytes.Add(periodBytes)
 		net.obs.periodBytes.Observe(float64(periodBytes))
 		net.obs.periodSeconds.Observe(time.Since(start).Seconds())
+		net.rec.Record(flight.EvPeriodEnd, -1, int64(net.periods), int64(hops), periodBytes, "")
 	}()
 	g := net.cfg.Topology
 	n := len(net.brokers)
 	net.periods++
 	fullSync := net.cfg.FullSyncEvery > 0 && net.periods%net.cfg.FullSyncEvery == 0
+	net.rec.Record(flight.EvPeriodStart, -1, int64(net.periods), 0, 0, "")
+	if fullSync {
+		net.rec.Record(flight.EvFullSync, -1, int64(net.periods), 0, 0, "")
+	}
 	period := &periodState{
 		sums: make([]*summary.Summary, n),
 		sets: make([]subid.Mask, n),
@@ -399,7 +429,7 @@ func (net *Network) handle(node topology.NodeID, m netsim.Message) {
 	case netsim.KindDeliver:
 		ev, traceID, err := decodeDeliverMsg(net.cfg.Schema, m.Payload)
 		if err != nil {
-			net.bus.RecordDecodeError(netsim.KindDeliver)
+			net.bus.RecordDecodeErrorAt(netsim.KindDeliver, node)
 			return
 		}
 		hits := net.brokers[node].DeliverExact(ev)
@@ -420,7 +450,7 @@ func (net *Network) handleSummary(node topology.NodeID, m netsim.Message) {
 	// nothing of m.Payload (a pooled shared buffer) is retained.
 	set, off, err := decodeMask(m.Payload)
 	if err != nil {
-		net.bus.RecordDecodeError(netsim.KindSummary)
+		net.bus.RecordDecodeErrorAt(netsim.KindSummary, node)
 		return
 	}
 	sumWire := m.Payload[off:]
@@ -429,7 +459,7 @@ func (net *Network) handleSummary(node topology.NodeID, m netsim.Message) {
 		// A malformed summary payload leaves at most a partial merge — the
 		// documented dropped-message equivalence — and counts as a decode
 		// error: the bytes, not the broker, were at fault.
-		net.bus.RecordDecodeError(netsim.KindSummary)
+		net.bus.RecordDecodeErrorAt(netsim.KindSummary, node)
 		return
 	}
 	// Fold into the current period's working set so later iterations
@@ -451,7 +481,7 @@ func (net *Network) handleSummary(node topology.NodeID, m netsim.Message) {
 func (net *Network) handleEvent(node topology.NodeID, m netsim.Message) {
 	ev, brocli, delivered, traceID, err := decodeEventMsg(net.cfg.Schema, m.Payload)
 	if err != nil {
-		net.bus.RecordDecodeError(netsim.KindEvent)
+		net.bus.RecordDecodeErrorAt(netsim.KindEvent, node)
 		return
 	}
 	net.obs.eventsRouted.Inc()
@@ -498,8 +528,11 @@ func (net *Network) handleEvent(node topology.NodeID, m netsim.Message) {
 	if deliverBuf != nil {
 		deliverBuf.Release()
 	}
-	// Step 4: forward while BROCLIe is incomplete.
+	// Step 4: forward while BROCLIe is incomplete. Every routed event ends
+	// in exactly one terminal counter — forwarded, suppressed, or handler
+	// error — which is the flow-conservation invariant the watchdog checks.
 	if brocli.Count() == n {
+		net.obs.eventsSuppressed.Inc()
 		if traceID != 0 {
 			net.tracer.hop(traceID, node, DecisionSuppressed, len(matched), 0)
 		}
@@ -523,6 +556,10 @@ func (net *Network) handleEvent(node topology.NodeID, m netsim.Message) {
 			if traceID != 0 {
 				net.tracer.hop(traceID, node, DecisionForwarded, len(matched), payloadLen)
 			}
+		} else {
+			// A failed forward send (bus closing) still terminates this
+			// event's walk; count it so flow conservation holds.
+			net.bus.RecordHandlerError(netsim.KindEvent)
 		}
 		sb.Release()
 		return

@@ -3,7 +3,9 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"github.com/subsum/subsum/internal/metrics"
 	"github.com/subsum/subsum/internal/topology"
 )
 
@@ -31,6 +33,10 @@ const (
 type TraceHop struct {
 	Broker   int    `json:"broker"`
 	Decision string `json:"decision"`
+	// UnixNanos is the wall-clock time the decision was recorded, so trace
+	// exports (Chrome trace events, timelines) can place hops on a real
+	// time axis.
+	UnixNanos int64 `json:"t_ns"`
 	// Matched is the number of summary-filter hits at this hop (owner ids
 	// the merged summary admitted), recorded on delivery/forward decisions.
 	Matched int `json:"matched"`
@@ -45,6 +51,8 @@ type Trace struct {
 	ID     uint64 `json:"id"`
 	Origin int    `json:"origin"`
 	Event  string `json:"event"`
+	// StartUnixNanos is the wall-clock time Publish accepted the event.
+	StartUnixNanos int64 `json:"start_ns"`
 	// Path is the Algorithm 3 visit order: the brokers the routed event
 	// reached, in sequence (owner-only delivery hops are not part of the
 	// routing walk and appear in Hops instead).
@@ -55,9 +63,9 @@ type Trace struct {
 	CumBytes int `json:"cum_bytes"`
 }
 
-// maxRetainedTraces bounds the tracer's memory; older traces are evicted
-// FIFO.
-const maxRetainedTraces = 256
+// defaultTraceCapacity bounds the tracer's memory until SetTraceCapacity
+// overrides it; older traces are evicted FIFO.
+const defaultTraceCapacity = 256
 
 // tracer samples published events and records their hop-by-hop walk. It
 // is always present on a Network; with sampling off (every == 0, the
@@ -68,9 +76,31 @@ type tracer struct {
 	pubs   atomic.Uint64 // publishes seen while sampling is on
 	nextID atomic.Uint64
 
-	mu     sync.Mutex
-	traces map[uint64]*Trace
-	order  []uint64 // insertion order for FIFO eviction
+	mu       sync.Mutex
+	capacity int // 0 means defaultTraceCapacity
+	traces   map[uint64]*Trace
+	order    []uint64       // insertion order for FIFO eviction
+	depth    *metrics.Gauge // retained-trace count; nil when unwired
+}
+
+// cap returns the effective retention bound; callers hold t.mu.
+func (t *tracer) cap() int {
+	if t.capacity > 0 {
+		return t.capacity
+	}
+	return defaultTraceCapacity
+}
+
+// evictTo shrinks the store to at most n traces (FIFO) and refreshes the
+// depth gauge; callers hold t.mu.
+func (t *tracer) evictTo(n int) {
+	for len(t.order) > n {
+		delete(t.traces, t.order[0])
+		t.order = t.order[1:]
+	}
+	if t.depth != nil {
+		t.depth.Set(int64(len(t.order)))
+	}
 }
 
 // sample decides whether the next publish is traced, returning its trace
@@ -93,12 +123,12 @@ func (t *tracer) begin(id uint64, origin topology.NodeID, event string) {
 	if t.traces == nil {
 		t.traces = make(map[uint64]*Trace)
 	}
-	for len(t.order) >= maxRetainedTraces {
-		delete(t.traces, t.order[0])
-		t.order = t.order[1:]
-	}
-	t.traces[id] = &Trace{ID: id, Origin: int(origin), Event: event}
+	t.evictTo(t.cap() - 1)
+	t.traces[id] = &Trace{ID: id, Origin: int(origin), Event: event, StartUnixNanos: time.Now().UnixNano()}
 	t.order = append(t.order, id)
+	if t.depth != nil {
+		t.depth.Set(int64(len(t.order)))
+	}
 }
 
 // visit records the routed event arriving at a broker carrying `bytes` of
@@ -128,6 +158,7 @@ func (t *tracer) hop(id uint64, broker topology.NodeID, decision string, matched
 	if tr := t.traces[id]; tr != nil {
 		tr.Hops = append(tr.Hops, TraceHop{
 			Broker: int(broker), Decision: decision, Matched: matched, Bytes: bytes,
+			UnixNanos: time.Now().UnixNano(),
 		})
 	}
 }
@@ -167,3 +198,35 @@ func (net *Network) TraceSampling() int { return int(net.tracer.every.Load()) }
 // In-flight events may still be appending to their trace; call Flush
 // first for settled records.
 func (net *Network) Traces() []Trace { return net.tracer.snapshot() }
+
+// SetTraceCapacity bounds the trace store to the newest n traces
+// (n ≤ 0 restores the default of 256). Shrinking evicts the oldest
+// traces immediately.
+func (net *Network) SetTraceCapacity(n int) {
+	t := &net.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	t.capacity = n
+	t.evictTo(t.cap())
+}
+
+// TraceCapacity returns the current trace retention bound.
+func (net *Network) TraceCapacity() int {
+	t := &net.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cap()
+}
+
+// ClearTraces discards every retained trace (sampling state is
+// unchanged). Debug operation: lets an operator isolate the traces of
+// the traffic they are about to send.
+func (net *Network) ClearTraces() {
+	t := &net.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.evictTo(0)
+}

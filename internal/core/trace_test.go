@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 
 	"github.com/subsum/subsum/internal/schema"
@@ -170,15 +172,15 @@ func TestTraceStoreBounded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < maxRetainedTraces+50; i++ {
+	for i := 0; i < defaultTraceCapacity+50; i++ {
 		if err := net.Publish(0, ev); err != nil {
 			t.Fatal(err)
 		}
 	}
 	net.Flush()
 	traces := net.Traces()
-	if len(traces) != maxRetainedTraces {
-		t.Fatalf("retained %d traces, want cap %d", len(traces), maxRetainedTraces)
+	if len(traces) != defaultTraceCapacity {
+		t.Fatalf("retained %d traces, want cap %d", len(traces), defaultTraceCapacity)
 	}
 	// Most recent first: ids descend.
 	for i := 1; i < len(traces); i++ {
@@ -277,5 +279,148 @@ func TestNetworkMetricsSnapshot(t *testing.T) {
 	}
 	if m["propagation_period_seconds.count"] != 1 {
 		t.Errorf("propagation_period_seconds.count = %v, want 1", m["propagation_period_seconds.count"])
+	}
+}
+
+func TestTraceCapacityAndClear(t *testing.T) {
+	s := stockSchema(t)
+	net := newNetwork(t, topology.Ring(3), s)
+	net.SetTraceSampling(1)
+	ev, err := schema.ParseEvent(s, "symbol=X price=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	publish := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if err := net.Publish(0, ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		net.Flush()
+	}
+
+	net.SetTraceCapacity(10)
+	if got := net.TraceCapacity(); got != 10 {
+		t.Fatalf("TraceCapacity = %d, want 10", got)
+	}
+	publish(25)
+	traces := net.Traces()
+	if len(traces) != 10 {
+		t.Fatalf("retained %d traces at capacity 10", len(traces))
+	}
+	if got := net.Metrics().Gauge("trace_store_depth").Value(); got != 10 {
+		t.Fatalf("trace_store_depth = %d, want 10", got)
+	}
+	// The survivors are the newest: highest ids.
+	if traces[len(traces)-1].ID != traces[0].ID-9 {
+		t.Fatalf("retained window wrong: newest=%d oldest=%d", traces[0].ID, traces[len(traces)-1].ID)
+	}
+
+	// Shrinking evicts immediately.
+	net.SetTraceCapacity(4)
+	if got := len(net.Traces()); got != 4 {
+		t.Fatalf("retained %d traces after shrink to 4", got)
+	}
+	if got := net.Metrics().Gauge("trace_store_depth").Value(); got != 4 {
+		t.Fatalf("trace_store_depth after shrink = %d, want 4", got)
+	}
+
+	// n ≤ 0 restores the default.
+	net.SetTraceCapacity(0)
+	if got := net.TraceCapacity(); got != defaultTraceCapacity {
+		t.Fatalf("TraceCapacity after reset = %d, want %d", got, defaultTraceCapacity)
+	}
+
+	net.ClearTraces()
+	if got := len(net.Traces()); got != 0 {
+		t.Fatalf("%d traces after ClearTraces", got)
+	}
+	if got := net.Metrics().Gauge("trace_store_depth").Value(); got != 0 {
+		t.Fatalf("trace_store_depth after clear = %d, want 0", got)
+	}
+	// Store still works after clearing.
+	publish(2)
+	if got := len(net.Traces()); got != 2 {
+		t.Fatalf("%d traces after post-clear publishes, want 2", got)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	s := stockSchema(t)
+	net := newNetwork(t, topology.Figure7Tree(), s)
+	sub, err := schema.ParseSubscription(s, `symbol = OTE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c collector
+	if _, err := net.Subscribe(7, sub, c.deliver(s)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	net.SetTraceSampling(1)
+	ev, err := schema.ParseEvent(s, "symbol=OTE price=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := net.Publish(0, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Flush()
+
+	var buf bytes.Buffer
+	if err := net.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TsUs  float64        `json:"ts"`
+			DurUs float64        `json:"dur"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var slices, meta int
+	for _, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "X":
+			slices++
+			if e.TsUs < 0 || e.DurUs < 0 {
+				t.Fatalf("negative ts/dur in slice %+v", e)
+			}
+			if e.Name == "" || e.Args["trace_id"] == nil {
+				t.Fatalf("slice missing name/args: %+v", e)
+			}
+		case "M":
+			meta++
+			if e.Args["name"] == "" {
+				t.Fatalf("metadata without thread name: %+v", e)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", e.Phase)
+		}
+	}
+	if slices == 0 {
+		t.Fatal("no hop slices exported")
+	}
+	if meta == 0 {
+		t.Fatal("no thread-name metadata exported")
+	}
+	// Every traced hop appears as a slice.
+	var hops int
+	for _, tr := range net.Traces() {
+		hops += len(tr.Hops)
+	}
+	if slices != hops {
+		t.Fatalf("%d slices for %d hops", slices, hops)
 	}
 }

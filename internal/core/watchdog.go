@@ -1,0 +1,246 @@
+// Invariant watchdog: a background checker that continuously proves
+// three structural invariants of the live engine hold, on a running
+// network, without stopping it.
+//
+//  1. Coverage: every locally-registered subscription appears in its own
+//     broker's merged summary. Summaries may overstate coverage (lossy
+//     false positives are the paper's design), but an understatement can
+//     route events away from a real subscriber — the one failure the "no
+//     false negatives" guarantee forbids.
+//  2. Flow conservation: every routed event hop terminates in exactly
+//     one of forwarded / suppressed / handler-error, so
+//     routed == forwarded + suppressed + handler_errors whenever the
+//     engine is quiescent, and ≥ holds at every instant.
+//  3. Byte reconciliation: the propagation layer's summary-byte
+//     accounting equals what the bus saw put on the wire for summaries,
+//     delivered plus fault-dropped.
+//
+// Checks are race-safe against the live engine: strict equalities are
+// only asserted when the checker can prove the relevant counters were
+// stable across its reads (empty bus, unchanged totals, or an
+// uncontended period lock); otherwise the check degrades to the
+// inequality that must hold mid-flight. Violations are counted in the
+// registry and journaled in the flight recorder, so a dashboard shows
+// them live and a crash dump preserves them.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/subsum/subsum/internal/flight"
+	"github.com/subsum/subsum/internal/metrics"
+	"github.com/subsum/subsum/internal/netsim"
+)
+
+// Violation names for the watchdog_violations{check} counter family.
+const (
+	CheckCoverage = "coverage"
+	CheckFlow     = "flow"
+	CheckBytes    = "bytes"
+)
+
+// Violation is one detected invariant breach.
+type Violation struct {
+	Check  string `json:"check"`
+	Broker int    `json:"broker"` // -1 for network-wide checks
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	if v.Broker >= 0 {
+		return fmt.Sprintf("%s[broker %d]: %s", v.Check, v.Broker, v.Detail)
+	}
+	return fmt.Sprintf("%s: %s", v.Check, v.Detail)
+}
+
+// CheckInvariants runs every watchdog check once, immediately, and
+// returns the violations found (nil when the engine is healthy). Safe to
+// call on a live network at any time; it never blocks event or
+// propagation processing.
+func (net *Network) CheckInvariants() []Violation {
+	var out []Violation
+	out = append(out, net.checkCoverage()...)
+	out = append(out, net.checkFlow()...)
+	out = append(out, net.checkBytes()...)
+	return out
+}
+
+// checkCoverage verifies invariant 1 exactly: MissingFromMerged compares
+// the raw subscription table against the merged summary under the
+// broker's own mutex, so there is no window where a freshly-inserted
+// subscription is visible in one but not the other.
+func (net *Network) checkCoverage() []Violation {
+	var out []Violation
+	for i, b := range net.brokers {
+		if missing := b.MissingFromMerged(); len(missing) > 0 {
+			out = append(out, Violation{
+				Check:  CheckCoverage,
+				Broker: i,
+				Detail: fmt.Sprintf("%d owned subscription(s) absent from own merged summary (first: %v)", len(missing), missing[0]),
+			})
+		}
+	}
+	return out
+}
+
+// checkFlow verifies invariant 2. Terminal counters are incremented
+// after the routed counter within one handler call, so at every instant
+// forwarded+suppressed+handler_errors ≤ routed — reading the terminals
+// first and routed last makes the inequality safe to assert under load.
+// The strict equality is asserted only when the bus was observed empty
+// before and after with the routed total unchanged, which proves no
+// handler was mid-flight between the reads.
+func (net *Network) checkFlow() []Violation {
+	inflightBefore := net.bus.Inflight()
+	routedBefore := net.obs.eventsRouted.Value()
+	terminals := net.obs.eventsForwarded.Value() +
+		net.obs.eventsSuppressed.Value() +
+		net.bus.Stats().HandlerErrors[netsim.KindEvent]
+	routedAfter := net.obs.eventsRouted.Value()
+	inflightAfter := net.bus.Inflight()
+
+	stable := inflightBefore == 0 && inflightAfter == 0 && routedBefore == routedAfter
+	if stable && terminals != routedAfter {
+		return []Violation{{
+			Check:  CheckFlow,
+			Broker: -1,
+			Detail: fmt.Sprintf("routed=%d but forwarded+suppressed+handler_errors=%d with bus idle", routedAfter, terminals),
+		}}
+	}
+	if !stable && terminals > routedAfter {
+		return []Violation{{
+			Check:  CheckFlow,
+			Broker: -1,
+			Detail: fmt.Sprintf("terminal decisions %d exceed routed events %d", terminals, routedAfter),
+		}}
+	}
+	return nil
+}
+
+// checkBytes verifies invariant 3. Strict equality needs the period lock
+// (TryLock — never block a live Propagate): holding it proves no period
+// is mid-flight, so the propagation layer's cumulative byte counter and
+// the bus's summary-byte accounting describe the same completed set of
+// sends. Without the lock, the bus necessarily runs ahead of the
+// propagation counter (it counts each send immediately; Propagate adds
+// the period total at period end), so only ≥ can be asserted.
+func (net *Network) checkBytes() []Violation {
+	if net.periodMu.TryLock() {
+		stats := net.bus.Stats()
+		wire := stats.Bytes[netsim.KindSummary] + stats.DroppedBytes[netsim.KindSummary]
+		obs := net.obs.propagationBytes.Value()
+		net.periodMu.Unlock()
+		if wire != obs {
+			return []Violation{{
+				Check:  CheckBytes,
+				Broker: -1,
+				Detail: fmt.Sprintf("propagation_bytes=%d but bus summary bytes (sent+dropped)=%d", obs, wire),
+			}}
+		}
+		return nil
+	}
+	obs := net.obs.propagationBytes.Value()
+	stats := net.bus.Stats()
+	wire := stats.Bytes[netsim.KindSummary] + stats.DroppedBytes[netsim.KindSummary]
+	if wire < obs {
+		return []Violation{{
+			Check:  CheckBytes,
+			Broker: -1,
+			Detail: fmt.Sprintf("bus summary bytes %d fell behind propagation_bytes %d mid-period", wire, obs),
+		}}
+	}
+	return nil
+}
+
+// Watchdog periodically runs CheckInvariants against its network,
+// recording results as metrics and flight-recorder entries.
+type Watchdog struct {
+	net      *Network
+	interval time.Duration
+
+	checks     *metrics.Counter
+	violations *metrics.Counter
+	perCheck   *metrics.CounterVec
+
+	mu   sync.Mutex
+	last []Violation
+
+	stopOnce sync.Once
+	done     chan struct{}
+	stopped  chan struct{}
+}
+
+// StartWatchdog launches the invariant watchdog, checking every
+// `every` (clamped to ≥ 10ms). Results land in the network's registry as
+// watchdog_checks, watchdog_violations, and watchdog_violations_total{check},
+// and each violation is journaled. Stop it with Watchdog.Stop (Close does
+// so automatically). Only one watchdog per network.
+func (net *Network) StartWatchdog(every time.Duration) *Watchdog {
+	if net.watchdog != nil {
+		return net.watchdog
+	}
+	if every < 10*time.Millisecond {
+		every = 10 * time.Millisecond
+	}
+	w := &Watchdog{
+		net:        net,
+		interval:   every,
+		checks:     net.metrics.Counter("watchdog_checks"),
+		violations: net.metrics.Counter("watchdog_violations"),
+		perCheck:   net.metrics.CounterVec("watchdog_violations_total"),
+		done:       make(chan struct{}),
+		stopped:    make(chan struct{}),
+	}
+	net.watchdog = w
+	go w.run()
+	return w
+}
+
+func (w *Watchdog) run() {
+	defer close(w.stopped)
+	ticker := time.NewTicker(w.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-ticker.C:
+			w.RunOnce()
+		}
+	}
+}
+
+// RunOnce performs one check pass, recording the outcome. Exposed so
+// tests (and debug handlers) can force a check without waiting an
+// interval.
+func (w *Watchdog) RunOnce() []Violation {
+	violations := w.net.CheckInvariants()
+	w.checks.Inc()
+	for _, v := range violations {
+		w.violations.Inc()
+		w.perCheck.With(v.Check).Inc()
+		w.net.rec.Record(flight.EvWatchdogViolation, v.Broker, 0, 0, 0, v.String())
+	}
+	w.mu.Lock()
+	w.last = violations
+	w.mu.Unlock()
+	return violations
+}
+
+// Last returns the violations found by the most recent check pass.
+func (w *Watchdog) Last() []Violation {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Violation, len(w.last))
+	copy(out, w.last)
+	return out
+}
+
+// Stop halts the watchdog and waits for its goroutine to exit.
+// Idempotent.
+func (w *Watchdog) Stop() {
+	w.stopOnce.Do(func() { close(w.done) })
+	<-w.stopped
+}

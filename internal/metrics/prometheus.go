@@ -1,0 +1,180 @@
+// Prometheus text exposition (format version 0.0.4) for the instrument
+// registry, so a stock Prometheus scraper can consume /metrics without
+// any adapter. Counters and gauges render one sample each; histograms
+// render natively as cumulative _bucket series plus _sum and _count —
+// richer than the snapshot's precomputed quantiles, since the scraper
+// can aggregate buckets across brokers before computing quantiles.
+//
+// Registry names compose labels by flat concatenation ("family{a,b}");
+// the writer re-expands them into Prometheus label pairs with positional
+// keys: a single value becomes {label="a"}, multiple become
+// {label0="a",label1="b"}.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the 0.0.4 text exposition
+// format, also the Accept value that selects it.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a family name into a valid Prometheus metric name.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// splitLabels decomposes a flat registry name into its family and label
+// values ("bus_messages{summary}" → "bus_messages", ["summary"]).
+func splitLabels(name string) (family string, labels []string) {
+	open := strings.IndexByte(name, '{')
+	if open < 0 || !strings.HasSuffix(name, "}") {
+		return name, nil
+	}
+	return name[:open], strings.Split(name[open+1:len(name)-1], ",")
+}
+
+// promLabels renders label values as Prometheus label pairs, appending
+// extra pairs (e.g. le for buckets) verbatim at the end.
+func promLabels(labels []string, extra ...string) string {
+	var pairs []string
+	switch len(labels) {
+	case 0:
+	case 1:
+		pairs = append(pairs, fmt.Sprintf("label=%q", labels[0]))
+	default:
+		for i, v := range labels {
+			pairs = append(pairs, fmt.Sprintf("label%d=%q", i, v))
+		}
+	}
+	pairs = append(pairs, extra...)
+	if len(pairs) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+// promValue formats a sample value; Prometheus accepts +Inf/-Inf/NaN
+// spellings.
+func promValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// promFamily is one metric family being assembled: all series sharing a
+// family name and instrument kind.
+type promFamily struct {
+	name  string // sanitized family name
+	kind  string // counter, gauge, histogram
+	lines []string
+}
+
+// WritePrometheus renders every instrument in the Prometheus 0.0.4 text
+// exposition format: families sorted by name, one # TYPE line per
+// family, histograms as cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	type hist struct {
+		labels []string
+		h      *Histogram
+	}
+	fams := make(map[string]*promFamily)
+	family := func(name, kind string) *promFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &promFamily{name: name, kind: kind}
+			fams[name] = f
+		}
+		return f
+	}
+	for name, c := range r.counters {
+		fam, labels := splitLabels(name)
+		fam = promName(fam)
+		f := family(fam, "counter")
+		f.lines = append(f.lines, fam+promLabels(labels)+" "+promValue(float64(c.Value())))
+	}
+	for name, g := range r.gauges {
+		fam, labels := splitLabels(name)
+		fam = promName(fam)
+		f := family(fam, "gauge")
+		f.lines = append(f.lines, fam+promLabels(labels)+" "+promValue(float64(g.Value())))
+	}
+	hists := make(map[string][]hist)
+	for name, h := range r.hists {
+		fam, labels := splitLabels(name)
+		fam = promName(fam)
+		family(fam, "histogram")
+		hists[fam] = append(hists[fam], hist{labels: labels, h: h})
+	}
+	r.mu.Unlock()
+
+	for fam, hs := range hists {
+		f := fams[fam]
+		sort.Slice(hs, func(i, j int) bool {
+			return strings.Join(hs[i].labels, ",") < strings.Join(hs[j].labels, ",")
+		})
+		for _, hh := range hs {
+			bounds, counts := hh.h.Buckets()
+			var cum int64
+			for i, n := range counts {
+				cum += n
+				le := "+Inf"
+				if i < len(bounds) {
+					le = promValue(bounds[i])
+				}
+				f.lines = append(f.lines, fam+"_bucket"+promLabels(hh.labels, fmt.Sprintf("le=%q", le))+" "+promValue(float64(cum)))
+			}
+			f.lines = append(f.lines,
+				fam+"_sum"+promLabels(hh.labels)+" "+promValue(hh.h.Sum()),
+				fam+"_count"+promLabels(hh.labels)+" "+promValue(float64(hh.h.Count())),
+			)
+		}
+	}
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		if f.kind != "histogram" {
+			// Counter/gauge series within a family sort by label; histogram
+			// lines are already emitted with buckets in ascending le order,
+			// which lexicographic sorting would scramble.
+			sort.Strings(f.lines)
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, line := range f.lines {
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestWritePrometheusGolden pins the full exposition output for a
+// representative registry against a golden file, so any formatting drift
+// (type lines, label expansion, bucket cumulation, ordering) shows up as
+// a readable diff.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("events_published").Add(42)
+	r.CounterVec("broker_matches").With("3").Add(7)
+	r.CounterVec("broker_matches").With("11").Inc()
+	r.Counter(Label("bus_bytes", "summary", "fwd")).Add(1024)
+	r.Gauge("queue_depth").Set(5)
+	r.Gauge("drift-rate").Set(-3) // '-' must sanitize to '_'
+	h := r.Histogram("match_ns", []float64{1, 2, 4})
+	h.Observe(0.5)
+	h.Observe(3)
+	h.Observe(100) // overflow bucket
+	r.Histogram("empty_hist", []float64{1, 2})
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Fatalf("exposition drift.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`lat_bucket{le="1"} 1`,
+		`lat_bucket{le="2"} 2`,
+		`lat_bucket{le="+Inf"} 3`,
+		`lat_count 3`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE lat histogram") != 1 {
+		t.Errorf("expected exactly one TYPE line for lat:\n%s", out)
+	}
+}

@@ -115,13 +115,16 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
-// within the bucket containing the target rank. Values beyond the last
-// bound are reported as the last bound (the histogram cannot resolve the
-// open bucket). Returns 0 for an empty histogram.
+// within the bucket containing the target rank. When the rank lands in
+// the open +Inf bucket the estimate clamps to the highest finite bound —
+// the histogram cannot resolve the open bucket, and interpolating toward
+// +Inf would fabricate a value no observation supports. An empty
+// histogram has no quantiles at all and returns NaN (not 0, which would
+// be indistinguishable from a real all-zero distribution).
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.count.Load()
 	if total == 0 {
-		return 0
+		return math.NaN()
 	}
 	rank := q * float64(total)
 	var cum float64
@@ -318,17 +321,21 @@ func (r *Registry) Snapshot() []Sample {
 	}
 	for name, h := range r.hists {
 		n := h.Count()
-		mean := 0.0
+		// Empty histograms report 0 for the derived points: Quantile's NaN
+		// is the honest per-instrument answer, but NaN would poison the JSON
+		// rendering of an otherwise healthy snapshot.
+		mean, p50, p95, p99 := 0.0, 0.0, 0.0, 0.0
 		if n > 0 {
 			mean = h.Sum() / float64(n)
+			p50, p95, p99 = h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
 		}
 		out = append(out,
 			Sample{name + ".count", float64(n)},
 			Sample{name + ".sum", h.Sum()},
 			Sample{name + ".mean", mean},
-			Sample{name + ".p50", h.Quantile(0.50)},
-			Sample{name + ".p95", h.Quantile(0.95)},
-			Sample{name + ".p99", h.Quantile(0.99)},
+			Sample{name + ".p50", p50},
+			Sample{name + ".p95", p95},
+			Sample{name + ".p99", p99},
 		)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

@@ -94,9 +94,26 @@ func TestHistogramQuantileKnownDistribution(t *testing.T) {
 }
 
 func TestHistogramEmptyAndValidation(t *testing.T) {
+	// An empty histogram has no quantiles: every q reports NaN, never a
+	// fabricated 0 that could be confused with a real all-zero sample.
 	h := NewHistogram([]float64{1, 2})
-	if h.Quantile(0.99) != 0 {
-		t.Fatal("empty histogram quantile != 0")
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); !math.IsNaN(got) {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want NaN", q, got)
+		}
+	}
+	// But a registry snapshot of an empty histogram stays JSON-clean: the
+	// derived quantile samples report 0, not NaN.
+	r := NewRegistry()
+	r.Histogram("empty_hist", []float64{1, 2})
+	for _, s := range r.Snapshot() {
+		if math.IsNaN(s.Value) {
+			t.Fatalf("snapshot sample %s is NaN", s.Name)
+		}
+	}
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatalf("WriteJSON with empty histogram: %v", err)
 	}
 	defer func() {
 		if recover() == nil {
@@ -104,6 +121,31 @@ func TestHistogramEmptyAndValidation(t *testing.T) {
 		}
 	}()
 	NewHistogram([]float64{2, 1})
+}
+
+// TestHistogramOverflowBucketQuantile pins the open-bucket behaviour:
+// when the target rank lands among observations beyond the last finite
+// bound, the estimate clamps to that bound instead of interpolating
+// toward +Inf.
+func TestHistogramOverflowBucketQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(0.5) // first bucket
+	for i := 0; i < 9; i++ {
+		h.Observe(100) // open bucket
+	}
+	for _, q := range []float64{0.5, 0.95, 1.0} {
+		got := h.Quantile(q)
+		if math.IsInf(got, 1) || math.IsNaN(got) {
+			t.Fatalf("Quantile(%v) = %v, must be finite", q, got)
+		}
+		if got != 2 {
+			t.Fatalf("Quantile(%v) = %v, want clamp to last finite bound 2", q, got)
+		}
+	}
+	// A quantile still inside the finite buckets is unaffected.
+	if got := h.Quantile(0.05); got > 1 {
+		t.Fatalf("Quantile(0.05) = %v, want ≤ 1", got)
+	}
 }
 
 func TestRegistrySnapshotSortedFlat(t *testing.T) {

@@ -1,0 +1,271 @@
+// Metrics time-series: the Sampler turns the registry's point-in-time
+// snapshot into retained history. On a fixed interval it walks every
+// instrument, appends the current value to a fixed-capacity ring buffer
+// per series, and — for cumulative series (counters, histogram counts and
+// sums) — derives the per-interval delta and per-second rate, which are
+// the numbers an operator actually wants ("how many false positives per
+// second over the last minute", not "how many ever").
+//
+// Memory is provably bounded: capacity points per series, one series per
+// flattened instrument name, and the instrument namespace itself is fixed
+// at wiring time (per-broker families scale with the broker count, not
+// with traffic).
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// typedSample is one flattened instrument value tagged with whether it is
+// cumulative (counter-like: deltas and rates are meaningful) or a point
+// (gauge-like: only the value is).
+type typedSample struct {
+	name       string
+	value      float64
+	cumulative bool
+}
+
+// typedSnapshot flattens every instrument like Snapshot, additionally
+// tagging each sample's kind. Histogram .count/.sum are cumulative;
+// .mean/.p50/.p95/.p99 are points.
+func (r *Registry) typedSnapshot() []typedSample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]typedSample, 0, len(r.counters)+len(r.gauges)+6*len(r.hists))
+	for name, c := range r.counters {
+		out = append(out, typedSample{name, float64(c.Value()), true})
+	}
+	for name, g := range r.gauges {
+		out = append(out, typedSample{name, float64(g.Value()), false})
+	}
+	for name, h := range r.hists {
+		n := h.Count()
+		mean, p50, p95, p99 := 0.0, 0.0, 0.0, 0.0
+		if n > 0 {
+			mean = h.Sum() / float64(n)
+			p50, p95, p99 = h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+		}
+		out = append(out,
+			typedSample{name + ".count", float64(n), true},
+			typedSample{name + ".sum", h.Sum(), true},
+			typedSample{name + ".mean", mean, false},
+			typedSample{name + ".p50", p50, false},
+			typedSample{name + ".p95", p95, false},
+			typedSample{name + ".p99", p99, false},
+		)
+	}
+	return out
+}
+
+// HistoryPoint is one retained sample of one series.
+type HistoryPoint struct {
+	// UnixMillis is the sample's wall-clock time.
+	UnixMillis int64 `json:"t"`
+	// Value is the instrument's raw value at sample time.
+	Value float64 `json:"v"`
+	// Delta is Value minus the previous sample's value (cumulative series
+	// only; 0 on the series' first sample).
+	Delta float64 `json:"d,omitempty"`
+	// Rate is Delta divided by the actual elapsed seconds since the
+	// previous sample (cumulative series only).
+	Rate float64 `json:"r,omitempty"`
+}
+
+// HistorySeries is the retained window of one instrument, oldest first.
+type HistorySeries struct {
+	Name string `json:"name"`
+	// Kind is "cumulative" (counter-like: Delta/Rate are meaningful) or
+	// "point" (gauge-like).
+	Kind   string         `json:"kind"`
+	Points []HistoryPoint `json:"points"`
+}
+
+// History is a snapshot of the sampler's retained time-series, sorted by
+// series name.
+type History struct {
+	IntervalSeconds float64         `json:"interval_seconds"`
+	Capacity        int             `json:"capacity"`
+	Ticks           int64           `json:"ticks"`
+	Series          []HistorySeries `json:"series"`
+}
+
+// Latest returns the most recent point of the named series, if any.
+func (h *History) Latest(name string) (HistoryPoint, bool) {
+	for i := range h.Series {
+		if h.Series[i].Name == name {
+			pts := h.Series[i].Points
+			if len(pts) == 0 {
+				return HistoryPoint{}, false
+			}
+			return pts[len(pts)-1], true
+		}
+	}
+	return HistoryPoint{}, false
+}
+
+// seriesRing is one series' fixed-capacity point buffer.
+type seriesRing struct {
+	cumulative bool
+	pts        []HistoryPoint // ring storage, len == capacity once full
+	head       int            // index of the oldest point
+	n          int            // points retained
+	lastRaw    float64        // previous raw value (cumulative delta base)
+	hasLast    bool
+}
+
+func (sr *seriesRing) push(p HistoryPoint, capacity int) {
+	if sr.n < capacity {
+		sr.pts = append(sr.pts, p)
+		sr.n++
+		return
+	}
+	sr.pts[sr.head] = p
+	sr.head = (sr.head + 1) % capacity
+}
+
+// ordered returns the retained points oldest-first as a fresh slice.
+func (sr *seriesRing) ordered() []HistoryPoint {
+	out := make([]HistoryPoint, sr.n)
+	for i := 0; i < sr.n; i++ {
+		out[i] = sr.pts[(sr.head+i)%len(sr.pts)]
+	}
+	return out
+}
+
+// Sampler snapshots a registry on a fixed interval into per-series ring
+// buffers. Create with NewSampler; drive with Start/Stop (background
+// goroutine) or Tick (manual, for tests and single-shot collection).
+type Sampler struct {
+	reg      *Registry
+	interval time.Duration
+	capacity int
+
+	mu       sync.Mutex
+	series   map[string]*seriesRing
+	ticks    int64
+	lastTick time.Time
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	done      chan struct{}
+	stopped   chan struct{}
+}
+
+// NewSampler builds a sampler over reg retaining capacity points per
+// series, sampling every interval once started. Capacity is clamped to at
+// least 2 (a delta needs a predecessor); interval to at least 10ms.
+func NewSampler(reg *Registry, interval time.Duration, capacity int) *Sampler {
+	if capacity < 2 {
+		capacity = 2
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	return &Sampler{
+		reg:      reg,
+		interval: interval,
+		capacity: capacity,
+		series:   make(map[string]*seriesRing),
+		done:     make(chan struct{}),
+		stopped:  make(chan struct{}),
+	}
+}
+
+// Start launches the sampling goroutine. Idempotent.
+func (s *Sampler) Start() {
+	s.startOnce.Do(func() {
+		go func() {
+			defer close(s.stopped)
+			ticker := time.NewTicker(s.interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-s.done:
+					return
+				case now := <-ticker.C:
+					s.Tick(now)
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the sampling goroutine and waits for it to exit. Retained
+// history stays readable. Idempotent; safe even if Start was never
+// called.
+func (s *Sampler) Stop() {
+	s.stopOnce.Do(func() { close(s.done) })
+	s.startOnce.Do(func() { close(s.stopped) }) // never started: nothing to wait for
+	<-s.stopped
+}
+
+// Tick takes one sample immediately. Exported so tests (and single-shot
+// collectors) can drive the sampler deterministically without wall-clock
+// waits; Start uses it internally.
+func (s *Sampler) Tick(now time.Time) {
+	samples := s.reg.typedSnapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	elapsed := 0.0
+	if !s.lastTick.IsZero() {
+		elapsed = now.Sub(s.lastTick).Seconds()
+	}
+	s.lastTick = now
+	s.ticks++
+	for _, ts := range samples {
+		sr, ok := s.series[ts.name]
+		if !ok {
+			sr = &seriesRing{cumulative: ts.cumulative, pts: make([]HistoryPoint, 0, s.capacity)}
+			s.series[ts.name] = sr
+		}
+		p := HistoryPoint{UnixMillis: now.UnixMilli(), Value: ts.value}
+		if ts.cumulative && sr.hasLast {
+			p.Delta = ts.value - sr.lastRaw
+			if elapsed > 0 {
+				p.Rate = p.Delta / elapsed
+			}
+			// Guard against NaN leaking into JSON if a histogram sum ever
+			// returns a non-finite value.
+			if math.IsNaN(p.Delta) || math.IsInf(p.Delta, 0) {
+				p.Delta, p.Rate = 0, 0
+			}
+		}
+		sr.lastRaw = ts.value
+		sr.hasLast = true
+		sr.push(p, s.capacity)
+	}
+}
+
+// History returns a deep snapshot of every retained series, sorted by
+// name.
+func (s *Sampler) History() *History {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := &History{
+		IntervalSeconds: s.interval.Seconds(),
+		Capacity:        s.capacity,
+		Ticks:           s.ticks,
+		Series:          make([]HistorySeries, 0, len(s.series)),
+	}
+	for name, sr := range s.series {
+		kind := "point"
+		if sr.cumulative {
+			kind = "cumulative"
+		}
+		out.Series = append(out.Series, HistorySeries{Name: name, Kind: kind, Points: sr.ordered()})
+	}
+	sort.Slice(out.Series, func(i, j int) bool { return out.Series[i].Name < out.Series[j].Name })
+	return out
+}
+
+// WriteJSON renders the history snapshot as JSON (the /debug/history
+// document).
+func (s *Sampler) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(s.History())
+}

@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func tickAt(s *Sampler, base time.Time, offset time.Duration) {
+	s.Tick(base.Add(offset))
+}
+
+func TestSamplerDeltasAndRates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events_published")
+	g := r.Gauge("queue_depth")
+	s := NewSampler(r, time.Second, 16)
+	base := time.Unix(1700000000, 0)
+
+	c.Add(10)
+	g.Set(3)
+	tickAt(s, base, 0)
+	c.Add(20)
+	g.Set(5)
+	tickAt(s, base, 2*time.Second) // 2s elapsed: rate = 20/2 = 10/s
+	c.Add(5)
+	tickAt(s, base, 3*time.Second)
+
+	h := s.History()
+	if h.Ticks != 3 {
+		t.Fatalf("ticks = %d", h.Ticks)
+	}
+
+	var counter, gauge *HistorySeries
+	for i := range h.Series {
+		switch h.Series[i].Name {
+		case "events_published":
+			counter = &h.Series[i]
+		case "queue_depth":
+			gauge = &h.Series[i]
+		}
+	}
+	if counter == nil || gauge == nil {
+		t.Fatalf("missing series in %+v", h.Series)
+	}
+	if counter.Kind != "cumulative" || gauge.Kind != "point" {
+		t.Fatalf("kinds: counter=%s gauge=%s", counter.Kind, gauge.Kind)
+	}
+	want := []HistoryPoint{
+		{UnixMillis: base.UnixMilli(), Value: 10}, // first sample: no delta base
+		{UnixMillis: base.Add(2 * time.Second).UnixMilli(), Value: 30, Delta: 20, Rate: 10},
+		{UnixMillis: base.Add(3 * time.Second).UnixMilli(), Value: 35, Delta: 5, Rate: 5},
+	}
+	if len(counter.Points) != len(want) {
+		t.Fatalf("counter points = %d, want %d", len(counter.Points), len(want))
+	}
+	for i, w := range want {
+		if counter.Points[i] != w {
+			t.Errorf("counter point %d = %+v, want %+v", i, counter.Points[i], w)
+		}
+	}
+	if gauge.Points[1].Value != 5 || gauge.Points[1].Delta != 0 || gauge.Points[1].Rate != 0 {
+		t.Errorf("gauge point = %+v, want plain value 5", gauge.Points[1])
+	}
+}
+
+func TestSamplerHistogramSeries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4})
+	s := NewSampler(r, time.Second, 8)
+	base := time.Unix(1700000000, 0)
+
+	h.Observe(1)
+	h.Observe(3)
+	tickAt(s, base, 0)
+	h.Observe(3)
+	tickAt(s, base, time.Second)
+
+	hist := s.History()
+	cnt, ok := hist.Latest("lat.count")
+	if !ok || cnt.Value != 3 || cnt.Delta != 1 || cnt.Rate != 1 {
+		t.Fatalf("lat.count latest = %+v ok=%v", cnt, ok)
+	}
+	if p95, ok := hist.Latest("lat.p95"); !ok || p95.Value <= 0 {
+		t.Fatalf("lat.p95 latest = %+v ok=%v", p95, ok)
+	}
+	if sum, ok := hist.Latest("lat.sum"); !ok || sum.Delta != 3 {
+		t.Fatalf("lat.sum latest = %+v ok=%v", sum, ok)
+	}
+}
+
+// TestSamplerBoundedMemory proves retention is capped: after many more
+// ticks than the capacity, each series holds exactly capacity points and
+// they are the newest ones in order.
+func TestSamplerBoundedMemory(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	const capacity = 5
+	s := NewSampler(r, time.Second, capacity)
+	base := time.Unix(1700000000, 0)
+	const ticks = 3*capacity + 2
+	for i := 0; i < ticks; i++ {
+		c.Inc()
+		tickAt(s, base, time.Duration(i)*time.Second)
+	}
+	h := s.History()
+	if h.Ticks != ticks {
+		t.Fatalf("ticks = %d, want %d", h.Ticks, ticks)
+	}
+	for _, series := range h.Series {
+		if len(series.Points) != capacity {
+			t.Fatalf("series %s: %d points, want %d", series.Name, len(series.Points), capacity)
+		}
+		for i, p := range series.Points {
+			wantV := float64(ticks - capacity + i + 1)
+			if p.Value != wantV {
+				t.Fatalf("series %s point %d value = %v, want %v (not the newest window)", series.Name, i, p.Value, wantV)
+			}
+			if i > 0 && p.UnixMillis <= series.Points[i-1].UnixMillis {
+				t.Fatalf("series %s points out of order", series.Name)
+			}
+		}
+	}
+}
+
+func TestSamplerLateSeries(t *testing.T) {
+	// An instrument created after sampling began starts its own window
+	// with a delta-free first point.
+	r := NewRegistry()
+	r.Counter("early").Inc()
+	s := NewSampler(r, time.Second, 8)
+	base := time.Unix(1700000000, 0)
+	tickAt(s, base, 0)
+	late := r.Counter("late")
+	late.Add(7)
+	tickAt(s, base, time.Second)
+
+	h := s.History()
+	p, ok := h.Latest("late")
+	if !ok || p.Value != 7 || p.Delta != 0 {
+		t.Fatalf("late series latest = %+v ok=%v", p, ok)
+	}
+}
+
+func TestSamplerStartStopAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	s := NewSampler(r, 10*time.Millisecond, 4)
+	s.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if s.History().Ticks >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sampler never ticked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	after := s.History().Ticks
+	time.Sleep(30 * time.Millisecond)
+	if got := s.History().Ticks; got != after {
+		t.Fatalf("sampler ticked after Stop: %d -> %d", after, got)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var h History
+	if err := json.Unmarshal(buf.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Capacity != 4 || len(h.Series) == 0 {
+		t.Fatalf("json history: %+v", h)
+	}
+}
+
+func TestSamplerStopWithoutStart(t *testing.T) {
+	s := NewSampler(NewRegistry(), time.Second, 4)
+	s.Stop() // must not hang or panic
+}

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/subsum/subsum/internal/flight"
 	"github.com/subsum/subsum/internal/metrics"
 	"github.com/subsum/subsum/internal/topology"
 )
@@ -103,6 +104,10 @@ type Stats struct {
 	// Dropped counts messages removed by the fault-injection hook (they
 	// never reach a mailbox and are excluded from Messages/Bytes).
 	Dropped map[Kind]int64
+	// DroppedBytes counts the payload bytes of dropped messages, so byte
+	// accounting reconciles end-to-end: what a sender put on the wire for a
+	// kind equals Bytes[kind] + DroppedBytes[kind].
+	DroppedBytes map[Kind]int64
 	// DecodeErrors counts delivered messages whose payload the receiving
 	// handler could not decode (corruption, truncation, version skew).
 	DecodeErrors map[Kind]int64
@@ -169,6 +174,7 @@ func (s Stats) Counters() *metrics.CounterSet {
 	add("messages", s.Messages)
 	add("bytes", s.Bytes)
 	add("dropped", s.Dropped)
+	add("dropped_bytes", s.DroppedBytes)
 	add("decode_errors", s.DecodeErrors)
 	add("handler_errors", s.HandlerErrors)
 	return c
@@ -180,12 +186,13 @@ func (s Stats) Counters() *metrics.CounterSet {
 // Kind so the send path pays one atomic pointer load, one bounds check,
 // and one atomic add per counter.
 type busInstruments struct {
-	messages    [KindControl + 1]*metrics.Counter
-	bytes       [KindControl + 1]*metrics.Counter
-	dropped     [KindControl + 1]*metrics.Counter
-	decodeErrs  [KindControl + 1]*metrics.Counter
-	handlerErrs [KindControl + 1]*metrics.Counter
-	inflight    *metrics.Gauge
+	messages     [KindControl + 1]*metrics.Counter
+	bytes        [KindControl + 1]*metrics.Counter
+	dropped      [KindControl + 1]*metrics.Counter
+	droppedBytes [KindControl + 1]*metrics.Counter
+	decodeErrs   [KindControl + 1]*metrics.Counter
+	handlerErrs  [KindControl + 1]*metrics.Counter
+	inflight     *metrics.Gauge
 }
 
 // Instrument mirrors bus counters into r under "bus_*{kind}" families and
@@ -201,12 +208,14 @@ func (b *Bus) Instrument(r *metrics.Registry) {
 	msgs := r.CounterVec("bus_messages")
 	bts := r.CounterVec("bus_bytes")
 	drop := r.CounterVec("bus_dropped")
+	dropB := r.CounterVec("bus_dropped_bytes")
 	dec := r.CounterVec("bus_decode_errors")
 	han := r.CounterVec("bus_handler_errors")
 	for k := KindSummary; k <= KindControl; k++ {
 		in.messages[k] = msgs.With(k.String())
 		in.bytes[k] = bts.With(k.String())
 		in.dropped[k] = drop.With(k.String())
+		in.droppedBytes[k] = dropB.With(k.String())
 		in.decodeErrs[k] = dec.With(k.String())
 		in.handlerErrs[k] = han.With(k.String())
 	}
@@ -296,24 +305,30 @@ type Bus struct {
 	// (the default) costs one atomic load and branch per event.
 	instr atomic.Pointer[busInstruments]
 
-	mu          sync.Mutex
-	messages    map[Kind]int64
-	bytes       map[Kind]int64
-	dropped     map[Kind]int64
-	decodeErrs  map[Kind]int64
-	handlerErrs map[Kind]int64
-	dropFn      func(Message) bool
+	// rec optionally journals drops and decode errors into a flight
+	// recorder; nil (the default) costs one atomic load and branch.
+	rec atomic.Pointer[flight.Recorder]
+
+	mu           sync.Mutex
+	messages     map[Kind]int64
+	bytes        map[Kind]int64
+	dropped      map[Kind]int64
+	droppedBytes map[Kind]int64
+	decodeErrs   map[Kind]int64
+	handlerErrs  map[Kind]int64
+	dropFn       func(Message) bool
 }
 
 // NewBus creates a bus for n brokers.
 func NewBus(n int) *Bus {
 	b := &Bus{
-		boxes:       make([]*mailbox, n),
-		messages:    make(map[Kind]int64),
-		bytes:       make(map[Kind]int64),
-		dropped:     make(map[Kind]int64),
-		decodeErrs:  make(map[Kind]int64),
-		handlerErrs: make(map[Kind]int64),
+		boxes:        make([]*mailbox, n),
+		messages:     make(map[Kind]int64),
+		bytes:        make(map[Kind]int64),
+		dropped:      make(map[Kind]int64),
+		droppedBytes: make(map[Kind]int64),
+		decodeErrs:   make(map[Kind]int64),
+		handlerErrs:  make(map[Kind]int64),
 	}
 	b.qcond = sync.NewCond(&b.qmu)
 	for i := range b.boxes {
@@ -335,10 +350,22 @@ func (b *Bus) SetDropFunc(fn func(Message) bool) {
 	b.dropFn = fn
 }
 
+// SetFlight attaches a flight recorder: fault-injected drops and decode
+// errors are journaled as they happen, with the destination broker and
+// kind. Pass nil to detach.
+func (b *Bus) SetFlight(rec *flight.Recorder) {
+	b.rec.Store(rec)
+}
+
 // RecordDecodeError counts a delivered message whose payload the handler
 // could not decode. Called by the engine's handlers so that no message
 // vanishes without a counter.
-func (b *Bus) RecordDecodeError(k Kind) {
+func (b *Bus) RecordDecodeError(k Kind) { b.RecordDecodeErrorAt(k, -1) }
+
+// RecordDecodeErrorAt is RecordDecodeError with the receiving broker
+// identified, so the flight-recorder entry names where decoding failed
+// (pass -1 when unknown).
+func (b *Bus) RecordDecodeErrorAt(k Kind, at topology.NodeID) {
 	b.mu.Lock()
 	b.decodeErrs[k]++
 	b.mu.Unlock()
@@ -346,6 +373,9 @@ func (b *Bus) RecordDecodeError(k Kind) {
 		if c := kindCounter(&in.decodeErrs, k); c != nil {
 			c.Inc()
 		}
+	}
+	if rec := b.rec.Load(); rec != nil {
+		rec.Record(flight.EvDecodeError, int(at), int64(k), 0, 0, k.String())
 	}
 }
 
@@ -420,11 +450,18 @@ func (b *Bus) send(m Message, sb *SharedBuf) error {
 	b.mu.Lock()
 	if b.dropFn != nil && b.dropFn(m) {
 		b.dropped[m.Kind]++
+		b.droppedBytes[m.Kind] += int64(len(m.Payload))
 		b.mu.Unlock()
 		if in != nil {
 			if c := kindCounter(&in.dropped, m.Kind); c != nil {
 				c.Inc()
 			}
+			if c := kindCounter(&in.droppedBytes, m.Kind); c != nil {
+				c.Add(int64(len(m.Payload)))
+			}
+		}
+		if rec := b.rec.Load(); rec != nil {
+			rec.Record(flight.EvDrop, int(m.To), int64(m.Kind), int64(len(m.Payload)), int64(m.From), m.Kind.String())
 		}
 		return nil
 	}
@@ -474,6 +511,16 @@ func (b *Bus) Start(node topology.NodeID, h Handler) {
 	}()
 }
 
+// Inflight reports the number of sent-but-not-yet-handled messages at
+// this instant. Used by the invariant watchdog to decide whether flow
+// conservation can be checked strictly (a nonzero depth means routed
+// events may still be mid-flight between counters).
+func (b *Bus) Inflight() int64 {
+	b.qmu.Lock()
+	defer b.qmu.Unlock()
+	return b.inflight
+}
+
 // Quiesce blocks until every message sent so far — including messages sent
 // by handlers while processing — has been handled. With senders running
 // concurrently, it returns at a moment when the bus was observed empty;
@@ -517,6 +564,7 @@ func (b *Bus) Stats() Stats {
 		Messages:      make(map[Kind]int64, len(b.messages)),
 		Bytes:         make(map[Kind]int64, len(b.bytes)),
 		Dropped:       make(map[Kind]int64, len(b.dropped)),
+		DroppedBytes:  make(map[Kind]int64, len(b.droppedBytes)),
 		DecodeErrors:  make(map[Kind]int64, len(b.decodeErrs)),
 		HandlerErrors: make(map[Kind]int64, len(b.handlerErrs)),
 	}
@@ -528,6 +576,9 @@ func (b *Bus) Stats() Stats {
 	}
 	for k, v := range b.dropped {
 		s.Dropped[k] = v
+	}
+	for k, v := range b.droppedBytes {
+		s.DroppedBytes[k] = v
 	}
 	for k, v := range b.decodeErrs {
 		s.DecodeErrors[k] = v

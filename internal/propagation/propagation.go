@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/subsum/subsum/internal/flight"
 	"github.com/subsum/subsum/internal/metrics"
 	"github.com/subsum/subsum/internal/subid"
 	"github.com/subsum/subsum/internal/summary"
@@ -84,6 +85,18 @@ type propInstruments struct {
 
 var instruments atomic.Pointer[propInstruments]
 
+// recorder is the package's optional flight recorder, mirroring the
+// process-wide shape of the instruments hook for the same reason: Run has
+// no receiver.
+var recorder atomic.Pointer[flight.Recorder]
+
+// InstrumentFlight journals each Run's period boundaries (with hop and
+// byte counts) and per-send merge failures into rec. Pass nil to detach
+// (the default).
+func InstrumentFlight(rec *flight.Recorder) {
+	recorder.Store(rec)
+}
+
 // Instrument mirrors propagation accounting into r: propagation_runs,
 // propagation_sends, propagation_wire_bytes, propagation_model_bytes
 // counters plus propagation_merge_seconds and propagation_period_bytes
@@ -121,6 +134,8 @@ func Run(g *topology.Graph, own []*summary.Summary, cost CostModel) (*Result, er
 		return nil, fmt.Errorf("propagation: %d summaries for %d brokers", len(own), n)
 	}
 	obs := instruments.Load()
+	rec := recorder.Load()
+	rec.Record(flight.EvPeriodStart, -1, int64(n), 0, 0, "")
 	res := &Result{
 		Merged:        make([]*summary.Summary, n),
 		MergedBrokers: make([]BrokerSet, n),
@@ -195,6 +210,7 @@ func Run(g *topology.Graph, own []*summary.Summary, cost CostModel) (*Result, er
 			}
 			encBufPool.Put(d.payload)
 			if err != nil {
+				rec.Record(flight.EvMergeError, int(d.to), 0, 0, 0, err.Error())
 				return nil, fmt.Errorf("propagation: merging at broker %d: %w", d.to, err)
 			}
 			for _, b := range d.brokers.Bits() {
@@ -210,6 +226,7 @@ func Run(g *topology.Graph, own []*summary.Summary, cost CostModel) (*Result, er
 		obs.modelBytes.Add(res.ModelBytes)
 		obs.periodBytes.Observe(float64(res.WireBytes))
 	}
+	rec.Record(flight.EvPeriodEnd, -1, int64(res.Hops), res.WireBytes, res.ModelBytes, "")
 	return res, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/subsum/subsum/internal/flight"
 	"github.com/subsum/subsum/internal/interval"
 	"github.com/subsum/subsum/internal/schema"
 	"github.com/subsum/subsum/internal/subid"
@@ -286,5 +287,50 @@ func TestSingleBrokerDegenerate(t *testing.T) {
 	}
 	if res.Hops != 0 || !res.TotalCoverage() {
 		t.Fatalf("res = %+v", res)
+	}
+}
+
+// TestInstrumentFlight journals a Run's period boundaries through the
+// process-wide flight hook.
+func TestInstrumentFlight(t *testing.T) {
+	rec := flight.NewRecorder(1 << 14)
+	InstrumentFlight(rec)
+	defer InstrumentFlight(nil)
+
+	g := topology.Figure7Tree()
+	own, _ := buildSummaries(t, g)
+	res, err := Run(g, own, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	records := rec.Records()
+	var start, end *flight.Record
+	for i := range records {
+		switch records[i].Type {
+		case flight.EvPeriodStart:
+			start = &records[i]
+		case flight.EvPeriodEnd:
+			end = &records[i]
+		}
+	}
+	if start == nil || end == nil {
+		t.Fatalf("period boundaries not journaled: %+v", records)
+	}
+	if start.A != int64(g.Len()) {
+		t.Fatalf("period start broker count = %d, want %d", start.A, g.Len())
+	}
+	if end.A != int64(res.Hops) || end.B != res.WireBytes || end.C != res.ModelBytes {
+		t.Fatalf("period end = %+v, want hops=%d wire=%d model=%d", end, res.Hops, res.WireBytes, res.ModelBytes)
+	}
+
+	// Detached: no further journaling.
+	InstrumentFlight(nil)
+	before := rec.Stats().NextSeq
+	if _, err := Run(g, own, DefaultCostModel()); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Stats().NextSeq; got != before {
+		t.Fatalf("detached recorder still journaled: %d -> %d", before, got)
 	}
 }

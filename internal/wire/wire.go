@@ -9,6 +9,7 @@
 //	{"op":"publish","broker":0,"event":"symbol=OTE price=8.40"}
 //	{"op":"propagate"}
 //	{"op":"stats"}
+//	{"op":"history"}
 //	{"op":"extend","attr":"newattr","attrtype":"float"}
 //	{"op":"ping"}
 //
@@ -31,6 +32,7 @@ import (
 	"sync"
 
 	"github.com/subsum/subsum/internal/core"
+	"github.com/subsum/subsum/internal/metrics"
 	"github.com/subsum/subsum/internal/netsim"
 	"github.com/subsum/subsum/internal/schema"
 	"github.com/subsum/subsum/internal/subid"
@@ -61,13 +63,17 @@ type Response struct {
 	// Metrics carries the network's full instrument-registry snapshot
 	// (counters, gauges, and histogram-derived quantiles) on stats replies.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// History carries the sampler's retained time-series on history
+	// replies (nil when the server has no sampler attached).
+	History *metrics.History `json:"history,omitempty"`
 }
 
 // Server exposes a core.Network over TCP.
 type Server struct {
-	net    *core.Network
-	schema *schema.Schema
-	ln     net.Listener
+	net     *core.Network
+	schema  *schema.Schema
+	ln      net.Listener
+	sampler *metrics.Sampler // nil unless SetSampler was called
 
 	mu    sync.Mutex
 	conns map[*conn]struct{}
@@ -97,6 +103,11 @@ func (c *conn) send(resp Response) error {
 func NewServer(network *core.Network, s *schema.Schema) *Server {
 	return &Server{net: network, schema: s, conns: make(map[*conn]struct{})}
 }
+
+// SetSampler attaches a metrics sampler whose retained time-series the
+// "history" op serves. The caller owns the sampler's lifecycle. Must be
+// called before Listen.
+func (srv *Server) SetSampler(s *metrics.Sampler) { srv.sampler = s }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
 // returns the bound address. Serve loops run in background goroutines.
@@ -248,6 +259,12 @@ func (srv *Server) handle(cc *conn, req Request) Response {
 		}
 		resp.Metrics = srv.net.Metrics().Map()
 		return resp
+	case "history":
+		if srv.sampler == nil {
+			return fail(fmt.Errorf("no sampler attached"))
+		}
+		resp.History = srv.sampler.History()
+		return resp
 	default:
 		return fail(fmt.Errorf("unknown op %q", req.Op))
 	}
@@ -280,7 +297,11 @@ func Dial(addr string, onEvent func(broker int, local uint32, event string)) (*C
 		done:    make(chan struct{}),
 	}
 	cl.scanner = bufio.NewScanner(c)
-	cl.scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	// Replies can be large: a history document is capacity × series
+	// points (a 24-broker network with default -history-cap 300 is
+	// several MiB), so the reply limit is far above the server's 1 MiB
+	// request limit.
+	cl.scanner.Buffer(make([]byte, 0, 64*1024), 64<<20)
 	go cl.readLoop()
 	return cl, nil
 }
@@ -382,6 +403,20 @@ func (cl *Client) Stats() (map[string]int64, error) {
 func (cl *Client) Metrics() (map[string]float64, error) {
 	resp, err := cl.roundTrip(Request{Op: "stats"})
 	return resp.Metrics, err
+}
+
+// History fetches the server's retained metrics time-series (per-series
+// ring buffers of values, deltas, and rates). Fails when the server has
+// no sampler attached.
+func (cl *Client) History() (*metrics.History, error) {
+	resp, err := cl.roundTrip(Request{Op: "history"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.History == nil {
+		return nil, errors.New("wire: empty history reply")
+	}
+	return resp.History, nil
 }
 
 // ExtendSchema appends an attribute to the server's schema at runtime
