@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	subsum-bench -experiment fig8|fig9|fig10|fig11|matching|benchmatch|benchprop|fig7|table2|ablations|all
+//	subsum-bench -experiment fig8|fig9|fig10|fig11|matching|benchmatch|benchprop|benchchurn|fig7|table2|ablations|all
 //	             [-events N] [-sigmas 10,100,1000] [-csv] [-topology cw24|fig7|random]
 //	             [-workers N] [-json BENCH_matching.json]
 //
@@ -93,6 +93,11 @@ func main() {
 				fatalf("%v", err)
 			}
 		},
+		"benchchurn": func() {
+			if err := runBenchChurn(*jsonOut); err != nil {
+				fatalf("%v", err)
+			}
+		},
 		"crosstopo": func() { show(experiments.CrossTopology(cfg)) },
 		"sizemodel": func() { show(experiments.SizeModelValidation(cfg)) },
 		"ablations": func() {
@@ -102,7 +107,7 @@ func main() {
 			show(experiments.AblationBatch(cfg))
 		},
 	}
-	order := []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "matching", "benchmatch", "benchprop", "sizemodel", "crosstopo", "ablations"}
+	order := []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "matching", "benchmatch", "benchprop", "benchchurn", "sizemodel", "crosstopo", "ablations"}
 
 	if *experiment == "all" {
 		for _, name := range order {

@@ -36,6 +36,15 @@ type subEntry struct {
 	id      subid.ID
 	sub     *schema.Subscription
 	deliver DeliveryFunc
+	// propagated is set once the subscription's rows have left this broker
+	// (drained into a period delta, or shipped whole in a full sync).
+	// Unsubscribing a propagated subscription must queue a retraction;
+	// unsubscribing an unpropagated one is purely local.
+	propagated bool
+	// skipped marks a subscription the subsumption filter kept out of
+	// deltas (Section 6 combination); it is matched locally but routed via
+	// its subsuming subscription.
+	skipped bool
 }
 
 // Broker is one node's state. All methods are safe for concurrent use.
@@ -55,8 +64,23 @@ type Broker struct {
 	communicated  map[topology.NodeID]bool
 	filter        *siena.SubsumptionFilter // nil unless delta filtering is on
 	filteredSubs  int                      // subscriptions kept out of deltas
-	obs           *brokerObs               // nil unless Config.Metrics was set
-	rec           *flight.Recorder         // nil unless Config.Flight was set
+	numBrokers    int
+	// retired fences local ids whose retraction is still in flight: reusing
+	// the id before every remote merged summary has dropped the old rows
+	// would attach stale coverage to the new subscription. The fence lifts
+	// when a full-sync period completes (FinishFullSync), because the
+	// resync rebuilds all remote state from live subscriptions only.
+	retired map[subid.LocalID]struct{}
+	// syncing holds the ids that were already fenced when the current
+	// full-sync payload was taken; only their fences lift at
+	// FinishFullSync — an id retired mid-period was in that payload and
+	// must stay fenced until the next sync.
+	syncing     []subid.LocalID
+	removals    int              // merged-summary removals since the last compact
+	compactions int64            // amortized compactions performed
+	matcherObs  *summary.MatcherObs
+	obs         *brokerObs       // nil unless Config.Metrics was set
+	rec         *flight.Recorder // nil unless Config.Flight was set
 }
 
 // brokerObs holds this broker's registry instruments, resolved once at
@@ -138,6 +162,8 @@ func New(cfg Config) (*Broker, error) {
 		merged:        summary.New(cfg.Schema, cfg.Mode),
 		mergedBrokers: subid.NewMask(cfg.NumBrokers),
 		communicated:  make(map[topology.NodeID]bool),
+		numBrokers:    cfg.NumBrokers,
+		retired:       make(map[subid.LocalID]struct{}),
 		rec:           cfg.Flight,
 	}
 	b.matcher = b.merged.NewMatcher()
@@ -148,11 +174,12 @@ func New(cfg Config) (*Broker, error) {
 	if cfg.Metrics != nil {
 		b.obs = newBrokerObs(cfg.Metrics, cfg.ID)
 		label := strconv.Itoa(int(cfg.ID))
-		b.matcher.SetObs(&summary.MatcherObs{
+		b.matcherObs = &summary.MatcherObs{
 			Events:    cfg.Metrics.CounterVec("broker_match_events").With(label),
 			Collected: cfg.Metrics.CounterVec("broker_collected_ids").With(label),
 			Matched:   cfg.Metrics.CounterVec("broker_filter_hits").With(label),
-		})
+		}
+		b.matcher.SetObs(b.matcherObs)
 	}
 	return b, nil
 }
@@ -194,7 +221,7 @@ func (b *Broker) Subscribe(sub *schema.Subscription, deliver DeliveryFunc) (subi
 		return subid.ID{}, fmt.Errorf("broker %d: delta/merged diverged: %w", b.id, err)
 	}
 	b.nextLocal++
-	b.subs[id.Local] = &subEntry{id: id, sub: sub, deliver: deliver}
+	b.subs[id.Local] = &subEntry{id: id, sub: sub, deliver: deliver, skipped: skipDelta}
 	b.updateSubGauges()
 	b.rec.Record(flight.EvSubscribe, int(b.id), int64(id.Local), int64(len(sub.AttrSet())), 0, "")
 	return id, nil
@@ -241,6 +268,13 @@ func (b *Broker) Restore(local subid.LocalID, sub *schema.Subscription, deliver 
 	if _, ok := b.subs[local]; ok {
 		return fmt.Errorf("broker %d: local id %d already in use", b.id, local)
 	}
+	if _, fenced := b.retired[local]; fenced {
+		// The previous holder of this id was unsubscribed after its rows
+		// propagated; until a full sync confirms the retraction reached the
+		// whole network, a new subscription under the same id would inherit
+		// the dead subscription's remote coverage.
+		return fmt.Errorf("broker %d: local id %d is fenced pending network-wide retraction (full sync)", b.id, local)
+	}
 	if local > b.maxLocal {
 		return fmt.Errorf("broker %d: local id %d exceeds c2 capacity", b.id, local)
 	}
@@ -265,23 +299,87 @@ func (b *Broker) Restore(local subid.LocalID, sub *schema.Subscription, deliver 
 	return nil
 }
 
-// Unsubscribe removes a subscription locally (summary maintenance). Remote
-// merged summaries are corrected lazily: stale remote entries only cost a
-// spurious delivery attempt, which the exact re-match here drops.
+// Unsubscribe removes a subscription. If its rows already propagated, a
+// retraction is queued in the delta (shipped next period) so remote
+// merged summaries shrink, and the local id is fenced against reuse until
+// the next full sync; an unpropagated subscription is removed purely
+// locally. If the subscription anchored the subsumption filter, covered
+// subscriptions it was suppressing are re-checked and, when no live cover
+// remains, promoted back into the delta so their routing is restored.
 func (b *Broker) Unsubscribe(id subid.ID) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if _, ok := b.subs[id.Local]; !ok || subid.BrokerID(b.id) != id.Broker {
+	e, ok := b.subs[id.Local]
+	if !ok || subid.BrokerID(b.id) != id.Broker {
 		return fmt.Errorf("broker %d: unknown subscription %v", b.id, id)
 	}
 	delete(b.subs, id.Local)
-	b.delta.Remove(id)
+	if e.propagated {
+		// Remote summaries hold this id: queue a retraction (which also
+		// drops any rows still pending in the delta) and fence the local id.
+		b.delta.AddRetraction(id.Key())
+		b.retired[id.Local] = struct{}{}
+		b.rec.Record(flight.EvRetract, int(b.id), int64(id.Local), 0, 0, "")
+	} else {
+		b.delta.Remove(id)
+	}
 	b.merged.Remove(id)
-	// Defragment the AACS rows churn leaves behind (cheap: linear in rows).
-	b.merged.Compact()
+	if e.skipped {
+		b.filteredSubs--
+	} else if b.filter != nil {
+		// The dead subscription may have been suppressing covered
+		// subscriptions: drop it from the filter history and re-establish
+		// routing for anything it alone was covering.
+		b.filter.Remove(e.sub)
+		b.promoteUncovered()
+	}
+	b.maybeCompact()
 	b.updateSubGauges()
 	b.rec.Record(flight.EvUnsubscribe, int(b.id), int64(id.Local), 0, 0, "")
 	return nil
+}
+
+// promoteUncovered re-checks filtered subscriptions after a filter entry
+// died: any no longer subsumed by a surviving entry re-enters the delta
+// (and the filter, since it now propagates). Callers hold b.mu.
+func (b *Broker) promoteUncovered() {
+	if b.filteredSubs == 0 {
+		return
+	}
+	for _, o := range b.subs {
+		if !o.skipped || b.filter.Subsumed(o.sub) {
+			continue
+		}
+		if err := b.delta.Insert(o.id, o.sub); err != nil {
+			continue // cannot happen: skipped ids never enter the delta
+		}
+		b.filter.Add(o.sub)
+		o.skipped = false
+		b.filteredSubs--
+	}
+}
+
+// compactMinRemovals floors the amortized-compaction trigger so small
+// summaries still defragment promptly.
+const compactMinRemovals = 32
+
+// maybeCompact amortizes merged-summary defragmentation. Compact is
+// linear in rows, so compacting on every removal made n unsubscribes
+// quadratic; compacting once every max(32, live/8) removals bounds
+// fragmentation at ~12% while keeping the amortized cost per removal
+// constant. Callers hold b.mu.
+func (b *Broker) maybeCompact() {
+	b.removals++
+	threshold := b.merged.NumSubscriptions() / 8
+	if threshold < compactMinRemovals {
+		threshold = compactMinRemovals
+	}
+	if b.removals < threshold {
+		return
+	}
+	b.merged.Compact()
+	b.compactions++
+	b.removals = 0
 }
 
 // NumSubscriptions returns the number of locally owned raw subscriptions.
@@ -298,20 +396,62 @@ func (b *Broker) TakeDelta() *summary.Summary { return b.TakePeriodSummary(false
 
 // TakePeriodSummary returns the summary this broker should propagate in
 // the starting period and drains the delta. In a normal period that is
-// the delta itself — only subscriptions accumulated since the last
-// period. On a full-sync period it is a clone of the whole merged
-// summary, which subsumes the drained delta: full syncs let peers that
-// lost earlier summary messages (drops, decode failures) recover the
-// missing coverage.
+// the delta itself — subscriptions accumulated since the last period plus
+// the retraction set of propagated ids unsubscribed since then. On a
+// full-sync period the broker performs a true resync: it rebuilds its
+// merged summary from its own raw subscriptions, resets Merged_Brokers to
+// itself, and ships that own-subscription summary — the period then
+// behaves exactly like the first period of a freshly built network, so
+// stale remote rows (including retractions lost to dropped messages) are
+// discarded everywhere within the one period.
 func (b *Broker) TakePeriodSummary(fullSync bool) *summary.Summary {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	d := b.delta
 	b.delta = summary.New(b.schema, b.mode)
 	if fullSync {
-		return b.merged.Clone()
+		b.syncing = b.syncing[:0]
+		for local := range b.retired {
+			b.syncing = append(b.syncing, local)
+		}
+		m := summary.New(b.schema, b.mode)
+		for _, e := range b.subs {
+			if err := m.Insert(e.id, e.sub); err != nil {
+				continue // cannot happen: ids in b.subs are unique
+			}
+			e.propagated = true
+		}
+		b.merged = m
+		b.matcher = b.merged.NewMatcher()
+		if b.matcherObs != nil {
+			b.matcher.SetObs(b.matcherObs)
+		}
+		b.mergedBrokers = subid.NewMask(b.numBrokers)
+		b.mergedBrokers.Set(int(b.id))
+		b.removals = 0
+		b.updateSubGauges()
+		return m.Clone()
+	}
+	for _, e := range b.subs {
+		if !e.propagated && d.Contains(e.id) {
+			e.propagated = true
+		}
 	}
 	return d
+}
+
+// FinishFullSync marks the completion of a full-sync propagation period.
+// Every broker has rebuilt its merged state from live subscriptions only,
+// so no stale rows survive anywhere for ids that were fenced when the
+// sync payload was taken; those ids become safe to reuse. Ids retired
+// mid-period stay fenced — their rows were in the sync payload.
+func (b *Broker) FinishFullSync() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, local := range b.syncing {
+		delete(b.retired, local)
+	}
+	b.syncing = nil
 }
 
 // MergeSummary folds a received multi-broker summary and its
@@ -322,6 +462,10 @@ func (b *Broker) MergeSummary(sum *summary.Summary, brokers subid.Mask) error {
 	if err := b.merged.Merge(sum); err != nil {
 		return err
 	}
+	// The merge already dropped the retracted rows; the long-lived merged
+	// summary must not accumulate the retraction sets themselves, or its
+	// memory would grow with total churn instead of live subscriptions.
+	b.merged.ClearRetractions()
 	for _, i := range brokers.Bits() {
 		b.mergedBrokers.Set(i)
 	}
@@ -351,6 +495,8 @@ func (b *Broker) MergeEncodedSummary(payload []byte, brokers subid.Mask) error {
 		b.rec.Record(flight.EvMergeError, int(b.id), int64(len(payload)), 0, 0, err.Error())
 		return err
 	}
+	// See MergeSummary: apply retractions, never retain them.
+	b.merged.ClearRetractions()
 	for _, i := range brokers.Bits() {
 		b.mergedBrokers.Set(i)
 	}
@@ -481,8 +627,25 @@ type Stats struct {
 	OwnSubscriptions  int
 	MergedSummarySubs int
 	MergedBrokerCount int
-	ModelBytes        int // merged summary size under the paper's cost model
-	FilteredSubs      int // subscriptions kept out of deltas by subsumption
+	ModelBytes        int   // merged summary size under the paper's cost model
+	FilteredSubs      int   // subscriptions kept out of deltas by subsumption
+	Compactions       int64 // amortized merged-summary compactions
+	PendingRetracts   int   // retractions queued for the next period
+	FencedIDs         int   // local ids fenced until the next full sync
+}
+
+// MergedOwnerCounts returns, per owning broker, how many subscriptions
+// this broker's merged summary currently holds. The watchdog's
+// convergence check compares these counts against each owner's live
+// subscription count after a quiescent full-sync period.
+func (b *Broker) MergedOwnerCounts() map[subid.BrokerID]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	counts := make(map[subid.BrokerID]int)
+	for _, id := range b.merged.IDs() {
+		counts[id.Broker]++
+	}
+	return counts
 }
 
 // MissingFromMerged returns the ids of locally-owned subscriptions that
@@ -525,5 +688,8 @@ func (b *Broker) Stats() Stats {
 		MergedBrokerCount: b.mergedBrokers.Count(),
 		ModelBytes:        b.merged.SizeBytes(4, 4),
 		FilteredSubs:      b.filteredSubs,
+		Compactions:       b.compactions,
+		PendingRetracts:   b.delta.NumRetractions(),
+		FencedIDs:         len(b.retired),
 	}
 }

@@ -9,9 +9,11 @@ import (
 	"github.com/subsum/subsum/internal/summary"
 )
 
-// TestTakePeriodSummaryFullSync: a full-sync period ships the whole
-// merged summary (own plus received), drains the delta either way, and
-// hands out a clone that later merges cannot corrupt.
+// TestTakePeriodSummaryFullSync: a full-sync period is a true resync —
+// the broker rebuilds its merged summary from its own raw subscriptions
+// (discarding remote rows, which the period re-delivers from their
+// owners), resets Merged_Brokers to itself, drains the delta, and ships a
+// clone that later merges cannot corrupt.
 func TestTakePeriodSummaryFullSync(t *testing.T) {
 	s := testSchema(t)
 	b := newBroker(t, 0, 3)
@@ -32,10 +34,18 @@ func TestTakePeriodSummaryFullSync(t *testing.T) {
 	if err := b.MergeEncodedSummary(remote.Encode(nil), remoteSet); err != nil {
 		t.Fatal(err)
 	}
+	if st := b.Stats(); st.MergedBrokerCount != 2 {
+		t.Fatalf("pre-sync Merged_Brokers = %d, want 2", st.MergedBrokerCount)
+	}
 
 	full := b.TakePeriodSummary(true)
-	if full.NumSubscriptions() != 2 {
-		t.Fatalf("full-sync summary subs = %d, want own + remote = 2", full.NumSubscriptions())
+	if full.NumSubscriptions() != 1 {
+		t.Fatalf("full-sync summary subs = %d, want own only = 1", full.NumSubscriptions())
+	}
+	// The resync dropped the stale remote rows and reset Merged_Brokers.
+	if st := b.Stats(); st.MergedSummarySubs != 1 || st.MergedBrokerCount != 1 {
+		t.Fatalf("post-sync merged = %d subs / %d brokers, want 1 / 1",
+			st.MergedSummarySubs, st.MergedBrokerCount)
 	}
 	// The delta was drained by the full sync.
 	if d := b.TakePeriodSummary(false); d.NumSubscriptions() != 0 {
@@ -47,7 +57,7 @@ func TestTakePeriodSummaryFullSync(t *testing.T) {
 	if _, err := b.Subscribe(sub2, noDeliver); err != nil {
 		t.Fatal(err)
 	}
-	if full.NumSubscriptions() != 2 {
+	if full.NumSubscriptions() != 1 {
 		t.Fatalf("full-sync summary grew to %d subs; not a clone", full.NumSubscriptions())
 	}
 }

@@ -92,6 +92,14 @@ type Network struct {
 	// periods counts completed Propagate calls (under periodMu), driving
 	// the FullSyncEvery schedule.
 	periods int
+	// churnSeq counts Subscribe/Unsubscribe calls; the watchdog's
+	// convergence check uses it to prove the subscription set was stable
+	// across a full-sync period before asserting exact remote counts.
+	churnSeq atomic.Int64
+	// lastPeriodFullSync and churnAtPeriodStart (under periodMu) describe
+	// the most recently completed period for the convergence check.
+	lastPeriodFullSync bool
+	churnAtPeriodStart int64
 
 	metrics *metrics.Registry
 	obs     netObs
@@ -242,16 +250,26 @@ func (net *Network) Subscribe(at topology.NodeID, sub *schema.Subscription, deli
 	if int(at) < 0 || int(at) >= len(net.brokers) {
 		return subid.ID{}, fmt.Errorf("core: broker %d out of range", at)
 	}
-	return net.brokers[at].Subscribe(sub, deliver)
+	id, err := net.brokers[at].Subscribe(sub, deliver)
+	if err == nil {
+		net.churnSeq.Add(1)
+	}
+	return id, err
 }
 
-// Unsubscribe removes a locally owned subscription.
+// Unsubscribe removes a locally owned subscription. If it had already
+// propagated, the next period's delta carries its retraction so remote
+// merged summaries shrink.
 func (net *Network) Unsubscribe(id subid.ID) error {
 	b := int(id.Broker)
 	if b < 0 || b >= len(net.brokers) {
 		return fmt.Errorf("core: broker %d out of range", id.Broker)
 	}
-	return net.brokers[b].Unsubscribe(id)
+	err := net.brokers[b].Unsubscribe(id)
+	if err == nil {
+		net.churnSeq.Add(1)
+	}
+	return err
 }
 
 // ExtendSchema appends an attribute to the shared schema at runtime — the
@@ -313,6 +331,8 @@ func (net *Network) Propagate() (hops int, err error) {
 	n := len(net.brokers)
 	net.periods++
 	fullSync := net.cfg.FullSyncEvery > 0 && net.periods%net.cfg.FullSyncEvery == 0
+	net.lastPeriodFullSync = false
+	net.churnAtPeriodStart = net.churnSeq.Load()
 	net.rec.Record(flight.EvPeriodStart, -1, int64(net.periods), 0, 0, "")
 	if fullSync {
 		net.rec.Record(flight.EvFullSync, -1, int64(net.periods), 0, 0, "")
@@ -325,8 +345,8 @@ func (net *Network) Propagate() (hops int, err error) {
 		b.ResetPeriod()
 		period.sums[i] = b.TakePeriodSummary(fullSync)
 		if fullSync {
-			// The payload carries every broker's subscriptions this broker
-			// has merged, so the carried set credits them all.
+			// The resync reset Merged_Brokers to the broker itself, so this
+			// carries exactly the owner of the payload's subscriptions.
 			period.sets[i] = b.MergedBrokers()
 		} else {
 			period.sets[i] = subid.NewMask(n)
@@ -382,6 +402,14 @@ func (net *Network) Propagate() (hops int, err error) {
 		// Deliveries land before the next iteration, as in Algorithm 2.
 		net.bus.Quiesce()
 	}
+	if fullSync {
+		// Every broker rebuilt from live subscriptions and the bus is
+		// drained: ids fenced before the sync are now clean network-wide.
+		for _, b := range net.brokers {
+			b.FinishFullSync()
+		}
+	}
+	net.lastPeriodFullSync = fullSync
 	return hops, nil
 }
 

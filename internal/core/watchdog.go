@@ -14,6 +14,10 @@
 //  3. Byte reconciliation: the propagation layer's summary-byte
 //     accounting equals what the bus saw put on the wire for summaries,
 //     delivered plus fault-dropped.
+//  4. Churn convergence: after a quiescent full-sync period, every
+//     broker's merged summary holds exactly the live subscriptions of
+//     each broker it claims — retractions and resyncs leave no stale
+//     remote rows behind.
 //
 // Checks are race-safe against the live engine: strict equalities are
 // only asserted when the checker can prove the relevant counters were
@@ -32,13 +36,15 @@ import (
 	"github.com/subsum/subsum/internal/flight"
 	"github.com/subsum/subsum/internal/metrics"
 	"github.com/subsum/subsum/internal/netsim"
+	"github.com/subsum/subsum/internal/subid"
 )
 
 // Violation names for the watchdog_violations{check} counter family.
 const (
-	CheckCoverage = "coverage"
-	CheckFlow     = "flow"
-	CheckBytes    = "bytes"
+	CheckCoverage    = "coverage"
+	CheckFlow        = "flow"
+	CheckBytes       = "bytes"
+	CheckConvergence = "convergence"
 )
 
 // Violation is one detected invariant breach.
@@ -64,6 +70,7 @@ func (net *Network) CheckInvariants() []Violation {
 	out = append(out, net.checkCoverage()...)
 	out = append(out, net.checkFlow()...)
 	out = append(out, net.checkBytes()...)
+	out = append(out, net.checkConvergence()...)
 	return out
 }
 
@@ -152,6 +159,49 @@ func (net *Network) checkBytes() []Violation {
 		}}
 	}
 	return nil
+}
+
+// checkConvergence verifies invariant 4 (churn convergence): after a
+// full-sync period, every remote merged summary holds *exactly* the live
+// subscriptions of each broker it claims coverage for — no stale rows
+// for retracted subscriptions survive a resync. The exact equality only
+// holds when nothing moved, so the check asserts it only under proof of
+// stability: the period lock is free (TryLock), the last completed
+// period was a full sync, the bus is idle, and the churn sequence is
+// unchanged from that period's start through the end of this pass.
+// Otherwise the check abstains — coverage mid-churn is checked by the
+// other invariants.
+func (net *Network) checkConvergence() []Violation {
+	if !net.periodMu.TryLock() {
+		return nil
+	}
+	defer net.periodMu.Unlock()
+	if !net.lastPeriodFullSync || net.bus.Inflight() != 0 ||
+		net.churnSeq.Load() != net.churnAtPeriodStart {
+		return nil
+	}
+	live := make([]int, len(net.brokers))
+	for i, b := range net.brokers {
+		live[i] = b.NumSubscriptions()
+	}
+	var out []Violation
+	for i, b := range net.brokers {
+		counts := b.MergedOwnerCounts()
+		for _, bit := range b.MergedBrokers().Bits() {
+			if got := counts[subid.BrokerID(bit)]; got != live[bit] {
+				out = append(out, Violation{
+					Check:  CheckConvergence,
+					Broker: i,
+					Detail: fmt.Sprintf("merged summary holds %d subscription(s) of broker %d, owner has %d live", got, bit, live[bit]),
+				})
+			}
+		}
+	}
+	if net.churnSeq.Load() != net.churnAtPeriodStart {
+		// Churn raced the reads above; the snapshot is unusable.
+		return nil
+	}
+	return out
 }
 
 // Watchdog periodically runs CheckInvariants against its network,

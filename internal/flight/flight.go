@@ -62,6 +62,9 @@ const (
 	EvWatchdogViolation
 	// EvCrashDump: a crash dump was requested (panic or SIGQUIT).
 	EvCrashDump
+	// EvRetract: an unsubscribe queued a retraction for a subscription
+	// that had already been propagated (A = local id).
+	EvRetract
 )
 
 // String names the event type.
@@ -89,6 +92,8 @@ func (t EventType) String() string {
 		return "watchdog-violation"
 	case EvCrashDump:
 		return "crash-dump"
+	case EvRetract:
+		return "retract"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(t))
 	}

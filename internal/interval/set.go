@@ -479,6 +479,39 @@ func (s *Set) Remove(id uint64) {
 	s.ne = ne
 }
 
+// RemoveAll deletes every id in dead from the set in one sweep — the
+// batched form of Remove, so purging n tombstones costs one pass over the
+// structure instead of n.
+func (s *Set) RemoveAll(dead map[uint64]struct{}) {
+	if len(dead) == 0 {
+		return
+	}
+	rows := s.rows[:0]
+	for _, r := range s.rows {
+		r.ids = removeIDs(r.ids, dead)
+		if len(r.ids) > 0 {
+			rows = append(rows, r)
+		}
+	}
+	s.rows = rows
+	for v, ids := range s.eq {
+		ids = removeIDs(ids, dead)
+		if len(ids) == 0 {
+			delete(s.eq, v)
+		} else {
+			s.eq[v] = ids
+		}
+	}
+	ne := s.ne[:0]
+	for _, e := range s.ne {
+		e.ids = removeIDs(e.ids, dead)
+		if len(e.ids) > 0 {
+			ne = append(ne, e)
+		}
+	}
+	s.ne = ne
+}
+
 // Compact merges adjacent sub-range rows that carry identical id lists
 // and whose intervals touch without a gap — the fragmentation that
 // repeated insertions and removals leave behind (the paper omits its
@@ -740,6 +773,18 @@ func removeID(ids []uint64, id uint64) []uint64 {
 		return append(ids[:i], ids[i+1:]...)
 	}
 	return ids
+}
+
+// removeIDs deletes every id present in dead from a sorted id list, in
+// place, preserving order.
+func removeIDs(ids []uint64, dead map[uint64]struct{}) []uint64 {
+	out := ids[:0]
+	for _, v := range ids {
+		if _, ok := dead[v]; !ok {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // mergeIDs returns the sorted union of two sorted id lists.

@@ -267,6 +267,28 @@ func (f *SubsumptionFilter) Add(sub *schema.Subscription) {
 	f.history = append(f.history, sub)
 }
 
+// Remove forgets a retained subscription (identity comparison), reporting
+// whether it was present. Call on unsubscription of a propagated
+// subscription: a dead entry left behind would keep suppressing future
+// subscriptions it subsumes even though its routing no longer exists —
+// a permanent false-negative hole, not a bandwidth miss.
+func (f *SubsumptionFilter) Remove(sub *schema.Subscription) bool {
+	for i, prior := range f.history {
+		if prior == sub {
+			f.history = append(f.history[:i], f.history[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// SubsumedBy reports whether prior (a subscription previously Added, now
+// being withdrawn) subsumes sub — the check a broker uses to find
+// subscriptions whose delta suppression depended on the dead entry.
+func (f *SubsumptionFilter) SubsumedBy(prior, sub *schema.Subscription) bool {
+	return Subsumes(f.s, prior, sub)
+}
+
 // Len returns the number of retained subscriptions.
 func (f *SubsumptionFilter) Len() int { return len(f.history) }
 

@@ -441,6 +441,45 @@ func (s *Set) Remove(id uint64) {
 	}
 }
 
+// RemoveAll deletes every id in dead from the set in one sweep — the
+// batched form of Remove, so purging n tombstones costs one pass over the
+// structure instead of n.
+func (s *Set) RemoveAll(dead map[uint64]struct{}) {
+	if len(dead) == 0 {
+		return
+	}
+	pats := s.pats[:0]
+	dropped := false
+	for _, r := range s.pats {
+		r.IDs = removeIDs(r.IDs, dead)
+		if len(r.IDs) > 0 {
+			pats = append(pats, r)
+		} else {
+			dropped = true
+		}
+	}
+	s.pats = pats
+	if dropped {
+		s.idx.Store(nil) // row positions shifted
+	}
+	for text, ids := range s.eq {
+		ids = removeIDs(ids, dead)
+		if len(ids) == 0 {
+			delete(s.eq, text)
+		} else {
+			s.eq[text] = ids
+		}
+	}
+	for text, ids := range s.ne {
+		ids = removeIDs(ids, dead)
+		if len(ids) == 0 {
+			delete(s.ne, text)
+		} else {
+			s.ne[text] = ids
+		}
+	}
+}
+
 // Merge folds every row of o into s (multi-broker summary construction:
 // "values for the same string attributes are simply merged").
 func (s *Set) Merge(o *Set) {
@@ -586,6 +625,18 @@ func removeID(ids []uint64, id uint64) []uint64 {
 		return append(ids[:i], ids[i+1:]...)
 	}
 	return ids
+}
+
+// removeIDs deletes every id present in dead from a sorted id list, in
+// place, preserving order.
+func removeIDs(ids []uint64, dead map[uint64]struct{}) []uint64 {
+	out := ids[:0]
+	for _, v := range ids {
+		if _, ok := dead[v]; !ok {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // mergeIDs returns the sorted union of two sorted id lists.

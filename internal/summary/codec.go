@@ -46,21 +46,47 @@ import (
 // where ids is, in v1, count u32 followed by that many u64 keys and, in
 // v2, count uvarint followed by the first key as a uvarint and count-1
 // strictly positive uvarint deltas (the list is sorted ascending).
+//
+// v3 ("SSM3") extends v2 with one trailing section — the retraction set:
+//
+//	retraction section: ids (v2 encoding — count uvarint, delta keys)
+//
+// listing the id keys whose subscriptions were withdrawn since the
+// summary's baseline. A receiver merges the v2 body, then removes every
+// retracted key from its own structures and retains the set for onward
+// propagation. Encode emits v3 only when the summary carries retractions,
+// so churn-free payloads remain byte-identical to v2 and v2-only decoders
+// interoperate until the first retraction; Decode accepts all three
+// versions behind the version byte.
 const (
 	versionV1 = '1'
 	versionV2 = '2'
+	versionV3 = '3'
 )
 
 var magicPrefix = [3]byte{'S', 'S', 'M'}
 
-// Encode appends the summary's wire form (version 2) to buf.
-func (sm *Summary) Encode(buf []byte) []byte { return sm.encode(buf, versionV2) }
+// Encode appends the summary's wire form to buf: version 2, or version 3
+// when the summary carries pending retractions (the only layout change is
+// the trailing retraction section).
+func (sm *Summary) Encode(buf []byte) []byte { return sm.encode(buf, sm.wireVersion()) }
+
+// wireVersion picks the lowest wire version able to carry the summary.
+func (sm *Summary) wireVersion() byte {
+	if len(sm.retract) > 0 {
+		return versionV3
+	}
+	return versionV2
+}
 
 // EncodeV1 appends the summary's legacy fixed-width wire form to buf, for
-// interoperating with peers that predate the v2 codec.
+// interoperating with peers that predate the v2 codec. v1 predates
+// retractions; a pending-retraction set is not representable and is
+// omitted.
 func (sm *Summary) EncodeV1(buf []byte) []byte { return sm.encode(buf, versionV1) }
 
 func (sm *Summary) encode(buf []byte, version byte) []byte {
+	sm.purgeDead() // tombstoned rows must never reach the wire
 	buf = append(buf, magicPrefix[:]...)
 	buf = append(buf, version, byte(sm.mode))
 
@@ -141,18 +167,24 @@ func (sm *Summary) encode(buf []byte, version byte) []byte {
 			buf = appendIDs(buf, r.IDs, version)
 		}
 	}
+
+	// Retraction section (v3 only).
+	if version == versionV3 {
+		buf = appendIDs(buf, sm.Retractions(), version)
+	}
 	return buf
 }
 
-// EncodedSize returns the size in bytes of the summary's v2 wire form,
-// computed directly — no encode buffer is built.
-func (sm *Summary) EncodedSize() int { return sm.encodedSize(versionV2) }
+// EncodedSize returns the size in bytes of the wire form Encode would
+// emit, computed directly — no encode buffer is built.
+func (sm *Summary) EncodedSize() int { return sm.encodedSize(sm.wireVersion()) }
 
 // EncodedSizeV1 returns the size in bytes of the summary's legacy v1 wire
 // form, computed directly.
 func (sm *Summary) EncodedSizeV1() int { return sm.encodedSize(versionV1) }
 
 func (sm *Summary) encodedSize(version byte) int {
+	sm.purgeDead() // size the same rows encode will write
 	n := 5 // magic + version + mode
 	if version == versionV1 {
 		n += 4 // registry count u32
@@ -202,6 +234,9 @@ func (sm *Summary) encodedSize(version byte) int {
 		for _, r := range s.NeRows() {
 			n += 2 + len(r.Pattern.Text) + idsLen(r.IDs, version)
 		}
+	}
+	if version == versionV3 {
+		n += idsLen(sm.Retractions(), version)
 	}
 	return n
 }
@@ -438,7 +473,7 @@ func (d *decoder) header() (interval.Mode, error) {
 		return 0, fmt.Errorf("summary: bad magic")
 	}
 	d.version = d.u8()
-	if d.version != versionV1 && d.version != versionV2 {
+	if d.version != versionV1 && d.version != versionV2 && d.version != versionV3 {
 		return 0, fmt.Errorf("summary: unsupported wire version %q", d.version)
 	}
 	mode := interval.Mode(d.u8())
@@ -589,6 +624,14 @@ func Decode(s *schema.Schema, buf []byte) (*Summary, error) {
 		sm.sacs[a] = set
 	}
 
+	if d.version == versionV3 && d.err == nil {
+		// AddRetraction also drops any rows a malformed payload carried for
+		// a key it simultaneously retracts — retraction wins.
+		for _, key := range d.ids(nil) {
+			sm.AddRetraction(key)
+		}
+	}
+
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -611,6 +654,9 @@ func Decode(s *schema.Schema, buf []byte) (*Summary, error) {
 // caller does not extend Merged_Brokers), but matching stays correct, the
 // same guarantee the engine gives for dropped summary messages.
 func (sm *Summary) MergeEncoded(buf []byte) error {
+	// The payload may re-register keys this summary has tombstoned; purge
+	// first so stale rows cannot over-count them (see Insert).
+	sm.purgeDead()
 	d := &decoder{buf: buf}
 	mode, err := d.header()
 	if err != nil {
@@ -708,6 +754,19 @@ func (sm *Summary) MergeEncoded(buf []byte) error {
 			idScratch = d.ids(idScratch[:0])
 			if d.err == nil {
 				set.MergeRowBytes(schema.OpNE, text, idScratch)
+			}
+		}
+	}
+
+	if d.version == versionV3 && d.err == nil {
+		// Apply the payload's retractions last, so they override any rows
+		// this payload (or an earlier one) merged for the same keys, and
+		// retain them for onward propagation. Long-lived merged summaries
+		// that never re-propagate call ClearRetractions afterwards.
+		idScratch = d.ids(idScratch[:0])
+		if d.err == nil {
+			for _, key := range idScratch {
+				sm.AddRetraction(key)
 			}
 		}
 	}

@@ -41,6 +41,24 @@ type Summary struct {
 	keys    []uint64
 	masks   []subid.Mask
 	targets []int32 // masks[i].Count(), cached (the c3 match target)
+
+	// retract is the pending-retraction set: id keys whose subscriptions
+	// were withdrawn and whose removal must still reach downstream peers.
+	// The structure maintains the invariant that no retracted key is
+	// visible in the summary (AddRetraction and every merge enforce it),
+	// so a summary carrying retractions is always self-consistent. Nil
+	// until the first retraction (the common, churn-free case).
+	retract map[uint64]struct{}
+
+	// dead is the tombstone set: keys removed from the registry whose rows
+	// may still linger in the per-attribute structures. RemoveKey
+	// tombstones instead of sweeping so an unsubscribe is O(1) — the old
+	// per-removal sweep made n removals O(n²). Matching filters dead ids
+	// through the registry for free; every row-reading operation (Compact,
+	// Merge, Clone, encode, Stats, Validate) purges first, and Insert
+	// purges when a tombstoned key is re-registered so stale rows can
+	// never over-count a reused id past its c3 target.
+	dead map[uint64]struct{}
 }
 
 // New returns an empty summary over the given schema. mode selects the
@@ -106,6 +124,13 @@ func (sm *Summary) Insert(id subid.ID, sub *schema.Subscription) error {
 	key := id.Key()
 	if _, dup := sm.ids[key]; dup {
 		return fmt.Errorf("summary: duplicate subscription id %v", id)
+	}
+	if _, tomb := sm.dead[key]; tomb {
+		// The key is being reused before its old rows were purged: sweep
+		// now, or the stale rows would count extra attributes against the
+		// new subscription and could push it past its c3 target (a false
+		// negative, which the design forbids).
+		sm.purgeDead()
 	}
 	// Group constraints per attribute.
 	for _, a := range attrs {
@@ -216,8 +241,13 @@ func (sm *Summary) strSet(a schema.AttrID) *strmatch.Set {
 
 // Remove deletes the subscription id from every structure (the summary
 // maintenance path for unsubscription).
-func (sm *Summary) Remove(id subid.ID) {
-	key := id.Key()
+func (sm *Summary) Remove(id subid.ID) { sm.RemoveKey(id.Key()) }
+
+// RemoveKey is Remove by raw id key (c1‖c2), for callers holding only the
+// wire form of an id — the retraction-apply path. It is O(1): the key
+// leaves the registry immediately (so it can no longer match) and its
+// rows are tombstoned, swept out in batch by the next purge point.
+func (sm *Summary) RemoveKey(key uint64) {
 	i, ok := sm.ids[key]
 	if !ok {
 		return
@@ -235,24 +265,73 @@ func (sm *Summary) Remove(id subid.ID) {
 	sm.masks = sm.masks[:last]
 	sm.targets = sm.targets[:last]
 	delete(sm.ids, key)
+	if sm.dead == nil {
+		sm.dead = make(map[uint64]struct{})
+	}
+	sm.dead[key] = struct{}{}
+}
+
+// purgeDead sweeps tombstoned rows out of the per-attribute structures —
+// one pass per structure regardless of how many removals accumulated.
+func (sm *Summary) purgeDead() {
+	if len(sm.dead) == 0 {
+		return
+	}
 	for _, s := range sm.aacs {
-		s.Remove(key)
+		s.RemoveAll(sm.dead)
 	}
 	for _, s := range sm.sacs {
-		s.Remove(key)
+		s.RemoveAll(sm.dead)
 	}
+	clear(sm.dead)
 }
 
 // Compact merges fragmented adjacent AACS rows left behind by churn
 // (insert/remove cycles); matching behaviour is unchanged. Returns the
 // number of rows eliminated.
 func (sm *Summary) Compact() int {
+	sm.purgeDead()
 	total := 0
 	for _, s := range sm.aacs {
 		total += s.Compact()
 	}
 	return total
 }
+
+// AddRetraction records that the subscription with the given id key was
+// withdrawn: the key's rows (if any) are removed immediately and the key
+// joins the pending-retraction set, which travels with the summary's wire
+// form so downstream merged summaries shrink too.
+func (sm *Summary) AddRetraction(key uint64) {
+	sm.RemoveKey(key)
+	if sm.retract == nil {
+		sm.retract = make(map[uint64]struct{})
+	}
+	sm.retract[key] = struct{}{}
+}
+
+// Retractions returns the pending-retraction keys, sorted ascending.
+func (sm *Summary) Retractions() []uint64 {
+	if len(sm.retract) == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, len(sm.retract))
+	for k := range sm.retract {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumRetractions returns the number of pending retractions.
+func (sm *Summary) NumRetractions() int { return len(sm.retract) }
+
+// ClearRetractions empties the pending-retraction set without touching
+// rows. Long-lived merged summaries call this after applying a payload's
+// retractions: they consume retractions but never re-propagate them, so
+// retaining the keys would grow memory with total churn instead of live
+// subscriptions.
+func (sm *Summary) ClearRetractions() { sm.retract = nil }
 
 // Match implements Algorithm 1: for every attribute of the event, collect
 // the satisfied subscription-id lists from the per-attribute structures;
@@ -349,6 +428,11 @@ func (sm *Summary) Merge(other *Summary) error {
 	if !sm.schema.Equal(other.schema) {
 		return fmt.Errorf("summary: merging across different schemas")
 	}
+	// Both sides must be row-clean: other's rows are about to be copied
+	// (tombstoned rows must not resurrect), and other's keys may re-enter
+	// sm's registry (stale sm rows must not over-count them).
+	sm.purgeDead()
+	other.purgeDead()
 	for a, s := range other.aacs {
 		sm.arithSet(a).Merge(s)
 	}
@@ -360,11 +444,20 @@ func (sm *Summary) Merge(other *Summary) error {
 			sm.registerID(key, other.masks[i].Clone())
 		}
 	}
+	// Retractions win over merged rows: a key retracted by either side must
+	// not survive the merge, and the union keeps propagating downstream.
+	for k := range other.retract {
+		sm.AddRetraction(k)
+	}
+	for k := range sm.retract {
+		sm.RemoveKey(k)
+	}
 	return nil
 }
 
 // Clone returns a deep copy of the summary.
 func (sm *Summary) Clone() *Summary {
+	sm.purgeDead()
 	out := New(sm.schema, sm.mode)
 	for a, s := range sm.aacs {
 		out.aacs[a] = s.Clone()
@@ -374,6 +467,12 @@ func (sm *Summary) Clone() *Summary {
 	}
 	for i, key := range sm.keys {
 		out.registerID(key, sm.masks[i].Clone())
+	}
+	if len(sm.retract) > 0 {
+		out.retract = make(map[uint64]struct{}, len(sm.retract))
+		for k := range sm.retract {
+			out.retract[k] = struct{}{}
+		}
 	}
 	return out
 }
@@ -389,6 +488,7 @@ type Stats struct {
 
 // Stats computes aggregate structure statistics.
 func (sm *Summary) Stats() Stats {
+	sm.purgeDead()
 	var st Stats
 	st.NumAACS = len(sm.aacs)
 	st.NumSACS = len(sm.sacs)
@@ -415,6 +515,7 @@ func (sm *Summary) Stats() Stats {
 // over string attributes. sst and sid are the storage sizes of an
 // arithmetic value and a subscription id (both 4 in Table 2).
 func (sm *Summary) SizeBytes(sst, sid int) int {
+	sm.purgeDead()
 	n := 0
 	for _, s := range sm.aacs {
 		n += s.SizeBytes(sst, sid)

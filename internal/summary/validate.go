@@ -12,6 +12,7 @@ import (
 // attribute is set), and that every registered id appears in at least one
 // per-attribute structure.
 func (sm *Summary) Validate() error {
+	sm.purgeDead()
 	// Dense-registry consistency: ids, keys, masks, and targets describe
 	// the same set of subscriptions, with targets caching the mask counts.
 	if len(sm.keys) != len(sm.ids) || len(sm.masks) != len(sm.keys) || len(sm.targets) != len(sm.keys) {

@@ -257,6 +257,19 @@ func (srv *Server) handle(cc *conn, req Request) Response {
 			"summary_dropped":  st.Dropped[netsim.KindSummary],
 			"errors":           st.TotalErrors(),
 		}
+		// Churn health across all brokers: retractions awaiting the next
+		// period, ids fenced until the next full sync, and amortized
+		// compactions run.
+		var pendingRetracts, fencedIDs, compactions int64
+		for i := 0; i < srv.net.Len(); i++ {
+			bst := srv.net.Broker(topology.NodeID(i)).Stats()
+			pendingRetracts += int64(bst.PendingRetracts)
+			fencedIDs += int64(bst.FencedIDs)
+			compactions += bst.Compactions
+		}
+		resp.Stats["pending_retracts"] = pendingRetracts
+		resp.Stats["fenced_ids"] = fencedIDs
+		resp.Stats["compactions"] = compactions
 		resp.Metrics = srv.net.Metrics().Map()
 		return resp
 	case "history":

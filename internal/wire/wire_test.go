@@ -209,6 +209,50 @@ func TestStatsAndErrors(t *testing.T) {
 	}
 }
 
+// TestChurnCountersViaWire: the stats reply exposes the network-wide
+// churn health counters — a propagated unsubscribe shows up as a pending
+// retraction and a fenced id, and the next period drains the retraction.
+func TestChurnCountersViaWire(t *testing.T) {
+	addr, _ := startServer(t)
+	var d deliveries
+	cl, err := Dial(addr, d.on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	broker, local, err := cl.Subscribe(2, `price > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Propagate(); err != nil { // rows leave the owner
+		t.Fatal(err)
+	}
+	if err := cl.Unsubscribe(broker, local); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["pending_retracts"] != 1 || st["fenced_ids"] != 1 {
+		t.Fatalf("pending_retracts=%d fenced_ids=%d after propagated unsubscribe, want 1, 1",
+			st["pending_retracts"], st["fenced_ids"])
+	}
+	if _, err := cl.Propagate(); err != nil { // retraction ships
+		t.Fatal(err)
+	}
+	st, err = cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["pending_retracts"] != 0 {
+		t.Fatalf("pending_retracts=%d after the retraction period, want 0", st["pending_retracts"])
+	}
+	if _, ok := st["compactions"]; !ok {
+		t.Fatalf("stats reply missing compactions: %v", st)
+	}
+}
+
 func TestExtendSchemaViaWire(t *testing.T) {
 	addr, _ := startServer(t)
 	var d deliveries
