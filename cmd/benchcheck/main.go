@@ -42,7 +42,11 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp *int64  `json:"allocs_per_op"`
 	BytesPerOp  *int64  `json:"bytes_per_op"`
-	Iterations  int64   `json:"iterations"`
+	// EventsPerSec is a higher-is-better throughput metric (the live
+	// pipeline rows of BENCH_matching.json): a drop beyond the threshold
+	// is the regression, a rise is the improvement.
+	EventsPerSec *float64 `json:"events_per_sec"`
+	Iterations   int64    `json:"iterations"`
 }
 
 func loadReport(path string) (map[string]result, []string, error) {
@@ -100,21 +104,25 @@ func compare(base, cur map[string]result, order []string, thresholdPct float64) 
 			rows = append(rows, row{name: name, metric: "ns/op", base: b.NsPerOp, hasBase: true, status: "missing from current run"})
 		default:
 			// ns/op: wall time is noisy on shared runners, so only a
-			// percentage drift beyond the threshold is called out.
-			r := row{name: name, metric: "ns/op", base: b.NsPerOp, cur: c.NsPerOp, hasBase: true, hasCur: true}
-			if b.NsPerOp > 0 {
-				r.deltaPct = (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+			// percentage drift beyond the threshold is called out. Rows
+			// that carry events_per_sec skip this — their ns_per_op is its
+			// exact reciprocal, and one verdict per number is enough.
+			if b.EventsPerSec == nil || c.EventsPerSec == nil {
+				r := row{name: name, metric: "ns/op", base: b.NsPerOp, cur: c.NsPerOp, hasBase: true, hasCur: true}
+				if b.NsPerOp > 0 {
+					r.deltaPct = (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+				}
+				switch {
+				case r.deltaPct > thresholdPct:
+					r.status = fmt.Sprintf("REGRESSION (>%g%%)", thresholdPct)
+					regressions++
+				case r.deltaPct < -thresholdPct:
+					r.status = "improved"
+				default:
+					r.status = "ok"
+				}
+				rows = append(rows, r)
 			}
-			switch {
-			case r.deltaPct > thresholdPct:
-				r.status = fmt.Sprintf("REGRESSION (>%g%%)", thresholdPct)
-				regressions++
-			case r.deltaPct < -thresholdPct:
-				r.status = "improved"
-			default:
-				r.status = "ok"
-			}
-			rows = append(rows, r)
 
 			// allocs/op: deterministic, so any increase is a regression —
 			// a pooled path that starts allocating again has lost the very
@@ -134,6 +142,25 @@ func compare(base, cur map[string]result, order []string, thresholdPct float64) 
 					ar.status = "ok"
 				}
 				rows = append(rows, ar)
+			}
+
+			// events/sec: higher is better, so the regression sign flips —
+			// a throughput drop beyond the threshold is flagged.
+			if b.EventsPerSec != nil && c.EventsPerSec != nil {
+				er := row{name: name, metric: "events/sec", base: *b.EventsPerSec, cur: *c.EventsPerSec, hasBase: true, hasCur: true}
+				if er.base > 0 {
+					er.deltaPct = (er.cur - er.base) / er.base * 100
+				}
+				switch {
+				case er.deltaPct < -thresholdPct:
+					er.status = fmt.Sprintf("REGRESSION (throughput down >%g%%)", thresholdPct)
+					regressions++
+				case er.deltaPct > thresholdPct:
+					er.status = "improved"
+				default:
+					er.status = "ok"
+				}
+				rows = append(rows, er)
 			}
 
 			// B/op: allocation bytes are near-deterministic but can wobble

@@ -1,0 +1,239 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/subsum/subsum/internal/core"
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/subid"
+	"github.com/subsum/subsum/internal/topology"
+	"github.com/subsum/subsum/internal/workload"
+)
+
+// throughputRow is one end-to-end throughput measurement: a pipeline
+// configuration at a GOMAXPROCS setting. It reuses the benchResult wire
+// shape (so benchcheck compares it by name) and adds the higher-is-better
+// headline metric.
+type throughputRow struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"` // ns per published event, end to end
+	EventsPerSec float64 `json:"events_per_sec"`
+	Iterations   int     `json:"iterations"` // events timed
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	MatchShards  int     `json:"match_shards"`
+	EventBatch   int     `json:"event_batch"`
+}
+
+// throughputSection is the block benchthroughput merges into
+// BENCH_matching.json: the live-engine events/sec baseline the ISSUE's
+// CI criterion reads, with the legacy path and the batched+sharded
+// pipeline side by side across a GOMAXPROCS scaling sweep.
+type throughputSection struct {
+	GeneratedAt string `json:"generated_at"`
+	NumCPU      int    `json:"num_cpu"` // physical parallelism available to the sweep
+	Workload    struct {
+		Topology      string  `json:"topology"`
+		Brokers       int     `json:"brokers"`
+		Sigma         int     `json:"sigma"`
+		Subscriptions int     `json:"subscriptions"`
+		Events        int     `json:"events"`
+		HitRate       float64 `json:"hit_rate"`
+	} `json:"workload"`
+	Rows []throughputRow `json:"rows"`
+	// SpeedupBatchedVsLegacy compares the two pipelines at the same
+	// GOMAXPROCS=8 setting; ScalingBatched8v1 is batched GOMAXPROCS=8
+	// over batched GOMAXPROCS=1 (≈1.0 on a single-core host — the sweep
+	// records whatever parallelism the machine actually has, see NumCPU).
+	SpeedupBatchedVsLegacy float64 `json:"speedup_batched_vs_legacy"`
+	ScalingBatched8v1      float64 `json:"scaling_batched_8_vs_1"`
+}
+
+// measureThroughput runs one configuration: build a CW24 network, load
+// and propagate the subscriptions, then time publishing the event stream
+// to quiescence. Returns events/sec (best of reps, to shed scheduler
+// noise).
+func measureThroughput(shards, batch, sigma int, events []*schema.Event, reps int) (float64, error) {
+	g := topology.CW24()
+	gen, err := workload.NewGenerator(workload.DefaultConfig())
+	if err != nil {
+		return 0, err
+	}
+	net, err := core.New(core.Config{
+		Topology: g, Schema: gen.Schema(), Mode: interval.Lossy,
+		MatchShards: shards, EventBatch: batch,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer net.Close()
+	noop := func(subid.ID, *schema.Event) {}
+	for i := 0; i < g.Len()*sigma; i++ {
+		if _, err := net.Subscribe(topology.NodeID(i%g.Len()), gen.Subscription(), noop); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := net.Propagate(); err != nil {
+		return 0, err
+	}
+	publish := func() (time.Duration, error) {
+		start := time.Now()
+		for i, ev := range events {
+			if err := net.Publish(topology.NodeID(i%g.Len()), ev); err != nil {
+				return 0, err
+			}
+		}
+		net.Flush()
+		return time.Since(start), nil
+	}
+	if _, err := publish(); err != nil { // warm caches, snapshots, pools
+		return 0, err
+	}
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		d, err := publish()
+		if err != nil {
+			return 0, err
+		}
+		if d < best {
+			best = d
+		}
+	}
+	return float64(len(events)) / best.Seconds(), nil
+}
+
+// runBenchThroughput measures live-engine event throughput on the
+// paper's 24-broker backbone — the legacy one-event-per-wakeup path
+// against the batched+sharded pipeline, swept across GOMAXPROCS 1/4/8 —
+// and merges the numbers into the benchmatch report at jsonPath (the rows
+// also join its "results" array so benchcheck tracks events_per_sec
+// regressions by name). With an empty jsonPath the section is printed to
+// stdout on its own.
+func runBenchThroughput(jsonPath string) error {
+	const (
+		sigma   = 100
+		nEvents = 2000
+		hitRate = 0.9
+		reps    = 3
+	)
+	gen, err := workload.NewGenerator(workload.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	events := make([]*schema.Event, nEvents)
+	for i := range events {
+		events[i] = gen.Event(hitRate)
+	}
+
+	// Batching (decode/metrics amortization + coalesced deliver multicast)
+	// pays on any machine; sharding the matcher only pays with real cores
+	// to fan shards out to — on a single-CPU host it is pure overhead. The
+	// sweep keeps them separate so each effect is visible on its own.
+	configs := []struct {
+		name          string
+		shards, batch int
+	}{
+		{"ThroughputLegacy", 1, 1},
+		{"ThroughputBatched", 1, 64},
+		{"ThroughputBatchedSharded", 4, 64},
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var sec throughputSection
+	sec.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	sec.NumCPU = runtime.NumCPU()
+	sec.Workload.Topology = "cw24"
+	sec.Workload.Brokers = topology.CW24().Len()
+	sec.Workload.Sigma = sigma
+	sec.Workload.Subscriptions = sec.Workload.Brokers * sigma
+	sec.Workload.Events = nEvents
+	sec.Workload.HitRate = hitRate
+
+	perName := map[string]float64{}
+	for _, cfg := range configs {
+		for _, gmp := range []int{1, 4, 8} {
+			runtime.GOMAXPROCS(gmp)
+			eps, err := measureThroughput(cfg.shards, cfg.batch, sigma, events, reps)
+			if err != nil {
+				runtime.GOMAXPROCS(prev)
+				return err
+			}
+			name := fmt.Sprintf("%s/gomaxprocs=%d", cfg.name, gmp)
+			sec.Rows = append(sec.Rows, throughputRow{
+				Name:         name,
+				NsPerOp:      1e9 / eps,
+				EventsPerSec: eps,
+				Iterations:   nEvents,
+				GOMAXPROCS:   gmp,
+				MatchShards:  cfg.shards,
+				EventBatch:   cfg.batch,
+			})
+			perName[name] = eps
+		}
+	}
+	runtime.GOMAXPROCS(prev)
+	if l := perName["ThroughputLegacy/gomaxprocs=8"]; l > 0 {
+		sec.SpeedupBatchedVsLegacy = perName["ThroughputBatched/gomaxprocs=8"] / l
+	}
+	if b1 := perName["ThroughputBatched/gomaxprocs=1"]; b1 > 0 {
+		sec.ScalingBatched8v1 = perName["ThroughputBatched/gomaxprocs=8"] / b1
+	}
+
+	out, err := mergeThroughput(jsonPath, &sec)
+	if err != nil {
+		return err
+	}
+	if jsonPath == "" {
+		_, err := os.Stdout.Write(out)
+		return err
+	}
+	if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchthroughput: batched %.0f ev/s vs legacy %.0f ev/s at GOMAXPROCS=8 (%.2fx, %d CPUs); wrote %s\n",
+		perName["ThroughputBatched/gomaxprocs=8"], perName["ThroughputLegacy/gomaxprocs=8"],
+		sec.SpeedupBatchedVsLegacy, sec.NumCPU, jsonPath)
+	return nil
+}
+
+// mergeThroughput folds the section into the existing report at jsonPath
+// (benchmatch's output): the section lands under "throughput", and its
+// rows are appended to "results" — replacing any Throughput* rows from an
+// earlier run — so benchcheck sees them without knowing about sections.
+// A missing or empty file yields a standalone report.
+func mergeThroughput(jsonPath string, sec *throughputSection) ([]byte, error) {
+	doc := map[string]any{}
+	if jsonPath != "" {
+		if buf, err := os.ReadFile(jsonPath); err == nil && len(buf) > 0 {
+			if err := json.Unmarshal(buf, &doc); err != nil {
+				return nil, fmt.Errorf("merge into %s: %w", jsonPath, err)
+			}
+		}
+	}
+	doc["throughput"] = sec
+	var results []any
+	if prior, ok := doc["results"].([]any); ok {
+		for _, r := range prior {
+			if m, ok := r.(map[string]any); ok {
+				if name, _ := m["name"].(string); len(name) >= 10 && name[:10] == "Throughput" {
+					continue
+				}
+			}
+			results = append(results, r)
+		}
+	}
+	for _, row := range sec.Rows {
+		results = append(results, row)
+	}
+	doc["results"] = results
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -98,6 +98,11 @@ func main() {
 				fatalf("%v", err)
 			}
 		},
+		"benchthroughput": func() {
+			if err := runBenchThroughput(*jsonOut); err != nil {
+				fatalf("%v", err)
+			}
+		},
 		"crosstopo": func() { show(experiments.CrossTopology(cfg)) },
 		"sizemodel": func() { show(experiments.SizeModelValidation(cfg)) },
 		"ablations": func() {
@@ -107,7 +112,7 @@ func main() {
 			show(experiments.AblationBatch(cfg))
 		},
 	}
-	order := []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "matching", "benchmatch", "benchprop", "benchchurn", "sizemodel", "crosstopo", "ablations"}
+	order := []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "matching", "benchmatch", "benchprop", "benchchurn", "benchthroughput", "sizemodel", "crosstopo", "ablations"}
 
 	if *experiment == "all" {
 		for _, name := range order {

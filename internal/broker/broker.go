@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/subsum/subsum/internal/flight"
@@ -59,12 +60,23 @@ type Broker struct {
 	maxLocal      subid.LocalID
 	delta         *summary.Summary // new subscriptions since the last TakeDelta
 	merged        *summary.Summary // own + received (multi-broker summary)
-	matcher       *summary.Matcher // reusable scratch for MatchMerged, guarded by mu
 	mergedBrokers subid.Mask       // Merged_Brokers
-	communicated  map[topology.NodeID]bool
-	filter        *siena.SubsumptionFilter // nil unless delta filtering is on
-	filteredSubs  int                      // subscriptions kept out of deltas
-	numBrokers    int
+
+	// The lock-free match read path (RCU-style). matchGen counts merged-
+	// summary mutations: every mutator bumps it under b.mu. snap publishes
+	// an immutable snapshot of the matcher state (sharded deep copies of
+	// merged plus a cloned Merged_Brokers mask) stamped with the generation
+	// it was built from. Readers load snap with one atomic load; when its
+	// generation is stale they rebuild under b.mu (double-checked) and
+	// swap. Matching therefore never blocks behind a concurrent
+	// Subscribe/MergeEncodedSummary, and mutators never wait for matchers.
+	matchShards  int
+	matchGen     atomic.Uint64
+	snap         atomic.Pointer[matchSnapshot]
+	communicated map[topology.NodeID]bool
+	filter       *siena.SubsumptionFilter // nil unless delta filtering is on
+	filteredSubs int                      // subscriptions kept out of deltas
+	numBrokers   int
 	// retired fences local ids whose retraction is still in flight: reusing
 	// the id before every remote merged summary has dropped the old rows
 	// would attach stale coverage to the new subscription. The fence lifts
@@ -76,8 +88,8 @@ type Broker struct {
 	// FinishFullSync — an id retired mid-period was in that payload and
 	// must stay fenced until the next sync.
 	syncing     []subid.LocalID
-	removals    int              // merged-summary removals since the last compact
-	compactions int64            // amortized compactions performed
+	removals    int   // merged-summary removals since the last compact
+	compactions int64 // amortized compactions performed
 	matcherObs  *summary.MatcherObs
 	obs         *brokerObs       // nil unless Config.Metrics was set
 	rec         *flight.Recorder // nil unless Config.Flight was set
@@ -138,6 +150,10 @@ type Config struct {
 	// outcomes into the flight recorder. Nil (and the Recorder's own
 	// nil-receiver tolerance) keeps the hot paths branch-cheap.
 	Flight *flight.Recorder
+	// MatchShards partitions the published match snapshot into this many
+	// id-range shards so batches of events can match across cores (≤ 1 =
+	// unsharded). Match results are identical at any shard count.
+	MatchShards int
 }
 
 // New creates an empty broker.
@@ -165,8 +181,8 @@ func New(cfg Config) (*Broker, error) {
 		numBrokers:    cfg.NumBrokers,
 		retired:       make(map[subid.LocalID]struct{}),
 		rec:           cfg.Flight,
+		matchShards:   max(1, cfg.MatchShards),
 	}
-	b.matcher = b.merged.NewMatcher()
 	b.mergedBrokers.Set(int(cfg.ID))
 	if cfg.FilterSubsumedDeltas {
 		b.filter = siena.NewSubsumptionFilter(cfg.Schema, cfg.FilterHistory)
@@ -179,9 +195,43 @@ func New(cfg Config) (*Broker, error) {
 			Collected: cfg.Metrics.CounterVec("broker_collected_ids").With(label),
 			Matched:   cfg.Metrics.CounterVec("broker_filter_hits").With(label),
 		}
-		b.matcher.SetObs(b.matcherObs)
 	}
 	return b, nil
+}
+
+// matchSnapshot is one published generation of the match read path: a
+// sharded deep copy of the merged summary (with a matcher pool leasing
+// private scratch to concurrent readers) and the Merged_Brokers set as of
+// the same generation. Immutable once stored in b.snap.
+type matchSnapshot struct {
+	gen     uint64
+	pool    *summary.ShardedMatcherPool
+	brokers subid.Mask // read-only: callers must clone before mutating
+}
+
+// invalidateMatch retires the published snapshot; the next match rebuilds
+// it from the current merged state. Callers hold b.mu.
+func (b *Broker) invalidateMatch() { b.matchGen.Add(1) }
+
+// matchSnapshot returns the current-generation snapshot, rebuilding it
+// (under b.mu, double-checked) when a mutator has retired the published
+// one. The steady-state path — no mutation since the last rebuild — is
+// two atomic loads and no lock.
+func (b *Broker) matchSnapshot() *matchSnapshot {
+	if s := b.snap.Load(); s != nil && s.gen == b.matchGen.Load() {
+		return s
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.matchGen.Load()
+	if s := b.snap.Load(); s != nil && s.gen == gen {
+		return s
+	}
+	pool := summary.NewShardedMatcherPool(b.merged.ShardByKey(b.matchShards))
+	pool.SetObs(b.matcherObs)
+	s := &matchSnapshot{gen: gen, pool: pool, brokers: b.mergedBrokers.Clone()}
+	b.snap.Store(s)
+	return s
 }
 
 // ID returns the broker's overlay node id.
@@ -222,6 +272,7 @@ func (b *Broker) Subscribe(sub *schema.Subscription, deliver DeliveryFunc) (subi
 	}
 	b.nextLocal++
 	b.subs[id.Local] = &subEntry{id: id, sub: sub, deliver: deliver, skipped: skipDelta}
+	b.invalidateMatch()
 	b.updateSubGauges()
 	b.rec.Record(flight.EvSubscribe, int(b.id), int64(id.Local), int64(len(sub.AttrSet())), 0, "")
 	return id, nil
@@ -295,6 +346,7 @@ func (b *Broker) Restore(local subid.LocalID, sub *schema.Subscription, deliver 
 		b.nextLocal = local + 1
 	}
 	b.subs[local] = &subEntry{id: id, sub: sub, deliver: deliver}
+	b.invalidateMatch()
 	b.updateSubGauges()
 	return nil
 }
@@ -334,6 +386,7 @@ func (b *Broker) Unsubscribe(id subid.ID) error {
 		b.promoteUncovered()
 	}
 	b.maybeCompact()
+	b.invalidateMatch()
 	b.updateSubGauges()
 	b.rec.Record(flight.EvUnsubscribe, int(b.id), int64(id.Local), 0, 0, "")
 	return nil
@@ -422,13 +475,10 @@ func (b *Broker) TakePeriodSummary(fullSync bool) *summary.Summary {
 			e.propagated = true
 		}
 		b.merged = m
-		b.matcher = b.merged.NewMatcher()
-		if b.matcherObs != nil {
-			b.matcher.SetObs(b.matcherObs)
-		}
 		b.mergedBrokers = subid.NewMask(b.numBrokers)
 		b.mergedBrokers.Set(int(b.id))
 		b.removals = 0
+		b.invalidateMatch()
 		b.updateSubGauges()
 		return m.Clone()
 	}
@@ -469,6 +519,7 @@ func (b *Broker) MergeSummary(sum *summary.Summary, brokers subid.Mask) error {
 	for _, i := range brokers.Bits() {
 		b.mergedBrokers.Set(i)
 	}
+	b.invalidateMatch()
 	if b.obs != nil {
 		b.obs.summaryMerges.Inc()
 		b.updateSubGauges()
@@ -500,6 +551,7 @@ func (b *Broker) MergeEncodedSummary(payload []byte, brokers subid.Mask) error {
 	for _, i := range brokers.Bits() {
 		b.mergedBrokers.Set(i)
 	}
+	b.invalidateMatch()
 	if b.obs != nil {
 		b.obs.mergeSeconds.Observe(time.Since(start).Seconds())
 		b.obs.summaryMerges.Inc()
@@ -522,6 +574,13 @@ func (b *Broker) MergedBrokers() subid.Mask {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.mergedBrokers.Clone()
+}
+
+// MergedBrokersShared returns the Merged_Brokers set of the published
+// match snapshot without taking b.mu or cloning — the routing hot path's
+// read. Read-only: callers must not mutate the mask.
+func (b *Broker) MergedBrokersShared() subid.Mask {
+	return b.matchSnapshot().brokers
 }
 
 // ChooseTarget picks the Algorithm 2 send target among the broker's
@@ -578,23 +637,123 @@ func (b *Broker) RecordCommunicated(peer topology.NodeID) {
 
 // MatchMerged runs Algorithm 1 on the merged multi-broker summary and
 // returns the matched subscription ids (possibly including pre-filter
-// false positives, resolved at the owners).
+// false positives, resolved at the owners). The read path is lock-free:
+// it matches against the published snapshot with a leased matcher, so
+// concurrent merges and subscribes never stall it, and the latency
+// histogram is observed outside any lock.
 func (b *Broker) MatchMerged(ev *schema.Event) []subid.ID {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	s := b.matchSnapshot()
+	m := s.pool.Get()
 	if b.obs == nil {
-		return b.matcher.Match(ev)
+		ids := m.Match(ev)
+		s.pool.Put(m)
+		return ids
 	}
 	start := time.Now()
-	ids := b.matcher.Match(ev)
-	b.obs.matchSeconds.Observe(time.Since(start).Seconds())
+	ids := m.Match(ev)
+	elapsed := time.Since(start)
+	s.pool.Put(m)
+	b.obs.matchSeconds.Observe(elapsed.Seconds())
 	return ids
+}
+
+// MatchLease is a leased view of the broker's published match snapshot:
+// a private sharded matcher plus the Merged_Brokers set of the same
+// generation. It lets the routing hot loop match a whole batch of events
+// — and read the broker set Algorithm 3 needs — without ever touching
+// b.mu. Release returns the matcher scratch to the snapshot's pool;
+// match results are valid until then.
+type MatchLease struct {
+	snap *matchSnapshot
+	m    *summary.ShardedMatcher
+}
+
+// AcquireMatcher leases a matcher over the current snapshot (rebuilding
+// the snapshot first if a mutator retired it).
+func (b *Broker) AcquireMatcher() MatchLease {
+	s := b.matchSnapshot()
+	return MatchLease{snap: s, m: s.pool.Get()}
+}
+
+// MergedBrokers returns the Merged_Brokers set of the leased generation.
+// Read-only: callers must not mutate the mask.
+func (l MatchLease) MergedBrokers() subid.Mask { return l.snap.brokers }
+
+// MatchBatch matches events and returns per-event matched id keys
+// (ascending; decompose with subid.KeyParts). Results are matcher
+// scratch, valid until the next call or Release.
+func (l MatchLease) MatchBatch(events []*schema.Event) [][]uint64 {
+	return l.m.MatchBatch(events)
+}
+
+// Release returns the leased matcher to its snapshot's pool.
+func (l MatchLease) Release() { l.snap.pool.Put(l.m) }
+
+// MatchSeconds records one amortized match-latency observation (used by
+// the batched routing path, which times a whole batch and attributes the
+// mean to each event). No-op without metrics.
+func (b *Broker) MatchSeconds(sec float64) {
+	if b.obs != nil {
+		b.obs.matchSeconds.Observe(sec)
+	}
 }
 
 // DeliverExact re-matches the event against the broker's raw
 // subscriptions and invokes the consumers of those that truly match. It
 // returns the number of deliveries.
+//
+// The candidate set is pruned through the broker's own summary rows
+// first: the published match snapshot (which always covers every owned
+// subscription — the watchdog's coverage invariant) yields the candidate
+// keys, and only this broker's candidates are exact-matched under b.mu.
+// Summaries never produce false negatives, so pruning cannot lose a
+// delivery; DeliverExactScan retains the full-scan reference the
+// differential test compares against.
 func (b *Broker) DeliverExact(ev *schema.Event) int {
+	s := b.matchSnapshot()
+	m := s.pool.Get()
+	keys := m.MatchKeys(ev)
+	hits := b.collectExact(ev, keys)
+	s.pool.Put(m)
+	return b.deliverHits(ev, hits)
+}
+
+// collectExact exact-matches this broker's candidate keys against the
+// raw subscriptions. Keys of other owners (remote candidates in the
+// merged snapshot) are skipped.
+func (b *Broker) collectExact(ev *schema.Event, keys []uint64) []*subEntry {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var hits []*subEntry
+	for _, key := range keys {
+		owner, local := subid.KeyParts(key)
+		if owner != subid.BrokerID(b.id) {
+			continue
+		}
+		e, ok := b.subs[local]
+		if !ok {
+			continue // retired candidate: snapshot lag or a stale remote row
+		}
+		if e.sub.Matches(ev) {
+			hits = append(hits, e)
+		}
+	}
+	return hits
+}
+
+// DeliverExactCandidates is DeliverExact with the summary pre-filter
+// already run: keys are candidate id keys from this broker's published
+// snapshot (e.g. a batch match result), so only the exact re-match and
+// delivery remain. Keys owned by other brokers are ignored.
+func (b *Broker) DeliverExactCandidates(ev *schema.Event, keys []uint64) int {
+	return b.deliverHits(ev, b.collectExact(ev, keys))
+}
+
+// DeliverExactScan is the pre-pruning reference implementation: a linear
+// exact-match scan over every raw subscription. Kept for the delivery-set
+// regression test and the pruning benchmark; the engine calls
+// DeliverExact.
+func (b *Broker) DeliverExactScan(ev *schema.Event) int {
 	b.mu.Lock()
 	var hits []*subEntry
 	for _, e := range b.subs {
@@ -602,20 +761,26 @@ func (b *Broker) DeliverExact(ev *schema.Event) int {
 			hits = append(hits, e)
 		}
 	}
-	obs := b.obs
 	b.mu.Unlock()
-	if obs != nil {
+	// The map scan yields hits in random order; deliver deterministically.
+	sort.Slice(hits, func(i, j int) bool { return hits[i].id.Local < hits[j].id.Local })
+	return b.deliverHits(ev, hits)
+}
+
+// deliverHits counts and performs the consumer deliveries, outside any
+// lock (DeliveryFuncs must not call back into the Broker).
+func (b *Broker) deliverHits(ev *schema.Event, hits []*subEntry) int {
+	if b.obs != nil {
 		if len(hits) == 0 {
 			// The event reached this broker's exact-match stage — some
 			// summary admitted it — but no raw subscription matches: a
 			// summary false positive (or a stale remote entry after an
 			// unsubscribe).
-			obs.falsePositives.Inc()
+			b.obs.falsePositives.Inc()
 		} else {
-			obs.deliveries.Add(int64(len(hits)))
+			b.obs.deliveries.Add(int64(len(hits)))
 		}
 	}
-	// Deliver outside the lock; DeliveryFuncs must not call back in.
 	for _, e := range hits {
 		e.deliver(e.id, ev)
 	}
@@ -676,6 +841,7 @@ func (b *Broker) CorruptMerged(id subid.ID) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.merged.Remove(id)
+	b.invalidateMatch()
 }
 
 // Stats returns a snapshot (cost model: s_st = s_id = 4).

@@ -73,6 +73,19 @@ type Config struct {
 	// watchdog violations) into a bounded flight recorder. Nil costs one
 	// branch on the affected paths. Retrieve it with Network.Flight.
 	Flight *flight.Recorder
+	// MatchShards partitions every broker's published match snapshot into
+	// this many id-range shards, so a batch of events fans out across
+	// cores during matching. ≤1 = unsharded. Match results are identical
+	// at any shard count (the determinism rule).
+	MatchShards int
+	// EventBatch bounds how many pending messages each broker's handler
+	// drains from its mailbox per wakeup. >1 enables the batched event
+	// pipeline: decode/metrics amortized per batch, one batched match
+	// against the published snapshot, and deliver-sends to the same owner
+	// coalesced into one multicast payload. ≤1 (the default) preserves
+	// one-message-per-wakeup handling with exactly one deliver message
+	// per matched owner per event.
+	EventBatch int
 }
 
 // Network is a running broker network. Create with New, stop with Close.
@@ -106,7 +119,28 @@ type Network struct {
 	tracer  tracer
 	rec     *flight.Recorder // nil unless Config.Flight was set
 
+	// scratch holds each broker's batch-pipeline working set (non-nil only
+	// with EventBatch > 1). scratch[i] is owned by broker i's handler
+	// goroutine — no locking.
+	scratch []*batchScratch
+
 	watchdog *Watchdog // nil until StartWatchdog
+}
+
+// batchScratch is one broker handler's reusable batch working set: the
+// decoded events of the current run with their per-event masks, plus the
+// per-owner coalescing lists (owners[o] = indexes of events to deliver to
+// owner o; touched = owners with a nonempty list this run).
+type batchScratch struct {
+	events  []*schema.Event
+	broclis []subid.Mask
+	delivs  []subid.Mask
+	owners  [][]int32
+	touched []int32
+}
+
+func newBatchScratch(n int) *batchScratch {
+	return &batchScratch{owners: make([][]int32, n)}
 }
 
 // netObs holds the engine-level instruments, resolved once in New.
@@ -182,6 +216,7 @@ func New(cfg Config) (*Network, error) {
 			FilterSubsumedDeltas: cfg.FilterSubsumedDeltas,
 			Metrics:              reg,
 			Flight:               cfg.Flight,
+			MatchShards:          cfg.MatchShards,
 		})
 		if err != nil {
 			return nil, err
@@ -189,9 +224,23 @@ func New(cfg Config) (*Network, error) {
 		net.brokers[i] = b
 	}
 	net.order = net.effectiveOrder()
+	batch := cfg.EventBatch
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > 1 {
+		net.scratch = make([]*batchScratch, n)
+		for i := range net.scratch {
+			net.scratch[i] = newBatchScratch(n)
+		}
+	}
 	for i := 0; i < n; i++ {
 		node := topology.NodeID(i)
-		net.bus.Start(node, func(m netsim.Message) { net.handle(node, m) })
+		if batch > 1 {
+			net.bus.StartBatch(node, batch, func(ms []netsim.Message) { net.handleBatch(node, ms) })
+		} else {
+			net.bus.Start(node, func(m netsim.Message) { net.handle(node, m) })
+		}
 	}
 	return net, nil
 }
@@ -455,12 +504,18 @@ func (net *Network) handle(node topology.NodeID, m netsim.Message) {
 	case netsim.KindEvent:
 		net.handleEvent(node, m)
 	case netsim.KindDeliver:
-		ev, traceID, err := decodeDeliverMsg(net.cfg.Schema, m.Payload)
-		if err != nil {
+		// A deliver payload carries one event — or several, when the sender
+		// coalesced a batch for this owner. Traced delivers are always
+		// single-event (coalescing is bypassed for sampled events).
+		evs, traceID, err := decodeDeliverAll(net.cfg.Schema, m.Payload, nil)
+		if err != nil || len(evs) == 0 {
 			net.bus.RecordDecodeErrorAt(netsim.KindDeliver, node)
 			return
 		}
-		hits := net.brokers[node].DeliverExact(ev)
+		hits := 0
+		for _, ev := range evs {
+			hits += net.brokers[node].DeliverExact(ev)
+		}
 		if traceID != 0 {
 			net.tracer.addBytes(traceID, len(m.Payload))
 			decision := DecisionDelivered
@@ -469,6 +524,26 @@ func (net *Network) handle(node topology.NodeID, m netsim.Message) {
 			}
 			net.tracer.hop(traceID, node, decision, hits, len(m.Payload))
 		}
+	}
+}
+
+// handleBatch processes one mailbox drain on broker `node`'s goroutine:
+// consecutive runs of event messages route as one batch; summary and
+// deliver messages are handled singly, in arrival order, so batching
+// never reorders events relative to summary merges.
+func (net *Network) handleBatch(node topology.NodeID, msgs []netsim.Message) {
+	for i := 0; i < len(msgs); {
+		if msgs[i].Kind != netsim.KindEvent {
+			net.handle(node, msgs[i])
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(msgs) && msgs[j].Kind == netsim.KindEvent {
+			j++
+		}
+		net.handleEventRun(node, msgs[i:j])
+		i = j
 	}
 }
 
@@ -516,14 +591,20 @@ func (net *Network) handleEvent(node topology.NodeID, m netsim.Message) {
 	if traceID != 0 {
 		net.tracer.visit(traceID, node, len(m.Payload))
 	}
+	net.routeEvent(node, ev, brocli, delivered, traceID)
+}
+
+// routeEvent runs one Algorithm 3 hop for a single decoded event. The
+// read side is lock-free: matching runs against the broker's published
+// snapshot and the Merged_Brokers set is the snapshot's own (no lock, no
+// clone).
+func (net *Network) routeEvent(node topology.NodeID, ev *schema.Event, brocli, delivered subid.Mask, traceID uint64) {
 	b := net.brokers[node]
 	n := len(net.brokers)
 	// Step 1: match the local merged summary.
 	matched := b.MatchMerged(ev)
 	// Step 2: update BROCLIe.
-	for _, i := range b.MergedBrokers().Bits() {
-		brocli.Set(i)
-	}
+	orMask(&brocli, b.MergedBrokersShared())
 	// Step 3: send the event to newly matched owners. The wire payload is
 	// identical for every owner, so encode it once into a pooled shared
 	// buffer and multicast it — the bus refcounts the bytes per recipient.
@@ -566,6 +647,13 @@ func (net *Network) handleEvent(node topology.NodeID, m netsim.Message) {
 		}
 		return
 	}
+	net.forwardEvent(node, ev, brocli, delivered, traceID, len(matched))
+}
+
+// forwardEvent sends the event to the first unvisited broker in
+// forwarding-preference order, ending the hop in exactly one terminal
+// counter (forwarded or handler error).
+func (net *Network) forwardEvent(node topology.NodeID, ev *schema.Event, brocli, delivered subid.Mask, traceID uint64, matchedLen int) {
 	for _, next := range net.order {
 		if brocli.Has(int(next)) {
 			continue
@@ -582,7 +670,7 @@ func (net *Network) handleEvent(node topology.NodeID, m netsim.Message) {
 		if net.bus.SendShared(netsim.Message{From: node, To: next, Kind: netsim.KindEvent}, sb) == nil {
 			net.obs.eventsForwarded.Inc()
 			if traceID != 0 {
-				net.tracer.hop(traceID, node, DecisionForwarded, len(matched), payloadLen)
+				net.tracer.hop(traceID, node, DecisionForwarded, matchedLen, payloadLen)
 			}
 		} else {
 			// A failed forward send (bus closing) still terminates this
@@ -591,6 +679,108 @@ func (net *Network) handleEvent(node topology.NodeID, m netsim.Message) {
 		}
 		sb.Release()
 		return
+	}
+}
+
+// handleEventRun routes one consecutive run of event messages as a
+// batch: decode all, match all against one leased snapshot matcher (the
+// shards fanning across cores when configured), deliver locally from the
+// shared candidate keys, coalesce remote deliver-sends per owner into one
+// multicast payload, then suppress/forward each event. Traced events
+// divert to the unbatched path so their per-hop records stay exact.
+func (net *Network) handleEventRun(node topology.NodeID, msgs []netsim.Message) {
+	sc := net.scratch[node]
+	sc.events = sc.events[:0]
+	sc.broclis = sc.broclis[:0]
+	sc.delivs = sc.delivs[:0]
+	for _, m := range msgs {
+		ev, brocli, delivered, traceID, err := decodeEventMsg(net.cfg.Schema, m.Payload)
+		if err != nil {
+			net.bus.RecordDecodeErrorAt(netsim.KindEvent, node)
+			continue
+		}
+		if traceID != 0 {
+			net.obs.eventsRouted.Inc()
+			net.tracer.visit(traceID, node, len(m.Payload))
+			net.routeEvent(node, ev, brocli, delivered, traceID)
+			continue
+		}
+		sc.events = append(sc.events, ev)
+		sc.broclis = append(sc.broclis, brocli)
+		sc.delivs = append(sc.delivs, delivered)
+	}
+	k := len(sc.events)
+	if k == 0 {
+		return
+	}
+	// Count the whole batch as routed before any terminal counter is
+	// touched, so terminals ≤ routed holds at every instant (the watchdog
+	// reads terminals first, routed last).
+	net.obs.eventsRouted.Add(int64(k))
+	b := net.brokers[node]
+	n := len(net.brokers)
+	lease := b.AcquireMatcher()
+	start := time.Now()
+	res := lease.MatchBatch(sc.events)
+	// One amortized latency observation per batch: the mean per event.
+	b.MatchSeconds(time.Since(start).Seconds() / float64(k))
+	shared := lease.MergedBrokers()
+	for i, ev := range sc.events {
+		orMask(&sc.broclis[i], shared)
+		for _, key := range res[i] {
+			owner, _ := subid.KeyParts(key)
+			if sc.delivs[i].Has(int(owner)) {
+				continue
+			}
+			sc.delivs[i].Set(int(owner))
+			if topology.NodeID(owner) == node {
+				// Local owner: the batch's candidate keys already pruned the
+				// exact match, no second summary pass.
+				b.DeliverExactCandidates(ev, res[i])
+				continue
+			}
+			if len(sc.owners[owner]) == 0 {
+				sc.touched = append(sc.touched, int32(owner))
+			}
+			sc.owners[owner] = append(sc.owners[owner], int32(i))
+		}
+	}
+	lease.Release()
+	// Coalesced fan-out: one multicast payload per owner for the whole
+	// batch, holding every event that newly matched that owner.
+	for _, ow := range sc.touched {
+		idxs := sc.owners[ow]
+		sb := netsim.AcquireBuf()
+		sb.B = appendMsgHeader(sb.B, 0)
+		for _, ei := range idxs {
+			sb.B = schema.EncodeEvent(sb.B, sc.events[ei])
+		}
+		if net.bus.SendShared(netsim.Message{From: node, To: topology.NodeID(ow), Kind: netsim.KindDeliver}, sb) == nil {
+			net.obs.deliverSends.Add(int64(len(idxs)))
+		}
+		sb.Release()
+		sc.owners[ow] = sc.owners[ow][:0]
+	}
+	sc.touched = sc.touched[:0]
+	// Terminals: every batched event ends suppressed or forwarded (or as a
+	// handler error inside forwardEvent).
+	for i, ev := range sc.events {
+		if sc.broclis[i].Count() == n {
+			net.obs.eventsSuppressed.Inc()
+			continue
+		}
+		net.forwardEvent(node, ev, sc.broclis[i], sc.delivs[i], 0, 0)
+	}
+}
+
+// orMask folds src's bits into *dst, growing dst as needed.
+func orMask(dst *subid.Mask, src subid.Mask) {
+	for len(*dst) < len(src) {
+		*dst = append(*dst, 0)
+	}
+	d := *dst
+	for i, w := range src {
+		d[i] |= w
 	}
 }
 
@@ -737,4 +927,26 @@ func decodeDeliverMsg(s *schema.Schema, buf []byte) (*schema.Event, uint64, erro
 		return nil, 0, err
 	}
 	return ev, traceID, nil
+}
+
+// decodeDeliverAll decodes every event in a deliver payload, appending to
+// evs. Single-event payloads are the common case; batched senders
+// coalesce several events for one owner into one payload. A decode error
+// anywhere discards the whole payload (the caller records it), matching
+// the lost-message semantics of a corrupt single-event payload.
+func decodeDeliverAll(s *schema.Schema, buf []byte, evs []*schema.Event) ([]*schema.Event, uint64, error) {
+	traceID, n, err := decodeMsgHeader(buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	buf = buf[n:]
+	for len(buf) > 0 {
+		ev, used, err := schema.DecodeEvent(s, buf)
+		if err != nil {
+			return nil, 0, err
+		}
+		evs = append(evs, ev)
+		buf = buf[used:]
+	}
+	return evs, traceID, nil
 }

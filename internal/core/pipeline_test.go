@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/topology"
+	"github.com/subsum/subsum/internal/workload"
+)
+
+// pipelineFixture is a stressFixture over an explicit engine Config, so
+// the batched/sharded pipeline can be compared against the legacy
+// one-message-per-wakeup path on identical workloads.
+type pipelineFixture struct {
+	*stressFixture
+}
+
+func newPipelineFixture(t *testing.T, g *topology.Graph, shards, batch, nSubs, nEvents int) *pipelineFixture {
+	t.Helper()
+	gen, err := workload.NewGenerator(workload.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &stressFixture{schema: gen.Schema()}
+	net, err := New(Config{
+		Topology: g, Schema: f.schema, Mode: interval.Lossy,
+		MatchShards: shards, EventBatch: batch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(net.Close)
+	f.net = net
+	for i := 0; i < nSubs; i++ {
+		sub := gen.Subscription()
+		c := &collector{}
+		if _, err := f.net.Subscribe(topology.NodeID(i%f.net.Len()), sub, c.deliver(f.schema)); err != nil {
+			t.Fatal(err)
+		}
+		f.rawSubs = append(f.rawSubs, sub)
+		f.collectors = append(f.collectors, c)
+	}
+	f.events = make([]*schema.Event, nEvents)
+	for i := range f.events {
+		f.events[i] = gen.Event(0.9)
+	}
+	return &pipelineFixture{f}
+}
+
+// TestBatchedPipelineEquivalence proves the batched+sharded pipeline is
+// observably identical to the legacy path: on the same workload, every
+// configuration delivers exactly the matching events to every consumer,
+// with zero loss counters and a clean watchdog.
+func TestBatchedPipelineEquivalence(t *testing.T) {
+	topos := []struct {
+		name string
+		g    func() *topology.Graph
+	}{
+		{"CW24", topology.CW24},
+		{"Figure7Tree", topology.Figure7Tree},
+	}
+	configs := []struct{ shards, batch int }{
+		{1, 1}, // legacy reference
+		{2, 16},
+		{4, 64},
+		{8, 8},
+	}
+	for _, tp := range topos {
+		for _, cfg := range configs {
+			name := fmt.Sprintf("%s/shards=%d,batch=%d", tp.name, cfg.shards, cfg.batch)
+			t.Run(name, func(t *testing.T) {
+				g := tp.g()
+				f := newPipelineFixture(t, g, cfg.shards, cfg.batch, 3*g.Len(), 200)
+				if _, err := f.net.Propagate(); err != nil {
+					t.Fatal(err)
+				}
+				for i, ev := range f.events {
+					if err := f.net.Publish(topology.NodeID(i%f.net.Len()), ev); err != nil {
+						t.Fatal(err)
+					}
+				}
+				f.net.Flush()
+				f.assertExactDeliveries(t)
+				st := f.net.Stats()
+				if st.TotalDropped() != 0 || st.TotalErrors() != 0 {
+					t.Fatalf("loss counters non-zero: %+v", st.Counters().Snapshot())
+				}
+				if vs := f.net.CheckInvariants(); len(vs) != 0 {
+					t.Fatalf("watchdog violations: %v", vs)
+				}
+			})
+		}
+	}
+}
+
+// TestBatchedPipelineRaceSoak is the ISSUE's -race soak: concurrent
+// publishers × subscription churn × propagation periods on the batched,
+// sharded pipeline, then exact delivery for the stable subscriptions and
+// zero watchdog flow-conservation violations.
+func TestBatchedPipelineRaceSoak(t *testing.T) {
+	const publishers, perPublisher, propagateRounds = 4, 40, 3
+	f := newPipelineFixture(t, topology.CW24(), 4, 16, 72, publishers*perPublisher)
+
+	// Churn subscriptions are generated up front (the generator's rng is
+	// single-threaded) and live only inside the churn goroutine; they are
+	// subscribed with a throwaway collector and removed again, so they
+	// never affect the stable fixture's exact-delivery assertion.
+	gen, err := workload.NewGenerator(workload.Config{
+		NumAttrs: 10, ArithFraction: 0.4, AttrsPerSub: 5, AttrsPerEvent: 5,
+		Subsumption: 0.5, NumRanges: 2, NumPatterns: 2, StringLen: 10, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn := gen.Subscriptions(32)
+
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				idx := p*perPublisher + i
+				if err := f.net.Publish(topology.NodeID(idx%f.net.Len()), f.events[idx]); err != nil {
+					t.Errorf("publish %d: %v", idx, err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var junk collector
+		for i, sub := range churn {
+			id, err := f.net.Subscribe(topology.NodeID(i%f.net.Len()), sub, junk.deliver(f.schema))
+			if err != nil {
+				t.Errorf("churn subscribe %d: %v", i, err)
+				return
+			}
+			if err := f.net.Unsubscribe(id); err != nil {
+				t.Errorf("churn unsubscribe %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < propagateRounds; r++ {
+				if _, err := f.net.Propagate(); err != nil {
+					t.Errorf("propagate: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	f.net.Flush()
+
+	f.assertExactDeliveries(t)
+	st := f.net.Stats()
+	if st.TotalDropped() != 0 || st.TotalErrors() != 0 {
+		t.Fatalf("loss counters non-zero on clean run: %+v", st.Counters().Snapshot())
+	}
+	if vs := f.net.CheckInvariants(); len(vs) != 0 {
+		t.Fatalf("watchdog violations after soak: %v", vs)
+	}
+}

@@ -263,19 +263,25 @@ func (m *mailbox) push(q queued) bool {
 	return true
 }
 
-// pop blocks until a message is available or the mailbox closes.
-func (m *mailbox) pop() (queued, bool) {
+// popBatch blocks until at least one message is available (or the
+// mailbox closes), then drains up to max pending messages into buf
+// without blocking again — the intake side of batched handling.
+func (m *mailbox) popBatch(buf []queued, max int) ([]queued, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for len(m.queue) == 0 && !m.closed {
 		m.cond.Wait()
 	}
 	if len(m.queue) == 0 {
-		return queued{}, false
+		return buf, false
 	}
-	q := m.queue[0]
-	m.queue = m.queue[1:]
-	return q, true
+	n := min(max, len(m.queue))
+	buf = append(buf, m.queue[:n]...)
+	for i := 0; i < n; i++ {
+		m.queue[i] = queued{} // release payload references promptly
+	}
+	m.queue = m.queue[n:]
+	return buf, true
 }
 
 func (m *mailbox) close() {
@@ -285,21 +291,50 @@ func (m *mailbox) close() {
 	m.cond.Broadcast()
 }
 
+// kindCounters is a lock-free per-kind counter array, indexed by Kind.
+// Out-of-range kinds (a corrupt tag) are counted nowhere rather than
+// panicking.
+type kindCounters [KindControl + 1]atomic.Int64
+
+func (c *kindCounters) add(k Kind, v int64) {
+	if int(k) < len(c) {
+		c[k].Add(v)
+	}
+}
+
+// toMap snapshots the nonzero entries (matching the former map-backed
+// accounting, which only held kinds that were ever counted).
+func (c *kindCounters) toMap() map[Kind]int64 {
+	m := make(map[Kind]int64)
+	for k := range c {
+		if v := c[k].Load(); v != 0 {
+			m[Kind(k)] = v
+		}
+	}
+	return m
+}
+
 // Bus connects n brokers with unbounded mailboxes.
+//
+// The send path is lock-free: per-kind accounting lives in atomic counter
+// arrays and the in-flight depth is an atomic — concurrent publishers and
+// handler goroutines never serialize on a bus-wide mutex. The only lock a
+// send can take is dropMu, and only while a fault-injection hook is
+// installed (tests); production sends pay one atomic bool load for it.
 type Bus struct {
 	boxes    []*mailbox
 	closed   atomic.Bool
 	handlers sync.WaitGroup
 
-	// In-flight accounting for Quiesce. A plain sync.WaitGroup is unsafe
-	// here: Send may Add from a publisher goroutine while another goroutine
-	// Waits in Quiesce, and WaitGroup forbids an Add that moves the counter
-	// off zero concurrently with Wait ("WaitGroup misuse"). A mutex+cond
-	// counter has no such restriction — Quiesce simply waits for the next
-	// moment the counter is zero.
+	// In-flight accounting for Quiesce: an atomic counter, with a
+	// mutex+cond used purely as the sleep/wake mechanism. doneInflight
+	// broadcasts under qmu whenever the counter hits zero; Quiesce re-reads
+	// the counter under qmu before sleeping, so a zero-crossing between its
+	// check and its wait cannot be missed (the broadcaster needs qmu, which
+	// the waiter holds until it sleeps).
 	qmu      sync.Mutex
 	qcond    *sync.Cond
-	inflight int64
+	inflight atomic.Int64
 
 	// instr optionally mirrors accounting into a metrics registry; nil
 	// (the default) costs one atomic load and branch per event.
@@ -309,27 +344,24 @@ type Bus struct {
 	// recorder; nil (the default) costs one atomic load and branch.
 	rec atomic.Pointer[flight.Recorder]
 
-	mu           sync.Mutex
-	messages     map[Kind]int64
-	bytes        map[Kind]int64
-	dropped      map[Kind]int64
-	droppedBytes map[Kind]int64
-	decodeErrs   map[Kind]int64
-	handlerErrs  map[Kind]int64
-	dropFn       func(Message) bool
+	messages     kindCounters
+	bytes        kindCounters
+	dropped      kindCounters
+	droppedBytes kindCounters
+	decodeErrs   kindCounters
+	handlerErrs  kindCounters
+
+	// The fault-injection hook runs serialized under dropMu so test hooks
+	// may keep unsynchronized state; hasDrop lets the hot path skip the
+	// lock entirely when no hook is installed.
+	dropMu  sync.Mutex
+	dropFn  func(Message) bool
+	hasDrop atomic.Bool
 }
 
 // NewBus creates a bus for n brokers.
 func NewBus(n int) *Bus {
-	b := &Bus{
-		boxes:        make([]*mailbox, n),
-		messages:     make(map[Kind]int64),
-		bytes:        make(map[Kind]int64),
-		dropped:      make(map[Kind]int64),
-		droppedBytes: make(map[Kind]int64),
-		decodeErrs:   make(map[Kind]int64),
-		handlerErrs:  make(map[Kind]int64),
-	}
+	b := &Bus{boxes: make([]*mailbox, n)}
 	b.qcond = sync.NewCond(&b.qmu)
 	for i := range b.boxes {
 		b.boxes[i] = newMailbox()
@@ -345,9 +377,10 @@ func (b *Bus) Len() int { return len(b.boxes) }
 // stats, not in Messages/Bytes). Pass nil to disable. Intended for tests;
 // fn runs under the bus lock and must be fast and deterministic.
 func (b *Bus) SetDropFunc(fn func(Message) bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.dropMu.Lock()
 	b.dropFn = fn
+	b.dropMu.Unlock()
+	b.hasDrop.Store(fn != nil)
 }
 
 // SetFlight attaches a flight recorder: fault-injected drops and decode
@@ -366,9 +399,7 @@ func (b *Bus) RecordDecodeError(k Kind) { b.RecordDecodeErrorAt(k, -1) }
 // identified, so the flight-recorder entry names where decoding failed
 // (pass -1 when unknown).
 func (b *Bus) RecordDecodeErrorAt(k Kind, at topology.NodeID) {
-	b.mu.Lock()
-	b.decodeErrs[k]++
-	b.mu.Unlock()
+	b.decodeErrs.add(k, 1)
 	if in := b.instr.Load(); in != nil {
 		if c := kindCounter(&in.decodeErrs, k); c != nil {
 			c.Inc()
@@ -382,9 +413,7 @@ func (b *Bus) RecordDecodeErrorAt(k Kind, at topology.NodeID) {
 // RecordHandlerError counts a delivered, decodable message whose
 // processing failed at the handler (e.g. a rejected summary merge).
 func (b *Bus) RecordHandlerError(k Kind) {
-	b.mu.Lock()
-	b.handlerErrs[k]++
-	b.mu.Unlock()
+	b.handlerErrs.add(k, 1)
 	if in := b.instr.Load(); in != nil {
 		if c := kindCounter(&in.handlerErrs, k); c != nil {
 			c.Inc()
@@ -394,12 +423,12 @@ func (b *Bus) RecordHandlerError(k Kind) {
 
 // addInflight registers one undelivered message.
 func (b *Bus) addInflight() {
-	b.qmu.Lock()
-	b.inflight++
+	b.inflight.Add(1)
 	if in := b.instr.Load(); in != nil {
-		in.inflight.Set(b.inflight)
+		// Gauge updates go through Add so concurrent adjustments commute
+		// and the gauge converges to the true depth.
+		in.inflight.Add(1)
 	}
-	b.qmu.Unlock()
 }
 
 // doneInflight retires n delivered (or discarded) messages.
@@ -407,19 +436,20 @@ func (b *Bus) doneInflight(n int64) {
 	if n == 0 {
 		return
 	}
-	b.qmu.Lock()
-	b.inflight -= n
-	if b.inflight < 0 {
-		b.qmu.Unlock()
+	v := b.inflight.Add(-n)
+	if v < 0 {
 		panic("netsim: negative in-flight count")
 	}
-	if b.inflight == 0 {
-		b.qcond.Broadcast()
-	}
 	if in := b.instr.Load(); in != nil {
-		in.inflight.Set(b.inflight)
+		in.inflight.Add(-n)
 	}
-	b.qmu.Unlock()
+	if v == 0 {
+		// Broadcast under qmu so a Quiesce between its counter check and
+		// its cond wait cannot miss this zero-crossing.
+		b.qmu.Lock()
+		b.qcond.Broadcast()
+		b.qmu.Unlock()
+	}
 }
 
 // Send enqueues a message for delivery. It is safe to call from handlers
@@ -447,27 +477,31 @@ func (b *Bus) send(m Message, sb *SharedBuf) error {
 		return fmt.Errorf("netsim: bus closed")
 	}
 	in := b.instr.Load()
-	b.mu.Lock()
-	if b.dropFn != nil && b.dropFn(m) {
-		b.dropped[m.Kind]++
-		b.droppedBytes[m.Kind] += int64(len(m.Payload))
-		b.mu.Unlock()
-		if in != nil {
-			if c := kindCounter(&in.dropped, m.Kind); c != nil {
-				c.Inc()
+	if b.hasDrop.Load() {
+		// Run the hook and its drop accounting in one critical section, so
+		// a test's own in-hook counters always agree with Stats.Dropped.
+		b.dropMu.Lock()
+		if b.dropFn != nil && b.dropFn(m) {
+			b.dropped.add(m.Kind, 1)
+			b.droppedBytes.add(m.Kind, int64(len(m.Payload)))
+			b.dropMu.Unlock()
+			if in != nil {
+				if c := kindCounter(&in.dropped, m.Kind); c != nil {
+					c.Inc()
+				}
+				if c := kindCounter(&in.droppedBytes, m.Kind); c != nil {
+					c.Add(int64(len(m.Payload)))
+				}
 			}
-			if c := kindCounter(&in.droppedBytes, m.Kind); c != nil {
-				c.Add(int64(len(m.Payload)))
+			if rec := b.rec.Load(); rec != nil {
+				rec.Record(flight.EvDrop, int(m.To), int64(m.Kind), int64(len(m.Payload)), int64(m.From), m.Kind.String())
 			}
+			return nil
 		}
-		if rec := b.rec.Load(); rec != nil {
-			rec.Record(flight.EvDrop, int(m.To), int64(m.Kind), int64(len(m.Payload)), int64(m.From), m.Kind.String())
-		}
-		return nil
+		b.dropMu.Unlock()
 	}
-	b.messages[m.Kind]++
-	b.bytes[m.Kind] += int64(len(m.Payload))
-	b.mu.Unlock()
+	b.messages.add(m.Kind, 1)
+	b.bytes.add(m.Kind, int64(len(m.Payload)))
 	if in != nil {
 		if c := kindCounter(&in.messages, m.Kind); c != nil {
 			c.Inc()
@@ -490,23 +524,56 @@ func (b *Bus) send(m Message, sb *SharedBuf) error {
 	return nil
 }
 
-// Start launches the handler goroutine for one broker. Each broker must be
-// started exactly once; the handler runs until Close.
+// Start launches the handler goroutine for one broker, handling one
+// message per wakeup. Each broker must be started exactly once; the
+// handler runs until Close.
 func (b *Bus) Start(node topology.NodeID, h Handler) {
+	b.StartBatch(node, 1, func(ms []Message) {
+		for _, m := range ms {
+			h(m)
+		}
+	})
+}
+
+// BatchHandler processes a batch of messages on the owner's goroutine, in
+// arrival order. Payload lifetime matches Handler's: decode, don't
+// retain.
+type BatchHandler func([]Message)
+
+// StartBatch launches the handler goroutine for one broker with batched
+// intake: each wakeup drains up to maxBatch pending messages from the
+// mailbox and hands them to h in one call, amortizing wakeup, in-flight
+// retirement, and the handler's own per-batch bookkeeping. maxBatch ≤ 1
+// degenerates to one-message-at-a-time handling.
+func (b *Bus) StartBatch(node topology.NodeID, maxBatch int, h BatchHandler) {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
 	b.handlers.Add(1)
 	go func() {
 		defer b.handlers.Done()
 		box := b.boxes[node]
+		buf := make([]queued, 0, maxBatch)
+		msgs := make([]Message, 0, maxBatch)
 		for {
-			q, ok := box.pop()
+			buf = buf[:0]
+			var ok bool
+			buf, ok = box.popBatch(buf, maxBatch)
 			if !ok {
 				return
 			}
-			h(q.msg)
-			if q.sb != nil {
-				q.sb.Release()
+			msgs = msgs[:0]
+			for i := range buf {
+				msgs = append(msgs, buf[i].msg)
 			}
-			b.doneInflight(1)
+			h(msgs)
+			for i := range buf {
+				if buf[i].sb != nil {
+					buf[i].sb.Release()
+				}
+				buf[i] = queued{}
+			}
+			b.doneInflight(int64(len(msgs)))
 		}
 	}()
 }
@@ -515,11 +582,7 @@ func (b *Bus) Start(node topology.NodeID, h Handler) {
 // this instant. Used by the invariant watchdog to decide whether flow
 // conservation can be checked strictly (a nonzero depth means routed
 // events may still be mid-flight between counters).
-func (b *Bus) Inflight() int64 {
-	b.qmu.Lock()
-	defer b.qmu.Unlock()
-	return b.inflight
-}
+func (b *Bus) Inflight() int64 { return b.inflight.Load() }
 
 // Quiesce blocks until every message sent so far — including messages sent
 // by handlers while processing — has been handled. With senders running
@@ -527,7 +590,7 @@ func (b *Bus) Inflight() int64 {
 // messages sent after that moment are not waited for.
 func (b *Bus) Quiesce() {
 	b.qmu.Lock()
-	for b.inflight > 0 {
+	for b.inflight.Load() > 0 {
 		b.qcond.Wait()
 	}
 	b.qmu.Unlock()
@@ -556,35 +619,17 @@ func (b *Bus) Close() {
 	b.handlers.Wait()
 }
 
-// Stats returns a snapshot of the accounting counters.
+// Stats returns a snapshot of the accounting counters. With senders
+// running concurrently the per-kind values are each exact but the
+// snapshot as a whole is not atomic; quiesce first for totals that must
+// reconcile.
 func (b *Bus) Stats() Stats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	s := Stats{
-		Messages:      make(map[Kind]int64, len(b.messages)),
-		Bytes:         make(map[Kind]int64, len(b.bytes)),
-		Dropped:       make(map[Kind]int64, len(b.dropped)),
-		DroppedBytes:  make(map[Kind]int64, len(b.droppedBytes)),
-		DecodeErrors:  make(map[Kind]int64, len(b.decodeErrs)),
-		HandlerErrors: make(map[Kind]int64, len(b.handlerErrs)),
+	return Stats{
+		Messages:      b.messages.toMap(),
+		Bytes:         b.bytes.toMap(),
+		Dropped:       b.dropped.toMap(),
+		DroppedBytes:  b.droppedBytes.toMap(),
+		DecodeErrors:  b.decodeErrs.toMap(),
+		HandlerErrors: b.handlerErrs.toMap(),
 	}
-	for k, v := range b.messages {
-		s.Messages[k] = v
-	}
-	for k, v := range b.bytes {
-		s.Bytes[k] = v
-	}
-	for k, v := range b.dropped {
-		s.Dropped[k] = v
-	}
-	for k, v := range b.droppedBytes {
-		s.DroppedBytes[k] = v
-	}
-	for k, v := range b.decodeErrs {
-		s.DecodeErrors[k] = v
-	}
-	for k, v := range b.handlerErrs {
-		s.HandlerErrors[k] = v
-	}
-	return s
 }
