@@ -46,7 +46,15 @@ type result struct {
 	// pipeline rows of BENCH_matching.json): a drop beyond the threshold
 	// is the regression, a rise is the improvement.
 	EventsPerSec *float64 `json:"events_per_sec"`
-	Iterations   int64    `json:"iterations"`
+	// BytesPerPeriod and HopsPerEvent are the overlay-scaling metrics of
+	// BENCH_overlay.json: summary traffic per propagation period and
+	// mean routing messages per event. Both are lower-is-better and —
+	// unlike wall time — deterministic for a given seed, so a rise
+	// beyond the threshold is a real algorithmic regression, not runner
+	// noise.
+	BytesPerPeriod *float64 `json:"bytes_per_period"`
+	HopsPerEvent   *float64 `json:"hops_per_event"`
+	Iterations     int64    `json:"iterations"`
 }
 
 func loadReport(path string) (map[string]result, []string, error) {
@@ -106,8 +114,13 @@ func compare(base, cur map[string]result, order []string, thresholdPct float64) 
 			// ns/op: wall time is noisy on shared runners, so only a
 			// percentage drift beyond the threshold is called out. Rows
 			// that carry events_per_sec skip this — their ns_per_op is its
-			// exact reciprocal, and one verdict per number is enough.
-			if b.EventsPerSec == nil || c.EventsPerSec == nil {
+			// exact reciprocal, and one verdict per number is enough. Rows
+			// that carry the deterministic overlay metrics skip it too:
+			// their ns_per_op is a single propagation period's wall time,
+			// far too short to time stably, and the seeded bytes/hops
+			// numbers below are the real verdict.
+			overlayRow := b.BytesPerPeriod != nil && c.BytesPerPeriod != nil
+			if (b.EventsPerSec == nil || c.EventsPerSec == nil) && !overlayRow {
 				r := row{name: name, metric: "ns/op", base: b.NsPerOp, cur: c.NsPerOp, hasBase: true, hasCur: true}
 				if b.NsPerOp > 0 {
 					r.deltaPct = (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
@@ -161,6 +174,36 @@ func compare(base, cur map[string]result, order []string, thresholdPct float64) 
 					er.status = "ok"
 				}
 				rows = append(rows, er)
+			}
+
+			// bytes/period and hops/event: lower is better, threshold-gated
+			// like ns/op but trustworthy — the overlay sweep is seeded, so
+			// drift means the propagation or routing algorithm changed.
+			for _, m := range []struct {
+				metric  string
+				basePtr *float64
+				curPtr  *float64
+			}{
+				{"bytes/period", b.BytesPerPeriod, c.BytesPerPeriod},
+				{"hops/event", b.HopsPerEvent, c.HopsPerEvent},
+			} {
+				if m.basePtr == nil || m.curPtr == nil {
+					continue
+				}
+				lr := row{name: name, metric: m.metric, base: *m.basePtr, cur: *m.curPtr, hasBase: true, hasCur: true}
+				if lr.base > 0 {
+					lr.deltaPct = (lr.cur - lr.base) / lr.base * 100
+				}
+				switch {
+				case lr.deltaPct > thresholdPct:
+					lr.status = fmt.Sprintf("REGRESSION (>%g%%)", thresholdPct)
+					regressions++
+				case lr.deltaPct < -thresholdPct:
+					lr.status = "improved"
+				default:
+					lr.status = "ok"
+				}
+				rows = append(rows, lr)
 			}
 
 			// B/op: allocation bytes are near-deterministic but can wobble

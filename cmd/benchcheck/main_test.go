@@ -214,6 +214,72 @@ func TestCompareFlagsThroughputRegressions(t *testing.T) {
 	}
 }
 
+func TestCompareFlagsOverlayRegressions(t *testing.T) {
+	// bytes_per_period and hops_per_event are lower-is-better like ns/op
+	// but seeded-deterministic: a rise past the threshold is a real
+	// algorithmic regression. Rows lacking either field on one side skip
+	// that comparison (mixed-version reports).
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", `{"results":[
+		{"name":"BytesUp","ns_per_op":100,"bytes_per_period":100000,"hops_per_event":20},
+		{"name":"HopsDown","ns_per_op":100,"bytes_per_period":100000,"hops_per_event":20},
+		{"name":"Flat","ns_per_op":100,"bytes_per_period":100000,"hops_per_event":20},
+		{"name":"OldReport","ns_per_op":100}]}`)
+	cur := writeReport(t, dir, "cur.json", `{"results":[
+		{"name":"BytesUp","ns_per_op":100,"bytes_per_period":125000,"hops_per_event":21},
+		{"name":"HopsDown","ns_per_op":100,"bytes_per_period":99000,"hops_per_event":12},
+		{"name":"Flat","ns_per_op":100,"bytes_per_period":101000,"hops_per_event":20},
+		{"name":"OldReport","ns_per_op":100,"bytes_per_period":5,"hops_per_event":5}]}`)
+
+	b, _, err := loadReport(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, order, err := loadReport(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, regressions := compare(b, c, order, 10)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (BytesUp bytes/period)", regressions)
+	}
+	status := statusKey(rows)
+	if !strings.HasPrefix(status["BytesUp bytes/period"], "REGRESSION") {
+		t.Errorf("BytesUp bytes/period: %q", status["BytesUp bytes/period"])
+	}
+	if status["BytesUp hops/event"] != "ok" {
+		t.Errorf("BytesUp hops/event: %q", status["BytesUp hops/event"])
+	}
+	if status["HopsDown bytes/period"] != "ok" {
+		t.Errorf("HopsDown bytes/period: %q", status["HopsDown bytes/period"])
+	}
+	if status["HopsDown hops/event"] != "improved" {
+		t.Errorf("HopsDown hops/event: %q", status["HopsDown hops/event"])
+	}
+	if status["Flat bytes/period"] != "ok" || status["Flat hops/event"] != "ok" {
+		t.Errorf("Flat: %q / %q", status["Flat bytes/period"], status["Flat hops/event"])
+	}
+	// Baseline lacks the overlay fields for OldReport: no phantom rows.
+	if _, ok := status["OldReport bytes/period"]; ok {
+		t.Error("OldReport produced a bytes/period row without baseline data")
+	}
+	if _, ok := status["OldReport hops/event"]; ok {
+		t.Error("OldReport produced a hops/event row without baseline data")
+	}
+	// Overlay rows skip the ns/op comparison — a single propagation
+	// period's wall time is too short to time stably, and the seeded
+	// metrics are the verdict. OldReport (no overlay data in the
+	// baseline) still gets one.
+	for _, name := range []string{"BytesUp", "HopsDown", "Flat"} {
+		if _, ok := status[name+" ns/op"]; ok {
+			t.Errorf("%s produced a noisy ns/op row despite carrying overlay metrics", name)
+		}
+	}
+	if status["OldReport ns/op"] != "ok" {
+		t.Errorf("OldReport ns/op: %q", status["OldReport ns/op"])
+	}
+}
+
 func TestCompareAgainstRealBaselines(t *testing.T) {
 	// The committed reports must parse and compare clean against
 	// themselves (zero delta everywhere). They carry allocation data, so

@@ -37,16 +37,16 @@ type churnReport struct {
 	// acceptance criterion: once the population plateaus, total merged
 	// model bytes across the network must not grow period over period.
 	Sustained struct {
-		SubsPerSecAbsorbed  float64           `json:"subs_per_sec_absorbed"`
-		TotalSubscribes     int               `json:"total_subscribes"`
-		TotalUnsubscribes   int               `json:"total_unsubscribes"`
-		Compactions         int64             `json:"compactions"`
-		WatchdogViolations  int               `json:"watchdog_violations"`
-		MergedBytesWindowA  float64           `json:"merged_bytes_window_a_mean"`
-		MergedBytesWindowB  float64           `json:"merged_bytes_window_b_mean"`
-		MergedBytesGrowthPct float64          `json:"merged_bytes_growth_pct"`
-		Bounded             bool              `json:"bounded"`
-		Periods             []churnPeriodStat `json:"periods"`
+		SubsPerSecAbsorbed   float64           `json:"subs_per_sec_absorbed"`
+		TotalSubscribes      int               `json:"total_subscribes"`
+		TotalUnsubscribes    int               `json:"total_unsubscribes"`
+		Compactions          int64             `json:"compactions"`
+		WatchdogViolations   int               `json:"watchdog_violations"`
+		MergedBytesWindowA   float64           `json:"merged_bytes_window_a_mean"`
+		MergedBytesWindowB   float64           `json:"merged_bytes_window_b_mean"`
+		MergedBytesGrowthPct float64           `json:"merged_bytes_growth_pct"`
+		Bounded              bool              `json:"bounded"`
+		Periods              []churnPeriodStat `json:"periods"`
 	} `json:"sustained"`
 	Results []benchResult `json:"results"`
 	// UnsubScaleRatio is the per-unsubscribe cost at 20k live
@@ -71,10 +71,10 @@ func noDeliver(subid.ID, *schema.Event) {}
 // churnNet couples a live network with a churn stream and the
 // handle-to-id mapping between them.
 type churnNet struct {
-	net  *core.Network
-	ch   *workload.Churn
-	ids  map[int]subid.ID
-	n    int
+	net          *core.Network
+	ch           *workload.Churn
+	ids          map[int]subid.ID
+	n            int
 	subs, unsubs int
 }
 

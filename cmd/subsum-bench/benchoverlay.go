@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/subsum/subsum/experiments"
+)
+
+// overlayBenchRow is one (size, mode) sweep point in the benchcheck wire
+// shape: results are matched by name, ns_per_op carries the propagation
+// wall time, and the two headline lower-is-better metrics ride in
+// bytes_per_period and hops_per_event. The remaining fields are detail
+// for humans reading the committed baseline.
+type overlayBenchRow struct {
+	Name           string  `json:"name"`
+	NsPerOp        float64 `json:"ns_per_op"` // one propagation period, wall
+	BytesPerPeriod float64 `json:"bytes_per_period"`
+	HopsPerEvent   float64 `json:"hops_per_event"`
+	Iterations     int     `json:"iterations"` // events routed
+
+	Brokers             int     `json:"brokers"`
+	Mode                string  `json:"mode"`
+	Groups              int     `json:"groups"`
+	IntraBytes          int64   `json:"intra_bytes"`
+	DigestBytes         int64   `json:"digest_bytes"` // cross-border share of bytes_per_period
+	PeriodHops          int     `json:"period_hops"`
+	ForwardHopsPerEvent float64 `json:"forward_hops_per_event"`
+	PeakMergedBytes     int     `json:"peak_merged_bytes"`
+	Delivered           int     `json:"delivered"`
+	Spurious            int     `json:"spurious"`
+}
+
+// overlayReport is the BENCH_overlay.json document.
+type overlayReport struct {
+	GeneratedAt string `json:"generated_at"`
+	Config      struct {
+		Sizes  []int `json:"sizes"`
+		Sigma  int   `json:"sigma"`
+		Events int   `json:"events"`
+		Seed   int64 `json:"seed"`
+	} `json:"config"`
+	Results []overlayBenchRow `json:"results"`
+}
+
+// runBenchOverlay runs the overlay-scaling sweep (experiments.OverlayScaling,
+// which asserts per event that flat and subgrouped routing deliver to the
+// same owner-verified broker sets) and writes the report to jsonPath, or
+// stdout when empty. sizes overrides the default broker ladder — CI runs a
+// reduced ≤128-broker sweep against the committed full-ladder baseline,
+// which works because benchcheck only compares names present in both
+// reports.
+func runBenchOverlay(jsonPath string, sizes []int, workers int, seed int64) error {
+	cfg := experiments.DefaultOverlay()
+	cfg.Workers = workers
+	cfg.Seed = seed
+	if len(sizes) > 0 {
+		cfg.Sizes = sizes
+	}
+	rows, err := experiments.OverlayScaling(cfg)
+	if err != nil {
+		return err
+	}
+
+	var rep overlayReport
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	rep.Config.Sizes = cfg.Sizes
+	rep.Config.Sigma = cfg.Sigma
+	rep.Config.Events = cfg.Events
+	rep.Config.Seed = cfg.Seed
+	for _, r := range rows {
+		rep.Results = append(rep.Results, overlayBenchRow{
+			Name:                fmt.Sprintf("OverlayPropagation/n=%d/%s", r.Brokers, r.Mode),
+			NsPerOp:             float64(r.PropagationNs),
+			BytesPerPeriod:      float64(r.BytesPerPeriod),
+			HopsPerEvent:        r.HopsPerEvent,
+			Iterations:          cfg.Events,
+			Brokers:             r.Brokers,
+			Mode:                r.Mode,
+			Groups:              r.Groups,
+			IntraBytes:          r.IntraBytes,
+			DigestBytes:         r.DigestBytes,
+			PeriodHops:          r.PeriodHops,
+			ForwardHopsPerEvent: r.ForwardHopsPerEvent,
+			PeakMergedBytes:     r.PeakMergedBytes,
+			Delivered:           r.Delivered,
+			Spurious:            r.Spurious,
+		})
+	}
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if jsonPath == "" {
+		_, err := os.Stdout.Write(out)
+		return err
+	}
+	if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("benchoverlay: n=%-5d %-10s groups=%-3d bytes/period=%-8.0f hops/event=%-6.2f peak=%dB\n",
+			r.Brokers, r.Mode, r.Groups, r.BytesPerPeriod, r.HopsPerEvent, r.PeakMergedBytes)
+	}
+	fmt.Printf("benchoverlay: wrote %s (%d rows, delivery sets verified identical per event)\n", jsonPath, len(rep.Results))
+	return nil
+}

@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	subsum-bench -experiment fig8|fig9|fig10|fig11|matching|benchmatch|benchprop|benchchurn|fig7|table2|ablations|all
+//	subsum-bench -experiment fig8|fig9|fig10|fig11|matching|benchmatch|benchprop|benchchurn|benchoverlay|fig7|table2|ablations|all
 //	             [-events N] [-sigmas 10,100,1000] [-csv] [-topology cw24|fig7|random]
-//	             [-workers N] [-json BENCH_matching.json]
+//	             [-workers N] [-json BENCH_matching.json] [-sizes 24,64,128]
 //
 // Each experiment prints the same rows/series the paper reports; see
 // EXPERIMENTS.md for the paper-versus-measured comparison.
@@ -33,6 +33,7 @@ func main() {
 		asCSV      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		workers    = flag.Int("workers", 0, "parallel sweep width (0 = all CPUs, 1 = serial); results are identical at any width")
 		jsonOut    = flag.String("json", "", "benchmatch/benchprop: write the JSON report to this file instead of stdout")
+		sizes      = flag.String("sizes", "", "benchoverlay: comma-separated broker-count override (e.g. 24,64,128 for the reduced CI sweep)")
 	)
 	flag.Parse()
 
@@ -103,6 +104,21 @@ func main() {
 				fatalf("%v", err)
 			}
 		},
+		"benchoverlay": func() {
+			var parsed []int
+			if *sizes != "" {
+				for _, tok := range strings.Split(*sizes, ",") {
+					v, err := strconv.Atoi(strings.TrimSpace(tok))
+					if err != nil || v < 2 {
+						fatalf("bad -sizes value %q", tok)
+					}
+					parsed = append(parsed, v)
+				}
+			}
+			if err := runBenchOverlay(*jsonOut, parsed, *workers, *seed); err != nil {
+				fatalf("%v", err)
+			}
+		},
 		"crosstopo": func() { show(experiments.CrossTopology(cfg)) },
 		"sizemodel": func() { show(experiments.SizeModelValidation(cfg)) },
 		"ablations": func() {
@@ -112,7 +128,7 @@ func main() {
 			show(experiments.AblationBatch(cfg))
 		},
 	}
-	order := []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "matching", "benchmatch", "benchprop", "benchchurn", "benchthroughput", "sizemodel", "crosstopo", "ablations"}
+	order := []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "matching", "benchmatch", "benchprop", "benchchurn", "benchthroughput", "benchoverlay", "sizemodel", "crosstopo", "ablations"}
 
 	if *experiment == "all" {
 		for _, name := range order {

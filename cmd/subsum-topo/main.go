@@ -1,12 +1,19 @@
 // Command subsum-topo inspects broker overlay topologies: prints size,
 // degree, and distance statistics, the degree histogram that drives
 // Algorithm 2's iteration schedule, and optionally Graphviz DOT output.
+// Beyond the built-in ISP maps, -kind/-n/-seed generate the large
+// internet-like overlays of the scaling experiments deterministically.
 //
 // Usage:
 //
-//	subsum-topo                       # stats for every built-in overlay
-//	subsum-topo -topology att33       # one overlay
-//	subsum-topo -topology cw24 -dot   # DOT to stdout (pipe into graphviz)
+//	subsum-topo                             # stats for every built-in overlay
+//	subsum-topo -topology att33             # one built-in overlay
+//	subsum-topo -kind transit-stub -n 512   # generated overlay (also: geo, pa)
+//	subsum-topo -topology cw24 -dot         # DOT to stdout (pipe into graphviz)
+//
+// DOT export is capped at 256 nodes: beyond that Graphviz layouts are an
+// unreadable hairball, so the cap is a warning plus the statistics view
+// instead of a multi-megabyte file nobody can render.
 package main
 
 import (
@@ -19,17 +26,32 @@ import (
 	"github.com/subsum/subsum/internal/topology"
 )
 
+// dotCap is the largest overlay -dot will render. Above it the tool
+// warns and prints statistics instead.
+const dotCap = 256
+
 func main() {
 	var (
 		topoName = flag.String("topology", "", "cw24, att33, fig7, waxman:<n>:<seed>, random:<n>:<extra>:<seed>; empty = all built-ins")
-		dot      = flag.Bool("dot", false, "emit Graphviz DOT instead of statistics")
+		kind     = flag.String("kind", "", "generate an overlay instead: transit-stub, geo, or pa (uses -n and -seed)")
+		n        = flag.Int("n", 128, "node count for -kind")
+		seed     = flag.Int64("seed", 1, "seed for -kind; generated overlays are deterministic per (kind, n, seed)")
+		dot      = flag.Bool("dot", false, "emit Graphviz DOT instead of statistics (capped at 256 nodes)")
 	)
 	flag.Parse()
 
 	var graphs []*topology.Graph
-	if *topoName == "" {
+	switch {
+	case *kind != "":
+		g, err := generate(*kind, *n, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "subsum-topo: %v\n", err)
+			os.Exit(1)
+		}
+		graphs = []*topology.Graph{g}
+	case *topoName == "":
 		graphs = []*topology.Graph{topology.CW24(), topology.ATT33(), topology.Figure7Tree()}
-	} else {
+	default:
 		g, err := parse(*topoName)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "subsum-topo: %v\n", err)
@@ -40,8 +62,13 @@ func main() {
 
 	for _, g := range graphs {
 		if *dot {
-			fmt.Print(g.DOT())
-			continue
+			if g.Len() > dotCap {
+				fmt.Fprintf(os.Stderr, "subsum-topo: %d nodes exceeds the %d-node DOT cap (the layout would be unreadable); printing statistics instead\n",
+					g.Len(), dotCap)
+			} else {
+				fmt.Print(g.DOT())
+				continue
+			}
 		}
 		describe(g)
 	}
@@ -77,6 +104,25 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// generate builds one of the scaling-experiment overlay families. The
+// geo radius and pa attachment count use the generators' defaults
+// (connectivity-threshold radius, m=2).
+func generate(kind string, n int, seed int64) (*topology.Graph, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("-kind needs -n of at least 4, got %d", n)
+	}
+	switch kind {
+	case "transit-stub", "transitstub", "ts":
+		return topology.TransitStub(n, seed), nil
+	case "geo", "geometric":
+		return topology.RandomGeometric(n, 0, seed), nil
+	case "pa", "preferential":
+		return topology.PreferentialAttachment(n, 0, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown -kind %q (want transit-stub, geo, or pa)", kind)
+	}
 }
 
 func parse(name string) (*topology.Graph, error) {

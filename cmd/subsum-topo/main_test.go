@@ -29,3 +29,34 @@ func TestParse(t *testing.T) {
 		}
 	}
 }
+
+func TestGenerate(t *testing.T) {
+	for _, kind := range []string{"transit-stub", "geo", "pa"} {
+		for _, n := range []int{64, 300, 1000} {
+			g, err := generate(kind, n, 7)
+			if err != nil {
+				t.Errorf("generate(%q, %d): %v", kind, n, err)
+				continue
+			}
+			if g.Len() != n {
+				t.Errorf("generate(%q, %d).Len() = %d", kind, n, g.Len())
+			}
+			if !g.Connected() {
+				t.Errorf("generate(%q, %d) not connected", kind, n)
+			}
+		}
+		// Deterministic per seed: two builds of the same spec are the
+		// same graph edge for edge.
+		a, _ := generate(kind, 200, 3)
+		b, _ := generate(kind, 200, 3)
+		if a.DOT() != b.DOT() {
+			t.Errorf("generate(%q) not deterministic per seed", kind)
+		}
+	}
+	if _, err := generate("bogus", 64, 1); err == nil {
+		t.Error("generate accepted unknown kind")
+	}
+	if _, err := generate("geo", 2, 1); err == nil {
+		t.Error("generate accepted n below the minimum")
+	}
+}

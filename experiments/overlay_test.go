@@ -1,0 +1,57 @@
+package experiments
+
+import "testing"
+
+// TestOverlayScalingReduced is the CI-sized sweep: ≤128 brokers, fewer
+// events. The per-event delivery-set equivalence runs inside
+// OverlayScaling itself; here we additionally require the headline
+// claims to hold already at 128 brokers — subgrouping must cut both the
+// propagation traffic and the routing hops, and keep the per-broker
+// merged state below the flat high-water mark.
+func TestOverlayScalingReduced(t *testing.T) {
+	cfg := DefaultOverlay()
+	cfg.Sizes = []int{24, 64, 128}
+	cfg.Events = 60
+	cfg.Sigma = 20
+	rows, err := OverlayScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("expected 6 rows, got %d", len(rows))
+	}
+	byMode := map[string]map[int]OverlayRow{"flat": {}, "subgrouped": {}}
+	for _, r := range rows {
+		byMode[r.Mode][r.Brokers] = r
+	}
+	for _, n := range cfg.Sizes {
+		flat, sub := byMode["flat"][n], byMode["subgrouped"][n]
+		if flat.Brokers != n || sub.Brokers != n {
+			t.Fatalf("missing rows for n=%d", n)
+		}
+		if flat.Delivered != sub.Delivered {
+			t.Fatalf("n=%d: delivered counts differ: flat %d, subgrouped %d", n, flat.Delivered, sub.Delivered)
+		}
+		if flat.Delivered == 0 {
+			t.Fatalf("n=%d: no deliveries — sweep degenerate", n)
+		}
+	}
+	flat, sub := byMode["flat"][128], byMode["subgrouped"][128]
+	// The headline wins: routing hops, cross-border traffic, and the
+	// per-broker state high-water mark. Total subgrouped bytes run
+	// slightly above flat (member uploads plus the digest mesh) — the
+	// documented trade; see EXPERIMENTS.md.
+	if sub.HopsPerEvent >= flat.HopsPerEvent {
+		t.Errorf("n=128: subgrouped hops/event %.1f not below flat %.1f", sub.HopsPerEvent, flat.HopsPerEvent)
+	}
+	if sub.DigestBytes >= flat.BytesPerPeriod {
+		t.Errorf("n=128: subgrouped cross-border bytes %d not below flat period bytes %d",
+			sub.DigestBytes, flat.BytesPerPeriod)
+	}
+	if sub.PeakMergedBytes >= flat.PeakMergedBytes {
+		t.Errorf("n=128: subgrouped peak merged bytes %d not below flat %d", sub.PeakMergedBytes, flat.PeakMergedBytes)
+	}
+	if sub.Groups < 2 {
+		t.Errorf("n=128: only %d subgroup(s)", sub.Groups)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/subid"
+	"github.com/subsum/subsum/internal/topology"
+	"github.com/subsum/subsum/internal/workload"
+)
+
+// TestGeneratedOverlayWatchdog runs the live engine on a generated
+// 64-broker transit-stub overlay — the topology class the scaling
+// experiments sweep — through churned periods with concurrent publishes,
+// and requires a clean invariant watchdog throughout. The hand-built
+// fixtures are small and regular; this is the guard that the engine's
+// locking and flow conservation hold on the irregular generated graphs
+// too.
+func TestGeneratedOverlayWatchdog(t *testing.T) {
+	g, _ := topology.TransitStubRegions(64, 21)
+	gen, err := workload.NewGenerator(workload.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := New(Config{Topology: g, Schema: gen.Schema(), Mode: interval.Lossy, FullSyncEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(net.Close)
+	ch, err := workload.NewChurn(gen, workload.ChurnConfig{Rate: 40, MeanLifetime: 3, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ids := make(map[int]subid.ID)
+	periods := 8
+	if testing.Short() {
+		periods = 4
+	}
+	for p := 1; p <= periods; p++ {
+		cp := ch.Period()
+		for _, h := range cp.Died {
+			if err := net.Unsubscribe(ids[h]); err != nil {
+				t.Fatal(err)
+			}
+			delete(ids, h)
+		}
+		for _, b := range cp.Born {
+			id, err := net.Subscribe(topology.NodeID(b.Handle%g.Len()), b.Sub, func(subid.ID, *schema.Event) {})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids[b.Handle] = id
+		}
+		if _, err := net.Propagate(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			if err := net.Publish(topology.NodeID((p*7+i)%g.Len()), gen.Event(0.5)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if v := net.CheckInvariants(); len(v) != 0 {
+			t.Fatalf("period %d: invariant violations: %v", p, v)
+		}
+	}
+	net.Flush()
+	if v := net.CheckInvariants(); len(v) != 0 {
+		t.Fatalf("violations at quiescence: %v", v)
+	}
+}

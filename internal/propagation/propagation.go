@@ -22,6 +22,7 @@ import (
 
 	"github.com/subsum/subsum/internal/flight"
 	"github.com/subsum/subsum/internal/metrics"
+	"github.com/subsum/subsum/internal/par"
 	"github.com/subsum/subsum/internal/subid"
 	"github.com/subsum/subsum/internal/summary"
 	"github.com/subsum/subsum/internal/topology"
@@ -65,6 +66,22 @@ type Result struct {
 	// cost model and the real codec, respectively.
 	ModelBytes int64
 	WireBytes  int64
+
+	// derived memoizes artifacts computed from this result by downstream
+	// consumers — today the routing examination order — so N routers
+	// built over one phase share one computation. Keys and values are
+	// consumer-defined; stored values must be treated as immutable.
+	derived sync.Map
+}
+
+// LoadDerived returns the memoized artifact stored under key, if any.
+func (r *Result) LoadDerived(key any) (any, bool) { return r.derived.Load(key) }
+
+// StoreDerived memoizes an artifact under key, returning the first value
+// stored (winner of a racing duplicate computation).
+func (r *Result) StoreDerived(key, value any) any {
+	actual, _ := r.derived.LoadOrStore(key, value)
+	return actual
 }
 
 // encBufPool recycles per-send encode buffers across Run invocations.
@@ -124,11 +141,33 @@ func Instrument(r *metrics.Registry) {
 // alias of own[i] (copy-on-receive), so callers must treat Result.Merged
 // as read-only.
 //
+// Run fans each iteration's per-broker work over all CPUs; see
+// RunWorkers for the pool-width knob and the determinism argument.
+func Run(g *topology.Graph, own []*summary.Summary, cost CostModel) (*Result, error) {
+	return RunWorkers(g, own, cost, 0)
+}
+
+// RunWorkers is Run with an explicit worker-pool width (<= 0 means one
+// worker per CPU, 1 runs fully serial). Results are bit-identical at any
+// width:
+//
+//   - Target selection stays serial (it is a cheap scan, and it fixes the
+//     deterministic Sends order).
+//   - Payload encodes run in parallel across the iteration's senders.
+//     Each broker sends at most once per phase, deliveries land only
+//     after all of an iteration's encodes, and encoding touches only the
+//     sender's own summary, so encodes never overlap on a summary —
+//     provided own[] holds n distinct Summary values (aliasing two
+//     brokers to one *Summary was never supported).
+//   - Deliveries run in parallel across *targets*; each target applies
+//     its own deliveries in Sends order, and a merge touches only the
+//     target's summary plus the immutable payload bytes.
+//
 // Each send encodes the sender's merged summary once into a pooled
 // buffer; the immutable byte slice is what travels (its length is the
 // send's WireBytes) and the receiver folds it in with MergeEncoded — no
 // per-send Clone, no intermediate decoded Summary.
-func Run(g *topology.Graph, own []*summary.Summary, cost CostModel) (*Result, error) {
+func RunWorkers(g *topology.Graph, own []*summary.Summary, cost CostModel, workers int) (*Result, error) {
 	n := g.Len()
 	if len(own) != n {
 		return nil, fmt.Errorf("propagation: %d summaries for %d brokers", len(own), n)
@@ -156,14 +195,18 @@ func Run(g *topology.Graph, own []*summary.Summary, cost CostModel) (*Result, er
 	}
 
 	type delivery struct {
-		to      topology.NodeID
-		payload *[]byte // pooled wire-form summary, shared with WireBytes accounting
-		brokers BrokerSet
+		from, to   topology.NodeID
+		payload    *[]byte // pooled wire-form summary, shared with WireBytes accounting
+		brokers    BrokerSet
+		modelBytes int
 	}
 
 	maxDegree := g.MaxDegree()
+	var deliveries []delivery
+	var targets []topology.NodeID // distinct delivery targets, first-seen order
+	var perTarget map[topology.NodeID][]int
 	for iter := 1; iter <= maxDegree; iter++ {
-		var deliveries []delivery
+		deliveries = deliveries[:0]
 		for node := 0; node < n; node++ {
 			id := topology.NodeID(node)
 			if g.Degree(id) != iter {
@@ -175,47 +218,82 @@ func Run(g *topology.Graph, own []*summary.Summary, cost CostModel) (*Result, er
 			if !ok {
 				continue
 			}
-			payload := encBufPool.Get().(*[]byte)
-			*payload = res.Merged[node].Encode((*payload)[:0])
 			brokers := res.MergedBrokers[node].Clone()
 			communicated[node][target] = true
 			communicated[target][id] = true
+			deliveries = append(deliveries, delivery{from: id, to: target, brokers: brokers})
+		}
+
+		// Encode every sender's summary in parallel. Senders are distinct
+		// brokers, so each task mutates (lazily compacts) only its own
+		// summary.
+		par.Sweep(len(deliveries), workers, func(i int) {
+			d := &deliveries[i]
+			payload := encBufPool.Get().(*[]byte)
+			*payload = res.Merged[d.from].Encode((*payload)[:0])
+			d.payload = payload
+			d.modelBytes = res.Merged[d.from].SizeBytes(cost.SST, cost.SID)
+		})
+		for _, d := range deliveries {
 			send := Send{
 				Iteration:  iter,
-				From:       id,
-				To:         target,
-				Brokers:    brokers.Bits(),
-				ModelBytes: res.Merged[node].SizeBytes(cost.SST, cost.SID),
-				WireBytes:  len(*payload),
+				From:       d.from,
+				To:         d.to,
+				Brokers:    d.brokers.Bits(),
+				ModelBytes: d.modelBytes,
+				WireBytes:  len(*d.payload),
 			}
 			res.Sends = append(res.Sends, send)
 			res.ModelBytes += int64(send.ModelBytes)
 			res.WireBytes += int64(send.WireBytes)
-			deliveries = append(deliveries, delivery{to: target, payload: payload, brokers: brokers})
 		}
+
 		// Deliveries land at the end of the iteration, so equal-degree
 		// exchanges in the same iteration do not see each other's summary.
-		for _, d := range deliveries {
-			if !owned[d.to] {
-				res.Merged[d.to] = res.Merged[d.to].Clone()
-				owned[d.to] = true
+		// Parallelism is across targets; one target's deliveries apply in
+		// send order, so the merged state is width-independent.
+		targets = targets[:0]
+		if perTarget == nil {
+			perTarget = make(map[topology.NodeID][]int, 16)
+		}
+		for i, d := range deliveries {
+			if _, seen := perTarget[d.to]; !seen {
+				targets = append(targets, d.to)
 			}
-			var start time.Time
-			if obs != nil {
-				start = time.Now()
+			perTarget[d.to] = append(perTarget[d.to], i)
+		}
+		err := par.SweepErr(len(targets), workers, func(ti int) error {
+			to := targets[ti]
+			if !owned[to] {
+				res.Merged[to] = res.Merged[to].Clone()
+				owned[to] = true
 			}
-			err := res.Merged[d.to].MergeEncoded(*d.payload)
-			if obs != nil {
-				obs.mergeSeconds.Observe(time.Since(start).Seconds())
+			for _, di := range perTarget[to] {
+				d := deliveries[di]
+				var start time.Time
+				if obs != nil {
+					start = time.Now()
+				}
+				err := res.Merged[to].MergeEncoded(*d.payload)
+				if obs != nil {
+					obs.mergeSeconds.Observe(time.Since(start).Seconds())
+				}
+				encBufPool.Put(d.payload)
+				if err != nil {
+					rec.Record(flight.EvMergeError, int(to), 0, 0, 0, err.Error())
+					return fmt.Errorf("propagation: merging at broker %d: %w", to, err)
+				}
+				for _, b := range d.brokers.Bits() {
+					res.MergedBrokers[to].Set(b)
+				}
 			}
-			encBufPool.Put(d.payload)
-			if err != nil {
-				rec.Record(flight.EvMergeError, int(d.to), 0, 0, 0, err.Error())
-				return nil, fmt.Errorf("propagation: merging at broker %d: %w", d.to, err)
-			}
-			for _, b := range d.brokers.Bits() {
-				res.MergedBrokers[d.to].Set(b)
-			}
+			return nil
+		})
+		for to := range perTarget {
+			delete(perTarget, to)
+		}
+		if err != nil {
+			return nil, err
 		}
 	}
 	res.Hops = len(res.Sends)

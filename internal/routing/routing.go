@@ -14,6 +14,7 @@ package routing
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"github.com/subsum/subsum/internal/propagation"
 	"github.com/subsum/subsum/internal/subid"
@@ -89,33 +90,56 @@ type Router struct {
 	order []topology.NodeID // nodes by effective degree, descending
 }
 
+// orderKey identifies one examination order in a propagation result's
+// derived-artifact memo: the order depends only on the overlay and the
+// strategy's effective degrees, so every router built over the same
+// result with the same normalized (strategy, cap) pair shares one slice.
+type orderKey struct {
+	virtual bool
+	degCap  int
+}
+
 // NewRouter builds a router for the given overlay and propagation result.
+// The examination order is memoized on the propagation result, so
+// constructing many routers per phase — one per event batch, as the
+// overlay-scaling experiments do at 256+ brokers — derives it once
+// instead of re-sorting per router.
 func NewRouter(g *topology.Graph, prop *propagation.Result, cfg Config) (*Router, error) {
 	if len(prop.MergedBrokers) != g.Len() {
 		return nil, fmt.Errorf("routing: propagation result covers %d brokers, overlay has %d",
 			len(prop.MergedBrokers), g.Len())
 	}
 	r := &Router{g: g, prop: prop, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
-	r.order = r.effectiveOrder()
+	key := orderKey{virtual: cfg.Strategy == VirtualDegree, degCap: 0}
+	if key.virtual {
+		key.degCap = cfg.VirtualDegreeCap
+		if key.degCap <= 0 {
+			key.degCap = int(g.MeanDegree() + 0.5)
+			if key.degCap < 1 {
+				key.degCap = 1
+			}
+		}
+	}
+	if cached, ok := prop.LoadDerived(key); ok {
+		r.order = cached.([]topology.NodeID)
+	} else {
+		// Racing routers compute identical orders; LoadOrStore keeps one.
+		r.order = prop.StoreDerived(key, effectiveOrder(g, key)).([]topology.NodeID)
+	}
 	return r, nil
 }
 
-// effectiveOrder ranks brokers by the degree the strategy advertises.
-func (r *Router) effectiveOrder() []topology.NodeID {
-	n := r.g.Len()
+// effectiveOrder ranks brokers by the degree the strategy advertises:
+// effective degree descending, id ascending. The returned slice is
+// shared between routers and must not be mutated.
+func effectiveOrder(g *topology.Graph, key orderKey) []topology.NodeID {
+	n := g.Len()
 	eff := make([]int, n)
-	maxDeg := r.g.MaxDegree()
-	degCap := r.cfg.VirtualDegreeCap
-	if degCap <= 0 {
-		degCap = int(r.g.MeanDegree() + 0.5)
-		if degCap < 1 {
-			degCap = 1
-		}
-	}
+	maxDeg := g.MaxDegree()
 	for i := 0; i < n; i++ {
-		d := r.g.Degree(topology.NodeID(i))
-		if r.cfg.Strategy == VirtualDegree && d == maxDeg && d > degCap {
-			d = degCap
+		d := g.Degree(topology.NodeID(i))
+		if key.virtual && d == maxDeg && d > key.degCap {
+			d = key.degCap
 		}
 		eff[i] = d
 	}
@@ -123,17 +147,12 @@ func (r *Router) effectiveOrder() []topology.NodeID {
 	for i := range order {
 		order[i] = topology.NodeID(i)
 	}
-	// Stable sort by effective degree desc, id asc.
-	for i := 1; i < n; i++ {
-		for j := i; j > 0; j-- {
-			a, b := order[j-1], order[j]
-			if eff[b] > eff[a] || (eff[b] == eff[a] && b < a) {
-				order[j-1], order[j] = b, a
-			} else {
-				break
-			}
+	sort.SliceStable(order, func(i, j int) bool {
+		if eff[order[i]] != eff[order[j]] {
+			return eff[order[i]] > eff[order[j]]
 		}
-	}
+		return order[i] < order[j]
+	})
 	return order
 }
 

@@ -1,0 +1,190 @@
+package subgroup
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/subsum/subsum/internal/summary"
+	"github.com/subsum/subsum/internal/topology"
+)
+
+// Plan is a clustering of the overlay's brokers into subgroups. Groups
+// are ordered by leader degree descending (leader id ascending on ties)
+// — the order the router examines them in — and each group's member
+// list is ascending by id.
+type Plan struct {
+	Groups  [][]topology.NodeID
+	Leaders []topology.NodeID
+	GroupOf []int
+}
+
+// NumGroups returns the number of subgroups.
+func (p *Plan) NumGroups() int { return len(p.Groups) }
+
+// Options parametrizes Cluster.
+type Options struct {
+	// TargetGroups is the number of seeds for the greedy pass; 0 picks
+	// ⌈√n⌉ clamped to [2, 64]. The final plan can have fewer groups
+	// (undersized groups are agglomerated into their most similar
+	// neighbor).
+	TargetGroups int
+	// MinGroupSize agglomerates groups smaller than this into the group
+	// whose seed is most similar; 0 means 2.
+	MinGroupSize int
+}
+
+// Cluster groups brokers by summary-signature similarity: greedy
+// farthest-first seeding (each new seed is the broker least similar to
+// every existing seed), most-similar-seed assignment, then an
+// agglomerative cleanup pass that merges undersized groups into their
+// most similar seed. O(K·n) similarity evaluations, deterministic —
+// every tie breaks toward the lower broker id.
+func Cluster(g *topology.Graph, sigs []*summary.Signature, opt Options) (*Plan, error) {
+	n := g.Len()
+	if len(sigs) != n {
+		return nil, fmt.Errorf("subgroup: %d signatures for %d brokers", len(sigs), n)
+	}
+	k := opt.TargetGroups
+	if k <= 0 {
+		k = int(math.Ceil(math.Sqrt(float64(n))))
+		if k < 2 {
+			k = 2
+		}
+		if k > 64 {
+			k = 64
+		}
+	}
+	if k > n {
+		k = n
+	}
+	minSize := opt.MinGroupSize
+	if minSize <= 0 {
+		minSize = 2
+	}
+
+	// Farthest-first seeding from broker 0: the next seed is the broker
+	// whose best similarity to any current seed is lowest.
+	seeds := []int{0}
+	isSeed := make([]bool, n)
+	isSeed[0] = true
+	bestToSeed := make([]float64, n) // max similarity to any chosen seed
+	for i := 0; i < n; i++ {
+		bestToSeed[i] = Similarity(sigs[i], sigs[0])
+	}
+	for len(seeds) < k {
+		next, nextSim := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !isSeed[i] && bestToSeed[i] < nextSim {
+				next, nextSim = i, bestToSeed[i]
+			}
+		}
+		seeds = append(seeds, next)
+		isSeed[next] = true
+		for i := 0; i < n; i++ {
+			if s := Similarity(sigs[i], sigs[next]); s > bestToSeed[i] {
+				bestToSeed[i] = s
+			}
+		}
+	}
+
+	// Assignment: every broker joins its most similar seed (lowest seed
+	// index on ties; a seed is maximally similar to itself).
+	assign := make([]int, n)
+	for i := 0; i < n; i++ {
+		best, bestSim := 0, math.Inf(-1)
+		for si, s := range seeds {
+			sim := Similarity(sigs[i], sigs[s])
+			if i == s {
+				sim = math.Inf(1)
+			}
+			if sim > bestSim {
+				best, bestSim = si, sim
+			}
+		}
+		assign[i] = best
+	}
+
+	// Agglomerate undersized groups into the most similar other seed.
+	sizes := make([]int, len(seeds))
+	for _, si := range assign {
+		sizes[si]++
+	}
+	merged := make([]int, len(seeds)) // group si now lives in merged[si]
+	for si := range merged {
+		merged[si] = si
+	}
+	for si := range seeds {
+		if sizes[si] >= minSize || sizes[si] == 0 {
+			continue
+		}
+		tgt, tgtSim := -1, math.Inf(-1)
+		for sj := range seeds {
+			if sj == si || sizes[sj] == 0 || merged[sj] != sj {
+				continue
+			}
+			if sim := Similarity(sigs[seeds[si]], sigs[seeds[sj]]); sim > tgtSim {
+				tgt, tgtSim = sj, sim
+			}
+		}
+		if tgt < 0 {
+			continue // nothing left to merge into
+		}
+		merged[si] = tgt
+		sizes[tgt] += sizes[si]
+		sizes[si] = 0
+	}
+	resolve := func(si int) int {
+		for merged[si] != si {
+			si = merged[si]
+		}
+		return si
+	}
+
+	// Materialize groups, pick leaders (max degree, lowest id on ties),
+	// and order groups the way the router examines them.
+	members := make(map[int][]topology.NodeID)
+	for i := 0; i < n; i++ {
+		si := resolve(assign[i])
+		members[si] = append(members[si], topology.NodeID(i))
+	}
+	type grp struct {
+		nodes  []topology.NodeID
+		leader topology.NodeID
+	}
+	var groups []grp
+	for si := range seeds {
+		nodes := members[si]
+		if len(nodes) == 0 {
+			continue
+		}
+		leader := nodes[0]
+		for _, m := range nodes[1:] {
+			if g.Degree(m) > g.Degree(leader) || (g.Degree(m) == g.Degree(leader) && m < leader) {
+				leader = m
+			}
+		}
+		groups = append(groups, grp{nodes: nodes, leader: leader})
+	}
+	sort.SliceStable(groups, func(i, j int) bool {
+		di, dj := g.Degree(groups[i].leader), g.Degree(groups[j].leader)
+		if di != dj {
+			return di > dj
+		}
+		return groups[i].leader < groups[j].leader
+	})
+
+	plan := &Plan{
+		Groups:  make([][]topology.NodeID, len(groups)),
+		Leaders: make([]topology.NodeID, len(groups)),
+		GroupOf: make([]int, n),
+	}
+	for gi, grp := range groups {
+		plan.Groups[gi] = grp.nodes
+		plan.Leaders[gi] = grp.leader
+		for _, m := range grp.nodes {
+			plan.GroupOf[m] = gi
+		}
+	}
+	return plan, nil
+}

@@ -1,0 +1,131 @@
+package subgroup
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/subsum/subsum/internal/topology"
+)
+
+// TestClusterRecoversRegions: on a transit-stub overlay whose brokers
+// subscribe within region-private value bands, similarity clustering
+// must produce region-pure groups — brokers from different bands score
+// near-zero similarity, so no group should mix them.
+func TestClusterRecoversRegions(t *testing.T) {
+	g, regions := topology.TransitStubRegions(64, 9)
+	own, _ := regionSummaries(t, regions, 20, 17)
+	plan, err := Cluster(g, signaturesOf(own), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumGroups() < 2 {
+		t.Fatalf("expected multiple groups, got %d", plan.NumGroups())
+	}
+	pure, total := 0, 0
+	for _, members := range plan.Groups {
+		counts := map[int]int{}
+		for _, m := range members {
+			counts[regions[m]]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		pure += best
+		total += len(members)
+	}
+	if purity := float64(pure) / float64(total); purity < 0.9 {
+		t.Fatalf("region purity %.2f below 0.9 (groups %v)", purity, plan.Groups)
+	}
+}
+
+// TestClusterDeterministic: identical inputs must produce identical
+// plans, and the plan must be a partition consistent with GroupOf and
+// Leaders.
+func TestClusterDeterministic(t *testing.T) {
+	g, regions := topology.TransitStubRegions(48, 4)
+	own, _ := regionSummaries(t, regions, 15, 8)
+	sigs := signaturesOf(own)
+	a, err := Cluster(g, sigs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(g, sigs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two Cluster runs over identical inputs disagree")
+	}
+
+	seen := make([]bool, g.Len())
+	for gi, members := range a.Groups {
+		if len(members) == 0 {
+			t.Fatalf("group %d empty", gi)
+		}
+		leaderIn := false
+		for k, m := range members {
+			if seen[m] {
+				t.Fatalf("broker %d in two groups", m)
+			}
+			seen[m] = true
+			if a.GroupOf[m] != gi {
+				t.Fatalf("GroupOf[%d] = %d, member of group %d", m, a.GroupOf[m], gi)
+			}
+			if k > 0 && members[k-1] >= m {
+				t.Fatalf("group %d members not ascending: %v", gi, members)
+			}
+			if m == a.Leaders[gi] {
+				leaderIn = true
+			}
+		}
+		if !leaderIn {
+			t.Fatalf("leader %d not a member of group %d", a.Leaders[gi], gi)
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("broker %d in no group", i)
+		}
+	}
+}
+
+// TestClusterTargetGroups: the explicit knobs are honored — TargetGroups
+// bounds the group count from above, MinGroupSize agglomerates dust.
+func TestClusterTargetGroups(t *testing.T) {
+	g, regions := topology.TransitStubRegions(64, 5)
+	own, _ := regionSummaries(t, regions, 12, 2)
+	sigs := signaturesOf(own)
+	plan, err := Cluster(g, sigs, Options{TargetGroups: 4, MinGroupSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumGroups() > 4 {
+		t.Fatalf("TargetGroups 4 produced %d groups", plan.NumGroups())
+	}
+	// Agglomeration can only be incomplete when nothing remains to merge
+	// into; with ≥2 groups every group must meet the minimum.
+	if plan.NumGroups() >= 2 {
+		for gi, members := range plan.Groups {
+			if len(members) < 3 {
+				t.Fatalf("group %d has %d members, below MinGroupSize 3", gi, len(members))
+			}
+		}
+	}
+}
+
+// TestClusterSingleBroker: the degenerate overlay still yields a valid
+// one-group plan.
+func TestClusterSingleBroker(t *testing.T) {
+	g := topology.New("solo", 1)
+	own, _ := regionSummaries(t, []int{0}, 5, 1)
+	plan, err := Cluster(g, signaturesOf(own), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumGroups() != 1 || len(plan.Groups[0]) != 1 || plan.Leaders[0] != 0 {
+		t.Fatalf("unexpected plan for single broker: %+v", plan)
+	}
+}

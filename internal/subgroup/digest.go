@@ -1,0 +1,418 @@
+package subgroup
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/subid"
+	"github.com/subsum/subsum/internal/summary"
+	"github.com/subsum/subsum/internal/topology"
+)
+
+// Digest is the compact cross-border form of one subgroup's merged
+// summary: enough to decide "could any subscription in this group match
+// this event" without shipping the summary itself. It over-approximates
+// by construction — interval hulls cover every range row, a Bloom
+// filter covers every equality value and string prefix key, wildcard
+// flags cover everything a prefix cannot bound — so MayMatch can return
+// false positives (a wasted hop) but never false negatives (a lost
+// event). See DESIGN.md §Subgrouping for the soundness argument.
+type Digest struct {
+	Group    int
+	Members  subid.Mask // broker ids in the subgroup
+	NumAttrs int
+
+	Arith map[schema.AttrID]*ArithDigest
+	Str   map[schema.AttrID]*StrDigest
+
+	// Masks are the distinct c3 attribute masks over the group's
+	// subscriptions: a sub can match only if every attribute in its mask
+	// is individually satisfiable.
+	Masks []subid.Mask
+
+	bloom bloomFilter
+}
+
+// ArithDigest is the per-arithmetic-attribute slice of a Digest.
+type ArithDigest struct {
+	Hulls []interval.Interval
+	HasNE bool // a ≠ row matches every value but one: always satisfiable
+	HasEq bool // equality values present (tested through the Bloom filter)
+}
+
+// StrDigest is the per-string-attribute slice of a Digest.
+type StrDigest struct {
+	Wild    bool // a row no prefix key bounds: always satisfiable
+	HasKeys bool // prefix keys present (tested through the Bloom filter)
+}
+
+// arithKind/strKind salt the Bloom keys so an arithmetic value and a
+// string key never alias across attribute types.
+const (
+	arithKind = 0
+	strKind   = 1
+)
+
+// BuildDigest compiles a subgroup's merged-summary signature into its
+// digest. numBrokers sizes the member mask; numAttrs is the schema's
+// attribute count (the width of the satisfiability mask MayMatch
+// builds).
+func BuildDigest(group int, members []topology.NodeID, numBrokers, numAttrs int, sig *summary.Signature) *Digest {
+	d := &Digest{
+		Group:    group,
+		Members:  subid.NewMask(numBrokers),
+		NumAttrs: numAttrs,
+		Arith:    make(map[schema.AttrID]*ArithDigest, len(sig.Arith)),
+		Str:      make(map[schema.AttrID]*StrDigest, len(sig.Str)),
+		Masks:    sig.Masks,
+	}
+	for _, m := range members {
+		d.Members.Set(int(m))
+	}
+	entries := 0
+	for _, as := range sig.Arith {
+		entries += len(as.EqBits)
+	}
+	for _, ss := range sig.Str {
+		entries += len(ss.Keys)
+	}
+	d.bloom = newBloom(entries)
+	for a, as := range sig.Arith {
+		ad := &ArithDigest{Hulls: as.Hulls, HasNE: as.HasNE, HasEq: len(as.EqBits) > 0}
+		for _, bits := range as.EqBits {
+			d.bloom.add(bloomKey(a, arithKind, bits))
+		}
+		d.Arith[a] = ad
+	}
+	for a, ss := range sig.Str {
+		sd := &StrDigest{Wild: ss.Wild, HasKeys: len(ss.Keys) > 0}
+		for _, k := range ss.Keys {
+			d.bloom.add(bloomKey(a, strKind, k.Hash))
+		}
+		d.Str[a] = sd
+	}
+	return d
+}
+
+// MayMatch reports whether some subscription summarized in this group
+// could match the event: it marks each event attribute satisfiable if
+// the group's digest admits its value (hull containment, Bloom hit, or
+// wildcard), then checks whether any subscription attribute mask is
+// fully satisfiable. Sound: if a subscription in the group matches the
+// event exactly, MayMatch is true.
+func (d *Digest) MayMatch(e *schema.Event) bool {
+	var satStack [4]uint64
+	words := (d.NumAttrs + 63) / 64
+	var sat []uint64
+	if words <= len(satStack) {
+		sat = satStack[:words]
+		for i := range sat {
+			sat[i] = 0
+		}
+	} else {
+		sat = make([]uint64, words)
+	}
+	any := false
+	for _, f := range e.Fields() {
+		a := f.Attr
+		if int(a) >= d.NumAttrs {
+			continue
+		}
+		ok := false
+		if ad, hit := d.Arith[a]; hit {
+			v := f.Value.Num
+			ok = ad.HasNE ||
+				(ad.HasEq && d.bloom.has(bloomKey(a, arithKind, math.Float64bits(v))))
+			if !ok {
+				for _, h := range ad.Hulls {
+					if h.Contains(v) {
+						ok = true
+						break
+					}
+				}
+			}
+		} else if sd, hit := d.Str[a]; hit {
+			ok = sd.Wild ||
+				(sd.HasKeys && d.bloom.has(bloomKey(a, strKind, summary.StrKeyOf(f.Value.Str))))
+		}
+		if ok {
+			sat[int(a)>>6] |= 1 << (uint(a) & 63)
+			any = true
+		}
+	}
+	if !any {
+		return false
+	}
+	for _, m := range d.Masks {
+		if maskSubset(m, sat) {
+			return true
+		}
+	}
+	return false
+}
+
+// maskSubset reports m ⊆ sat word-wise, treating words beyond sat as
+// zero.
+func maskSubset(m subid.Mask, sat []uint64) bool {
+	for w, bits := range m {
+		var s uint64
+		if w < len(sat) {
+			s = sat[w]
+		}
+		if bits&^s != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// bloomKey mixes the attribute id, the value kind, and the value hash
+// into one 64-bit Bloom key.
+func bloomKey(a schema.AttrID, kind uint64, v uint64) uint64 {
+	x := (uint64(a) + 1) * 0x9E3779B97F4A7C15
+	x ^= (kind + 1) * 0xBF58476D1CE4E5B9
+	return splitmix64(x ^ v)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// bloomFilter is a fixed-size double-hashed Bloom filter (~10 bits and 4
+// probes per entry: ≈1% false-positive rate at capacity).
+type bloomFilter struct {
+	words []uint64
+	k     uint32
+}
+
+func newBloom(entries int) bloomFilter {
+	bits := 64
+	for bits < entries*10 {
+		bits <<= 1
+	}
+	return bloomFilter{words: make([]uint64, bits/64), k: 4}
+}
+
+func (b bloomFilter) mask() uint64 { return uint64(len(b.words))*64 - 1 }
+
+func (b bloomFilter) add(h uint64) {
+	h2 := splitmix64(h) | 1
+	for i := uint64(0); i < uint64(b.k); i++ {
+		bit := (h + i*h2) & b.mask()
+		b.words[bit>>6] |= 1 << (bit & 63)
+	}
+}
+
+func (b bloomFilter) has(h uint64) bool {
+	h2 := splitmix64(h) | 1
+	for i := uint64(0); i < uint64(b.k); i++ {
+		bit := (h + i*h2) & b.mask()
+		if b.words[bit>>6]&(1<<(bit&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode serializes the digest (appending to buf) — the honest
+// cross-border wire cost the overlay experiments charge per
+// leader-to-leader exchange. DecodeDigest inverts it.
+func (d *Digest) Encode(buf []byte) []byte {
+	buf = putUvarint(buf, uint64(d.Group))
+	buf = putUvarint(buf, uint64(d.NumAttrs))
+	buf = putWords(buf, d.Members)
+	buf = putUvarint(buf, uint64(len(d.Arith)))
+	for _, a := range sortedArithDigestIDs(d.Arith) {
+		ad := d.Arith[a]
+		buf = putUvarint(buf, uint64(a))
+		var flags byte
+		if ad.HasNE {
+			flags |= 1
+		}
+		if ad.HasEq {
+			flags |= 2
+		}
+		buf = append(buf, flags)
+		buf = putUvarint(buf, uint64(len(ad.Hulls)))
+		for _, h := range ad.Hulls {
+			buf = putU64(buf, math.Float64bits(h.Lo))
+			buf = putU64(buf, math.Float64bits(h.Hi))
+			var open byte
+			if h.LoOpen {
+				open |= 1
+			}
+			if h.HiOpen {
+				open |= 2
+			}
+			buf = append(buf, open)
+		}
+	}
+	buf = putUvarint(buf, uint64(len(d.Str)))
+	for _, a := range sortedStrDigestIDs(d.Str) {
+		sd := d.Str[a]
+		buf = putUvarint(buf, uint64(a))
+		var flags byte
+		if sd.Wild {
+			flags |= 1
+		}
+		if sd.HasKeys {
+			flags |= 2
+		}
+		buf = append(buf, flags)
+	}
+	buf = putUvarint(buf, uint64(len(d.Masks)))
+	for _, m := range d.Masks {
+		buf = putWords(buf, m)
+	}
+	buf = putUvarint(buf, uint64(d.bloom.k))
+	buf = putWords(buf, d.bloom.words)
+	return buf
+}
+
+// DecodeDigest parses an encoded digest.
+func DecodeDigest(data []byte) (*Digest, error) {
+	r := &byteReader{data: data}
+	d := &Digest{
+		Group:    int(r.uvarint()),
+		NumAttrs: int(r.uvarint()),
+	}
+	d.Members = subid.Mask(r.words())
+	nArith := int(r.uvarint())
+	d.Arith = make(map[schema.AttrID]*ArithDigest, nArith)
+	for i := 0; i < nArith && !r.failed; i++ {
+		a := schema.AttrID(r.uvarint())
+		flags := r.byte()
+		ad := &ArithDigest{HasNE: flags&1 != 0, HasEq: flags&2 != 0}
+		nh := int(r.uvarint())
+		for j := 0; j < nh && !r.failed; j++ {
+			lo := math.Float64frombits(r.u64())
+			hi := math.Float64frombits(r.u64())
+			open := r.byte()
+			ad.Hulls = append(ad.Hulls, interval.Interval{
+				Lo: lo, Hi: hi, LoOpen: open&1 != 0, HiOpen: open&2 != 0,
+			})
+		}
+		d.Arith[a] = ad
+	}
+	nStr := int(r.uvarint())
+	d.Str = make(map[schema.AttrID]*StrDigest, nStr)
+	for i := 0; i < nStr && !r.failed; i++ {
+		a := schema.AttrID(r.uvarint())
+		flags := r.byte()
+		d.Str[a] = &StrDigest{Wild: flags&1 != 0, HasKeys: flags&2 != 0}
+	}
+	nMasks := int(r.uvarint())
+	for i := 0; i < nMasks && !r.failed; i++ {
+		d.Masks = append(d.Masks, subid.Mask(r.words()))
+	}
+	d.bloom.k = uint32(r.uvarint())
+	d.bloom.words = r.words()
+	if r.failed || r.pos != len(r.data) {
+		return nil, fmt.Errorf("subgroup: malformed digest (%d/%d bytes)", r.pos, len(r.data))
+	}
+	if len(d.bloom.words) == 0 || len(d.bloom.words)&(len(d.bloom.words)-1) != 0 {
+		return nil, fmt.Errorf("subgroup: digest bloom size %d not a power of two", len(d.bloom.words))
+	}
+	return d, nil
+}
+
+func sortedArithDigestIDs(m map[schema.AttrID]*ArithDigest) []schema.AttrID {
+	out := make([]schema.AttrID, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func sortedStrDigestIDs(m map[schema.AttrID]*StrDigest) []schema.AttrID {
+	out := make([]schema.AttrID, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func putUvarint(buf []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(buf, tmp[:n]...)
+}
+
+func putU64(buf []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	return append(buf, tmp[:]...)
+}
+
+func putWords(buf []byte, words []uint64) []byte {
+	buf = putUvarint(buf, uint64(len(words)))
+	for _, w := range words {
+		buf = putU64(buf, w)
+	}
+	return buf
+}
+
+type byteReader struct {
+	data   []byte
+	pos    int
+	failed bool
+}
+
+func (r *byteReader) uvarint() uint64 {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.failed = true
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *byteReader) byte() byte {
+	if r.pos >= len(r.data) {
+		r.failed = true
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *byteReader) u64() uint64 {
+	if r.pos+8 > len(r.data) {
+		r.failed = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.pos:])
+	r.pos += 8
+	return v
+}
+
+func (r *byteReader) words() []uint64 {
+	n := int(r.uvarint())
+	if r.failed || n < 0 || r.pos+8*n > len(r.data) {
+		r.failed = true
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.u64()
+	}
+	return out
+}

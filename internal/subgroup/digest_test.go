@@ -1,0 +1,123 @@
+package subgroup
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/topology"
+)
+
+// TestDigestNoFalseNegatives is the digest soundness property: for any
+// event the subgroup's merged summary matches, the digest built from
+// that summary's signature must say MayMatch. The event stream mixes
+// in-region hits, out-of-region hits, and pure misses across several
+// hit rates, so both the hull path and the bloom paths are exercised.
+func TestDigestNoFalseNegatives(t *testing.T) {
+	regions := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	own, gens := matchableRegionSummaries(t, regions, 25, 31)
+	g := topology.Ring(len(regions))
+	plan, err := Cluster(g, signaturesOf(own), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Propagate(g, own, plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checked, matched, pruned := 0, 0, 0
+	for _, region := range []int{0, 1} {
+		gen := gens[region]
+		for _, hitRate := range []float64{0, 0.3, 0.7, 1} {
+			for k := 0; k < 200; k++ {
+				ev := gen.Event(hitRate)
+				for gi := range res.Merged {
+					checked++
+					hits := res.Merged[gi].MatchKeys(ev)
+					may := res.Digests[gi].MayMatch(ev)
+					if len(hits) > 0 {
+						matched++
+						if !may {
+							t.Fatalf("false negative: group %d matches event %v but digest prunes it", gi, ev)
+						}
+					} else if !may {
+						pruned++
+					}
+				}
+			}
+		}
+	}
+	if matched == 0 {
+		t.Fatal("event stream never matched any group — property vacuous")
+	}
+	if pruned == 0 {
+		t.Fatal("digests never pruned anything — cross-region events should miss")
+	}
+	t.Logf("%d checks: %d summary matches, %d digest prunes", checked, matched, pruned)
+}
+
+// TestDigestRoundTrip: Encode → DecodeDigest must reproduce a digest
+// that answers MayMatch identically, and re-encoding the decoded digest
+// must be byte-identical.
+func TestDigestRoundTrip(t *testing.T) {
+	regions := []int{0, 0, 1, 1, 2, 2}
+	own, gens := regionSummaries(t, regions, 20, 13)
+	g := topology.Ring(len(regions))
+	plan, err := Cluster(g, signaturesOf(own), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Propagate(g, own, plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []*schema.Event
+	for _, region := range []int{0, 1, 2} {
+		for k := 0; k < 100; k++ {
+			events = append(events, gens[region].Event(0.5))
+		}
+	}
+	for gi, d := range res.Digests {
+		enc := d.Encode(nil)
+		dec, err := DecodeDigest(enc)
+		if err != nil {
+			t.Fatalf("group %d: decode: %v", gi, err)
+		}
+		if !bytes.Equal(dec.Encode(nil), enc) {
+			t.Fatalf("group %d: re-encode differs", gi)
+		}
+		for _, ev := range events {
+			if d.MayMatch(ev) != dec.MayMatch(ev) {
+				t.Fatalf("group %d: decoded digest answers differently for %v", gi, ev)
+			}
+		}
+	}
+}
+
+// TestDecodeDigestRejectsCorruption: truncations and bit flips must
+// error or decode cleanly — never panic.
+func TestDecodeDigestRejectsCorruption(t *testing.T) {
+	own, _ := regionSummaries(t, []int{0, 0, 1, 1}, 10, 5)
+	g := topology.Ring(4)
+	plan, err := Cluster(g, signaturesOf(own), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Propagate(g, own, plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := res.Digests[0].Encode(nil)
+	for cut := 0; cut < len(enc); cut++ {
+		DecodeDigest(enc[:cut]) // must not panic; error expected but not required at every cut
+	}
+	for i := range enc {
+		mut := append([]byte(nil), enc...)
+		mut[i] ^= 0x55
+		DecodeDigest(mut) // must not panic
+	}
+	if _, err := DecodeDigest(nil); err == nil {
+		t.Fatal("decoding nil succeeded")
+	}
+}

@@ -1,0 +1,130 @@
+package subgroup
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/subsum/subsum/internal/par"
+	"github.com/subsum/subsum/internal/summary"
+	"github.com/subsum/subsum/internal/topology"
+)
+
+// Result is the outcome of one subgrouped propagation period.
+type Result struct {
+	Plan *Plan
+	// Merged[gi] is subgroup gi's merged summary, held by the group's
+	// leader — the rendezvous broker all of the group's event matching
+	// happens at. Members keep only their own summaries.
+	Merged []*summary.Summary
+	// Digests[gi] is the compact cross-border form of Merged[gi], held
+	// by every leader.
+	Digests []*Digest
+
+	// Hops counts every broker-to-broker message of the period:
+	// member→leader summary uploads and leader→leader digest exchanges.
+	Hops int
+	// IntraWireBytes is the full-summary upload traffic inside
+	// subgroups; DigestWireBytes is the digest traffic across borders;
+	// WireBytes is their sum.
+	IntraWireBytes  int64
+	DigestWireBytes int64
+	WireBytes       int64
+	// PeakMergedBytes is the largest encoded subgroup summary — the
+	// per-broker state high-water mark, the number that grows to the
+	// whole network's summary under flat propagation.
+	PeakMergedBytes int
+
+	NumBrokers int
+}
+
+// encBufPool recycles encode buffers across Propagate calls.
+var encBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// Propagate runs one subgrouped propagation period: within each
+// subgroup, members upload their summaries to the subgroup leader (the
+// highest-degree member), which merges them (ascending member id —
+// deterministic) and keeps the merged subgroup summary; across
+// subgroups, leaders exchange digests compiled from the merged
+// summaries. Nothing is broadcast back — the leader is the group's
+// rendezvous matcher, so members never need the merged state. Groups
+// are processed in parallel over a bounded worker pool (<= 0 means one
+// worker per CPU); results are identical at any width because each
+// group's work touches only that group's slots.
+//
+// Hop and byte accounting models every transmission the scheme implies —
+// member uploads plus the full leader-to-leader digest mesh — so
+// comparisons against flat propagation charge the subgrouped side
+// honestly.
+func Propagate(g *topology.Graph, own []*summary.Summary, plan *Plan, workers int) (*Result, error) {
+	n := g.Len()
+	if len(own) != n {
+		return nil, fmt.Errorf("subgroup: %d summaries for %d brokers", len(own), n)
+	}
+	if len(plan.GroupOf) != n {
+		return nil, fmt.Errorf("subgroup: plan covers %d brokers, overlay has %d", len(plan.GroupOf), n)
+	}
+	for i, s := range own {
+		if s == nil {
+			return nil, fmt.Errorf("subgroup: nil summary for broker %d", i)
+		}
+	}
+	numAttrs := len(own[0].Schema().Attributes())
+	groups := len(plan.Groups)
+	res := &Result{
+		Plan:       plan,
+		Merged:     make([]*summary.Summary, groups),
+		Digests:    make([]*Digest, groups),
+		NumBrokers: n,
+	}
+	type groupCost struct {
+		intraBytes  int64
+		digestBytes int
+		mergedBytes int
+		hops        int
+	}
+	costs := make([]groupCost, groups)
+	err := par.SweepErr(groups, workers, func(gi int) error {
+		members := plan.Groups[gi]
+		leader := plan.Leaders[gi]
+		c := &costs[gi]
+		merged := own[leader].Clone()
+		for _, m := range members {
+			if m == leader {
+				continue
+			}
+			// Member → leader: one encoded own summary per member.
+			payload := encBufPool.Get().(*[]byte)
+			*payload = own[m].Encode((*payload)[:0])
+			c.intraBytes += int64(len(*payload))
+			c.hops++
+			err := merged.MergeEncoded(*payload)
+			encBufPool.Put(payload)
+			if err != nil {
+				return fmt.Errorf("subgroup: merging broker %d into group %d: %w", m, gi, err)
+			}
+		}
+		c.mergedBytes = merged.EncodedSize()
+		res.Merged[gi] = merged
+		res.Digests[gi] = BuildDigest(gi, members, n, numAttrs, merged.Signature(0))
+		c.digestBytes = len(res.Digests[gi].Encode(nil))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for gi := range costs {
+		c := &costs[gi]
+		res.IntraWireBytes += c.intraBytes
+		res.Hops += c.hops
+		if c.mergedBytes > res.PeakMergedBytes {
+			res.PeakMergedBytes = c.mergedBytes
+		}
+		// Leader gi sends its digest to every other leader.
+		if groups > 1 {
+			res.DigestWireBytes += int64(c.digestBytes) * int64(groups-1)
+			res.Hops += groups - 1
+		}
+	}
+	res.WireBytes = res.IntraWireBytes + res.DigestWireBytes
+	return res, nil
+}

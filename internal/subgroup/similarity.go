@@ -1,0 +1,218 @@
+// Package subgroup clusters brokers by subscription-summary similarity
+// and routes events subgroup-first, after Shafique's subscription
+// subgrouping line of work (arXiv:1611.08743, arXiv:1512.06425): full
+// summaries circulate only within a subgroup, compact digests cross
+// subgroup borders, and Algorithm 3's walk prunes whole subgroups with
+// one digest check instead of visiting brokers one by one.
+//
+// The pipeline is Cluster (similarity-driven grouping over summary
+// signatures) → Propagate (intra-group summary exchange plus leader-to-
+// leader digest exchange) → Router (digest-first event routing). Both
+// subgrouped and flat routing over-approximate and never lose an owner,
+// so the end-to-end delivered sets — after the owner's own-row
+// verification, the paradigm's exact-match step — are always identical.
+// Candidate sets before that verification coincide too whenever
+// summary-level matching is merge-grouping independent, i.e. when
+// constraint rows are either shared verbatim across brokers or globally
+// distinct so lossy folds don't depend on which summaries merged
+// together (see DESIGN.md §Subgrouping).
+package subgroup
+
+import (
+	"sort"
+
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/summary"
+)
+
+// hullEps widens hull endpoints by a nominal length so degenerate point
+// intervals still overlap themselves: two identical points must compare
+// as similar, not as zero-length noise.
+const hullEps = 1e-9
+
+// Similarity scores how much two broker summaries cover the same event
+// space, in [0, 1]. It is a Jaccard-style product: the attribute-set
+// Jaccard index times the mean per-shared-attribute value similarity
+// (interval-length overlap for AACS hulls and equality points, weighted
+// key Jaccard for SACS prefix keys). Computed purely from signatures —
+// no decode, no raw subscriptions — and deterministic: map iteration is
+// sorted so float accumulation order is fixed.
+func Similarity(a, b *summary.Signature) float64 {
+	if a == nil || b == nil {
+		return 0
+	}
+	union, shared := 0, 0
+	var valueSum float64
+	for _, id := range sortedArithIDs(a) {
+		union++
+		if bs, ok := b.Arith[id]; ok {
+			shared++
+			valueSum += arithSim(a.Arith[id], bs)
+		}
+	}
+	for _, id := range sortedArithIDs(b) {
+		if _, ok := a.Arith[id]; !ok {
+			union++
+		}
+	}
+	for _, id := range sortedStrIDs(a) {
+		union++
+		if bs, ok := b.Str[id]; ok {
+			shared++
+			valueSum += strSim(a.Str[id], bs)
+		}
+	}
+	for _, id := range sortedStrIDs(b) {
+		if _, ok := a.Str[id]; !ok {
+			union++
+		}
+	}
+	if union == 0 || shared == 0 {
+		return 0
+	}
+	return (float64(shared) / float64(union)) * (valueSum / float64(shared))
+}
+
+func sortedArithIDs(s *summary.Signature) []schema.AttrID {
+	out := make([]schema.AttrID, 0, len(s.Arith))
+	for id := range s.Arith {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedStrIDs(s *summary.Signature) []schema.AttrID {
+	out := make([]schema.AttrID, 0, len(s.Str))
+	for id := range s.Str {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// arithSim averages the hull-overlap and equality-point-overlap ratios,
+// counting each component only when at least one side has it. Fresh
+// equality values are near-unique per broker (they carry little
+// clustering signal), so keeping them a separate component stops them
+// from drowning the range hulls that do discriminate.
+func arithSim(x, y *summary.ArithSig) float64 {
+	if x.HasNE || y.HasNE {
+		// A not-equal row matches all but one value: effectively wild.
+		return 1
+	}
+	var sum float64
+	parts := 0
+	if len(x.Hulls) > 0 || len(y.Hulls) > 0 {
+		parts++
+		var inter, total float64
+		for _, ix := range x.Hulls {
+			total += hullLen(ix)
+			for _, iy := range y.Hulls {
+				inter += overlapLen(ix, iy)
+			}
+		}
+		for _, iy := range y.Hulls {
+			total += hullLen(iy)
+		}
+		// Hulls within one signature are disjoint, so union = total − inter.
+		if u := total - inter; u > 0 {
+			sum += inter / u
+		}
+	}
+	if len(x.EqBits) > 0 || len(y.EqBits) > 0 {
+		parts++
+		inter := sortedIntersectionCount(x.EqBits, y.EqBits)
+		if u := len(x.EqBits) + len(y.EqBits) - inter; u > 0 {
+			sum += float64(inter) / float64(u)
+		}
+	}
+	if parts == 0 {
+		return 0
+	}
+	return sum / float64(parts)
+}
+
+// strSim is the weighted Jaccard index Σmin/Σmax over the two key sets,
+// so canonical prefixes shared by many subscriptions dominate fresh
+// single-subscription values.
+func strSim(x, y *summary.StrSig) float64 {
+	if x.Wild || y.Wild {
+		return 1
+	}
+	var minSum, maxSum float64
+	i, j := 0, 0
+	for i < len(x.Keys) || j < len(y.Keys) {
+		switch {
+		case j >= len(y.Keys) || (i < len(x.Keys) && x.Keys[i].Hash < y.Keys[j].Hash):
+			maxSum += float64(x.Keys[i].Weight)
+			i++
+		case i >= len(x.Keys) || y.Keys[j].Hash < x.Keys[i].Hash:
+			maxSum += float64(y.Keys[j].Weight)
+			j++
+		default:
+			wx, wy := float64(x.Keys[i].Weight), float64(y.Keys[j].Weight)
+			if wx < wy {
+				minSum += wx
+				maxSum += wy
+			} else {
+				minSum += wy
+				maxSum += wx
+			}
+			i++
+			j++
+		}
+	}
+	if maxSum == 0 {
+		return 0
+	}
+	return minSum / maxSum
+}
+
+func clampFinite(v float64) float64 {
+	const bound = 1e15
+	if v > bound {
+		return bound
+	}
+	if v < -bound {
+		return -bound
+	}
+	return v
+}
+
+func hullLen(iv interval.Interval) float64 {
+	return clampFinite(iv.Hi) - clampFinite(iv.Lo) + hullEps
+}
+
+func overlapLen(x, y interval.Interval) float64 {
+	lo := clampFinite(x.Lo)
+	if l := clampFinite(y.Lo); l > lo {
+		lo = l
+	}
+	hi := clampFinite(x.Hi)
+	if h := clampFinite(y.Hi); h < hi {
+		hi = h
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo + hullEps
+}
+
+func sortedIntersectionCount(a, b []uint64) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case b[j] < a[i]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}

@@ -1,0 +1,71 @@
+package subgroup
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSimilarityRegionSeparation: brokers drawing subscriptions from the
+// same region band must score strictly more similar than brokers from
+// different bands — that separation is the entire clustering signal.
+func TestSimilarityRegionSeparation(t *testing.T) {
+	regions := []int{0, 0, 0, 1, 1, 1, 2, 2, 2}
+	own, _ := regionSummaries(t, regions, 30, 42)
+	sigs := signaturesOf(own)
+
+	var sameSum, crossSum float64
+	var sameN, crossN int
+	for i := range sigs {
+		for j := i + 1; j < len(sigs); j++ {
+			s := Similarity(sigs[i], sigs[j])
+			if s < 0 || s > 1 {
+				t.Fatalf("Similarity(%d,%d) = %v out of [0,1]", i, j, s)
+			}
+			if regions[i] == regions[j] {
+				sameSum += s
+				sameN++
+			} else {
+				crossSum += s
+				crossN++
+			}
+		}
+	}
+	sameMean, crossMean := sameSum/float64(sameN), crossSum/float64(crossN)
+	if sameMean <= crossMean {
+		t.Fatalf("same-region mean similarity %v not above cross-region %v", sameMean, crossMean)
+	}
+	// The bands are value-disjoint, so the separation should be stark,
+	// not marginal.
+	if sameMean < 2*crossMean {
+		t.Fatalf("separation too weak: same-region %v vs cross-region %v", sameMean, crossMean)
+	}
+}
+
+// TestSimilaritySymmetric: the metric must not depend on argument order
+// beyond float rounding.
+func TestSimilaritySymmetric(t *testing.T) {
+	regions := []int{0, 0, 1, 1}
+	own, _ := regionSummaries(t, regions, 20, 7)
+	sigs := signaturesOf(own)
+	for i := range sigs {
+		for j := range sigs {
+			ab, ba := Similarity(sigs[i], sigs[j]), Similarity(sigs[j], sigs[i])
+			if math.Abs(ab-ba) > 1e-9 {
+				t.Fatalf("Similarity(%d,%d)=%v but reversed=%v", i, j, ab, ba)
+			}
+		}
+	}
+}
+
+// TestSimilarityIdentity: a signature compared to itself scores near 1 —
+// full attribute overlap and full value overlap.
+func TestSimilarityIdentity(t *testing.T) {
+	own, _ := regionSummaries(t, []int{0}, 25, 3)
+	sig := own[0].Signature(0)
+	if s := Similarity(sig, sig); s < 0.99 {
+		t.Fatalf("self-similarity %v, want ≈1", s)
+	}
+	if s := Similarity(nil, sig); s != 0 {
+		t.Fatalf("nil similarity %v, want 0", s)
+	}
+}

@@ -1,0 +1,117 @@
+package subgroup
+
+import (
+	"testing"
+
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/subid"
+	"github.com/subsum/subsum/internal/summary"
+	"github.com/subsum/subsum/internal/topology"
+	"github.com/subsum/subsum/internal/workload"
+)
+
+// regionGenerators builds one workload generator per distinct region id.
+// All generators share one schema shape (so their summaries interoperate)
+// but draw values from region-private bands — the correlated-interest
+// setting subgrouping is designed for.
+func regionGenerators(t testing.TB, regions []int, seed int64) map[int]*workload.Generator {
+	return regionGeneratorsCfg(t, regions, seed, workload.DefaultConfig())
+}
+
+func regionGeneratorsCfg(t testing.TB, regions []int, seed int64, base workload.Config) map[int]*workload.Generator {
+	t.Helper()
+	gens := make(map[int]*workload.Generator)
+	for _, r := range regions {
+		if _, ok := gens[r]; ok {
+			continue
+		}
+		cfg := base
+		cfg.Region = r
+		cfg.Seed = seed + int64(r)
+		gen, err := workload.NewGenerator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gens[r] = gen
+	}
+	return gens
+}
+
+// matchableConfig is the stock workload reshaped so random events have a
+// realistic chance of matching: short conjunctions, all-canonical
+// constraints, and events carrying every attribute. The stock 5-attr
+// conjunctions over 10 attributes match a random 5-attr event with
+// probability ≈ 1/252 before value checks — far too sparse for
+// delivery-set tests.
+func matchableConfig() workload.Config {
+	cfg := workload.DefaultConfig()
+	cfg.AttrsPerSub = 2
+	cfg.AttrsPerEvent = cfg.NumAttrs
+	cfg.Subsumption = 1
+	return cfg
+}
+
+// regionSummaries builds sigma-subscription summaries for each broker,
+// drawing broker i's subscriptions from its region's generator.
+func regionSummaries(t testing.TB, regions []int, sigma int, seed int64) ([]*summary.Summary, map[int]*workload.Generator) {
+	t.Helper()
+	return summariesFrom(t, regions, sigma, regionGenerators(t, regions, seed))
+}
+
+// matchableRegionSummaries is regionSummaries over matchableConfig.
+func matchableRegionSummaries(t testing.TB, regions []int, sigma int, seed int64) ([]*summary.Summary, map[int]*workload.Generator) {
+	t.Helper()
+	return summariesFrom(t, regions, sigma, regionGeneratorsCfg(t, regions, seed, matchableConfig()))
+}
+
+func summariesFrom(t testing.TB, regions []int, sigma int, gens map[int]*workload.Generator) ([]*summary.Summary, map[int]*workload.Generator) {
+	t.Helper()
+	own := make([]*summary.Summary, len(regions))
+	for i, r := range regions {
+		gen := gens[r]
+		sm := summary.New(gen.Schema(), interval.Lossy)
+		for j := 0; j < sigma; j++ {
+			id := subid.ID{Broker: subid.BrokerID(i), Local: subid.LocalID(j)}
+			if err := sm.Insert(id, gen.Subscription()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		own[i] = sm
+	}
+	return own, gens
+}
+
+func signaturesOf(own []*summary.Summary) []*summary.Signature {
+	sigs := make([]*summary.Signature, len(own))
+	for i, sm := range own {
+		sigs[i] = sm.Signature(0)
+	}
+	return sigs
+}
+
+// modRegions assigns regions round-robin for hand-built topologies that
+// have no transit-stub structure.
+func modRegions(n, k int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i % k
+	}
+	return out
+}
+
+func subgroupOver(t testing.TB, g *topology.Graph, own []*summary.Summary) (*Result, *Router) {
+	t.Helper()
+	plan, err := Cluster(g, signaturesOf(own), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Propagate(g, own, plan, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, r
+}

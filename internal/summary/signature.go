@@ -1,0 +1,240 @@
+// Signature extraction for summary-similarity subgrouping. A Signature
+// is a compact, order-insensitive sketch of what a summary can match,
+// computed straight from the AACS/SACS rows and the dense id registry —
+// no wire decode, no raw subscriptions. The subgroup package compares
+// signatures to cluster brokers and compiles them into cross-subgroup
+// digests, so everything a digest needs to stay sound (no false
+// negatives) is captured here conservatively: arithmetic range rows
+// become covering interval hulls, equality rows keep their exact value
+// bits, string rows reduce to fixed-width prefix keys with anything
+// wider than a prefix collapsing to a wildcard flag.
+package summary
+
+import (
+	"math"
+	"sort"
+
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/subid"
+)
+
+// SigPrefixLen is the fixed string-key width: a SACS row whose matches
+// all share their first SigPrefixLen bytes (equality texts and prefix
+// patterns at least that long) contributes the hash of those bytes;
+// every other row shape sets Wild. Event values shorter than
+// SigPrefixLen hash whole.
+const SigPrefixLen = 6
+
+// SigKey is one hashed string-prefix key with the number of id-list
+// entries behind it (the weight similarity uses).
+type SigKey struct {
+	Hash   uint64
+	Weight int32
+}
+
+// ArithSig sketches one attribute's AACS.
+type ArithSig struct {
+	// Hulls are disjoint intervals covering every range row, capped in
+	// count by merging the closest pair (a pure widening, so coverage
+	// is preserved).
+	Hulls []interval.Interval
+	// EqBits are the exact math.Float64bits of the equality-row values,
+	// sorted and deduplicated.
+	EqBits []uint64
+	// HasNE marks a not-equal row: it matches all but one value, so the
+	// attribute must count as satisfiable for any event value.
+	HasNE  bool
+	Weight int
+}
+
+// StrSig sketches one attribute's SACS.
+type StrSig struct {
+	// Keys are hashed SigPrefixLen-byte prefixes, sorted by hash, with
+	// duplicate hashes' weights merged.
+	Keys []SigKey
+	// Wild marks a row no prefix key can bound (suffix/contains/glob/
+	// not-equal patterns, or texts shorter than SigPrefixLen): the
+	// attribute must count as satisfiable for any event value.
+	Wild   bool
+	Weight int
+}
+
+// Signature is the similarity/digest sketch of one summary.
+type Signature struct {
+	Subs  int
+	Arith map[schema.AttrID]*ArithSig
+	Str   map[schema.AttrID]*StrSig
+	// Masks are the distinct c3 attribute masks in the registry: the
+	// digest's satisfiability test needs to know which attribute
+	// combinations a covered subscription can require.
+	Masks []subid.Mask
+}
+
+// SigHash is the FNV-1a 64-bit hash signatures and digests share, so a
+// digest built from one broker's signature tests event keys hashed the
+// same way everywhere.
+func SigHash(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// SigHashString is SigHash over a string without conversion.
+func SigHashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// StrKeyOf returns the signature key for an event's string value: the
+// hash of its first SigPrefixLen bytes (the whole value when shorter).
+func StrKeyOf(v string) uint64 {
+	if len(v) > SigPrefixLen {
+		v = v[:SigPrefixLen]
+	}
+	return SigHashString(v)
+}
+
+// Signature extracts the summary's sketch. maxHulls caps the interval
+// hulls per arithmetic attribute (≤ 0 means 8). The result is detached
+// from the summary (safe to hold across mutations).
+func (sm *Summary) Signature(maxHulls int) *Signature {
+	if maxHulls <= 0 {
+		maxHulls = 8
+	}
+	sm.purgeDead()
+	sig := &Signature{
+		Subs:  len(sm.keys),
+		Arith: make(map[schema.AttrID]*ArithSig, len(sm.aacs)),
+		Str:   make(map[schema.AttrID]*StrSig, len(sm.sacs)),
+	}
+	for a, set := range sm.aacs {
+		as := &ArithSig{}
+		ivs := make([]interval.Interval, 0, 8)
+		for _, r := range set.Rows() {
+			ivs = append(ivs, r.Interval)
+			as.Weight += len(r.IDs)
+		}
+		as.Hulls = mergeHulls(ivs, maxHulls)
+		for _, e := range set.EqRows() {
+			as.EqBits = append(as.EqBits, math.Float64bits(e.Value))
+			as.Weight += len(e.IDs)
+		}
+		sort.Slice(as.EqBits, func(i, j int) bool { return as.EqBits[i] < as.EqBits[j] })
+		as.EqBits = dedupU64(as.EqBits)
+		for _, e := range set.NeRows() {
+			as.HasNE = true
+			as.Weight += len(e.IDs)
+		}
+		if as.Weight > 0 {
+			sig.Arith[a] = as
+		}
+	}
+	for a, set := range sm.sacs {
+		ss := &StrSig{}
+		for _, r := range set.Rows() {
+			ss.Weight += len(r.IDs)
+			text := r.Pattern.Text
+			bounded := len(text) >= SigPrefixLen &&
+				(r.Pattern.Op == schema.OpEQ || r.Pattern.Op == schema.OpPrefix)
+			if bounded {
+				ss.Keys = append(ss.Keys, SigKey{Hash: SigHashString(text[:SigPrefixLen]), Weight: int32(len(r.IDs))})
+			} else {
+				ss.Wild = true
+			}
+		}
+		for _, r := range set.NeRows() {
+			ss.Wild = true
+			ss.Weight += len(r.IDs)
+		}
+		sort.Slice(ss.Keys, func(i, j int) bool { return ss.Keys[i].Hash < ss.Keys[j].Hash })
+		ss.Keys = mergeSigKeys(ss.Keys)
+		if ss.Weight > 0 {
+			sig.Str[a] = ss
+		}
+	}
+	seen := make(map[string]bool, 16)
+	for _, m := range sm.masks {
+		k := maskKey(m)
+		if !seen[k] {
+			seen[k] = true
+			sig.Masks = append(sig.Masks, m.Clone())
+		}
+	}
+	return sig
+}
+
+func maskKey(m subid.Mask) string {
+	b := make([]byte, 0, 8*len(m))
+	for _, w := range m {
+		b = append(b, byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return string(b)
+}
+
+func dedupU64(s []uint64) []uint64 {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func mergeSigKeys(keys []SigKey) []SigKey {
+	out := keys[:0]
+	for _, k := range keys {
+		if n := len(out); n > 0 && out[n-1].Hash == k.Hash {
+			out[n-1].Weight += k.Weight
+		} else {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// mergeHulls coalesces sorted-by-Lo intervals into disjoint hulls, then
+// widens the closest-gap pair until at most max remain. Interval rows
+// from an AACS arrive disjoint and sorted; the sort here makes the
+// helper safe for arbitrary input too.
+func mergeHulls(ivs []interval.Interval, max int) []interval.Interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Lo < ivs[j].Lo })
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.Lo <= last.Hi {
+			if iv.Hi > last.Hi {
+				last.Hi, last.HiOpen = iv.Hi, iv.HiOpen
+			} else if iv.Hi == last.Hi && !iv.HiOpen {
+				last.HiOpen = false
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	for len(out) > max {
+		// Merge the adjacent pair with the smallest gap; ties go to the
+		// leftmost pair so the cap is deterministic.
+		best, bestGap := 0, math.Inf(1)
+		for i := 0; i+1 < len(out); i++ {
+			if gap := out[i+1].Lo - out[i].Hi; gap < bestGap {
+				best, bestGap = i, gap
+			}
+		}
+		out[best].Hi, out[best].HiOpen = out[best+1].Hi, out[best+1].HiOpen
+		out = append(out[:best+1], out[best+2:]...)
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package summary
+
+import (
+	"math"
+	"testing"
+
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/subid"
+)
+
+func sigSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	s, err := schema.New(
+		schema.Attribute{Name: "price", Type: schema.TypeFloat},
+		schema.Attribute{Name: "symbol", Type: schema.TypeString},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func sigInsert(t *testing.T, sm *Summary, local int, cs ...schema.Constraint) {
+	t.Helper()
+	sub, err := schema.NewSubscription(sm.Schema(), cs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := subid.ID{Broker: 1, Local: subid.LocalID(local)}
+	if err := sm.Insert(id, sub); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func attrID(t *testing.T, s *schema.Schema, name string) schema.AttrID {
+	t.Helper()
+	id, ok := s.ID(name)
+	if !ok {
+		t.Fatalf("no attribute %q", name)
+	}
+	return id
+}
+
+// TestSignatureArith: range rows become covering hulls, equality rows
+// keep exact value bits, and a not-equal row sets HasNE.
+func TestSignatureArith(t *testing.T) {
+	s := sigSchema(t)
+	price := attrID(t, s, "price")
+	sm := New(s, interval.Lossy)
+	sigInsert(t, sm, 0,
+		schema.Constraint{Attr: price, Op: schema.OpGE, Value: schema.FloatValue(10)},
+		schema.Constraint{Attr: price, Op: schema.OpLE, Value: schema.FloatValue(20)})
+	sigInsert(t, sm, 1,
+		schema.Constraint{Attr: price, Op: schema.OpEQ, Value: schema.FloatValue(77)})
+
+	sig := sm.Signature(0)
+	as, ok := sig.Arith[price]
+	if !ok {
+		t.Fatal("price missing from signature")
+	}
+	if as.HasNE {
+		t.Fatal("HasNE set without a not-equal row")
+	}
+	covered := false
+	for _, h := range as.Hulls {
+		if h.Lo <= 10 && h.Hi >= 20 {
+			covered = true
+		}
+	}
+	if !covered {
+		t.Fatalf("hulls %v do not cover [10,20]", as.Hulls)
+	}
+	// Depending on eq-row representation the 77 shows up either as an
+	// EqBits entry or folded into a (degenerate) hull; either way the
+	// value must be covered.
+	eqCovered := false
+	for _, b := range as.EqBits {
+		if b == floatBits(77) {
+			eqCovered = true
+		}
+	}
+	for _, h := range as.Hulls {
+		if h.Lo <= 77 && h.Hi >= 77 {
+			eqCovered = true
+		}
+	}
+	if !eqCovered {
+		t.Fatalf("eq value 77 not covered (hulls %v, eq bits %v)", as.Hulls, as.EqBits)
+	}
+	if sig.Subs != 2 {
+		t.Fatalf("Subs = %d, want 2", sig.Subs)
+	}
+
+	sigInsert(t, sm, 2,
+		schema.Constraint{Attr: price, Op: schema.OpNE, Value: schema.FloatValue(5)})
+	if !sm.Signature(0).Arith[price].HasNE {
+		t.Fatal("HasNE not set after inserting a not-equal constraint")
+	}
+}
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+
+// TestSignatureHullCap: more distinct ranges than maxHulls must collapse
+// by widening, never by dropping coverage.
+func TestSignatureHullCap(t *testing.T) {
+	s := sigSchema(t)
+	price := attrID(t, s, "price")
+	sm := New(s, interval.Lossy)
+	for i := 0; i < 10; i++ {
+		lo := float64(i * 100)
+		sigInsert(t, sm, i,
+			schema.Constraint{Attr: price, Op: schema.OpGE, Value: schema.FloatValue(lo)},
+			schema.Constraint{Attr: price, Op: schema.OpLE, Value: schema.FloatValue(lo + 10)})
+	}
+	sig := sm.Signature(3)
+	as := sig.Arith[price]
+	if len(as.Hulls) > 3 {
+		t.Fatalf("cap 3 produced %d hulls", len(as.Hulls))
+	}
+	for i := 0; i < 10; i++ {
+		lo, hi := float64(i*100), float64(i*100+10)
+		ok := false
+		for _, h := range as.Hulls {
+			if h.Lo <= lo && h.Hi >= hi {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("capped hulls %v lost coverage of [%v,%v]", as.Hulls, lo, hi)
+		}
+	}
+}
+
+// TestSignatureStrKeys: equality and prefix rows at least SigPrefixLen
+// long become bounded prefix keys; shorter or unbounded row shapes set
+// Wild.
+func TestSignatureStrKeys(t *testing.T) {
+	s := sigSchema(t)
+	sym := attrID(t, s, "symbol")
+
+	sm := New(s, interval.Lossy)
+	sigInsert(t, sm, 0,
+		schema.Constraint{Attr: sym, Op: schema.OpEQ, Value: schema.StringValue("micronet")})
+	sigInsert(t, sm, 1,
+		schema.Constraint{Attr: sym, Op: schema.OpPrefix, Value: schema.StringValue("microsoft")})
+	sig := sm.Signature(0)
+	ss := sig.Str[sym]
+	if ss == nil || ss.Wild {
+		t.Fatalf("bounded rows produced Wild signature: %+v", ss)
+	}
+	// "micronet" and "microsoft" share no 6-byte prefix ("micron" vs
+	// "micros"), so two distinct keys.
+	if len(ss.Keys) != 2 {
+		t.Fatalf("got %d keys, want 2: %+v", len(ss.Keys), ss.Keys)
+	}
+	wantA, wantB := SigHashString("micron"), SigHashString("micros")
+	found := map[uint64]bool{}
+	for _, k := range ss.Keys {
+		found[k.Hash] = true
+	}
+	if !found[wantA] || !found[wantB] {
+		t.Fatalf("keys %+v missing expected prefix hashes", ss.Keys)
+	}
+
+	// A short equality text cannot fill a prefix key: Wild.
+	sm2 := New(s, interval.Lossy)
+	sigInsert(t, sm2, 0,
+		schema.Constraint{Attr: sym, Op: schema.OpEQ, Value: schema.StringValue("LSE")})
+	if ss := sm2.Signature(0).Str[sym]; ss == nil || !ss.Wild {
+		t.Fatalf("short text must set Wild: %+v", ss)
+	}
+
+	// Suffix patterns have no usable prefix: Wild.
+	sm3 := New(s, interval.Lossy)
+	sigInsert(t, sm3, 0,
+		schema.Constraint{Attr: sym, Op: schema.OpSuffix, Value: schema.StringValue("software")})
+	if ss := sm3.Signature(0).Str[sym]; ss == nil || !ss.Wild {
+		t.Fatalf("suffix pattern must set Wild: %+v", ss)
+	}
+}
+
+// TestStrKeyOf: event values hash their first SigPrefixLen bytes, whole
+// when shorter — and agree with the constraint-side keys, which is what
+// makes digest string tests sound.
+func TestStrKeyOf(t *testing.T) {
+	if StrKeyOf("micronet") != SigHashString("micron") {
+		t.Fatal("long value must hash its 6-byte prefix")
+	}
+	if StrKeyOf("LSE") != SigHashString("LSE") {
+		t.Fatal("short value must hash whole")
+	}
+	if StrKeyOf("micronet") != StrKeyOf("microns") {
+		t.Fatal("values sharing a 6-byte prefix must share a key")
+	}
+}
+
+// TestSignatureMasksDistinct: the signature carries each distinct c3
+// attribute mask once.
+func TestSignatureMasksDistinct(t *testing.T) {
+	s := sigSchema(t)
+	price := attrID(t, s, "price")
+	sym := attrID(t, s, "symbol")
+	sm := New(s, interval.Lossy)
+	for i := 0; i < 5; i++ {
+		sigInsert(t, sm, i,
+			schema.Constraint{Attr: price, Op: schema.OpGE, Value: schema.FloatValue(float64(i))})
+	}
+	sigInsert(t, sm, 5,
+		schema.Constraint{Attr: sym, Op: schema.OpEQ, Value: schema.StringValue("micronet")})
+	sig := sm.Signature(0)
+	if len(sig.Masks) != 2 {
+		t.Fatalf("got %d distinct masks, want 2", len(sig.Masks))
+	}
+}
+
+// TestSignatureDetached: mutating the summary after extraction must not
+// change an already-extracted signature's mask contents.
+func TestSignatureDetached(t *testing.T) {
+	s := sigSchema(t)
+	price := attrID(t, s, "price")
+	sm := New(s, interval.Lossy)
+	sigInsert(t, sm, 0,
+		schema.Constraint{Attr: price, Op: schema.OpGE, Value: schema.FloatValue(1)})
+	sig := sm.Signature(0)
+	wantMasks := len(sig.Masks)
+	for i := 1; i < 20; i++ {
+		sigInsert(t, sm, i,
+			schema.Constraint{Attr: price, Op: schema.OpLE, Value: schema.FloatValue(float64(i))})
+	}
+	if len(sig.Masks) != wantMasks {
+		t.Fatal("signature masks changed after summary mutation")
+	}
+}

@@ -1,0 +1,99 @@
+package topology
+
+import "testing"
+
+func TestTransitStubShape(t *testing.T) {
+	for _, n := range []int{4, 24, 64, 128, 256, 512, 1000} {
+		g, regions := TransitStubRegions(n, 7)
+		if g.Len() != n {
+			t.Fatalf("n=%d: got %d nodes", n, g.Len())
+		}
+		if !g.Connected() {
+			t.Fatalf("n=%d: not connected", n)
+		}
+		if len(regions) != n {
+			t.Fatalf("n=%d: %d region entries", n, len(regions))
+		}
+		// Regions are contiguous 0..R-1, each non-empty, and every stub
+		// node's region names a transit node that is its own region.
+		maxR := 0
+		for i, r := range regions {
+			if r < 0 || r >= n {
+				t.Fatalf("n=%d: node %d region %d out of range", n, i, r)
+			}
+			if regions[r] != r {
+				t.Fatalf("n=%d: region %d is not anchored at a transit node", n, r)
+			}
+			if r > maxR {
+				maxR = r
+			}
+		}
+		counts := make([]int, maxR+1)
+		for _, r := range regions {
+			counts[r]++
+		}
+		for r, c := range counts {
+			if c == 0 {
+				t.Fatalf("n=%d: region %d empty", n, r)
+			}
+		}
+		if n >= 64 && maxR+1 < 4 {
+			t.Fatalf("n=%d: only %d regions, want a real hierarchy", n, maxR+1)
+		}
+	}
+}
+
+func TestTransitStubDeterministic(t *testing.T) {
+	a, ra := TransitStubRegions(128, 3)
+	b, rb := TransitStubRegions(128, 3)
+	if a.DOT() != b.DOT() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("same seed produced different regions at node %d", i)
+		}
+	}
+	c := TransitStub(128, 4)
+	if a.DOT() == c.DOT() {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestRandomGeometric(t *testing.T) {
+	for _, n := range []int{2, 24, 128, 500} {
+		g := RandomGeometric(n, 0, 11)
+		if g.Len() != n || !g.Connected() {
+			t.Fatalf("n=%d: len=%d connected=%v", n, g.Len(), g.Connected())
+		}
+	}
+	a := RandomGeometric(200, 0, 5)
+	b := RandomGeometric(200, 0, 5)
+	if a.DOT() != b.DOT() {
+		t.Fatal("same seed produced different graphs")
+	}
+	// A tiny radius exercises the component-bridging pass.
+	tiny := RandomGeometric(50, 0.01, 9)
+	if !tiny.Connected() {
+		t.Fatal("bridging pass left the graph disconnected")
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	for _, n := range []int{10, 128, 1000} {
+		g := PreferentialAttachment(n, 2, 13)
+		if g.Len() != n || !g.Connected() {
+			t.Fatalf("n=%d: len=%d connected=%v", n, g.Len(), g.Connected())
+		}
+		// Scale-free overlays concentrate degree: the hubs must clearly
+		// exceed the mean.
+		if n >= 128 && float64(g.MaxDegree()) < 3*g.MeanDegree() {
+			t.Fatalf("n=%d: max degree %d vs mean %.1f — no hub structure", n, g.MaxDegree(), g.MeanDegree())
+		}
+	}
+	a := PreferentialAttachment(300, 3, 2)
+	b := PreferentialAttachment(300, 3, 2)
+	if a.DOT() != b.DOT() {
+		t.Fatal("same seed produced different graphs")
+	}
+}

@@ -36,6 +36,16 @@ type Config struct {
 	NumPatterns   int     // canonical covering patterns per string attribute
 	StringLen     int     // s_sv: string value size in bytes
 	Seed          int64
+
+	// Region shifts the canonical sub-ranges and prefixes into a
+	// region-private band, modelling geographically correlated interest:
+	// generators with different regions produce subscriptions (and
+	// events) over disjoint value populations, while region 0 is
+	// byte-identical to the historical generator. All regions share one
+	// schema shape, so summaries from different regions still merge —
+	// this is the knob the overlay-scaling experiment uses to give
+	// summary-similarity subgrouping something real to cluster on.
+	Region int
 }
 
 // DefaultConfig returns the evaluation parameters of Table 2.
@@ -70,6 +80,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("workload: NumRanges and NumPatterns must be positive")
 	case c.StringLen < 2:
 		return fmt.Errorf("workload: StringLen must be at least 2")
+	case c.Region < 0:
+		return fmt.Errorf("workload: Region must be non-negative")
 	}
 	return nil
 }
@@ -126,7 +138,9 @@ func NewGenerator(cfg Config) (*Generator, error) {
 			// by attribute so ranges differ across attributes.
 			rs := make([]anchorRange, cfg.NumRanges)
 			for k := range rs {
-				base := float64(i*1000 + k*100)
+				// Region r>0 shifts every range into the band
+				// [r·100000, (r+1)·100000), keeping regions disjoint.
+				base := float64(cfg.Region*100000 + i*1000 + k*100)
 				rs[k] = anchorRange{lo: base, hi: base + 50}
 			}
 			g.ranges[id] = rs
@@ -134,7 +148,13 @@ func NewGenerator(cfg Config) (*Generator, error) {
 			g.strs = append(g.strs, id)
 			ps := make([]string, cfg.NumPatterns)
 			for k := range ps {
-				ps[k] = fmt.Sprintf("a%02dp%02d", i, k) // 6-byte canonical prefix
+				if cfg.Region > 0 {
+					// Region-tagged 8-byte prefix: regions diverge within
+					// the first SigPrefixLen bytes.
+					ps[k] = fmt.Sprintf("r%02da%02dp%02d", cfg.Region%100, i, k)
+				} else {
+					ps[k] = fmt.Sprintf("a%02dp%02d", i, k) // 6-byte canonical prefix
+				}
 			}
 			g.prefixes[id] = ps
 		}
@@ -200,8 +220,9 @@ func (g *Generator) arithConstraints(a schema.AttrID, p float64) []schema.Constr
 		}
 	}
 	g.fresh++
-	// Distinct equality value far outside every canonical range.
-	v := 1e7 + float64(g.fresh)
+	// Distinct equality value far outside every canonical range; the
+	// region offset keeps fresh values region-private too.
+	v := 1e7 + float64(g.cfg.Region)*1e6 + float64(g.fresh)
 	return []schema.Constraint{{Attr: a, Op: schema.OpEQ, Value: schema.FloatValue(v)}}
 }
 
@@ -219,7 +240,12 @@ func (g *Generator) stringConstraint(a schema.AttrID, p float64) schema.Constrai
 		return schema.Constraint{Attr: a, Op: schema.OpEQ, Value: schema.StringValue(g.padWord(pre))}
 	}
 	g.fresh++
-	return schema.Constraint{Attr: a, Op: schema.OpEQ, Value: schema.StringValue(g.padWord(fmt.Sprintf("z%07d", g.fresh)))}
+	word := fmt.Sprintf("z%07d", g.fresh)
+	if g.cfg.Region > 0 {
+		// Region-tagged so fresh values never collide across regions.
+		word = fmt.Sprintf("z%02d%05d", g.cfg.Region%100, g.fresh)
+	}
+	return schema.Constraint{Attr: a, Op: schema.OpEQ, Value: schema.StringValue(g.padWord(word))}
 }
 
 // padWord extends w with random lower-case letters to StringLen bytes.

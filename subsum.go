@@ -221,6 +221,17 @@ var (
 	RingOverlay = topology.Ring
 	StarOverlay = topology.Star
 	GridOverlay = topology.Grid
+	// TransitStubOverlay builds a GT-ITM-style two-level hierarchy for
+	// the 100–1000-broker scaling experiments; TransitStubRegions also
+	// exposes the stub-region assignment workloads key interests off.
+	TransitStubOverlay = topology.TransitStub
+	TransitStubRegions = topology.TransitStubRegions
+	// GeometricOverlay builds a random geometric overlay (radius ≤ 0
+	// picks the connectivity threshold).
+	GeometricOverlay = topology.RandomGeometric
+	// ScaleFreeOverlay builds a Barabási–Albert preferential-attachment
+	// overlay (m ≤ 0 defaults to 2).
+	ScaleFreeOverlay = topology.PreferentialAttachment
 )
 
 // NewGraph returns a graph with n isolated nodes; add edges with AddEdge.
