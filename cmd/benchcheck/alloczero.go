@@ -1,0 +1,137 @@
+// Zero-alloc gate: benchcheck's second mode. Instead of comparing two
+// JSON reports, -alloczero parses the text output of `go test -bench`
+// and asserts that every benchmark matching the given patterns reports
+// exactly 0 allocs/op. The matcher, codec, and attribution hot paths
+// promise allocation-free steady state by design; unlike wall time,
+// allocs/op is deterministic, so this gate is exact — no thresholds, no
+// baselines to refresh, and a violation is a real regression.
+//
+// A pattern that matches no benchmark is itself a violation: a renamed
+// or deleted benchmark must not let the property it defended silently
+// lapse.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one result line of `go test -bench` output with
+// allocation counts (the -benchmem columns), e.g.
+//
+//	BenchmarkMatcherMatchKeys-8   1000   4646 ns/op   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+[\d.]+ ns/op(?:\s+([\d.]+) MB/s)?\s+(\d+) B/op\s+(\d+) allocs/op`)
+
+// allocResult is one parsed benchmark line.
+type allocResult struct {
+	name     string
+	bytesOp  int64
+	allocsOp int64
+}
+
+// parseBenchText extracts benchmark results (with allocation columns)
+// from go test -bench output. Lines without -benchmem columns are
+// skipped: a gated benchmark must run with allocation reporting on.
+func parseBenchText(r io.Reader) ([]allocResult, error) {
+	var out []allocResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		bytesOp, err := strconv.ParseInt(m[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse B/op in %q: %w", sc.Text(), err)
+		}
+		allocsOp, err := strconv.ParseInt(m[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse allocs/op in %q: %w", sc.Text(), err)
+		}
+		out = append(out, allocResult{name: m[1], bytesOp: bytesOp, allocsOp: allocsOp})
+	}
+	return out, sc.Err()
+}
+
+// allocViolation is one gate failure: either a matched benchmark that
+// allocates, or a pattern nothing matched.
+type allocViolation struct {
+	name   string
+	detail string
+}
+
+// checkAllocZero evaluates the comma-separated patterns (anchored
+// regexps over the benchmark name without the -GOMAXPROCS suffix)
+// against the parsed results.
+func checkAllocZero(results []allocResult, patterns string) (checked []allocResult, violations []allocViolation, err error) {
+	for _, pat := range strings.Split(patterns, ",") {
+		pat = strings.TrimSpace(pat)
+		if pat == "" {
+			continue
+		}
+		re, err := regexp.Compile("^(?:" + pat + ")$")
+		if err != nil {
+			return nil, nil, fmt.Errorf("pattern %q: %w", pat, err)
+		}
+		matched := false
+		for _, r := range results {
+			if !re.MatchString(r.name) {
+				continue
+			}
+			matched = true
+			checked = append(checked, r)
+			if r.allocsOp != 0 {
+				violations = append(violations, allocViolation{
+					name:   r.name,
+					detail: fmt.Sprintf("%d allocs/op (%d B/op), want 0", r.allocsOp, r.bytesOp),
+				})
+			}
+		}
+		if !matched {
+			violations = append(violations, allocViolation{
+				name:   pat,
+				detail: "no benchmark matched this pattern (renamed or not run?)",
+			})
+		}
+	}
+	return checked, violations, nil
+}
+
+// writeAllocMarkdown renders the gate outcome as a step-summary table.
+func writeAllocMarkdown(w io.Writer, checked []allocResult, violations []allocViolation) {
+	fmt.Fprintf(w, "### benchcheck: zero-alloc gate\n\n")
+	if len(violations) == 0 {
+		fmt.Fprintf(w, "All %d gated benchmark(s) report 0 allocs/op.\n\n", len(checked))
+	} else {
+		fmt.Fprintf(w, "**%d violation(s)** — the hot-path zero-allocation property regressed.\n\n", len(violations))
+	}
+	fmt.Fprintf(w, "| benchmark | allocs/op | B/op | status |\n")
+	fmt.Fprintf(w, "|---|---:|---:|---|\n")
+	flagged := make(map[string]string, len(violations))
+	for _, v := range violations {
+		flagged[v.name] = v.detail
+	}
+	for _, r := range checked {
+		status := "ok"
+		if d, bad := flagged[r.name]; bad {
+			status = "**VIOLATION** — " + d
+		}
+		fmt.Fprintf(w, "| %s | %d | %d | %s |\n", r.name, r.allocsOp, r.bytesOp, status)
+	}
+	shown := make(map[string]bool, len(checked))
+	for _, r := range checked {
+		shown[r.name] = true
+	}
+	for _, v := range violations {
+		if !shown[v.name] { // unmatched pattern: no result row to annotate
+			fmt.Fprintf(w, "| %s | — | — | **VIOLATION** — %s |\n", v.name, v.detail)
+		}
+	}
+	fmt.Fprintln(w)
+}

@@ -8,10 +8,20 @@
 // It is advisory: the exit status is 0 even when regressions are found
 // (shared CI runners are too noisy to gate on), unless -gate is set.
 //
+// A second mode gates the hot-path zero-allocation property instead:
+// -alloczero takes comma-separated benchmark-name patterns, parses
+// `go test -bench -benchmem` text output (-benchtext, "-" for stdin),
+// and flags any matched benchmark reporting more than 0 allocs/op —
+// allocation counts are deterministic, so with -gate this is a hard CI
+// failure, not an advisory.
+//
 // Usage:
 //
 //	benchcheck -baseline BENCH_matching.json -current /tmp/fresh.json \
 //	           [-threshold 10] [-summary "$GITHUB_STEP_SUMMARY"] [-gate]
+//	go test -bench=. -benchmem -run=^$ ./... | \
+//	  benchcheck -alloczero 'BenchmarkMatcherMatchKeys.*,BenchmarkCreditDelivery' \
+//	             -benchtext - -gate
 //
 // The reports are the JSON files written by subsum-bench: an object
 // with a "results" array of {name, ns_per_op, allocs_per_op, ...}.
@@ -267,8 +277,51 @@ func main() {
 		threshold = flag.Float64("threshold", 10, "ns/op and B/op regression percentage to flag (allocs/op flags any increase)")
 		summary   = flag.String("summary", "", "append the markdown table to this file (e.g. $GITHUB_STEP_SUMMARY); stdout if empty")
 		gate      = flag.Bool("gate", false, "exit nonzero when regressions are found (default: advisory)")
+		alloczero = flag.String("alloczero", "", "comma-separated benchmark name patterns that must report 0 allocs/op (enables the zero-alloc gate mode)")
+		benchtext = flag.String("benchtext", "-", "go test -bench -benchmem output to parse in zero-alloc mode (\"-\" = stdin)")
 	)
 	flag.Parse()
+
+	openSummary := func() io.Writer {
+		if *summary == "" {
+			return os.Stdout
+		}
+		f, err := os.OpenFile(*summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		return f
+	}
+
+	if *alloczero != "" {
+		in := io.Reader(os.Stdin)
+		if *benchtext != "-" {
+			f, err := os.Open(*benchtext)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchcheck:", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			in = f
+		}
+		results, err := parseBenchText(in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		checked, violations, err := checkAllocZero(results, *alloczero)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		writeAllocMarkdown(openSummary(), checked, violations)
+		if *gate && len(violations) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *baseline == "" || *current == "" {
 		fmt.Fprintln(os.Stderr, "benchcheck: -baseline and -current are required")
 		flag.Usage()
@@ -288,17 +341,7 @@ func main() {
 
 	rows, regressions := compare(base, cur, order, *threshold)
 
-	out := io.Writer(os.Stdout)
-	if *summary != "" {
-		f, err := os.OpenFile(*summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchcheck:", err)
-			os.Exit(2)
-		}
-		defer f.Close()
-		out = f
-	}
-	writeMarkdown(out, fmt.Sprintf("%s vs %s", *current, *baseline), rows, regressions)
+	writeMarkdown(openSummary(), fmt.Sprintf("%s vs %s", *current, *baseline), rows, regressions)
 
 	if *gate && regressions > 0 {
 		os.Exit(1)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -306,5 +307,90 @@ func TestCompareAgainstRealBaselines(t *testing.T) {
 		if metrics["allocs/op"] == 0 || metrics["B/op"] == 0 {
 			t.Fatalf("%s: no allocation rows in self-compare (%v)", path, metrics)
 		}
+	}
+}
+
+// TestAllocZeroGate covers the zero-alloc mode end to end on canned
+// go test -bench output: matched clean benchmarks pass, an allocating
+// match is a violation, and an unmatched pattern is one too.
+func TestAllocZeroGate(t *testing.T) {
+	text := `goos: linux
+goarch: amd64
+pkg: github.com/subsum/subsum/internal/summary
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMatcherMatchKeys-8             	    1000	      4646 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMatcherMatchKeysInstrumented-8 	    1000	      6631 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCreditDelivery-8               	   10000	        33.53 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDeliverExactPruned-8           	     200	    636487 ns/op	    7691 B/op	       9 allocs/op
+BenchmarkNoMemColumns-8                 	     500	      1000 ns/op
+PASS
+ok  	github.com/subsum/subsum/internal/summary	0.027s
+`
+	results, err := parseBenchText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The line without -benchmem columns is skipped, the rest parse.
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(results), results)
+	}
+	if results[3].name != "BenchmarkDeliverExactPruned" || results[3].allocsOp != 9 || results[3].bytesOp != 7691 {
+		t.Fatalf("pruned row parsed as %+v", results[3])
+	}
+
+	// Clean gate: both matcher benchmarks and the credit path pass.
+	checked, violations, err := checkAllocZero(results,
+		"BenchmarkMatcherMatchKeys.*, BenchmarkCreditDelivery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checked) != 3 || len(violations) != 0 {
+		t.Fatalf("clean gate: checked %d, violations %+v", len(checked), violations)
+	}
+
+	// An allocating benchmark caught by the pattern is a violation.
+	_, violations, err = checkAllocZero(results, "BenchmarkDeliverExact.*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 1 || violations[0].name != "BenchmarkDeliverExactPruned" {
+		t.Fatalf("alloc violation = %+v", violations)
+	}
+
+	// A pattern matching nothing is a violation: a renamed benchmark
+	// must not silently drop out of the gate.
+	_, violations, err = checkAllocZero(results, "BenchmarkRenamedAway")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 1 || violations[0].name != "BenchmarkRenamedAway" {
+		t.Fatalf("unmatched-pattern violation = %+v", violations)
+	}
+
+	// The name is anchored: a prefix pattern without .* matches nothing.
+	_, violations, _ = checkAllocZero(results, "BenchmarkMatcher")
+	if len(violations) != 1 {
+		t.Fatalf("anchoring: violations = %+v", violations)
+	}
+
+	// Markdown covers both violation shapes.
+	var buf bytes.Buffer
+	checked, violations, _ = checkAllocZero(results, "BenchmarkDeliverExact.*,BenchmarkRenamedAway")
+	writeAllocMarkdown(&buf, checked, violations)
+	out := buf.String()
+	for _, want := range []string{
+		"zero-alloc gate",
+		"2 violation(s)",
+		"9 allocs/op (7691 B/op), want 0",
+		"no benchmark matched this pattern",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+
+	// A malformed pattern errors instead of silently gating nothing.
+	if _, _, err := checkAllocZero(results, "Benchmark["); err == nil {
+		t.Fatal("invalid pattern accepted")
 	}
 }

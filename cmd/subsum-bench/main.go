@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	subsum-bench -experiment fig8|fig9|fig10|fig11|matching|benchmatch|benchprop|benchchurn|benchoverlay|fig7|table2|ablations|all
+//	subsum-bench -experiment fig8|fig9|fig10|fig11|matching|benchmatch|benchprop|benchchurn|benchoverlay|fig7|table2|health|ablations|all
 //	             [-events N] [-sigmas 10,100,1000] [-csv] [-topology cw24|fig7|random]
 //	             [-workers N] [-json BENCH_matching.json] [-sizes 24,64,128]
 //
@@ -120,6 +120,11 @@ func main() {
 			}
 		},
 		"crosstopo": func() { show(experiments.CrossTopology(cfg)) },
+		"health": func() {
+			hcfg := experiments.DefaultHealthConfig()
+			hcfg.Seed = *seed
+			show(experiments.HealthBaseline(hcfg))
+		},
 		"sizemodel": func() { show(experiments.SizeModelValidation(cfg)) },
 		"ablations": func() {
 			show(experiments.AblationForwarding(cfg))
@@ -128,7 +133,7 @@ func main() {
 			show(experiments.AblationBatch(cfg))
 		},
 	}
-	order := []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "matching", "benchmatch", "benchprop", "benchchurn", "benchthroughput", "benchoverlay", "sizemodel", "crosstopo", "ablations"}
+	order := []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "matching", "benchmatch", "benchprop", "benchchurn", "benchthroughput", "benchoverlay", "sizemodel", "crosstopo", "health", "ablations"}
 
 	if *experiment == "all" {
 		for _, name := range order {

@@ -37,6 +37,8 @@ type debugState struct {
 //	                          Prometheus text exposition (also ?format=prometheus)
 //	GET /debug/history        sampler time-series (values, deltas, rates)
 //	GET /debug/journal        flight-recorder journal (?format=text for one line per record)
+//	GET /debug/convergence    summary-health snapshot: per-broker epoch vectors
+//	                          with derived staleness plus false-positive attribution
 //	GET /trace                retained hop traces, newest first (JSON)
 //	GET /trace?sample=N       set sampling to every Nth publish (0 = off)
 //	GET /trace?capacity=N     bound the trace store to N traces (0 = default)
@@ -85,6 +87,13 @@ func newDebugMux(st debugState) *http.ServeMux {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = st.rec.WriteJSON(w)
+	})
+
+	mux.HandleFunc("/debug/convergence", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(network.Health())
 	})
 
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {

@@ -7,13 +7,20 @@
 //	subsumtop -addr 127.0.0.1:7070 -every 2s
 //
 // Each frame shows event flow (published/routed/forwarded/suppressed
-// with rates), propagation traffic, bus health, watchdog status, and a
-// per-broker table (subscriptions, merged coverage, deliveries, false
-// positives, match latency p95). Rates come from the server's history
+// with rates), propagation traffic, bus health, watchdog status, a
+// summary-health pane (convergence staleness, top false-positive
+// sources, subgroup digest analytics when present), and a per-broker
+// table (subscriptions, merged coverage, deliveries, false positives,
+// staleness, match latency p95). Rates come from the server's history
 // ring, so they reflect the sampler's interval, not subsumtop's.
+//
+// With -json (implies -once) a single machine-readable snapshot —
+// registry stats plus the convergence/health report — is printed
+// instead of the dashboard.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/subsum/subsum/internal/core"
 	"github.com/subsum/subsum/internal/metrics"
 	"github.com/subsum/subsum/internal/wire"
 )
@@ -33,13 +41,14 @@ func main() {
 		every  = flag.Duration("every", 2*time.Second, "refresh interval")
 		frames = flag.Int("frames", 0, "number of frames to render before exiting (0 = run until interrupted)")
 		once   = flag.Bool("once", false, "render one frame and exit (same as -frames 1)")
+		asJSON = flag.Bool("json", false, "print one machine-readable snapshot (stats + health) and exit")
 	)
 	flag.Parse()
 	n := *frames
-	if *once {
+	if *once || *asJSON {
 		n = 1
 	}
-	if err := run(os.Stdout, topConfig{addr: *addr, every: *every, frames: n, clear: true}); err != nil {
+	if err := run(os.Stdout, topConfig{addr: *addr, every: *every, frames: n, clear: true, json: *asJSON}); err != nil {
 		fmt.Fprintln(os.Stderr, "subsumtop:", err)
 		os.Exit(1)
 	}
@@ -52,6 +61,16 @@ type topConfig struct {
 	every  time.Duration
 	frames int  // 0 = loop until a poll fails
 	clear  bool // home-and-clear the terminal between frames
+	json   bool // one-shot machine-readable snapshot instead of frames
+}
+
+// jsonSnapshot is the -json output document: the same data the
+// dashboard panes render, in one parseable object.
+type jsonSnapshot struct {
+	Addr    string             `json:"addr"`
+	Stats   map[string]float64 `json:"stats"`
+	Health  *core.HealthReport `json:"health,omitempty"`
+	History *metrics.History   `json:"history,omitempty"`
 }
 
 // run dials the server and renders frames until cfg.frames is exhausted
@@ -69,12 +88,19 @@ func run(w io.Writer, cfg topConfig) error {
 			return fmt.Errorf("stats: %w", err)
 		}
 		// History is optional server-side (-sample-interval 0); the
-		// dashboard still works, just without rates.
+		// dashboard still works, just without rates. Health degrades the
+		// same way against servers predating the convergence op.
 		hist, _ := cl.History()
+		health, _ := cl.Health()
+		if cfg.json {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(jsonSnapshot{Addr: cfg.addr, Stats: m, Health: health, History: hist})
+		}
 		if cfg.clear {
 			fmt.Fprint(w, "\x1b[2J\x1b[H")
 		}
-		renderFrame(w, cfg.addr, frame, m, hist)
+		renderFrame(w, cfg.addr, frame, m, hist, health)
 		if cfg.frames > 0 && frame >= cfg.frames {
 			return nil
 		}
@@ -82,9 +108,9 @@ func run(w io.Writer, cfg topConfig) error {
 	}
 }
 
-// renderFrame writes one dashboard frame from a registry snapshot and an
-// optional history document.
-func renderFrame(w io.Writer, addr string, frame int, m map[string]float64, hist *metrics.History) {
+// renderFrame writes one dashboard frame from a registry snapshot, an
+// optional history document, and an optional health report.
+func renderFrame(w io.Writer, addr string, frame int, m map[string]float64, hist *metrics.History, health *core.HealthReport) {
 	rate := func(name string) string {
 		if hist == nil {
 			return ""
@@ -138,13 +164,53 @@ func renderFrame(w io.Writer, addr string, frame int, m map[string]float64, hist
 	fmt.Fprintf(w, "\nWATCHDOG\n")
 	fmt.Fprintf(w, "  checks %.0f    violations %.0f    %s\n", m["watchdog_checks"], m["watchdog_violations"], status)
 
+	renderHealth(w, m, health)
+
 	rows := brokerRows(m)
 	if len(rows) > 0 {
-		fmt.Fprintf(w, "\nBROKERS%12s%8s%8s%8s%8s%14s\n", "subs", "merged", "deliv", "fpos", "merges", "match p95")
-		for _, r := range rows {
-			fmt.Fprintf(w, "  %-5d%12.0f%8.0f%8.0f%8.0f%8.0f%14s\n",
-				r.id, r.subs, r.merged, r.deliveries, r.falsePos, r.merges, fmtSeconds(r.matchP95))
+		staleOf := map[int]int64{}
+		if health != nil && health.Convergence != nil {
+			for _, bc := range health.Convergence.Brokers {
+				staleOf[bc.Broker] = bc.MaxStaleness
+			}
 		}
+		fmt.Fprintf(w, "\nBROKERS%12s%8s%8s%8s%8s%8s%14s\n", "subs", "merged", "deliv", "fpos", "merges", "stale", "match p95")
+		for _, r := range rows {
+			fmt.Fprintf(w, "  %-5d%12.0f%8.0f%8.0f%8.0f%8.0f%8d%14s\n",
+				r.id, r.subs, r.merged, r.deliveries, r.falsePos, r.merges, staleOf[r.id], fmtSeconds(r.matchP95))
+		}
+	}
+}
+
+// renderHealth writes the summary-health pane: convergence staleness,
+// the top false-positive attributions with per-attribute precision, and
+// subgroup digest analytics when those gauges are present. Skipped
+// entirely against servers without the convergence op.
+func renderHealth(w io.Writer, m map[string]float64, health *core.HealthReport) {
+	if health == nil {
+		return
+	}
+	fmt.Fprintf(w, "\nHEALTH\n")
+	if c := health.Convergence; c != nil {
+		fmt.Fprintf(w, "  convergence: period %d    max staleness %d    lagging entries %d    full sync every %d\n",
+			c.Period, c.MaxStaleness, c.LaggingEntries, c.FullSyncEvery)
+	}
+	if fp := health.FalsePositives; fp != nil && len(fp.TopK) > 0 {
+		prec := map[string]float64{}
+		for _, a := range fp.Attrs {
+			prec[a.Attr] = a.Precision
+		}
+		fmt.Fprintf(w, "  top false-positive sources (%d total):\n", fp.Total)
+		for _, t := range fp.TopK {
+			fmt.Fprintf(w, "    attr=%-12s class=%-8s owner=%-4d %8d  (attr precision %.1f%%)\n",
+				t.Attr, t.Class, t.Owner, t.Count, 100*prec[t.Attr])
+		}
+	}
+	if passes := sumLabeled(m, "subgroup_digest_passes"); passes > 0 || sumLabeled(m, "subgroup_digest_pruned") > 0 {
+		fmt.Fprintf(w, "  subgroup digests: prune %.1f%%    measured FP %.2f%%    leader skew %.2f\n",
+			m["subgroup_digest_prune_rate_ppm"]/1e4,
+			m["subgroup_digest_fp_rate_ppm"]/1e4,
+			m["subgroup_leader_skew_milli"]/1e3)
 	}
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -79,6 +80,8 @@ func TestRunRendersLiveServer(t *testing.T) {
 		"history: 2 ticks",        // the history op answered
 		"published             3", // registry totals made it across the wire
 		"WATCHDOG",
+		"HEALTH",
+		"convergence: period 1",
 		"BROKERS",
 	} {
 		if !strings.Contains(out, want) {
@@ -102,6 +105,81 @@ func TestRunRendersLiveServer(t *testing.T) {
 	}
 }
 
+// TestRunJSONSnapshot is the -json e2e: one shot over real TCP must
+// yield a parseable document carrying the stats map and the health
+// report (convergence + false-positive attribution).
+func TestRunJSONSnapshot(t *testing.T) {
+	s := schema.MustNew(
+		schema.Attribute{Name: "symbol", Type: schema.TypeString},
+		schema.Attribute{Name: "price", Type: schema.TypeFloat},
+	)
+	network, err := core.New(core.Config{
+		Topology: topology.Figure7Tree(),
+		Schema:   s,
+		Mode:     interval.Lossy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer network.Close()
+	srv := wire.NewServer(network, s)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	sub, err := schema.ParseSubscription(s, `symbol = OTE && price > 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := network.Subscribe(5, sub, func(subid.ID, *schema.Event) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := network.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	// A price that fails the constraint but shares the summary's symbol
+	// key can become a false positive; either way the snapshot must
+	// carry the attribution section.
+	ev, err := schema.ParseEvent(s, "symbol=OTE price=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := network.Publish(0, ev); err != nil {
+		t.Fatal(err)
+	}
+	network.Flush()
+
+	var buf bytes.Buffer
+	if err := run(&buf, topConfig{addr: addr, json: true, frames: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var snap jsonSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if snap.Addr != addr {
+		t.Errorf("addr = %q, want %q", snap.Addr, addr)
+	}
+	if snap.Stats["events_published"] != 1 {
+		t.Errorf("events_published = %v, want 1", snap.Stats["events_published"])
+	}
+	if snap.Health == nil || snap.Health.Convergence == nil {
+		t.Fatalf("snapshot missing health/convergence: %s", buf.String())
+	}
+	if snap.Health.Convergence.Period != 1 {
+		t.Errorf("convergence period = %d, want 1", snap.Health.Convergence.Period)
+	}
+	if snap.Health.FalsePositives == nil {
+		t.Errorf("snapshot missing false-positive report")
+	}
+	if len(snap.Health.Convergence.Brokers) != network.Len() {
+		t.Errorf("convergence covers %d brokers, want %d",
+			len(snap.Health.Convergence.Brokers), network.Len())
+	}
+}
+
 func TestRunDialFailure(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(&buf, topConfig{addr: "127.0.0.1:1", every: time.Millisecond, frames: 1}); err == nil {
@@ -111,7 +189,7 @@ func TestRunDialFailure(t *testing.T) {
 
 func TestRenderFrameWithoutHistory(t *testing.T) {
 	var buf bytes.Buffer
-	renderFrame(&buf, "x", 1, map[string]float64{"events_published": 7}, nil)
+	renderFrame(&buf, "x", 1, map[string]float64{"events_published": 7}, nil, nil)
 	out := buf.String()
 	if !strings.Contains(out, "history: off") {
 		t.Errorf("missing history-off note:\n%s", out)

@@ -1,0 +1,184 @@
+// Summary-health baseline: the observability PR's companion experiment.
+// It drives the live engine — not the analytic models — through a
+// healthy propagation regime and a fault regime on each topology and
+// reports the numbers the health endpoint surfaces: end-to-end match
+// precision (deliveries over summary-admitted events), the dominant
+// false-positive attribution triple, and the convergence staleness seen
+// before, during, and after a summary-loss fault. EXPERIMENTS.md's
+// precision/staleness table is regenerated from these rows
+// (`subsum-bench -experiment health`).
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/subsum/subsum/internal/core"
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/metrics"
+	"github.com/subsum/subsum/internal/netsim"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/subid"
+	"github.com/subsum/subsum/internal/topology"
+	"github.com/subsum/subsum/internal/workload"
+)
+
+// HealthConfig parameterizes the summary-health baseline.
+type HealthConfig struct {
+	SubsPerBroker   int
+	EventsPerBroker int
+	HitRate         float64 // workload event hit rate against canonical ranges
+	FullSyncEvery   int     // full-sync cadence; also the staleness bound
+	LossPeriods     int     // periods propagated while the victim's summaries drop
+	Seed            int64
+}
+
+// DefaultHealthConfig mirrors the churn/throughput baselines: enough
+// subscriptions for dense summaries, a hit rate that exercises both the
+// delivery and false-positive branches, and a full-sync cadence short
+// enough that the fault regime crosses the staleness bound.
+func DefaultHealthConfig() HealthConfig {
+	return HealthConfig{
+		SubsPerBroker:   20,
+		EventsPerBroker: 20,
+		HitRate:         0.7,
+		FullSyncEvery:   4,
+		LossPeriods:     6,
+		Seed:            431,
+	}
+}
+
+// HealthBaseline runs the summary-health scenario on CW24 and a
+// 128-broker transit-stub overlay and tabulates precision and staleness.
+func HealthBaseline(cfg HealthConfig) (*metrics.Table, error) {
+	tab := metrics.NewTable(
+		"Summary-health baseline — precision and convergence staleness (live engine)",
+		"topology", "brokers", "subs", "events", "deliveries", "false pos",
+		"precision", "top attribution", "stale healthy", "stale@loss", "stale healed")
+	for _, g := range []*topology.Graph{
+		topology.CW24(),
+		topology.TransitStub(128, cfg.Seed),
+	} {
+		if err := healthRow(tab, g, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return tab, nil
+}
+
+func healthRow(tab *metrics.Table, g *topology.Graph, cfg HealthConfig) error {
+	// Match-dense workload (the delivery benchmarks' recipe): few
+	// constrained attributes per subscription, many per event, all
+	// constraints drawn from the canonical ranges — the Table 2 default
+	// (5-of-10 on both sides) makes full-conjunction matches vanishingly
+	// rare and would leave the precision column vacuous.
+	wcfg := workload.DefaultConfig()
+	wcfg.AttrsPerSub = 2
+	wcfg.AttrsPerEvent = 8
+	wcfg.Subsumption = 1.0
+	wcfg.Seed = cfg.Seed
+	gen, err := workload.NewGenerator(wcfg)
+	if err != nil {
+		return err
+	}
+	net, err := core.New(core.Config{
+		Topology:      g,
+		Schema:        gen.Schema(),
+		Mode:          interval.Lossy,
+		FullSyncEvery: cfg.FullSyncEvery,
+	})
+	if err != nil {
+		return err
+	}
+	defer net.Close()
+
+	n := net.Len()
+	for i := 0; i < n; i++ {
+		for s := 0; s < cfg.SubsPerBroker; s++ {
+			if _, err := net.Subscribe(topology.NodeID(i), gen.Subscription(),
+				func(subid.ID, *schema.Event) {}); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := net.Propagate(); err != nil {
+		return err
+	}
+	net.Flush()
+
+	// Healthy regime: publish the event workload from seeded random
+	// origins and read precision off the attribution report.
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	events := n * cfg.EventsPerBroker
+	for e := 0; e < events; e++ {
+		if err := net.Publish(topology.NodeID(rng.Intn(n)), gen.Event(cfg.HitRate)); err != nil {
+			return err
+		}
+	}
+	net.Flush()
+
+	health := net.Health()
+	staleHealthy := health.Convergence.MaxStaleness
+	m := net.Metrics().Map()
+	var deliveries, falsePos float64
+	for name, v := range m {
+		switch {
+		case len(name) > 18 && name[:18] == "broker_deliveries{":
+			deliveries += v
+		case len(name) > 23 && name[:23] == "broker_false_positives{":
+			falsePos += v
+		}
+	}
+	precision := 0.0
+	if deliveries+falsePos > 0 {
+		precision = deliveries / (deliveries + falsePos)
+	}
+	topAttr := "-"
+	if fp := health.FalsePositives; fp != nil && len(fp.TopK) > 0 {
+		t := fp.TopK[0]
+		topAttr = fmt.Sprintf("%s/%s@B%d", t.Attr, t.Class, t.Owner)
+	}
+
+	// Fault regime: starve the overlay of one tracked broker's summary
+	// traffic for LossPeriods periods, then heal and run a full-sync
+	// cycle. MaxStaleness must cross the bound under loss and return to
+	// zero after the heal — the same sequence the watchdog invariant and
+	// the staleness drop-test pin in miniature.
+	victim := -1
+	for _, bc := range health.Convergence.Brokers {
+		for _, pe := range bc.Peers {
+			victim = pe.Peer
+			break
+		}
+		if victim >= 0 {
+			break
+		}
+	}
+	staleLoss, staleHealed := int64(-1), int64(-1)
+	if victim >= 0 {
+		net.InjectFaults(func(msg netsim.Message) bool {
+			return msg.Kind == netsim.KindSummary && int(msg.From) == victim
+		})
+		for k := 0; k < cfg.LossPeriods; k++ {
+			if _, err := net.Propagate(); err != nil {
+				return err
+			}
+		}
+		net.Flush()
+		staleLoss = net.Convergence().MaxStaleness
+		net.InjectFaults(nil)
+		for k := 0; k < cfg.FullSyncEvery; k++ {
+			if _, err := net.Propagate(); err != nil {
+				return err
+			}
+		}
+		net.Flush()
+		staleHealed = net.Convergence().MaxStaleness
+	}
+
+	tab.AddRow(
+		g.Name(), n, n*cfg.SubsPerBroker, events,
+		int64(deliveries), int64(falsePos), precision, topAttr,
+		staleHealthy, staleLoss, staleHealed)
+	return nil
+}

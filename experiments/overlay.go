@@ -78,6 +78,14 @@ type OverlayRow struct {
 	// false-positive candidates over the event batch.
 	Delivered int
 	Spurious  int
+	// PruneRate / DigestFPRate / LeaderSkew are the subgrouped router's
+	// digest analytics over the event batch (zero for flat mode): the
+	// fraction of digest consultations that pruned a whole subgroup, the
+	// measured pass-but-no-delivery rate (held against the Bloom design
+	// point, subgroup.DesignDigestFPRate), and max/mean leader load.
+	PruneRate    float64
+	DigestFPRate float64
+	LeaderSkew   float64
 }
 
 // overlayWorkload is the regional workload the sweep routes: short
@@ -229,6 +237,7 @@ func runOverlaySubgrouped(fx *overlayFixture, cfg OverlayConfig) (OverlayRow, []
 	if err != nil {
 		return row, nil, err
 	}
+	res.StampEpoch(1) // single measured period
 	row.PropagationNs = time.Since(start).Nanoseconds()
 	row.Groups = plan.NumGroups()
 	row.BytesPerPeriod = res.WireBytes
@@ -252,6 +261,10 @@ func runOverlaySubgrouped(fx *overlayFixture, cfg OverlayConfig) (OverlayRow, []
 	}
 	row.HopsPerEvent = float64(hops) / float64(len(fx.events))
 	row.ForwardHopsPerEvent = float64(fwd) / float64(len(fx.events))
+	an := r.Analytics()
+	row.PruneRate = an.PruneRate
+	row.DigestFPRate = an.DigestFPRate
+	row.LeaderSkew = an.LeaderSkew
 	return row, delivered, nil
 }
 

@@ -93,6 +93,39 @@ type Broker struct {
 	matcherObs  *summary.MatcherObs
 	obs         *brokerObs       // nil unless Config.Metrics was set
 	rec         *flight.Recorder // nil unless Config.Flight was set
+	attrib      *FPAttributor    // nil unless Config.Attribution was set
+
+	// Convergence epoch vector (under b.mu): peerEpochs[p] is the highest
+	// epoch of any successfully applied summary payload whose
+	// Merged_Brokers set claimed coverage of peer p (-1 = never seen).
+	// lastFullSyncEpoch / lastRetractEpoch are the highest applied epochs
+	// of full-sync and retraction-carrying payloads respectively. Together
+	// they answer "how stale is this broker's view of peer p, in periods"
+	// without any extra wire traffic beyond the payload epoch stamp.
+	peerEpochs        []int64
+	lastFullSyncEpoch int64
+	lastRetractEpoch  int64
+}
+
+// EpochInfo is the decoded convergence stamp of one summary payload:
+// the sender's period number plus the payload-class flags. Epoch <= 0
+// means the payload carried no stamp (hand-built merges, tests) and
+// leaves the epoch vector untouched.
+type EpochInfo struct {
+	Epoch    int64
+	FullSync bool
+	Retract  bool
+}
+
+// EpochState is a snapshot of the broker's convergence epoch vector.
+type EpochState struct {
+	// Peers[p] is the last applied epoch claiming coverage of peer p
+	// (-1 = no stamped payload has ever claimed p).
+	Peers []int64
+	// LastFullSync / LastRetract are the last applied full-sync and
+	// retraction-carrying payload epochs (-1 = never).
+	LastFullSync int64
+	LastRetract  int64
 }
 
 // brokerObs holds this broker's registry instruments, resolved once at
@@ -154,6 +187,12 @@ type Config struct {
 	// id-range shards so batches of events can match across cores (≤ 1 =
 	// unsharded). Match results are identical at any shard count.
 	MatchShards int
+	// Attribution, when non-nil, receives false-positive attributions
+	// (which attribute/operator-class/owner admitted an event that no raw
+	// subscription matched) and per-attribute delivery credits. Shared
+	// across brokers — the network owns one attributor. Nil costs one
+	// branch on the delivery paths.
+	Attribution *FPAttributor
 }
 
 // New creates an empty broker.
@@ -181,7 +220,12 @@ func New(cfg Config) (*Broker, error) {
 		numBrokers:    cfg.NumBrokers,
 		retired:       make(map[subid.LocalID]struct{}),
 		rec:           cfg.Flight,
+		attrib:        cfg.Attribution,
 		matchShards:   max(1, cfg.MatchShards),
+
+		peerEpochs:        newEpochVector(cfg.NumBrokers),
+		lastFullSyncEpoch: -1,
+		lastRetractEpoch:  -1,
 	}
 	b.mergedBrokers.Set(int(cfg.ID))
 	if cfg.FilterSubsumedDeltas {
@@ -536,6 +580,16 @@ func (b *Broker) MergeSummary(sum *summary.Summary, brokers subid.Mask) error {
 // only after a fully successful merge. Coverage loss, never correctness
 // loss.
 func (b *Broker) MergeEncodedSummary(payload []byte, brokers subid.Mask) error {
+	return b.MergeEncodedSummaryEpoch(payload, brokers, EpochInfo{})
+}
+
+// MergeEncodedSummaryEpoch is MergeEncodedSummary with the payload's
+// convergence stamp: after a fully successful merge, every peer the
+// payload's Merged_Brokers set claims coverage of advances (max-wise) to
+// the payload epoch in this broker's epoch vector. A rejected merge
+// advances nothing — staleness must reflect applied state, not received
+// bytes.
+func (b *Broker) MergeEncodedSummaryEpoch(payload []byte, brokers subid.Mask, info EpochInfo) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	var start time.Time
@@ -551,6 +605,19 @@ func (b *Broker) MergeEncodedSummary(payload []byte, brokers subid.Mask) error {
 	for _, i := range brokers.Bits() {
 		b.mergedBrokers.Set(i)
 	}
+	if info.Epoch > 0 {
+		for _, i := range brokers.Bits() {
+			if i < len(b.peerEpochs) && info.Epoch > b.peerEpochs[i] {
+				b.peerEpochs[i] = info.Epoch
+			}
+		}
+		if info.FullSync && info.Epoch > b.lastFullSyncEpoch {
+			b.lastFullSyncEpoch = info.Epoch
+		}
+		if info.Retract && info.Epoch > b.lastRetractEpoch {
+			b.lastRetractEpoch = info.Epoch
+		}
+	}
 	b.invalidateMatch()
 	if b.obs != nil {
 		b.obs.mergeSeconds.Observe(time.Since(start).Seconds())
@@ -559,6 +626,36 @@ func (b *Broker) MergeEncodedSummary(payload []byte, brokers subid.Mask) error {
 	}
 	b.rec.Record(flight.EvMergeOK, int(b.id), int64(len(payload)), int64(b.merged.NumSubscriptions()), 0, "")
 	return nil
+}
+
+// newEpochVector builds an all-unseen (-1) epoch vector.
+func newEpochVector(n int) []int64 {
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = -1
+	}
+	return v
+}
+
+// EpochState returns a snapshot of the broker's convergence epoch
+// vector.
+func (b *Broker) EpochState() EpochState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return EpochState{
+		Peers:        append([]int64(nil), b.peerEpochs...),
+		LastFullSync: b.lastFullSyncEpoch,
+		LastRetract:  b.lastRetractEpoch,
+	}
+}
+
+// ReadEpochs invokes fn with the live epoch vector under the broker
+// lock — the allocation-free read used by the per-period gauge refresh.
+// fn must not retain peers or call back into the Broker.
+func (b *Broker) ReadEpochs(fn func(peers []int64, lastFullSync, lastRetract int64)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fn(b.peerEpochs, b.lastFullSyncEpoch, b.lastRetractEpoch)
 }
 
 // SnapshotMerged returns deep copies of the merged summary and
@@ -738,7 +835,44 @@ func (b *Broker) collectExact(ev *schema.Event, keys []uint64) []*subEntry {
 			hits = append(hits, e)
 		}
 	}
+	if len(hits) == 0 && b.attrib != nil {
+		b.attributeFPLocked(ev, keys)
+	}
 	return hits
+}
+
+// attributeFPLocked charges a false positive to the candidate rows that
+// admitted the event: for each live local candidate, the first failing
+// constraint names the responsible (attribute, operator-class, owner);
+// a candidate with no live subscription behind it — and the case of no
+// local candidate at all (the sender's merged view of this broker was
+// stale) — is charged to the "stale" class. Callers hold b.mu and have
+// established that no raw subscription matched.
+func (b *Broker) attributeFPLocked(ev *schema.Event, keys []uint64) {
+	charged := false
+	for _, key := range keys {
+		owner, local := subid.KeyParts(key)
+		if owner != subid.BrokerID(b.id) {
+			continue
+		}
+		e, ok := b.subs[local]
+		if !ok {
+			b.attrib.ObserveFP(FPNoAttr, FPClassStale, owner)
+			charged = true
+			continue
+		}
+		for _, c := range e.sub.Constraints {
+			v, present := ev.Value(c.Attr)
+			if !present || !c.Satisfied(v) {
+				b.attrib.ObserveFP(c.Attr, ClassifyOp(c.Op), owner)
+				charged = true
+				break
+			}
+		}
+	}
+	if !charged {
+		b.attrib.ObserveFP(FPNoAttr, FPClassStale, subid.BrokerID(b.id))
+	}
 }
 
 // DeliverExactCandidates is DeliverExact with the summary pre-filter
@@ -779,6 +913,11 @@ func (b *Broker) deliverHits(ev *schema.Event, hits []*subEntry) int {
 			b.obs.falsePositives.Inc()
 		} else {
 			b.obs.deliveries.Add(int64(len(hits)))
+		}
+	}
+	if b.attrib != nil {
+		for _, e := range hits {
+			b.attrib.CreditDelivery(e.id.Attrs)
 		}
 	}
 	for _, e := range hits {

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestWriteChromeTraceGolden pins the Chrome trace-event export
+// byte-for-byte: a hand-built three-hop trace with fixed timestamps is
+// rendered and compared against testdata/chrometrace.golden.json (run
+// with -update to regenerate). The golden document is the contract the
+// /trace?format=chrome endpoint serves — the Trace Event Format subset
+// Perfetto and chrome://tracing load: a traceEvents array of "X"
+// (complete) slices with µs ts/dur on pid/tid tracks plus "M"
+// thread-name metadata, and displayTimeUnit.
+func TestWriteChromeTraceGolden(t *testing.T) {
+	const base = int64(1_700_000_000_000_000_000)
+	net := &Network{}
+	tr := &Trace{
+		ID:             1,
+		Origin:         0,
+		Event:          "symbol=OTE price=9",
+		StartUnixNanos: base,
+		Path:           []int{0, 2, 5},
+		CumBytes:       96,
+		Hops: []TraceHop{
+			{Broker: 0, Decision: DecisionForwarded, UnixNanos: base + 120_000, Matched: 1, Bytes: 48},
+			{Broker: 2, Decision: DecisionForwarded, UnixNanos: base + 250_000, Matched: 1, Bytes: 48},
+			{Broker: 5, Decision: DecisionDelivered, UnixNanos: base + 400_000, Matched: 1},
+		},
+	}
+	// A second trace covering the remaining decisions, plus one recorded
+	// before timestamping existed — the export must skip it.
+	tr2 := &Trace{
+		ID:             2,
+		Origin:         5,
+		Event:          "symbol=XYZ price=1",
+		StartUnixNanos: base + 500_000,
+		Path:           []int{5},
+		Hops: []TraceHop{
+			{Broker: 5, Decision: DecisionFalsePositive, UnixNanos: base + 530_000},
+			{Broker: 5, Decision: DecisionSuppressed, UnixNanos: base + 540_000},
+		},
+	}
+	legacy := &Trace{ID: 3, Origin: 1, Event: "untimed"}
+	net.tracer.traces = map[uint64]*Trace{1: tr, 2: tr2, 3: legacy}
+	net.tracer.order = []uint64{1, 2, 3}
+
+	var buf bytes.Buffer
+	if err := net.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrometrace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace drifted from golden:\ngot:  %s\nwant: %s", buf.Bytes(), want)
+	}
+
+	// Independently of the byte comparison, assert the Perfetto-loadable
+	// schema subset so a -update run can't silently bless a malformed
+	// document.
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TsUs  *float64       `json:"ts"`
+			DurUs float64        `json:"dur"`
+			PID   *int           `json:"pid"`
+			TID   *int           `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("golden document is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	var slices, meta int
+	for _, e := range doc.TraceEvents {
+		if e.PID == nil || e.TID == nil || e.TsUs == nil {
+			t.Fatalf("event missing pid/tid/ts: %+v", e)
+		}
+		switch e.Phase {
+		case "X":
+			slices++
+			if *e.TsUs < 0 || e.DurUs < 0 {
+				t.Errorf("negative ts/dur: %+v", e)
+			}
+			if e.Name == "" {
+				t.Errorf("slice without a name: %+v", e)
+			}
+		case "M":
+			meta++
+			if e.Name != "thread_name" || e.Args["name"] == "" {
+				t.Errorf("malformed metadata event: %+v", e)
+			}
+		default:
+			t.Errorf("phase %q outside the supported subset", e.Phase)
+		}
+	}
+	if slices != 5 {
+		t.Errorf("%d slices, want 5 (3-hop trace + 2-hop trace; untimed skipped)", slices)
+	}
+	if meta != 3 {
+		t.Errorf("%d thread-name records, want 3 (brokers 0, 2, 5)", meta)
+	}
+}

@@ -103,8 +103,11 @@ type Network struct {
 	periodMu sync.Mutex
 	period   atomic.Pointer[periodState]
 	// periods counts completed Propagate calls (under periodMu), driving
-	// the FullSyncEvery schedule.
-	periods int
+	// the FullSyncEvery schedule. periodCount mirrors it atomically so the
+	// convergence report and staleness gauges can read the current period
+	// without contending for the period lock.
+	periods     int
+	periodCount atomic.Int64
 	// churnSeq counts Subscribe/Unsubscribe calls; the watchdog's
 	// convergence check uses it to prove the subscription set was stable
 	// across a full-sync period before asserting exact remote counts.
@@ -116,6 +119,8 @@ type Network struct {
 
 	metrics *metrics.Registry
 	obs     netObs
+	conv    []convObs           // per-broker convergence gauges
+	attrib  *broker.FPAttributor // shared false-positive attribution sink
 	tracer  tracer
 	rec     *flight.Recorder // nil unless Config.Flight was set
 
@@ -203,7 +208,10 @@ func New(cfg Config) (*Network, error) {
 		rec:     cfg.Flight,
 	}
 	net.obs = newNetObs(reg)
+	net.conv = newConvObs(reg, n)
+	net.attrib = broker.NewFPAttributor(cfg.Schema, reg, cfg.Flight, 0)
 	net.tracer.depth = reg.Gauge("trace_store_depth")
+	net.tracer.initLatency(reg, n)
 	net.bus.Instrument(reg)
 	net.bus.SetFlight(cfg.Flight)
 	for i := 0; i < n; i++ {
@@ -217,6 +225,7 @@ func New(cfg Config) (*Network, error) {
 			Metrics:              reg,
 			Flight:               cfg.Flight,
 			MatchShards:          cfg.MatchShards,
+			Attribution:          net.attrib,
 		})
 		if err != nil {
 			return nil, err
@@ -379,6 +388,7 @@ func (net *Network) Propagate() (hops int, err error) {
 	g := net.cfg.Topology
 	n := len(net.brokers)
 	net.periods++
+	net.periodCount.Store(int64(net.periods))
 	fullSync := net.cfg.FullSyncEvery > 0 && net.periods%net.cfg.FullSyncEvery == 0
 	net.lastPeriodFullSync = false
 	net.churnAtPeriodStart = net.churnSeq.Load()
@@ -425,7 +435,7 @@ func (net *Network) Propagate() (hops int, err error) {
 			// with the recipient and recycles them after handling.
 			sb := netsim.AcquireBuf()
 			period.mu.Lock()
-			sb.B, err = encodeSummaryMsg(sb.B, period.sums[i], period.sets[i])
+			sb.B, err = encodeSummaryMsg(sb.B, period.sums[i], period.sets[i], uint64(net.periods), fullSync)
 			period.mu.Unlock()
 			if err != nil {
 				sb.Release()
@@ -459,6 +469,7 @@ func (net *Network) Propagate() (hops int, err error) {
 		}
 	}
 	net.lastPeriodFullSync = fullSync
+	net.refreshConvergenceGauges()
 	return hops, nil
 }
 
@@ -548,17 +559,27 @@ func (net *Network) handleBatch(node topology.NodeID, msgs []netsim.Message) {
 }
 
 func (net *Network) handleSummary(node topology.NodeID, m netsim.Message) {
-	// The payload is a Merged_Brokers mask followed by a wire-form summary;
-	// both fold in directly, so no intermediate Summary is materialized and
-	// nothing of m.Payload (a pooled shared buffer) is retained.
-	set, off, err := decodeMask(m.Payload)
+	// The payload is an epoch header, a Merged_Brokers mask, then a
+	// wire-form summary; mask and summary fold in directly, so no
+	// intermediate Summary is materialized and nothing of m.Payload (a
+	// pooled shared buffer) is retained.
+	h, n0, err := decodeSummaryHeader(m.Payload)
 	if err != nil {
 		net.bus.RecordDecodeErrorAt(netsim.KindSummary, node)
 		return
 	}
-	sumWire := m.Payload[off:]
+	set, off, err := decodeMask(m.Payload[n0:])
+	if err != nil {
+		net.bus.RecordDecodeErrorAt(netsim.KindSummary, node)
+		return
+	}
+	sumWire := m.Payload[n0+off:]
 	b := net.brokers[node]
-	if err := b.MergeEncodedSummary(sumWire, set); err != nil {
+	if err := b.MergeEncodedSummaryEpoch(sumWire, set, broker.EpochInfo{
+		Epoch:    int64(h.Epoch),
+		FullSync: h.FullSync,
+		Retract:  h.Retract,
+	}); err != nil {
 		// A malformed summary payload leaves at most a partial merge — the
 		// documented dropped-message equivalence — and counts as a decode
 		// error: the bytes, not the broker, were at fault.
@@ -816,9 +837,70 @@ func decodeMask(buf []byte) (subid.Mask, int, error) {
 	return m, 2 + 8*words, nil
 }
 
-// encodeSummaryMsg appends a packed summary and its Merged_Brokers set
-// to buf (pass a pooled buffer's contents to avoid the allocation).
-func encodeSummaryMsg(buf []byte, sum *summary.Summary, set subid.Mask) ([]byte, error) {
+// Summary-payload flags (the first byte of every summary message). The
+// epoch header exists so receivers can maintain per-peer convergence
+// vectors: every payload names the sender's period sequence number, and
+// the flags say whether it was a full sync and whether it carried
+// retractions — the two signals the staleness gauges distinguish.
+const (
+	sumFlagFullSync = 0x01 // payload is a full-sync merged summary
+	sumFlagRetract  = 0x02 // payload carries a retraction section
+	sumFlagKnown    = sumFlagFullSync | sumFlagRetract
+)
+
+// summaryEpochHeader is the decoded convergence stamp of one summary
+// payload: the sender's monotone period number plus the payload-class
+// flags. Epoch 0 never occurs on the wire (periods start at 1), so it
+// doubles as "untracked" in tests that hand-craft payloads.
+type summaryEpochHeader struct {
+	Epoch    uint64
+	FullSync bool
+	Retract  bool
+}
+
+// appendSummaryHeader writes the flags byte and epoch uvarint.
+func appendSummaryHeader(buf []byte, h summaryEpochHeader) []byte {
+	var flags byte
+	if h.FullSync {
+		flags |= sumFlagFullSync
+	}
+	if h.Retract {
+		flags |= sumFlagRetract
+	}
+	buf = append(buf, flags)
+	return binary.AppendUvarint(buf, h.Epoch)
+}
+
+// decodeSummaryHeader reads the flags byte and epoch uvarint, returning
+// the consumed length. Unknown flag bits are a decode error, same as the
+// event-message header: old payloads must fail loudly, not merge wrongly.
+func decodeSummaryHeader(buf []byte) (h summaryEpochHeader, n int, err error) {
+	if len(buf) < 1 {
+		return h, 0, fmt.Errorf("core: short summary header")
+	}
+	flags := buf[0]
+	if flags&^byte(sumFlagKnown) != 0 {
+		return h, 0, fmt.Errorf("core: unknown summary flags %#x", flags)
+	}
+	h.FullSync = flags&sumFlagFullSync != 0
+	h.Retract = flags&sumFlagRetract != 0
+	epoch, used := binary.Uvarint(buf[1:])
+	if used <= 0 {
+		return h, 0, fmt.Errorf("core: truncated summary epoch")
+	}
+	h.Epoch = epoch
+	return h, 1 + used, nil
+}
+
+// encodeSummaryMsg appends a summary payload to buf (pass a pooled
+// buffer's contents to avoid the allocation): the epoch header, the
+// Merged_Brokers set, then the packed summary.
+func encodeSummaryMsg(buf []byte, sum *summary.Summary, set subid.Mask, epoch uint64, fullSync bool) ([]byte, error) {
+	buf = appendSummaryHeader(buf, summaryEpochHeader{
+		Epoch:    epoch,
+		FullSync: fullSync,
+		Retract:  sum.NumRetractions() > 0,
+	})
 	buf, err := encodeMask(buf, set)
 	if err != nil {
 		return nil, err
@@ -826,16 +908,20 @@ func encodeSummaryMsg(buf []byte, sum *summary.Summary, set subid.Mask) ([]byte,
 	return sum.Encode(buf), nil
 }
 
-func decodeSummaryMsg(s *schema.Schema, buf []byte) (*summary.Summary, subid.Mask, error) {
-	set, n, err := decodeMask(buf)
+func decodeSummaryMsg(s *schema.Schema, buf []byte) (*summary.Summary, subid.Mask, summaryEpochHeader, error) {
+	h, n0, err := decodeSummaryHeader(buf)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, h, err
 	}
-	sum, err := summary.Decode(s, buf[n:])
+	set, n, err := decodeMask(buf[n0:])
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, h, err
 	}
-	return sum, set, nil
+	sum, err := summary.Decode(s, buf[n0+n:])
+	if err != nil {
+		return nil, nil, h, err
+	}
+	return sum, set, h, nil
 }
 
 // msgFlagTrace marks an event/deliver payload carrying a trace id (u64,

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/netsim"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/subid"
+	"github.com/subsum/subsum/internal/topology"
+	"github.com/subsum/subsum/internal/workload"
+)
+
+// TestStalenessObservabilityUnderSummaryLoss is the convergence-epoch
+// acceptance path end to end: a healthy network reports zero staleness;
+// silently dropping one broker's summary messages makes every tracked
+// view of that broker decay period over period (visible in the
+// convergence report and the per-broker gauges); once the lag exceeds
+// the full-sync bound the watchdog's staleness invariant fires under
+// quiescence; healing the fault and letting the flows run restores
+// staleness to zero and quiets the watchdog.
+func TestStalenessObservabilityUnderSummaryLoss(t *testing.T) {
+	const fullSyncEvery = 3
+	gen, err := workload.NewGenerator(workload.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := gen.Schema()
+	net, err := New(Config{
+		Topology:      topology.CW24(),
+		Schema:        s,
+		Mode:          interval.Lossy,
+		FullSyncEvery: fullSyncEvery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+
+	for i := 0; i < 2*net.Len(); i++ {
+		if _, err := net.Subscribe(topology.NodeID(i%net.Len()), gen.Subscription(),
+			func(subid.ID, *schema.Event) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := net.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	net.Flush()
+
+	rep := net.Convergence()
+	if rep.Period != 1 {
+		t.Fatalf("period = %d, want 1", rep.Period)
+	}
+	if rep.MaxStaleness != 0 || rep.LaggingEntries != 0 {
+		t.Fatalf("healthy network reports staleness %d / %d lagging entries",
+			rep.MaxStaleness, rep.LaggingEntries)
+	}
+
+	// Pick a broker some other broker tracks — dropping its summary
+	// traffic must starve exactly those epoch entries.
+	victim := -1
+	trackers := map[int]bool{}
+	for _, bc := range rep.Brokers {
+		for _, pe := range bc.Peers {
+			if victim == -1 {
+				victim = pe.Peer
+			}
+			if pe.Peer == victim {
+				trackers[bc.Broker] = true
+			}
+		}
+	}
+	if victim < 0 || len(trackers) == 0 {
+		t.Fatal("no tracked epoch entries after a healthy period")
+	}
+
+	net.InjectFaults(func(m netsim.Message) bool {
+		return m.Kind == netsim.KindSummary && int(m.From) == victim
+	})
+	// Run the lag past the bound: epochs for the victim freeze at period
+	// 1, so after 5 more periods the tracked views are 5 behind — beyond
+	// the FullSyncEvery=3 bound even though full syncs kept running
+	// (their payloads from the victim are lost too).
+	for k := 0; k < 5; k++ {
+		if _, err := net.Propagate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Flush()
+
+	rep = net.Convergence()
+	if rep.MaxStaleness != 5 {
+		t.Fatalf("staleness after 5 starved periods = %d, want 5", rep.MaxStaleness)
+	}
+	for _, bc := range rep.Brokers {
+		for _, pe := range bc.Peers {
+			if pe.Peer == victim && trackers[bc.Broker] && pe.Staleness != 5 {
+				t.Fatalf("broker %d view of victim %d: staleness %d, want 5",
+					bc.Broker, victim, pe.Staleness)
+			}
+		}
+	}
+	// The per-broker gauges (refreshed at period end) must agree.
+	m := net.Metrics().Map()
+	for b := range trackers {
+		if got := m[fmt.Sprintf("convergence_staleness_periods{%d}", b)]; got < 5 {
+			t.Fatalf("staleness gauge for tracker %d = %v, want >= 5", b, got)
+		}
+	}
+
+	// Quiescent, past the bound: the watchdog must flag the decayed views
+	// of the victim — and only views of the victim.
+	staleViol := 0
+	for _, v := range net.CheckInvariants() {
+		if v.Check != CheckStaleness {
+			continue
+		}
+		staleViol++
+		if !strings.Contains(v.Detail, fmt.Sprintf("view of peer %d ", victim)) {
+			t.Fatalf("staleness violation names the wrong peer: %s", v)
+		}
+	}
+	if staleViol == 0 {
+		t.Fatal("watchdog reported no staleness violation at lag 5 > bound 3")
+	}
+
+	// Heal and run through the next full sync: deterministic flows
+	// refresh every tracked entry, restoring zero staleness and a quiet
+	// watchdog.
+	net.InjectFaults(nil)
+	for k := 0; k < fullSyncEvery; k++ {
+		if _, err := net.Propagate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Flush()
+	rep = net.Convergence()
+	if rep.MaxStaleness != 0 || rep.LaggingEntries != 0 {
+		t.Fatalf("healed network still reports staleness %d / %d lagging entries",
+			rep.MaxStaleness, rep.LaggingEntries)
+	}
+	for _, v := range net.CheckInvariants() {
+		if v.Check == CheckStaleness {
+			t.Fatalf("staleness violation after heal: %s", v)
+		}
+	}
+}
+
+// TestConvergenceFullSyncAges pins the full-sync and retraction lag
+// bookkeeping: before any full sync both report -1 ("never"), after a
+// full-sync period the age resets for every broker a sync payload
+// reached, and the ages grow by one per subsequent delta period.
+func TestConvergenceFullSyncAges(t *testing.T) {
+	gen, err := workload.NewGenerator(workload.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := gen.Schema()
+	net, err := New(Config{
+		Topology:      topology.Figure7Tree(),
+		Schema:        s,
+		Mode:          interval.Lossy,
+		FullSyncEvery: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	for i := 0; i < net.Len(); i++ {
+		if _, err := net.Subscribe(topology.NodeID(i), gen.Subscription(),
+			func(subid.ID, *schema.Event) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Period 1 is a delta period (2 % FullSyncEvery != 0 ... periods start
+	// at 1): no full sync applied anywhere yet.
+	if _, err := net.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	net.Flush()
+	rep := net.Convergence()
+	for _, bc := range rep.Brokers {
+		if bc.FullSyncAge != -1 {
+			t.Fatalf("broker %d full-sync age %d before any sync, want -1", bc.Broker, bc.FullSyncAge)
+		}
+	}
+
+	// Period 2 ships full syncs; every broker that received one reports
+	// age 0 now and age 1 after one more delta period.
+	if _, err := net.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	net.Flush()
+	synced := map[int]bool{}
+	for _, bc := range net.Convergence().Brokers {
+		if bc.FullSyncAge == 0 {
+			synced[bc.Broker] = true
+		}
+	}
+	if len(synced) == 0 {
+		t.Fatal("no broker applied a full-sync payload in the sync period")
+	}
+	if _, err := net.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	net.Flush()
+	for _, bc := range net.Convergence().Brokers {
+		if synced[bc.Broker] && bc.FullSyncAge != 1 {
+			t.Fatalf("broker %d full-sync age %d one period after sync, want 1", bc.Broker, bc.FullSyncAge)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,6 +82,22 @@ type tracer struct {
 	traces   map[uint64]*Trace
 	order    []uint64       // insertion order for FIFO eviction
 	depth    *metrics.Gauge // retained-trace count; nil when unwired
+
+	// latency[b] observes publish→deliver wall time whenever a traced
+	// event's exact re-match delivers at broker b. The timestamp rides the
+	// trace context, so the untraced fast path stays one header byte and
+	// zero allocations — end-to-end latency is a sampled measurement by
+	// construction. Nil when unwired (tests building a bare tracer).
+	latency []*metrics.Histogram
+}
+
+// initLatency resolves the per-broker end-to-end latency histograms.
+func (t *tracer) initLatency(r *metrics.Registry, n int) {
+	vec := r.HistogramVec("event_e2e_latency_seconds", metrics.DefLatencyBuckets)
+	t.latency = make([]*metrics.Histogram, n)
+	for i := range t.latency {
+		t.latency[i] = vec.With(strconv.Itoa(i))
+	}
 }
 
 // cap returns the effective retention bound; callers hold t.mu.
@@ -151,15 +168,25 @@ func (t *tracer) addBytes(id uint64, bytes int) {
 	}
 }
 
-// hop appends one filter decision.
+// hop appends one filter decision. A delivered decision additionally
+// observes publish→deliver latency on the broker's end-to-end histogram
+// (the trace carries the publish timestamp; untraced events never reach
+// this path).
 func (t *tracer) hop(id uint64, broker topology.NodeID, decision string, matched, bytes int) {
+	now := time.Now().UnixNano()
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	var start int64
 	if tr := t.traces[id]; tr != nil {
 		tr.Hops = append(tr.Hops, TraceHop{
 			Broker: int(broker), Decision: decision, Matched: matched, Bytes: bytes,
-			UnixNanos: time.Now().UnixNano(),
+			UnixNanos: now,
 		})
+		start = tr.StartUnixNanos
+	}
+	t.mu.Unlock()
+	if decision == DecisionDelivered && start > 0 && now >= start &&
+		int(broker) < len(t.latency) {
+		t.latency[broker].Observe(float64(now-start) / 1e9)
 	}
 }
 

@@ -18,6 +18,11 @@
 //     broker's merged summary holds exactly the live subscriptions of
 //     each broker it claims — retractions and resyncs leave no stale
 //     remote rows behind.
+//  5. Bounded staleness: under quiescence with a full-sync schedule, no
+//     broker's epoch-vector entry for a tracked peer lags the current
+//     period by more than FullSyncEvery periods — a larger lag means
+//     that peer's summary traffic is being lost faster than the sync
+//     schedule repairs it.
 //
 // Checks are race-safe against the live engine: strict equalities are
 // only asserted when the checker can prove the relevant counters were
@@ -45,6 +50,7 @@ const (
 	CheckFlow        = "flow"
 	CheckBytes       = "bytes"
 	CheckConvergence = "convergence"
+	CheckStaleness   = "staleness"
 )
 
 // Violation is one detected invariant breach.
@@ -71,6 +77,7 @@ func (net *Network) CheckInvariants() []Violation {
 	out = append(out, net.checkFlow()...)
 	out = append(out, net.checkBytes()...)
 	out = append(out, net.checkConvergence()...)
+	out = append(out, net.checkStaleness()...)
 	return out
 }
 
@@ -200,6 +207,53 @@ func (net *Network) checkConvergence() []Violation {
 	if net.churnSeq.Load() != net.churnAtPeriodStart {
 		// Churn raced the reads above; the snapshot is unusable.
 		return nil
+	}
+	return out
+}
+
+// checkStaleness verifies invariant 5 (bounded staleness under
+// quiescence): with the full-sync schedule on, no broker's view of a
+// peer it tracks may lag the current period by more than FullSyncEvery
+// periods — healthy flows refresh every tracked epoch entry each period,
+// and even a peer whose delta traffic is being lost is repaired by the
+// next applied full sync. The bound is only meaningful when nothing is
+// mid-flight, so the check asserts it under the same stability proof as
+// the convergence check: the period lock free (TryLock) and the bus
+// idle. Unlike convergence it does not require the last period to have
+// been a full sync — staleness is exactly the signal that must fire
+// *between* syncs, while a peer's messages are being lost.
+func (net *Network) checkStaleness() []Violation {
+	bound := int64(net.cfg.FullSyncEvery)
+	if bound <= 0 {
+		return nil // no sync schedule: staleness is unbounded by design
+	}
+	if !net.periodMu.TryLock() {
+		return nil
+	}
+	defer net.periodMu.Unlock()
+	if net.bus.Inflight() != 0 {
+		return nil
+	}
+	period := int64(net.periods)
+	if period <= bound {
+		return nil // too early for any entry to legitimately exceed the bound
+	}
+	var out []Violation
+	for i, b := range net.brokers {
+		b.ReadEpochs(func(peers []int64, _, _ int64) {
+			for p, e := range peers {
+				if p == i || e < 0 {
+					continue
+				}
+				if lag := period - e; lag > bound {
+					out = append(out, Violation{
+						Check:  CheckStaleness,
+						Broker: i,
+						Detail: fmt.Sprintf("view of peer %d last refreshed at period %d, %d periods behind (bound %d)", p, e, lag, bound),
+					})
+				}
+			}
+		})
 	}
 	return out
 }

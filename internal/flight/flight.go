@@ -65,6 +65,20 @@ const (
 	// EvRetract: an unsubscribe queued a retraction for a subscription
 	// that had already been propagated (A = local id).
 	EvRetract
+	// EvConvergence: end-of-period convergence snapshot (A = period
+	// number, B = max staleness in periods across all epoch-vector
+	// entries, C = number of tracked entries lagging by one period or
+	// more).
+	EvConvergence
+	// EvFPAttribution: a false positive was charged to a new
+	// (attribute, operator-class, owner) triple for the first time
+	// (broker = owner, A = attribute id, B = operator class); the note
+	// names the attribute and operator class.
+	EvFPAttribution
+	// EvSubgroupDigest: per-subgroup digest analytics snapshot (A =
+	// group, B = pruned checks, C = digest passes that delivered
+	// nothing — the measured bloom false-positive count).
+	EvSubgroupDigest
 )
 
 // String names the event type.
@@ -94,6 +108,12 @@ func (t EventType) String() string {
 		return "crash-dump"
 	case EvRetract:
 		return "retract"
+	case EvConvergence:
+		return "convergence"
+	case EvFPAttribution:
+		return "fp-attribution"
+	case EvSubgroupDigest:
+		return "subgroup-digest"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(t))
 	}

@@ -206,6 +206,29 @@ func NewRegistry() *Registry {
 	}
 }
 
+// Reset zeroes every registered instrument in place. Handles held by
+// wired hot paths stay valid — only the values clear — so an operator
+// can re-baseline a long-lived process between runs. Cumulative series
+// observed by a Sampler step backwards across a reset; the sampler
+// clamps the resulting negative delta to zero (see Tick).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.hists {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.count.Store(0)
+		h.sum.Store(0)
+	}
+}
+
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
 	r.mu.Lock()

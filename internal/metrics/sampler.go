@@ -234,6 +234,14 @@ func (s *Sampler) Tick(now time.Time) {
 			if math.IsNaN(p.Delta) || math.IsInf(p.Delta, 0) {
 				p.Delta, p.Rate = 0, 0
 			}
+			// A cumulative series can step backwards when the underlying
+			// instrument is reset (a restarted network re-registering the
+			// same family, or an explicit Registry reset between runs).
+			// A negative delta would render as a nonsense negative rate;
+			// clamp to zero and let the next interval re-baseline.
+			if p.Delta < 0 {
+				p.Delta, p.Rate = 0, 0
+			}
 		}
 		sr.lastRaw = ts.value
 		sr.hasLast = true

@@ -183,3 +183,97 @@ func TestSamplerStopWithoutStart(t *testing.T) {
 	s := NewSampler(NewRegistry(), time.Second, 4)
 	s.Stop() // must not hang or panic
 }
+
+// TestSamplerCounterResetClamp is the regression test for the
+// negative-delta clamp: when a cumulative instrument steps backwards
+// (Registry.Reset between runs), the sampler must not emit a negative
+// delta or rate — it clamps to zero and re-baselines on the next tick.
+func TestSamplerCounterResetClamp(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events_published")
+	h := r.Histogram("match_seconds", []float64{1})
+	s := NewSampler(r, time.Second, 16)
+	base := time.Unix(1700000000, 0)
+
+	c.Add(100)
+	h.Observe(0.5)
+	tickAt(s, base, 0)
+	c.Add(50)
+	tickAt(s, base, time.Second) // healthy delta 50
+
+	r.Reset() // counter drops 150 -> 0, histogram count/sum drop too
+	c.Add(7)
+	tickAt(s, base, 2*time.Second)
+	c.Add(3)
+	tickAt(s, base, 3*time.Second) // re-baselined: delta 3 again
+
+	hist := s.History()
+	for _, name := range []string{"events_published", "match_seconds.count", "match_seconds.sum"} {
+		var series *HistorySeries
+		for i := range hist.Series {
+			if hist.Series[i].Name == name {
+				series = &hist.Series[i]
+			}
+		}
+		if series == nil {
+			t.Fatalf("series %q missing", name)
+		}
+		for _, pt := range series.Points {
+			if pt.Delta < 0 || pt.Rate < 0 {
+				t.Fatalf("series %q: negative delta/rate after reset: %+v", name, pt)
+			}
+		}
+	}
+	pts := historySeries(t, hist, "events_published")
+	if got := pts[2]; got.Delta != 0 || got.Rate != 0 {
+		t.Fatalf("reset tick: delta %v rate %v, want 0/0", got.Delta, got.Rate)
+	}
+	if got := pts[3]; got.Delta != 3 {
+		t.Fatalf("post-reset tick: delta %v, want 3 (re-baselined)", got.Delta)
+	}
+	if got := pts[3].Value; got != 10 {
+		t.Fatalf("post-reset raw value %v, want 10", got)
+	}
+}
+
+// historySeries fetches one named series' points or fails the test.
+func historySeries(t *testing.T, h *History, name string) []HistoryPoint {
+	t.Helper()
+	for i := range h.Series {
+		if h.Series[i].Name == name {
+			return h.Series[i].Points
+		}
+	}
+	t.Fatalf("series %q missing", name)
+	return nil
+}
+
+// TestRegistryReset covers the in-place zeroing contract: wired handles
+// stay live, values clear, and the namespace is preserved.
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	g := r.Gauge("b")
+	h := r.Histogram("c", []float64{1, 2})
+	c.Add(5)
+	g.Set(-3)
+	h.Observe(1.5)
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("reset left values: counter %d gauge %d hist count %d sum %v",
+			c.Value(), g.Value(), h.Count(), h.Sum())
+	}
+	if r.Counter("a") != c {
+		t.Fatal("reset re-interned the counter handle")
+	}
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("handle dead after reset")
+	}
+	_, counts := h.Buckets()
+	for i, n := range counts {
+		if n != 0 {
+			t.Fatalf("bucket %d not cleared: %d", i, n)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Subgroup digest analytics: the router counts, per subgroup, how often
+// the cross-border digest pruned the group outright, how often it passed
+// the event through to the leader, and how often such a pass then found
+// no owner in the merged subgroup summary — the *measured* digest
+// false-positive rate, to hold against the Bloom filter's design point
+// (~10 bits and 4 probes per entry, ≈1.2% at capacity). Leader load is
+// counted alongside so the rendezvous scheme's skew is visible. Counters
+// are lock-free atomics; Route never blocks on analytics.
+package subgroup
+
+import (
+	"math"
+	"strconv"
+	"sync/atomic"
+
+	"github.com/subsum/subsum/internal/flight"
+	"github.com/subsum/subsum/internal/metrics"
+)
+
+// DesignDigestFPRate is the Bloom filter's theoretical false-positive
+// probability at capacity: (1 − e^(−k·n/m))^k with m/n = 10 bits per
+// entry and k = 4 probes (see newBloom). The measured
+// pass-but-no-delivery rate should sit at or below this — newBloom
+// rounds the bit count up to a power of two, so real occupancy is
+// usually below design capacity.
+var DesignDigestFPRate = math.Pow(1-math.Exp(-4.0/10.0), 4)
+
+// routerStats is the router's per-group counter block. Slots are
+// independent atomics so concurrent Route calls never contend.
+type routerStats struct {
+	homeEvents    []atomic.Int64 // events whose origin is in this group
+	leaderEvents  []atomic.Int64 // events this group's leader processed
+	pruned        []atomic.Int64 // digest said no: group covered free
+	passes        []atomic.Int64 // digest said maybe: one forward hop paid
+	passNoDeliver []atomic.Int64 // pass, but the summary named no owner
+}
+
+func (s *routerStats) init(groups int) {
+	s.homeEvents = make([]atomic.Int64, groups)
+	s.leaderEvents = make([]atomic.Int64, groups)
+	s.pruned = make([]atomic.Int64, groups)
+	s.passes = make([]atomic.Int64, groups)
+	s.passNoDeliver = make([]atomic.Int64, groups)
+}
+
+// home records an event entering with home group gi (its leader always
+// processes it — the digest is never consulted for the home group).
+func (s *routerStats) home(gi int) {
+	s.homeEvents[gi].Add(1)
+	s.leaderEvents[gi].Add(1)
+}
+
+// prune records the digest covering group gj with zero messages.
+func (s *routerStats) prune(gj int) { s.pruned[gj].Add(1) }
+
+// pass records the digest admitting the event to group gj's leader;
+// noDeliver marks a pass whose merged summary then named no owner (a
+// measured digest false positive).
+func (s *routerStats) pass(gj int, noDeliver bool) {
+	s.passes[gj].Add(1)
+	s.leaderEvents[gj].Add(1)
+	if noDeliver {
+		s.passNoDeliver[gj].Add(1)
+	}
+}
+
+// GroupAnalytics is one subgroup's digest scorecard.
+type GroupAnalytics struct {
+	Group int `json:"group"`
+	// Leader is the group's rendezvous broker.
+	Leader int `json:"leader"`
+	// Members is the group size.
+	Members int `json:"members"`
+	// HomeEvents counts events originating inside the group;
+	// LeaderEvents counts every event the leader matched (home events
+	// plus digest passes from other groups) — the leader's load.
+	HomeEvents   int64 `json:"home_events"`
+	LeaderEvents int64 `json:"leader_events"`
+	// Pruned / Passes split the foreign-event digest consultations;
+	// PassNoDeliver is the subset of passes that found no owner.
+	Pruned        int64 `json:"pruned"`
+	Passes        int64 `json:"passes"`
+	PassNoDeliver int64 `json:"pass_no_deliver"`
+	// PruneRate = Pruned / (Pruned + Passes); DigestFPRate =
+	// PassNoDeliver / Passes. Zero consultations yield zero rates.
+	PruneRate    float64 `json:"prune_rate"`
+	DigestFPRate float64 `json:"digest_fp_rate"`
+}
+
+// AnalyticsReport aggregates digest analytics across all subgroups.
+type AnalyticsReport struct {
+	Groups []GroupAnalytics `json:"groups"`
+	// Events is the total routed-event count.
+	Events int64 `json:"events"`
+	// PruneRate and DigestFPRate are the network-wide aggregates over
+	// every digest consultation.
+	PruneRate    float64 `json:"prune_rate"`
+	DigestFPRate float64 `json:"digest_fp_rate"`
+	// DesignFPRate is the Bloom design point the measured rate is held
+	// against (DesignDigestFPRate).
+	DesignFPRate float64 `json:"design_fp_rate"`
+	// LeaderSkew is max leader load over mean leader load (1.0 =
+	// perfectly balanced); 0 when no events were routed.
+	LeaderSkew float64 `json:"leader_skew"`
+}
+
+// Analytics snapshots the router's digest counters. Safe to call
+// concurrently with Route; per-counter consistent.
+func (r *Router) Analytics() *AnalyticsReport {
+	plan := r.res.Plan
+	groups := plan.NumGroups()
+	rep := &AnalyticsReport{Groups: make([]GroupAnalytics, groups), DesignFPRate: DesignDigestFPRate}
+	var totPruned, totPasses, totNoDeliver, totLeader, maxLeader int64
+	for gi := 0; gi < groups; gi++ {
+		ga := GroupAnalytics{
+			Group:         gi,
+			Leader:        int(plan.Leaders[gi]),
+			Members:       len(plan.Groups[gi]),
+			HomeEvents:    r.stats.homeEvents[gi].Load(),
+			LeaderEvents:  r.stats.leaderEvents[gi].Load(),
+			Pruned:        r.stats.pruned[gi].Load(),
+			Passes:        r.stats.passes[gi].Load(),
+			PassNoDeliver: r.stats.passNoDeliver[gi].Load(),
+		}
+		if n := ga.Pruned + ga.Passes; n > 0 {
+			ga.PruneRate = float64(ga.Pruned) / float64(n)
+		}
+		if ga.Passes > 0 {
+			ga.DigestFPRate = float64(ga.PassNoDeliver) / float64(ga.Passes)
+		}
+		rep.Groups[gi] = ga
+		rep.Events += ga.HomeEvents
+		totPruned += ga.Pruned
+		totPasses += ga.Passes
+		totNoDeliver += ga.PassNoDeliver
+		totLeader += ga.LeaderEvents
+		if ga.LeaderEvents > maxLeader {
+			maxLeader = ga.LeaderEvents
+		}
+	}
+	if n := totPruned + totPasses; n > 0 {
+		rep.PruneRate = float64(totPruned) / float64(n)
+	}
+	if totPasses > 0 {
+		rep.DigestFPRate = float64(totNoDeliver) / float64(totPasses)
+	}
+	if totLeader > 0 && groups > 0 {
+		mean := float64(totLeader) / float64(groups)
+		rep.LeaderSkew = float64(maxLeader) / mean
+	}
+	return rep
+}
+
+// Instrument exports the current analytics snapshot into a metrics
+// registry as per-group gauges (labelled by group id) plus network-wide
+// aggregates. Snapshot-export by design: Route stays free of registry
+// lookups, callers re-export at whatever cadence they sample.
+func (r *Router) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	rep := r.Analytics()
+	pruned := reg.GaugeVec("subgroup_digest_pruned")
+	passes := reg.GaugeVec("subgroup_digest_passes")
+	noDeliver := reg.GaugeVec("subgroup_digest_pass_no_deliver")
+	leader := reg.GaugeVec("subgroup_leader_events")
+	for _, ga := range rep.Groups {
+		label := strconv.Itoa(ga.Group)
+		pruned.With(label).Set(ga.Pruned)
+		passes.With(label).Set(ga.Passes)
+		noDeliver.With(label).Set(ga.PassNoDeliver)
+		leader.With(label).Set(ga.LeaderEvents)
+	}
+	reg.Gauge("subgroup_digest_prune_rate_ppm").Set(int64(rep.PruneRate * 1e6))
+	reg.Gauge("subgroup_digest_fp_rate_ppm").Set(int64(rep.DigestFPRate * 1e6))
+	reg.Gauge("subgroup_leader_skew_milli").Set(int64(rep.LeaderSkew * 1e3))
+}
+
+// RecordFlight journals one EvSubgroupDigest record per group from the
+// current snapshot: broker = the group's leader, A = group id, B =
+// pruned count, C = pass-but-no-delivery count.
+func (r *Router) RecordFlight(rec *flight.Recorder) {
+	if rec == nil {
+		return
+	}
+	for _, ga := range r.Analytics().Groups {
+		rec.Record(flight.EvSubgroupDigest, ga.Leader,
+			int64(ga.Group), ga.Pruned, ga.PassNoDeliver,
+			"passes "+strconv.FormatInt(ga.Passes, 10))
+	}
+}

@@ -24,6 +24,11 @@ type Digest struct {
 	Group    int
 	Members  subid.Mask // broker ids in the subgroup
 	NumAttrs int
+	// Epoch is the propagation period the digest was compiled in (0 =
+	// unstamped). Leaders exchange digests every period; the epoch lets a
+	// receiver tell a fresh digest from a stale one and feeds the same
+	// convergence accounting the flat path's summary headers carry.
+	Epoch uint64
 
 	Arith map[schema.AttrID]*ArithDigest
 	Str   map[schema.AttrID]*StrDigest
@@ -225,6 +230,7 @@ func (b bloomFilter) has(h uint64) bool {
 // leader-to-leader exchange. DecodeDigest inverts it.
 func (d *Digest) Encode(buf []byte) []byte {
 	buf = putUvarint(buf, uint64(d.Group))
+	buf = putUvarint(buf, d.Epoch)
 	buf = putUvarint(buf, uint64(d.NumAttrs))
 	buf = putWords(buf, d.Members)
 	buf = putUvarint(buf, uint64(len(d.Arith)))
@@ -280,6 +286,7 @@ func DecodeDigest(data []byte) (*Digest, error) {
 	r := &byteReader{data: data}
 	d := &Digest{
 		Group:    int(r.uvarint()),
+		Epoch:    r.uvarint(),
 		NumAttrs: int(r.uvarint()),
 	}
 	d.Members = subid.Mask(r.words())

@@ -128,3 +128,15 @@ func Propagate(g *topology.Graph, own []*summary.Summary, plan *Plan, workers in
 	res.WireBytes = res.IntraWireBytes + res.DigestWireBytes
 	return res, nil
 }
+
+// StampEpoch marks every digest of the result with the propagation
+// period it was compiled in. Callers running periodic subgrouped
+// propagation stamp each period's result so digest receivers can tell
+// fresh cross-border state from stale (see Digest.Epoch).
+func (res *Result) StampEpoch(epoch uint64) {
+	for _, d := range res.Digests {
+		if d != nil {
+			d.Epoch = epoch
+		}
+	}
+}

@@ -23,8 +23,9 @@ import (
 // independent workloads (DESIGN.md §Subgrouping). Hops shrink because
 // whole subgroups leave the walk in one check.
 type Router struct {
-	g   *topology.Graph
-	res *Result
+	g     *topology.Graph
+	res   *Result
+	stats routerStats
 }
 
 // NewRouter builds a digest-first router over a subgrouped propagation
@@ -34,7 +35,9 @@ func NewRouter(g *topology.Graph, res *Result) (*Router, error) {
 		return nil, fmt.Errorf("subgroup: propagation result covers %d brokers, overlay has %d",
 			res.NumBrokers, g.Len())
 	}
-	return &Router{g: g, res: res}, nil
+	r := &Router{g: g, res: res}
+	r.stats.init(res.Plan.NumGroups())
+	return r, nil
 }
 
 // Route processes one event entering at origin and returns the same
@@ -47,8 +50,12 @@ func (r *Router) Route(origin topology.NodeID, e *schema.Event) *routing.Trace {
 	trace := &routing.Trace{Origin: origin, Visited: []topology.NodeID{origin}}
 	delivered := make(map[topology.NodeID]bool, 8)
 
-	deliverFrom := func(at topology.NodeID, group int) {
-		for _, owner := range r.ownersOf(group, e) {
+	// deliverFrom credits the matched owners at one leader. The owner
+	// list is resolved by the caller so digest analytics can observe it:
+	// a digest pass whose subgroup summary then names no owner at all is
+	// a measured digest false positive (pass-but-no-delivery).
+	deliverFrom := func(at topology.NodeID, owners []topology.NodeID) {
+		for _, owner := range owners {
 			if delivered[owner] {
 				continue
 			}
@@ -67,18 +74,22 @@ func (r *Router) Route(origin topology.NodeID, e *schema.Event) *routing.Trace {
 		trace.ForwardHops++
 		trace.Visited = append(trace.Visited, leader)
 	}
-	deliverFrom(leader, gi)
+	r.stats.home(gi)
+	deliverFrom(leader, r.ownersOf(gi, e))
 	for gj := 0; gj < plan.NumGroups(); gj++ {
 		if gj == gi {
 			continue
 		}
 		if !r.res.Digests[gj].MayMatch(e) {
+			r.stats.prune(gj)
 			continue // whole subgroup pruned, zero messages
 		}
 		lj := plan.Leaders[gj]
 		trace.ForwardHops++
 		trace.Visited = append(trace.Visited, lj)
-		deliverFrom(lj, gj)
+		owners := r.ownersOf(gj, e)
+		r.stats.pass(gj, len(owners) == 0)
+		deliverFrom(lj, owners)
 	}
 	return trace
 }

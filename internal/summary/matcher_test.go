@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/metrics"
 	"github.com/subsum/subsum/internal/schema"
 	"github.com/subsum/subsum/internal/subid"
 )
@@ -14,7 +15,7 @@ import (
 // buildRandomSummary inserts n random subscriptions for broker 1, then
 // churns a fraction of them (remove) and merges in a second broker's
 // summary, so the registry has seen swap-deletes and merge registration.
-func buildRandomSummary(t *testing.T, rng *rand.Rand, s *schema.Schema, mode interval.Mode, n int) *Summary {
+func buildRandomSummary(t testing.TB, rng *rand.Rand, s *schema.Schema, mode interval.Mode, n int) *Summary {
 	t.Helper()
 	sm := New(s, mode)
 	for i := 0; i < n; i++ {
@@ -179,4 +180,54 @@ func equalKeys(a, b []uint64) bool {
 		}
 	}
 	return true
+}
+
+// benchMatcher builds the warmed matcher + event set the hot-path
+// benchmarks share. The zero-alloc promise these benchmarks defend is
+// gated in CI (benchcheck -alloczero), so their names are load-bearing.
+func benchMatcher(b *testing.B, withObs bool) (*Matcher, []*schema.Event) {
+	b.Helper()
+	s := stockSchema(b)
+	rng := rand.New(rand.NewSource(34))
+	sm := buildRandomSummary(b, rng, s, interval.Lossy, 150)
+	events := make([]*schema.Event, 64)
+	for i := range events {
+		events[i] = randomEvent(rng, s)
+	}
+	m := sm.NewMatcher()
+	if withObs {
+		reg := metrics.NewRegistry()
+		m.SetObs(&MatcherObs{
+			Events:    reg.Counter("match_events"),
+			Collected: reg.Counter("match_collected"),
+			Matched:   reg.Counter("match_matched"),
+		})
+	}
+	for _, ev := range events { // warm up scratch capacity
+		m.MatchKeys(ev)
+	}
+	return m, events
+}
+
+// BenchmarkMatcherMatchKeys is the summary-match hot path: CI gates this
+// benchmark at 0 allocs/op.
+func BenchmarkMatcherMatchKeys(b *testing.B) {
+	m, events := benchMatcher(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MatchKeys(events[i%len(events)])
+	}
+}
+
+// BenchmarkMatcherMatchKeysInstrumented is the same path with the cost
+// observers attached — health instrumentation must not reintroduce
+// allocations, so CI gates this one at 0 allocs/op too.
+func BenchmarkMatcherMatchKeysInstrumented(b *testing.B) {
+	m, events := benchMatcher(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MatchKeys(events[i%len(events)])
+	}
 }

@@ -10,6 +10,7 @@
 //	{"op":"propagate"}
 //	{"op":"stats"}
 //	{"op":"history"}
+//	{"op":"convergence"}
 //	{"op":"extend","attr":"newattr","attrtype":"float"}
 //	{"op":"ping"}
 //
@@ -66,6 +67,9 @@ type Response struct {
 	// History carries the sampler's retained time-series on history
 	// replies (nil when the server has no sampler attached).
 	History *metrics.History `json:"history,omitempty"`
+	// Health carries the summary-health snapshot (convergence epoch
+	// vectors plus false-positive attribution) on convergence replies.
+	Health *core.HealthReport `json:"health,omitempty"`
 }
 
 // Server exposes a core.Network over TCP.
@@ -278,6 +282,9 @@ func (srv *Server) handle(cc *conn, req Request) Response {
 		}
 		resp.History = srv.sampler.History()
 		return resp
+	case "convergence":
+		resp.Health = srv.net.Health()
+		return resp
 	default:
 		return fail(fmt.Errorf("unknown op %q", req.Op))
 	}
@@ -430,6 +437,20 @@ func (cl *Client) History() (*metrics.History, error) {
 		return nil, errors.New("wire: empty history reply")
 	}
 	return resp.History, nil
+}
+
+// Health fetches the server's summary-health snapshot: per-broker
+// convergence epoch vectors with derived staleness, and the
+// false-positive attribution report.
+func (cl *Client) Health() (*core.HealthReport, error) {
+	resp, err := cl.roundTrip(Request{Op: "convergence"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Health == nil {
+		return nil, errors.New("wire: empty convergence reply")
+	}
+	return resp.Health, nil
 }
 
 // ExtendSchema appends an attribute to the server's schema at runtime
