@@ -1,14 +1,19 @@
 // Command subsum-bench regenerates the tables and figures of the
-// subscription-summarization paper's evaluation (Section 5).
+// subscription-summarization paper's evaluation (Section 5), plus the
+// repo's tracked performance and reliability baselines.
 //
 // Usage:
 //
-//	subsum-bench -experiment fig8|fig9|fig10|fig11|matching|benchmatch|benchprop|benchchurn|benchoverlay|fig7|table2|health|ablations|all
+//	subsum-bench -experiment <name>|all
 //	             [-events N] [-sigmas 10,100,1000] [-csv] [-topology cw24|fig7|random]
 //	             [-workers N] [-json BENCH_matching.json] [-sizes 24,64,128]
+//	             [-scenario full|smoke] [-md SOAK.md]
 //
-// Each experiment prints the same rows/series the paper reports; see
-// EXPERIMENTS.md for the paper-versus-measured comparison.
+// The experiment names are defined in one table-driven registry
+// (experimentSpecs below); the -h text is generated from it, and a test
+// asserts the two can't drift apart. Each experiment prints the same
+// rows/series the paper reports; see EXPERIMENTS.md for the
+// paper-versus-measured comparison.
 package main
 
 import (
@@ -23,24 +28,165 @@ import (
 	"github.com/subsum/subsum/internal/topology"
 )
 
+// benchEnv carries the parsed flag state into experiment runners.
+type benchEnv struct {
+	cfg      experiments.Config
+	asCSV    bool
+	jsonOut  string
+	sizes    []int
+	workers  int
+	seed     int64
+	scenario string
+	mdOut    string
+}
+
+// show prints a table in the selected format, dying on error.
+func (e *benchEnv) show(tab *metrics.Table, err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if e.asCSV {
+		fmt.Println(tab.CSV())
+	} else {
+		fmt.Println(tab)
+	}
+}
+
+// experimentSpec is one registry entry: the -experiment name, a
+// one-line summary rendered into usage output, whether "all" includes
+// it, and the runner itself.
+type experimentSpec struct {
+	name    string
+	summary string
+	inAll   bool
+	run     func(e *benchEnv)
+}
+
+// experimentSpecs is the single source of truth for experiment names.
+// Usage text and the "all" sweep are generated from it, and
+// TestRegistryDrivesUsage asserts every entry is reachable from -h, so
+// adding an experiment here is the whole job.
+var experimentSpecs = []experimentSpec{
+	{"table1", "summary-size model vs paper Table 1", true,
+		func(e *benchEnv) { e.show(experiments.Table1(), nil) }},
+	{"table2", "per-broker summarization cost on the stock workload", true,
+		func(e *benchEnv) { e.show(experiments.Table2(e.cfg), nil) }},
+	{"fig7", "worked propagation trace on the 13-broker tree", true,
+		func(e *benchEnv) {
+			out, err := experiments.Fig7Trace()
+			if err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Println(out)
+		}},
+	{"fig8", "total summary traffic vs sigma", true,
+		func(e *benchEnv) { e.show(experiments.Fig8(e.cfg)) }},
+	{"fig9", "per-link summary traffic distribution", true,
+		func(e *benchEnv) { e.show(experiments.Fig9(e.cfg)) }},
+	{"fig10", "event traffic vs sigma", true,
+		func(e *benchEnv) { e.show(experiments.Fig10(e.cfg)) }},
+	{"fig11", "false-positive rate vs sigma", true,
+		func(e *benchEnv) { e.show(experiments.Fig11(e.cfg)) }},
+	{"matching", "matching cost vs summary size", true,
+		func(e *benchEnv) { e.show(experiments.MatchingCost(e.cfg)) }},
+	{"benchmatch", "matcher micro-benchmarks -> BENCH_matching.json", true,
+		func(e *benchEnv) {
+			if err := runBenchMatch(e.jsonOut); err != nil {
+				fatalf("%v", err)
+			}
+		}},
+	{"benchprop", "propagation + codec benchmarks -> BENCH_propagation.json", true,
+		func(e *benchEnv) {
+			if err := runBenchProp(e.jsonOut); err != nil {
+				fatalf("%v", err)
+			}
+		}},
+	{"benchchurn", "subscribe/unsubscribe churn benchmarks -> BENCH_churn.json", true,
+		func(e *benchEnv) {
+			if err := runBenchChurn(e.jsonOut); err != nil {
+				fatalf("%v", err)
+			}
+		}},
+	{"benchthroughput", "live-engine event throughput sweep", true,
+		func(e *benchEnv) {
+			if err := runBenchThroughput(e.jsonOut); err != nil {
+				fatalf("%v", err)
+			}
+		}},
+	{"benchoverlay", "overlay scaling ladder -> BENCH_overlay.json", true,
+		func(e *benchEnv) {
+			if err := runBenchOverlay(e.jsonOut, e.sizes, e.workers, e.seed); err != nil {
+				fatalf("%v", err)
+			}
+		}},
+	{"sizemodel", "analytic size model vs measured summaries", true,
+		func(e *benchEnv) { e.show(experiments.SizeModelValidation(e.cfg)) }},
+	{"crosstopo", "cost comparison across backbone topologies", true,
+		func(e *benchEnv) { e.show(experiments.CrossTopology(e.cfg)) }},
+	{"health", "summary-health baseline (staleness, FP attribution)", true,
+		func(e *benchEnv) {
+			hcfg := experiments.DefaultHealthConfig()
+			hcfg.Seed = e.seed
+			e.show(experiments.HealthBaseline(hcfg))
+		}},
+	{"ablations", "forwarding/folding/subsumption/batch ablations", true,
+		func(e *benchEnv) {
+			e.show(experiments.AblationForwarding(e.cfg))
+			e.show(experiments.AblationEqualityFolding(e.cfg))
+			e.show(experiments.AblationSubsumptionCombo(e.cfg))
+			e.show(experiments.AblationBatch(e.cfg))
+		}},
+	// The chaos soak sleeps real wall time in its pause phases and fails
+	// the process on a control error, so "all" (the paper regeneration
+	// sweep) does not include it — run it explicitly, as CI does.
+	{"slo", "scripted chaos soak vs error budgets -> BENCH_slo.json (-scenario full|smoke, -md report)", false,
+		func(e *benchEnv) {
+			if err := runBenchSLO(e.jsonOut, e.mdOut, e.scenario); err != nil {
+				fatalf("%v", err)
+			}
+		}},
+}
+
+// experimentUsage renders the registry into the -experiment flag's help
+// text: one "name — summary" line per entry plus the all sweep.
+func experimentUsage() string {
+	var b strings.Builder
+	b.WriteString("experiment to run; one of:\n")
+	for _, sp := range experimentSpecs {
+		fmt.Fprintf(&b, "    \t  %-16s %s\n", sp.name, sp.summary)
+	}
+	b.WriteString("    \t  all              every experiment marked for the full sweep")
+	return b.String()
+}
+
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig8, fig9, fig10, fig11, matching, fig7, table2, ablations, or all")
-		events     = flag.Int("events", 1000, "events per broker for figure 10")
-		sigmas     = flag.String("sigmas", "", "comma-separated σ sweep override (e.g. 10,100,1000)")
-		topoName   = flag.String("topology", "cw24", "cw24, att33, fig7, or random:<n>:<extra>:<seed>")
-		seed       = flag.Int64("seed", 1, "workload seed")
-		asCSV      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		workers    = flag.Int("workers", 0, "parallel sweep width (0 = all CPUs, 1 = serial); results are identical at any width")
-		jsonOut    = flag.String("json", "", "benchmatch/benchprop: write the JSON report to this file instead of stdout")
-		sizes      = flag.String("sizes", "", "benchoverlay: comma-separated broker-count override (e.g. 24,64,128 for the reduced CI sweep)")
+		experiment   = flag.String("experiment", "all", experimentUsage())
+		events       = flag.Int("events", 1000, "events per broker for figure 10")
+		sigmas       = flag.String("sigmas", "", "comma-separated σ sweep override (e.g. 10,100,1000)")
+		topoName     = flag.String("topology", "cw24", "cw24, att33, fig7, or random:<n>:<extra>:<seed>")
+		seed         = flag.Int64("seed", 1, "workload seed")
+		asCSV        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		workers      = flag.Int("workers", 0, "parallel sweep width (0 = all CPUs, 1 = serial); results are identical at any width")
+		jsonOut      = flag.String("json", "", "benchmatch/benchprop/benchchurn/benchoverlay/slo: write the JSON report to this file instead of stdout")
+		sizes        = flag.String("sizes", "", "benchoverlay: comma-separated broker-count override (e.g. 24,64,128 for the reduced CI sweep)")
+		scenarioName = flag.String("scenario", "full", "slo: chaos script to run (full or smoke)")
+		mdOut        = flag.String("md", "", "slo: also write a markdown soak report to this file")
 	)
 	flag.Parse()
 
-	cfg := experiments.Default()
-	cfg.EventsPerBroker = *events
-	cfg.Seed = *seed
-	cfg.Workers = *workers
+	env := benchEnv{
+		cfg:      experiments.Default(),
+		asCSV:    *asCSV,
+		jsonOut:  *jsonOut,
+		workers:  *workers,
+		seed:     *seed,
+		scenario: *scenarioName,
+		mdOut:    *mdOut,
+	}
+	env.cfg.EventsPerBroker = *events
+	env.cfg.Seed = *seed
+	env.cfg.Workers = *workers
 	if *sigmas != "" {
 		var parsed []int
 		for _, tok := range strings.Split(*sigmas, ",") {
@@ -50,102 +196,42 @@ func main() {
 			}
 			parsed = append(parsed, v)
 		}
-		cfg.Sigmas = parsed
+		env.cfg.Sigmas = parsed
+	}
+	if *sizes != "" {
+		for _, tok := range strings.Split(*sizes, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || v < 2 {
+				fatalf("bad -sizes value %q", tok)
+			}
+			env.sizes = append(env.sizes, v)
+		}
 	}
 	topo, err := parseTopology(*topoName)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	cfg.Topo = topo
-
-	show := func(tab *metrics.Table, err error) {
-		if err != nil {
-			fatalf("%v", err)
-		}
-		if *asCSV {
-			fmt.Println(tab.CSV())
-		} else {
-			fmt.Println(tab)
-		}
-	}
-
-	run := map[string]func(){
-		"table1": func() { show(experiments.Table1(), nil) },
-		"table2": func() { show(experiments.Table2(cfg), nil) },
-		"fig7": func() {
-			out, err := experiments.Fig7Trace()
-			if err != nil {
-				fatalf("%v", err)
-			}
-			fmt.Println(out)
-		},
-		"fig8":     func() { show(experiments.Fig8(cfg)) },
-		"fig9":     func() { show(experiments.Fig9(cfg)) },
-		"fig10":    func() { show(experiments.Fig10(cfg)) },
-		"fig11":    func() { show(experiments.Fig11(cfg)) },
-		"matching": func() { show(experiments.MatchingCost(cfg)) },
-		"benchmatch": func() {
-			if err := runBenchMatch(*jsonOut); err != nil {
-				fatalf("%v", err)
-			}
-		},
-		"benchprop": func() {
-			if err := runBenchProp(*jsonOut); err != nil {
-				fatalf("%v", err)
-			}
-		},
-		"benchchurn": func() {
-			if err := runBenchChurn(*jsonOut); err != nil {
-				fatalf("%v", err)
-			}
-		},
-		"benchthroughput": func() {
-			if err := runBenchThroughput(*jsonOut); err != nil {
-				fatalf("%v", err)
-			}
-		},
-		"benchoverlay": func() {
-			var parsed []int
-			if *sizes != "" {
-				for _, tok := range strings.Split(*sizes, ",") {
-					v, err := strconv.Atoi(strings.TrimSpace(tok))
-					if err != nil || v < 2 {
-						fatalf("bad -sizes value %q", tok)
-					}
-					parsed = append(parsed, v)
-				}
-			}
-			if err := runBenchOverlay(*jsonOut, parsed, *workers, *seed); err != nil {
-				fatalf("%v", err)
-			}
-		},
-		"crosstopo": func() { show(experiments.CrossTopology(cfg)) },
-		"health": func() {
-			hcfg := experiments.DefaultHealthConfig()
-			hcfg.Seed = *seed
-			show(experiments.HealthBaseline(hcfg))
-		},
-		"sizemodel": func() { show(experiments.SizeModelValidation(cfg)) },
-		"ablations": func() {
-			show(experiments.AblationForwarding(cfg))
-			show(experiments.AblationEqualityFolding(cfg))
-			show(experiments.AblationSubsumptionCombo(cfg))
-			show(experiments.AblationBatch(cfg))
-		},
-	}
-	order := []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "matching", "benchmatch", "benchprop", "benchchurn", "benchthroughput", "benchoverlay", "sizemodel", "crosstopo", "health", "ablations"}
+	env.cfg.Topo = topo
 
 	if *experiment == "all" {
-		for _, name := range order {
-			run[name]()
+		for _, sp := range experimentSpecs {
+			if sp.inAll {
+				sp.run(&env)
+			}
 		}
 		return
 	}
-	fn, ok := run[*experiment]
-	if !ok {
-		fatalf("unknown experiment %q (want one of %s, all)", *experiment, strings.Join(order, ", "))
+	for _, sp := range experimentSpecs {
+		if sp.name == *experiment {
+			sp.run(&env)
+			return
+		}
 	}
-	fn()
+	var names []string
+	for _, sp := range experimentSpecs {
+		names = append(names, sp.name)
+	}
+	fatalf("unknown experiment %q (want one of %s, all)", *experiment, strings.Join(names, ", "))
 }
 
 func parseTopology(name string) (*topology.Graph, error) {

@@ -19,14 +19,16 @@ import (
 	"github.com/subsum/subsum/internal/core"
 	"github.com/subsum/subsum/internal/flight"
 	"github.com/subsum/subsum/internal/metrics"
+	"github.com/subsum/subsum/internal/slo"
 )
 
 // debugState carries the optional observability attachments the debug
 // mux serves alongside the network itself.
 type debugState struct {
 	network *core.Network
-	sampler *metrics.Sampler // nil: /debug/history is 404
-	rec     *flight.Recorder // nil: /debug/journal is 404
+	sampler *metrics.Sampler   // nil: /debug/history is 404
+	rec     *flight.Recorder   // nil: /debug/journal is 404
+	slo     func() *slo.Report // nil: /debug/slo is 404
 }
 
 // newDebugMux builds the -http handler:
@@ -37,6 +39,8 @@ type debugState struct {
 //	                          Prometheus text exposition (also ?format=prometheus)
 //	GET /debug/history        sampler time-series (values, deltas, rates)
 //	GET /debug/journal        flight-recorder journal (?format=text for one line per record)
+//	GET /debug/slo            SLO error-budget report: per-objective verdicts,
+//	                          burn rates, remaining budget, evidence
 //	GET /debug/convergence    summary-health snapshot: per-broker epoch vectors
 //	                          with derived staleness plus false-positive attribution
 //	GET /trace                retained hop traces, newest first (JSON)
@@ -87,6 +91,22 @@ func newDebugMux(st debugState) *http.ServeMux {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = st.rec.WriteJSON(w)
+	})
+
+	mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, r *http.Request) {
+		if st.slo == nil {
+			http.Error(w, "no slo monitor running (error budgets disabled)", http.StatusNotFound)
+			return
+		}
+		rep := st.slo()
+		if rep == nil {
+			http.Error(w, "slo monitor has not evaluated yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
 	})
 
 	mux.HandleFunc("/debug/convergence", func(w http.ResponseWriter, r *http.Request) {

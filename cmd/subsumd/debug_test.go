@@ -14,6 +14,7 @@ import (
 	"github.com/subsum/subsum/internal/interval"
 	"github.com/subsum/subsum/internal/metrics"
 	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/slo"
 	"github.com/subsum/subsum/internal/subid"
 	"github.com/subsum/subsum/internal/topology"
 )
@@ -396,5 +397,136 @@ func TestDebugTraceChromeCapacityClear(t *testing.T) {
 	}
 	if _, traces := get(ts.URL + "/trace?clear=1"); len(traces) != 0 {
 		t.Fatalf("after ?clear=1: traces=%d", len(traces))
+	}
+}
+
+func TestDebugSLOEndpoint(t *testing.T) {
+	network, s := testNetwork(t)
+	sampler := metrics.NewSampler(network.Metrics(), time.Hour, 16)
+	sampler.RetainBuckets(slo.LatencyFamily)
+	eng, err := slo.New(slo.DefaultSpecs(slo.Targets{})...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitor := slo.NewMonitor(eng, sampler, network.Metrics(), nil)
+	ts := httptest.NewServer(newDebugMux(debugState{network: network, sampler: sampler, slo: monitor.Last}))
+	defer ts.Close()
+
+	// Before the first evaluation the endpoint refuses with 503, so a
+	// scraper can tell "not yet" from "not configured".
+	resp, err := http.Get(ts.URL + "/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("pre-evaluation /debug/slo: %d, want 503", resp.StatusCode)
+	}
+
+	ev, err := schema.ParseEvent(s, "symbol=OTE price=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := network.Publish(0, ev); err != nil {
+		t.Fatal(err)
+	}
+	network.Flush()
+	sampler.Tick(time.Now())
+	monitor.EvalOnce()
+
+	resp, err = http.Get(ts.URL + "/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/debug/slo Content-Type = %q", ct)
+	}
+	var rep slo.Report
+	err = json.NewDecoder(resp.Body).Decode(&rep)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || len(rep.Verdicts) != 5 {
+		t.Fatalf("/debug/slo: status %d, %d verdicts", resp.StatusCode, len(rep.Verdicts))
+	}
+
+	// The gauge mirrors land in /metrics alongside everything else.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(body), "slo_state{") {
+		t.Fatalf("/metrics missing slo_state gauges:\n%s", body)
+	}
+}
+
+func TestDebugSLODisabled(t *testing.T) {
+	network, _ := testNetwork(t)
+	ts := httptest.NewServer(newDebugMux(debugState{network: network}))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/slo without monitor: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestDebugStatusAndContentTypes sweeps every debug surface on a fully
+// wired mux and pins each endpoint's status code and content type.
+func TestDebugStatusAndContentTypes(t *testing.T) {
+	network, _ := testNetwork(t)
+	sampler := metrics.NewSampler(network.Metrics(), time.Hour, 16)
+	sampler.Tick(time.Now())
+	rec := flight.NewRecorder(1 << 14)
+	rec.Record(flight.EvPeriodStart, -1, 1, 0, 0, "")
+	eng, err := slo.New(slo.DefaultSpecs(slo.Targets{})...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitor := slo.NewMonitor(eng, sampler, network.Metrics(), rec)
+	monitor.EvalOnce()
+	ts := httptest.NewServer(newDebugMux(debugState{network: network, sampler: sampler, rec: rec, slo: monitor.Last}))
+	defer ts.Close()
+
+	cases := []struct {
+		path   string
+		status int
+		ct     string
+	}{
+		{"/metrics", http.StatusOK, "text/plain; charset=utf-8"},
+		{"/metrics?format=json", http.StatusOK, "application/json"},
+		{"/metrics?format=prometheus", http.StatusOK, metrics.PromContentType},
+		{"/debug/history", http.StatusOK, "application/json"},
+		{"/debug/journal", http.StatusOK, "application/json"},
+		{"/debug/journal?format=text", http.StatusOK, "text/plain; charset=utf-8"},
+		{"/debug/slo", http.StatusOK, "application/json"},
+		{"/debug/convergence", http.StatusOK, "application/json"},
+		{"/trace", http.StatusOK, "application/json"},
+		{"/trace?format=chrome", http.StatusOK, "application/json"},
+		{"/trace?sample=bogus", http.StatusBadRequest, ""},
+		{"/trace?capacity=-1", http.StatusBadRequest, ""},
+	}
+	for _, tc := range cases {
+		resp, err := http.Get(ts.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.path, resp.StatusCode, tc.status)
+		}
+		if tc.ct != "" && resp.Header.Get("Content-Type") != tc.ct {
+			t.Errorf("%s: Content-Type %q, want %q", tc.path, resp.Header.Get("Content-Type"), tc.ct)
+		}
+		if tc.status == http.StatusOK && len(body) == 0 {
+			t.Errorf("%s: empty 200 body", tc.path)
+		}
 	}
 }

@@ -51,6 +51,7 @@ import (
 	"github.com/subsum/subsum/internal/interval"
 	"github.com/subsum/subsum/internal/metrics"
 	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/slo"
 	"github.com/subsum/subsum/internal/subid"
 	"github.com/subsum/subsum/internal/topology"
 	"github.com/subsum/subsum/internal/wire"
@@ -72,6 +73,9 @@ func main() {
 
 		sampleEvery = flag.Duration("sample-interval", time.Second, "metrics time-series sampling interval (0 disables /debug/history and the history wire op)")
 		historyCap  = flag.Int("history-cap", 300, "points retained per metrics time-series")
+		sloEvery    = flag.Duration("slo-interval", 5*time.Second, "SLO error-budget evaluation interval (0 disables /debug/slo and the slo wire op; requires a sampler)")
+		sloLatency  = flag.Duration("slo-latency-p99", 50*time.Millisecond, "publish→deliver p99 latency target")
+		sloBytes    = flag.Float64("slo-bytes-per-period", 64*1024, "propagation bytes-per-period ceiling")
 		journalKB   = flag.Int("journal-kb", 256, "flight-recorder journal capacity in KiB (0 disables /debug/journal and crash-dump journals)")
 		wdEvery     = flag.Duration("watchdog", 10*time.Second, "invariant watchdog check interval (0 disables)")
 		crashDump   = flag.String("crash-dump", "", "path for the crash dump written on panic or SIGQUIT (empty: dump to stderr)")
@@ -161,8 +165,27 @@ func main() {
 	var sampler *metrics.Sampler
 	if *sampleEvery > 0 {
 		sampler = metrics.NewSampler(reg, *sampleEvery, *historyCap)
+		if *sloEvery > 0 {
+			// The latency objective computes windowed quantiles from bucket
+			// deltas; opt the family in before the first tick.
+			sampler.RetainBuckets(slo.LatencyFamily)
+		}
 		sampler.Start()
 		defer sampler.Stop()
+	}
+	var monitor *slo.Monitor
+	if *sloEvery > 0 && sampler != nil {
+		tg := slo.DefaultTargets()
+		tg.LatencyP99Seconds = sloLatency.Seconds()
+		tg.StalenessPeriods = float64(*fullSync)
+		tg.BytesPerPeriodCeiling = *sloBytes
+		eng, err := slo.New(slo.DefaultSpecs(tg)...)
+		if err != nil {
+			fatal("building slo engine", "err", err)
+		}
+		monitor = slo.NewMonitor(eng, sampler, reg, rec)
+		monitor.Start(*sloEvery)
+		defer monitor.Stop()
 	}
 	if *wdEvery > 0 {
 		network.StartWatchdog(*wdEvery)
@@ -172,6 +195,9 @@ func main() {
 	if sampler != nil {
 		srv.SetSampler(sampler)
 	}
+	if monitor != nil {
+		srv.SetSLO(monitor.Last)
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fatal("listen", "addr", *addr, "err", err)
@@ -180,13 +206,17 @@ func main() {
 	logger.Info("listening", "addr", bound, "topology", topo.String(), "schema", s.String())
 
 	if *httpAddr != "" {
-		dbgAddr, stopDebug, err := startDebugServer(*httpAddr, debugState{network: network, sampler: sampler, rec: rec}, logger)
+		st := debugState{network: network, sampler: sampler, rec: rec}
+		if monitor != nil {
+			st.slo = monitor.Last
+		}
+		dbgAddr, stopDebug, err := startDebugServer(*httpAddr, st, logger)
 		if err != nil {
 			fatal("debug listen", "addr", *httpAddr, "err", err)
 		}
 		defer stopDebug()
 		logger.Info("debug http listening", "addr", dbgAddr,
-			"endpoints", "/metrics /debug/history /debug/journal /trace /debug/pprof/ /debug/vars")
+			"endpoints", "/metrics /debug/history /debug/journal /debug/slo /trace /debug/pprof/ /debug/vars")
 	}
 
 	stop := make(chan os.Signal, 1)

@@ -32,6 +32,7 @@ import (
 
 	"github.com/subsum/subsum/internal/core"
 	"github.com/subsum/subsum/internal/metrics"
+	"github.com/subsum/subsum/internal/slo"
 	"github.com/subsum/subsum/internal/wire"
 )
 
@@ -71,6 +72,7 @@ type jsonSnapshot struct {
 	Stats   map[string]float64 `json:"stats"`
 	Health  *core.HealthReport `json:"health,omitempty"`
 	History *metrics.History   `json:"history,omitempty"`
+	SLO     *slo.Report        `json:"slo,omitempty"`
 }
 
 // run dials the server and renders frames until cfg.frames is exhausted
@@ -92,15 +94,16 @@ func run(w io.Writer, cfg topConfig) error {
 		// same way against servers predating the convergence op.
 		hist, _ := cl.History()
 		health, _ := cl.Health()
+		sloRep, _ := cl.SLO()
 		if cfg.json {
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
-			return enc.Encode(jsonSnapshot{Addr: cfg.addr, Stats: m, Health: health, History: hist})
+			return enc.Encode(jsonSnapshot{Addr: cfg.addr, Stats: m, Health: health, History: hist, SLO: sloRep})
 		}
 		if cfg.clear {
 			fmt.Fprint(w, "\x1b[2J\x1b[H")
 		}
-		renderFrame(w, cfg.addr, frame, m, hist, health)
+		renderFrame(w, cfg.addr, frame, m, hist, health, sloRep)
 		if cfg.frames > 0 && frame >= cfg.frames {
 			return nil
 		}
@@ -110,7 +113,7 @@ func run(w io.Writer, cfg topConfig) error {
 
 // renderFrame writes one dashboard frame from a registry snapshot, an
 // optional history document, and an optional health report.
-func renderFrame(w io.Writer, addr string, frame int, m map[string]float64, hist *metrics.History, health *core.HealthReport) {
+func renderFrame(w io.Writer, addr string, frame int, m map[string]float64, hist *metrics.History, health *core.HealthReport, sloRep *slo.Report) {
 	rate := func(name string) string {
 		if hist == nil {
 			return ""
@@ -164,6 +167,7 @@ func renderFrame(w io.Writer, addr string, frame int, m map[string]float64, hist
 	fmt.Fprintf(w, "\nWATCHDOG\n")
 	fmt.Fprintf(w, "  checks %.0f    violations %.0f    %s\n", m["watchdog_checks"], m["watchdog_violations"], status)
 
+	renderSLO(w, sloRep)
 	renderHealth(w, m, health)
 
 	rows := brokerRows(m)
@@ -179,6 +183,22 @@ func renderFrame(w io.Writer, addr string, frame int, m map[string]float64, hist
 			fmt.Fprintf(w, "  %-5d%12.0f%8.0f%8.0f%8.0f%8.0f%8d%14s\n",
 				r.id, r.subs, r.merged, r.deliveries, r.falsePos, r.merges, staleOf[r.id], fmtSeconds(r.matchP95))
 		}
+	}
+}
+
+// renderSLO writes the error-budget pane: one line per objective with
+// state, current SLI vs target, burn rates, and remaining budget.
+// Skipped entirely against servers without the slo op.
+func renderSLO(w io.Writer, rep *slo.Report) {
+	if rep == nil {
+		return
+	}
+	fmt.Fprintf(w, "\nSLO    (%d breach / %d warn)\n", rep.Breaches, rep.Warns)
+	for i := range rep.Verdicts {
+		v := &rep.Verdicts[i]
+		state := strings.ToUpper(string(v.State))
+		fmt.Fprintf(w, "  %-7s%-24s sli %10.4g %s %-8.4g burn %5.2f/%5.2f budget %3.0f%%\n",
+			state, v.Name, v.SLI, v.Op, v.Target, v.FastBurn, v.SlowBurn, 100*v.BudgetRemaining)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"github.com/subsum/subsum/internal/interval"
 	"github.com/subsum/subsum/internal/metrics"
 	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/slo"
 	"github.com/subsum/subsum/internal/subid"
 	"github.com/subsum/subsum/internal/topology"
 	"github.com/subsum/subsum/internal/wire"
@@ -37,8 +38,15 @@ func TestRunRendersLiveServer(t *testing.T) {
 	defer network.Close()
 
 	sampler := metrics.NewSampler(reg, time.Hour, 16)
+	sampler.RetainBuckets(slo.LatencyFamily)
+	eng, err := slo.New(slo.DefaultSpecs(slo.Targets{})...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitor := slo.NewMonitor(eng, sampler, reg, nil)
 	srv := wire.NewServer(network, s)
 	srv.SetSampler(sampler)
+	srv.SetSLO(monitor.Last)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -67,6 +75,7 @@ func TestRunRendersLiveServer(t *testing.T) {
 	network.Flush()
 	sampler.Tick(time.Now())
 	sampler.Tick(time.Now().Add(time.Second))
+	monitor.EvalOnce()
 
 	var buf bytes.Buffer
 	if err := run(&buf, topConfig{addr: addr, every: time.Millisecond, frames: 2, clear: false}); err != nil {
@@ -80,6 +89,9 @@ func TestRunRendersLiveServer(t *testing.T) {
 		"history: 2 ticks",        // the history op answered
 		"published             3", // registry totals made it across the wire
 		"WATCHDOG",
+		"SLO",
+		"publish_deliver_p99",
+		"delivery_loss",
 		"HEALTH",
 		"convergence: period 1",
 		"BROKERS",
@@ -189,13 +201,16 @@ func TestRunDialFailure(t *testing.T) {
 
 func TestRenderFrameWithoutHistory(t *testing.T) {
 	var buf bytes.Buffer
-	renderFrame(&buf, "x", 1, map[string]float64{"events_published": 7}, nil, nil)
+	renderFrame(&buf, "x", 1, map[string]float64{"events_published": 7}, nil, nil, nil)
 	out := buf.String()
 	if !strings.Contains(out, "history: off") {
 		t.Errorf("missing history-off note:\n%s", out)
 	}
 	if !strings.Contains(out, "published             7") {
 		t.Errorf("missing published total:\n%s", out)
+	}
+	if strings.Contains(out, "SLO") {
+		t.Errorf("SLO pane rendered against a server without the op:\n%s", out)
 	}
 }
 

@@ -119,7 +119,7 @@ type Network struct {
 
 	metrics *metrics.Registry
 	obs     netObs
-	conv    []convObs           // per-broker convergence gauges
+	conv    []convObs            // per-broker convergence gauges
 	attrib  *broker.FPAttributor // shared false-positive attribution sink
 	tracer  tracer
 	rec     *flight.Recorder // nil unless Config.Flight was set
@@ -365,6 +365,12 @@ func (net *Network) Metrics() *metrics.Registry { return net.metrics }
 // subscriptions it has not yet seen, so events still reach every matching
 // consumer. Pass nil to heal.
 func (net *Network) InjectFaults(fn func(netsim.Message) bool) { net.bus.SetDropFunc(fn) }
+
+// Faults exposes the bus's layered fault plane — partitions, per-kind
+// loss rates, broker pause/park — for scripted chaos scenarios. The
+// layers compose with the InjectFaults hook and with each other; see
+// netsim.Faults.
+func (net *Network) Faults() netsim.Faults { return net.bus.Faults() }
 
 // Propagate runs one Algorithm 2 period over the live bus: every broker's
 // delta (subscriptions accumulated since the previous period) is merged

@@ -79,6 +79,20 @@ const (
 	// group, B = pruned checks, C = digest passes that delivered
 	// nothing — the measured bloom false-positive count).
 	EvSubgroupDigest
+	// EvPhaseStart: a scenario phase began (A = phase index, B = planned
+	// periods); the note names the phase.
+	EvPhaseStart
+	// EvPhaseEnd: a scenario phase completed (A = phase index, B = ticks
+	// run); the note names the phase.
+	EvPhaseEnd
+	// EvSLOBreach: an SLO's error budget was exhausted — the objective
+	// transitioned into the breach state (A = fast-burn in milli-units,
+	// B = slow-burn in milli-units, C = budget remaining in milli-units);
+	// the note names the objective.
+	EvSLOBreach
+	// EvSLORecover: a breached SLO transitioned back out of breach; the
+	// note names the objective.
+	EvSLORecover
 )
 
 // String names the event type.
@@ -114,6 +128,14 @@ func (t EventType) String() string {
 		return "fp-attribution"
 	case EvSubgroupDigest:
 		return "subgroup-digest"
+	case EvPhaseStart:
+		return "phase-start"
+	case EvPhaseEnd:
+		return "phase-end"
+	case EvSLOBreach:
+		return "slo-breach"
+	case EvSLORecover:
+		return "slo-recover"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(t))
 	}

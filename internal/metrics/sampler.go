@@ -17,6 +17,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -32,8 +33,14 @@ type typedSample struct {
 
 // typedSnapshot flattens every instrument like Snapshot, additionally
 // tagging each sample's kind. Histogram .count/.sum are cumulative;
-// .mean/.p50/.p95/.p99 are points.
-func (r *Registry) typedSnapshot() []typedSample {
+// .mean/.p50/.p95/.p99 are points. Histograms whose family appears in
+// bucketFams additionally emit one cumulative ".bucket<i>" series per
+// bucket (the last index is the open +Inf bucket) — the raw counts a
+// downstream evaluator needs to compute quantiles over a window of
+// deltas rather than over the whole cumulative distribution. Bucket
+// retention is opt-in per family because it multiplies the series count
+// by the bucket count.
+func (r *Registry) typedSnapshot(bucketFams []string) []typedSample {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]typedSample, 0, len(r.counters)+len(r.gauges)+6*len(r.hists))
@@ -58,8 +65,25 @@ func (r *Registry) typedSnapshot() []typedSample {
 			typedSample{name + ".p95", p95, false},
 			typedSample{name + ".p99", p99, false},
 		)
+		if familyMatches(name, bucketFams) {
+			for i := range h.counts {
+				out = append(out, typedSample{name + ".bucket" + strconv.Itoa(i), float64(h.counts[i].Load()), true})
+			}
+		}
 	}
 	return out
+}
+
+// familyMatches reports whether the instrument name belongs to one of
+// the families: an exact match, or the family followed by a "{label}"
+// suffix.
+func familyMatches(name string, fams []string) bool {
+	for _, f := range fams {
+		if name == f || (len(name) > len(f) && name[:len(f)] == f && name[len(f)] == '{') {
+			return true
+		}
+	}
+	return false
 }
 
 // HistoryPoint is one retained sample of one series.
@@ -85,6 +109,17 @@ type HistorySeries struct {
 	Points []HistoryPoint `json:"points"`
 }
 
+// Marker is one annotation stamped into the retained history — a
+// scenario phase boundary, a fault injection, an operator note. Tick is
+// the number of samples taken when the marker was recorded: points with
+// index ≥ Tick (counting from the start of sampling, not the retained
+// window) were sampled after the marker.
+type Marker struct {
+	UnixMillis int64  `json:"t"`
+	Tick       int64  `json:"tick"`
+	Label      string `json:"label"`
+}
+
 // History is a snapshot of the sampler's retained time-series, sorted by
 // series name.
 type History struct {
@@ -92,6 +127,8 @@ type History struct {
 	Capacity        int             `json:"capacity"`
 	Ticks           int64           `json:"ticks"`
 	Series          []HistorySeries `json:"series"`
+	// Markers are retained annotations (phase boundaries), oldest first.
+	Markers []Marker `json:"markers,omitempty"`
 }
 
 // Latest returns the most recent point of the named series, if any.
@@ -145,10 +182,12 @@ type Sampler struct {
 	interval time.Duration
 	capacity int
 
-	mu       sync.Mutex
-	series   map[string]*seriesRing
-	ticks    int64
-	lastTick time.Time
+	mu         sync.Mutex
+	series     map[string]*seriesRing
+	ticks      int64
+	lastTick   time.Time
+	bucketFams []string
+	markers    []Marker
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -204,11 +243,39 @@ func (s *Sampler) Stop() {
 	<-s.stopped
 }
 
+// RetainBuckets opts histogram families into per-bucket series
+// retention: every histogram whose name equals one of the families (or
+// is a "family{label}" child) contributes cumulative ".bucket<i>"
+// series from the next tick on. Call before Start for complete history.
+func (s *Sampler) RetainBuckets(families ...string) {
+	s.mu.Lock()
+	s.bucketFams = append(s.bucketFams, families...)
+	s.mu.Unlock()
+}
+
+// markerCap bounds retained markers; phase schedules are short, so the
+// oldest markers are evicted long after their points have left the ring.
+const markerCap = 256
+
+// Mark stamps a labeled annotation into the history at the current tick
+// position. Safe for concurrent use with Tick.
+func (s *Sampler) Mark(label string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.markers = append(s.markers, Marker{UnixMillis: time.Now().UnixMilli(), Tick: s.ticks, Label: label})
+	if len(s.markers) > markerCap {
+		s.markers = s.markers[len(s.markers)-markerCap:]
+	}
+}
+
 // Tick takes one sample immediately. Exported so tests (and single-shot
 // collectors) can drive the sampler deterministically without wall-clock
 // waits; Start uses it internally.
 func (s *Sampler) Tick(now time.Time) {
-	samples := s.reg.typedSnapshot()
+	s.mu.Lock()
+	fams := s.bucketFams
+	s.mu.Unlock()
+	samples := s.reg.typedSnapshot(fams)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	elapsed := 0.0
@@ -268,6 +335,9 @@ func (s *Sampler) History() *History {
 		out.Series = append(out.Series, HistorySeries{Name: name, Kind: kind, Points: sr.ordered()})
 	}
 	sort.Slice(out.Series, func(i, j int) bool { return out.Series[i].Name < out.Series[j].Name })
+	if len(s.markers) > 0 {
+		out.Markers = append([]Marker(nil), s.markers...)
+	}
 	return out
 }
 

@@ -319,8 +319,9 @@ func (c *kindCounters) toMap() map[Kind]int64 {
 // The send path is lock-free: per-kind accounting lives in atomic counter
 // arrays and the in-flight depth is an atomic — concurrent publishers and
 // handler goroutines never serialize on a bus-wide mutex. The only lock a
-// send can take is dropMu, and only while a fault-injection hook is
-// installed (tests); production sends pay one atomic bool load for it.
+// send can take is faultMu, and only while some fault layer is active
+// (tests and chaos scenarios); production sends pay one atomic bool load
+// for it.
 type Bus struct {
 	boxes    []*mailbox
 	closed   atomic.Bool
@@ -351,12 +352,13 @@ type Bus struct {
 	decodeErrs   kindCounters
 	handlerErrs  kindCounters
 
-	// The fault-injection hook runs serialized under dropMu so test hooks
-	// may keep unsynchronized state; hasDrop lets the hot path skip the
-	// lock entirely when no hook is installed.
-	dropMu  sync.Mutex
-	dropFn  func(Message) bool
-	hasDrop atomic.Bool
+	// The layered fault plane (partitions, per-kind loss, paused brokers,
+	// plus the legacy custom drop hook) is evaluated serialized under
+	// faultMu so hooks may keep unsynchronized state; hasFault lets the
+	// hot path skip the lock entirely when no layer is active.
+	faultMu  sync.Mutex
+	faults   faultState
+	hasFault atomic.Bool
 }
 
 // NewBus creates a bus for n brokers.
@@ -376,11 +378,15 @@ func (b *Bus) Len() int { return len(b.boxes) }
 // returns true are dropped before delivery (they count in the Dropped
 // stats, not in Messages/Bytes). Pass nil to disable. Intended for tests;
 // fn runs under the bus lock and must be fast and deterministic.
+//
+// The hook is one layer of the fault plane: installing or clearing it
+// leaves partitions, loss rates, and paused brokers untouched (see
+// Faults).
 func (b *Bus) SetDropFunc(fn func(Message) bool) {
-	b.dropMu.Lock()
-	b.dropFn = fn
-	b.dropMu.Unlock()
-	b.hasDrop.Store(fn != nil)
+	b.faultMu.Lock()
+	b.faults.custom = fn
+	b.faultMu.Unlock()
+	b.refreshFaultGate()
 }
 
 // SetFlight attaches a flight recorder: fault-injected drops and decode
@@ -477,28 +483,10 @@ func (b *Bus) send(m Message, sb *SharedBuf) error {
 		return fmt.Errorf("netsim: bus closed")
 	}
 	in := b.instr.Load()
-	if b.hasDrop.Load() {
-		// Run the hook and its drop accounting in one critical section, so
-		// a test's own in-hook counters always agree with Stats.Dropped.
-		b.dropMu.Lock()
-		if b.dropFn != nil && b.dropFn(m) {
-			b.dropped.add(m.Kind, 1)
-			b.droppedBytes.add(m.Kind, int64(len(m.Payload)))
-			b.dropMu.Unlock()
-			if in != nil {
-				if c := kindCounter(&in.dropped, m.Kind); c != nil {
-					c.Inc()
-				}
-				if c := kindCounter(&in.droppedBytes, m.Kind); c != nil {
-					c.Add(int64(len(m.Payload)))
-				}
-			}
-			if rec := b.rec.Load(); rec != nil {
-				rec.Record(flight.EvDrop, int(m.To), int64(m.Kind), int64(len(m.Payload)), int64(m.From), m.Kind.String())
-			}
+	if b.hasFault.Load() {
+		if handled := b.applyFaults(m, sb, in); handled {
 			return nil
 		}
-		b.dropMu.Unlock()
 	}
 	b.messages.add(m.Kind, 1)
 	b.bytes.add(m.Kind, int64(len(m.Payload)))
@@ -597,10 +585,22 @@ func (b *Bus) Quiesce() {
 }
 
 // Close shuts the bus down and waits for handler goroutines to exit.
-// Unprocessed messages are dropped (their in-flight count is released).
+// Unprocessed messages are dropped (their in-flight count is released),
+// including messages parked for paused brokers.
 func (b *Bus) Close() {
 	if !b.closed.CompareAndSwap(false, true) {
 		return
+	}
+	b.faultMu.Lock()
+	parked := b.faults.held
+	b.faults.held = nil
+	b.faultMu.Unlock()
+	for _, qs := range parked {
+		for _, q := range qs {
+			if q.sb != nil {
+				q.sb.Release()
+			}
+		}
 	}
 	for _, box := range b.boxes {
 		box.mu.Lock()

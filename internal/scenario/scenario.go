@@ -1,0 +1,583 @@
+// Package scenario is the scripted chaos runner: it drives a live
+// broker network through a deterministic schedule of fault phases —
+// partitions, per-kind loss bursts, broker pauses, churn storms — while
+// the SLO engine evaluates error budgets in lockstep with propagation
+// periods.
+//
+// Each phase declares its control expectations: which objectives MUST
+// breach while the fault is injected, which MAY, and how fast breaches
+// must clear after the heal. The runner checks them and reports control
+// errors, which makes a scenario a falsifiable experiment rather than a
+// demo — a clean phase that breaches, an injected fault that fails to
+// breach its objective, or a breach that outlives the recovery window
+// all fail the run.
+//
+// Determinism: topology, workload, routing, churn, and fault schedules
+// are all seeded, and the sampler is ticked manually on a synthetic
+// clock (one tick per propagation period), so byte counts, staleness,
+// drop counts, and precision reproduce exactly across runs. The one
+// wall-clock quantity is publish→deliver latency; pause phases shape it
+// far above its target (parked deliveries wait out a real sleep), and
+// clean phases sit orders of magnitude below, so verdicts are stable
+// even though the raw values jitter.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/subsum/subsum/internal/core"
+	"github.com/subsum/subsum/internal/flight"
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/metrics"
+	"github.com/subsum/subsum/internal/netsim"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/slo"
+	"github.com/subsum/subsum/internal/subid"
+	"github.com/subsum/subsum/internal/topology"
+	"github.com/subsum/subsum/internal/workload"
+)
+
+// FaultKind selects a phase's fault primitive.
+type FaultKind string
+
+// Fault kinds.
+const (
+	FaultNone      FaultKind = "none"
+	FaultPartition FaultKind = "partition"
+	FaultLoss      FaultKind = "loss"
+	FaultPause     FaultKind = "pause"
+)
+
+// Fault describes the fault a phase holds for its whole duration. The
+// runner applies it at phase entry and clears it at phase exit, so a
+// following FaultNone phase observes the recovery.
+type Fault struct {
+	Kind FaultKind `json:"kind"`
+	// SideA and SideB are the partition's node sets (FaultPartition).
+	SideA []int `json:"side_a,omitempty"`
+	SideB []int `json:"side_b,omitempty"`
+	// LossKind ("summary", "event", "deliver", "control") and LossRate
+	// configure per-kind probabilistic loss (FaultLoss).
+	LossKind string  `json:"loss_kind,omitempty"`
+	LossRate float64 `json:"loss_rate,omitempty"`
+	// PauseBroker selects the broker to park (FaultPause); -1 picks the
+	// highest-degree broker (the busiest relay).
+	PauseBroker int `json:"pause_broker,omitempty"`
+}
+
+// Phase is one step of a scenario script.
+type Phase struct {
+	Name    string `json:"name"`
+	Periods int    `json:"periods"`
+	Fault   Fault  `json:"fault"`
+	// ChurnPerPeriod subscribes this many fresh subscriptions and retires
+	// the same number of the oldest churned ones every period (the base
+	// population stays put) — a churn storm inflates propagation bytes.
+	ChurnPerPeriod int `json:"churn_per_period,omitempty"`
+	// SleepPerPeriod injects real wall time into each period. In a pause
+	// phase the sleep happens while deliveries are parked, so it becomes
+	// the floor of their observed latency.
+	SleepPerPeriod time.Duration `json:"sleep_per_period,omitempty"`
+	// MustBreach lists objectives that have to reach breach at least once
+	// during the phase; MayBreach lists objectives tolerated in breach.
+	// Any breach outside the union is a control error. A phase with both
+	// lists empty is a clean phase: any breach at all is a control error.
+	MustBreach []string `json:"must_breach,omitempty"`
+	MayBreach  []string `json:"may_breach,omitempty"`
+	// Recovery marks a post-heal phase: breaches carried in from the
+	// previous phase may persist for Config.RecoveryPeriods ticks and
+	// must be gone by then — and stay gone.
+	Recovery bool `json:"recovery,omitempty"`
+}
+
+// Config parameterizes a scenario run.
+type Config struct {
+	Topology        *topology.Graph
+	SubsPerBroker   int
+	EventsPerPeriod int
+	HitRate         float64
+	FullSyncEvery   int
+	Seed            int64
+	// RecoveryPeriods is the recovery-time objective: a recovery phase
+	// must shed every carried-in breach within this many periods.
+	RecoveryPeriods int
+	// TickEvery is the synthetic clock step per period (the sampler's
+	// nominal interval; no wall time passes).
+	TickEvery time.Duration
+	Targets   slo.Targets
+}
+
+// DefaultConfig mirrors the health baseline's match-dense recipe on
+// CW24, with SLO windows sized to the phase lengths of DefaultScript.
+func DefaultConfig() Config {
+	tg := slo.DefaultTargets()
+	tg.LatencyP99Seconds = 0.050 // clean deliveries are µs; pause phases sleep 100ms
+	tg.StalenessPeriods = 4      // == FullSyncEvery
+	// The match-dense recipe's steady per-tick precision is ~0.42–0.45
+	// (measured); 0.35 leaves margin below the healthy floor while still
+	// catching a summary that degenerates into forwarding noise.
+	tg.PrecisionFloor = 0.35
+	// Measured on this workload: full-sync ticks peak at ~21.6 KB and a
+	// churn storm pushes every tick past ~40 KB, so 32 KiB separates the
+	// two with ~50% margin on the clean side.
+	tg.BytesPerPeriodCeiling = 32 * 1024
+	tg.FastWindow = 4
+	tg.SlowWindow = 16
+	return Config{
+		Topology:        topology.CW24(),
+		SubsPerBroker:   20,
+		EventsPerPeriod: 48,
+		HitRate:         0.7,
+		FullSyncEvery:   4,
+		Seed:            431,
+		RecoveryPeriods: 8,
+		TickEvery:       time.Second,
+		Targets:         tg,
+	}
+}
+
+// ObjectiveOutcome summarizes one objective over one phase.
+type ObjectiveOutcome struct {
+	Name        string  `json:"name"`
+	BreachTicks int     `json:"breach_ticks"`
+	FirstBreach int     `json:"first_breach"` // tick offset in phase, -1 if never
+	LastBreach  int     `json:"last_breach"`
+	FinalState  string  `json:"final_state"`
+	MaxFastBurn float64 `json:"max_fast_burn"`
+	MaxSlowBurn float64 `json:"max_slow_burn"`
+	MinBudget   float64 `json:"min_budget_remaining"`
+}
+
+// PhaseResult is one phase's observed outcome, carrying enough of the
+// script (fault, churn, recovery role) that the report is
+// self-describing without the script source.
+type PhaseResult struct {
+	Name           string             `json:"name"`
+	Index          int                `json:"index"`
+	Ticks          int                `json:"ticks"`
+	Fault          Fault              `json:"fault"`
+	ChurnPerPeriod int                `json:"churn_per_period,omitempty"`
+	Recovery       bool               `json:"recovery,omitempty"`
+	Objectives     []ObjectiveOutcome `json:"objectives"`
+	// Breached lists objectives that reached breach during the phase.
+	Breached []string `json:"breached,omitempty"`
+	// RecoveryTicks is, for recovery phases, the offset of the first tick
+	// with no breach at all (-1 if the phase never came clean).
+	RecoveryTicks int `json:"recovery_ticks,omitempty"`
+	// BytesPerPeriodMax is the largest per-tick propagation-bytes delta —
+	// the number the bytes_per_period ceiling is tuned against.
+	BytesPerPeriodMax float64 `json:"bytes_per_period_max"`
+	// ControlErrors are this phase's failed expectations.
+	ControlErrors []string `json:"control_errors,omitempty"`
+}
+
+// Result is a full scenario run.
+type Result struct {
+	Script   string        `json:"script"`
+	Topology string        `json:"topology"`
+	Brokers  int           `json:"brokers"`
+	Seed     int64         `json:"seed"`
+	Specs    []slo.Spec    `json:"specs"`
+	Phases   []PhaseResult `json:"phases"`
+	// Final is the engine's report after the last tick.
+	Final *slo.Report `json:"final"`
+	// Passed is true when every phase met its control expectations.
+	Passed bool `json:"passed"`
+	// ControlErrors aggregates every phase's failures, phase-prefixed.
+	ControlErrors []string `json:"control_errors,omitempty"`
+}
+
+// Runner executes a script against a live network.
+type Runner struct {
+	cfg     Config
+	net     *core.Network
+	gen     *workload.Generator
+	sampler *metrics.Sampler
+	monitor *slo.Monitor
+	rec     *flight.Recorder
+	rng     *rand.Rand
+	now     time.Time
+
+	churned []subid.ID // FIFO of churn-phase subscription ids
+	victim  topology.NodeID
+}
+
+// NewRunner builds the network, subscribes the base population, runs
+// one warmup propagation, and wires the sampler and SLO monitor. Close
+// the runner when done.
+func NewRunner(cfg Config) (*Runner, error) {
+	wcfg := workload.DefaultConfig()
+	wcfg.AttrsPerSub = 2
+	wcfg.AttrsPerEvent = 8
+	wcfg.Subsumption = 1.0
+	wcfg.Seed = cfg.Seed
+	gen, err := workload.NewGenerator(wcfg)
+	if err != nil {
+		return nil, err
+	}
+	rec := flight.NewRecorder(128 << 10)
+	net, err := core.New(core.Config{
+		Topology:      cfg.Topology,
+		Schema:        gen.Schema(),
+		Mode:          interval.Lossy,
+		FullSyncEvery: cfg.FullSyncEvery,
+		Flight:        rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		cfg: cfg,
+		net: net,
+		gen: gen,
+		rec: rec,
+		rng: rand.New(rand.NewSource(cfg.Seed + 7)),
+		// Synthetic epoch: determinism demands the tick clock not read
+		// wall time.
+		now: time.Unix(1_750_000_000, 0),
+	}
+	// Trace every publish so the latency histogram sees every delivery.
+	net.SetTraceSampling(1)
+	// The busiest relay is the default pause victim.
+	g := cfg.Topology
+	for i := 0; i < net.Len(); i++ {
+		if g.Degree(topology.NodeID(i)) == g.MaxDegree() {
+			r.victim = topology.NodeID(i)
+			break
+		}
+	}
+
+	for i := 0; i < net.Len(); i++ {
+		for s := 0; s < cfg.SubsPerBroker; s++ {
+			if _, err := net.Subscribe(topology.NodeID(i), gen.Subscription(),
+				func(subid.ID, *schema.Event) {}); err != nil {
+				net.Close()
+				return nil, err
+			}
+		}
+	}
+	if _, err := net.Propagate(); err != nil {
+		net.Close()
+		return nil, err
+	}
+	net.Flush()
+
+	r.sampler = metrics.NewSampler(net.Metrics(), cfg.TickEvery, 256)
+	r.sampler.RetainBuckets(slo.LatencyFamily)
+	eng, err := slo.New(slo.DefaultSpecs(cfg.Targets)...)
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+	r.monitor = slo.NewMonitor(eng, r.sampler, net.Metrics(), rec)
+	// Baseline tick so the first phase's deltas have a predecessor.
+	r.tick()
+	return r, nil
+}
+
+// Close releases the network.
+func (r *Runner) Close() { r.net.Close() }
+
+// Flight exposes the run's journal (phase markers, SLO transitions,
+// engine events).
+func (r *Runner) Flight() *flight.Recorder { return r.rec }
+
+// History exposes the sampler's retained series and phase markers.
+func (r *Runner) History() *metrics.History { return r.sampler.History() }
+
+func (r *Runner) tick() {
+	r.now = r.now.Add(r.cfg.TickEvery)
+	r.sampler.Tick(r.now)
+}
+
+func lossKind(s string) (netsim.Kind, error) {
+	switch s {
+	case "summary":
+		return netsim.KindSummary, nil
+	case "event":
+		return netsim.KindEvent, nil
+	case "deliver":
+		return netsim.KindDeliver, nil
+	case "control":
+		return netsim.KindControl, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown loss kind %q", s)
+}
+
+func nodeIDs(in []int) []topology.NodeID {
+	out := make([]topology.NodeID, len(in))
+	for i, v := range in {
+		out[i] = topology.NodeID(v)
+	}
+	return out
+}
+
+// applyFault arms the phase's fault; it returns the paused broker (or
+// -1) so runPhase can cycle it.
+func (r *Runner) applyFault(f Fault) (topology.NodeID, error) {
+	switch f.Kind {
+	case FaultNone, "":
+		return -1, nil
+	case FaultPartition:
+		return -1, r.net.Faults().Partition(nodeIDs(f.SideA), nodeIDs(f.SideB))
+	case FaultLoss:
+		k, err := lossKind(f.LossKind)
+		if err != nil {
+			return -1, err
+		}
+		r.net.Faults().SetLoss(k, f.LossRate, r.cfg.Seed+int64(k))
+		return -1, nil
+	case FaultPause:
+		v := r.victim
+		if f.PauseBroker >= 0 {
+			v = topology.NodeID(f.PauseBroker)
+		}
+		return v, nil // paused per-period inside runPhase
+	}
+	return -1, fmt.Errorf("scenario: unknown fault kind %q", f.Kind)
+}
+
+func (r *Runner) clearFault(f Fault) {
+	switch f.Kind {
+	case FaultPartition:
+		r.net.Faults().Heal()
+	case FaultLoss:
+		if k, err := lossKind(f.LossKind); err == nil {
+			r.net.Faults().SetLoss(k, 0, 0)
+		}
+	}
+}
+
+// churn subscribes n fresh subscriptions at seeded origins and retires
+// the n oldest churned ones, leaving the base population intact.
+func (r *Runner) churn(n int) error {
+	for i := 0; i < n; i++ {
+		id, err := r.net.Subscribe(topology.NodeID(r.rng.Intn(r.net.Len())),
+			r.gen.Subscription(), func(subid.ID, *schema.Event) {})
+		if err != nil {
+			return err
+		}
+		r.churned = append(r.churned, id)
+	}
+	// Retire the oldest churned subscriptions beyond the newest n: in
+	// steady state every period adds n and removes n.
+	for len(r.churned) > n {
+		if err := r.net.Unsubscribe(r.churned[0]); err != nil {
+			return err
+		}
+		r.churned = r.churned[1:]
+	}
+	return nil
+}
+
+// runPhase executes one phase: arm the fault, then per period churn,
+// publish, (pause-cycle), propagate, tick, evaluate.
+func (r *Runner) runPhase(idx int, p Phase, res *PhaseResult) error {
+	r.sampler.Mark("phase:" + p.Name)
+	r.rec.Record(flight.EvPhaseStart, -1, int64(idx), int64(p.Periods), 0, p.Name)
+	defer func() {
+		r.rec.Record(flight.EvPhaseEnd, -1, int64(idx), int64(res.Ticks), 0, p.Name)
+	}()
+
+	pauseVictim, err := r.applyFault(p.Fault)
+	if err != nil {
+		return err
+	}
+	defer r.clearFault(p.Fault)
+
+	outcomes := map[string]*ObjectiveOutcome{}
+	res.RecoveryTicks = -1
+	var lastBytes float64
+	if pt, ok := r.sampler.History().Latest("propagation_bytes"); ok {
+		lastBytes = pt.Value
+	}
+
+	for period := 0; period < p.Periods; period++ {
+		if pauseVictim >= 0 {
+			if err := r.net.Faults().Pause(pauseVictim); err != nil {
+				return err
+			}
+		}
+		if p.ChurnPerPeriod > 0 {
+			if err := r.churn(p.ChurnPerPeriod); err != nil {
+				return err
+			}
+		}
+		// Flush per event so each latency sample measures its own pipeline
+		// drain, not the backlog of the whole period's batch — the p99
+		// objective must not scale with EventsPerPeriod or churn load.
+		for e := 0; e < r.cfg.EventsPerPeriod; e++ {
+			if err := r.net.Publish(topology.NodeID(r.rng.Intn(r.net.Len())),
+				r.gen.Event(r.cfg.HitRate)); err != nil {
+				return err
+			}
+			r.net.Flush()
+		}
+		if p.SleepPerPeriod > 0 {
+			// In a pause phase this sleep happens while the victim's
+			// deliveries are parked: it becomes their latency floor.
+			time.Sleep(p.SleepPerPeriod)
+		}
+		if pauseVictim >= 0 {
+			if err := r.net.Faults().Resume(pauseVictim); err != nil {
+				return err
+			}
+			r.net.Flush()
+		}
+		if _, err := r.net.Propagate(); err != nil {
+			return err
+		}
+		r.net.Flush()
+		r.tick()
+		rep := r.monitor.EvalOnce()
+
+		anyBreach := false
+		for i := range rep.Verdicts {
+			v := &rep.Verdicts[i]
+			o := outcomes[v.Name]
+			if o == nil {
+				o = &ObjectiveOutcome{Name: v.Name, FirstBreach: -1, LastBreach: -1, MinBudget: 1}
+				outcomes[v.Name] = o
+			}
+			o.FinalState = string(v.State)
+			o.MaxFastBurn = maxf(o.MaxFastBurn, v.FastBurn)
+			o.MaxSlowBurn = maxf(o.MaxSlowBurn, v.SlowBurn)
+			o.MinBudget = minf(o.MinBudget, v.BudgetRemaining)
+			if v.State == slo.StateBreach {
+				anyBreach = true
+				o.BreachTicks++
+				if o.FirstBreach < 0 {
+					o.FirstBreach = period
+				}
+				o.LastBreach = period
+			}
+		}
+		if !anyBreach && res.RecoveryTicks < 0 {
+			res.RecoveryTicks = period
+		}
+		if pt, ok := r.sampler.History().Latest("propagation_bytes"); ok {
+			res.BytesPerPeriodMax = maxf(res.BytesPerPeriodMax, pt.Value-lastBytes)
+			lastBytes = pt.Value
+		}
+		res.Ticks++
+	}
+	// A churn storm is transient by definition: retire every churned
+	// subscription at phase end so the retraction deltas ship in the next
+	// phase's first propagation and full-sync sizes fall back to the base
+	// population instead of staying inflated forever.
+	if p.ChurnPerPeriod > 0 {
+		for _, id := range r.churned {
+			if err := r.net.Unsubscribe(id); err != nil {
+				return err
+			}
+		}
+		r.churned = r.churned[:0]
+	}
+
+	// Stable objective order: engine spec order via the final report.
+	if last := r.monitor.Last(); last != nil {
+		for i := range last.Verdicts {
+			if o := outcomes[last.Verdicts[i].Name]; o != nil {
+				res.Objectives = append(res.Objectives, *o)
+				if o.BreachTicks > 0 {
+					res.Breached = append(res.Breached, o.Name)
+				}
+			}
+		}
+	}
+	res.ControlErrors = controlErrors(p, res, r.cfg.RecoveryPeriods)
+	return nil
+}
+
+// controlErrors checks a phase's outcome against its declared
+// expectations.
+func controlErrors(p Phase, res *PhaseResult, recoveryPeriods int) []string {
+	var errs []string
+	observed := map[string]*ObjectiveOutcome{}
+	for i := range res.Objectives {
+		observed[res.Objectives[i].Name] = &res.Objectives[i]
+	}
+	if p.Recovery {
+		for _, o := range res.Objectives {
+			if o.BreachTicks > 0 && o.LastBreach >= recoveryPeriods {
+				errs = append(errs, fmt.Sprintf("%s still in breach at tick %d, past the %d-period recovery objective",
+					o.Name, o.LastBreach, recoveryPeriods))
+			}
+			if o.FinalState == string(slo.StateBreach) {
+				errs = append(errs, fmt.Sprintf("%s in breach at recovery-phase end", o.Name))
+			}
+		}
+		return errs
+	}
+	allowed := map[string]bool{}
+	for _, m := range p.MustBreach {
+		allowed[m] = true
+	}
+	for _, m := range p.MayBreach {
+		allowed[m] = true
+	}
+	if len(allowed) == 0 {
+		for _, o := range res.Objectives {
+			if o.BreachTicks > 0 {
+				errs = append(errs, fmt.Sprintf("clean phase breached %s (%d ticks)", o.Name, o.BreachTicks))
+			}
+		}
+		return errs
+	}
+	for _, m := range p.MustBreach {
+		if o := observed[m]; o == nil || o.BreachTicks == 0 {
+			errs = append(errs, fmt.Sprintf("expected breach of %s never happened", m))
+		}
+	}
+	for _, o := range res.Objectives {
+		if o.BreachTicks > 0 && !allowed[o.Name] {
+			errs = append(errs, fmt.Sprintf("unexpected breach of %s (%d ticks)", o.Name, o.BreachTicks))
+		}
+	}
+	return errs
+}
+
+// Run executes the script and evaluates every phase's control
+// expectations.
+func (r *Runner) Run(scriptName string, phases []Phase) (*Result, error) {
+	res := &Result{
+		Script:   scriptName,
+		Topology: r.cfg.Topology.Name(),
+		Brokers:  r.net.Len(),
+		Seed:     r.cfg.Seed,
+		Specs:    slo.DefaultSpecs(r.cfg.Targets),
+		Passed:   true,
+	}
+	for i, p := range phases {
+		pr := PhaseResult{
+			Name: p.Name, Index: i,
+			Fault: p.Fault, ChurnPerPeriod: p.ChurnPerPeriod, Recovery: p.Recovery,
+		}
+		if err := r.runPhase(i, p, &pr); err != nil {
+			return nil, fmt.Errorf("scenario: phase %q: %w", p.Name, err)
+		}
+		for _, e := range pr.ControlErrors {
+			res.ControlErrors = append(res.ControlErrors, fmt.Sprintf("phase %q: %s", p.Name, e))
+		}
+		res.Phases = append(res.Phases, pr)
+	}
+	res.Final = r.monitor.Last()
+	res.Passed = len(res.ControlErrors) == 0
+	return res, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,207 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/subsum/subsum/internal/flight"
+	"github.com/subsum/subsum/internal/slo"
+)
+
+// TestSmokeScriptControl is the fault-injection negative control: on
+// the smoke script, breaches appear only inside the injected partition
+// phase (staleness and delivery loss, exactly as declared), the
+// baseline stays clean, and the heal phase sheds every breach within
+// the recovery objective.
+func TestSmokeScriptControl(t *testing.T) {
+	cfg := DefaultConfig()
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	res, err := r.Run("smoke", SmokeScript(res24(t, r)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("control failed:\n%s", strings.Join(res.ControlErrors, "\n"))
+	}
+	if len(res.Phases) != 3 {
+		t.Fatalf("phases = %d", len(res.Phases))
+	}
+	base, part, heal := res.Phases[0], res.Phases[1], res.Phases[2]
+	if len(base.Breached) != 0 {
+		t.Fatalf("baseline breached %v", base.Breached)
+	}
+	wantBreach := map[string]bool{"convergence_staleness": true, "delivery_loss": true}
+	for name := range wantBreach {
+		found := false
+		for _, b := range part.Breached {
+			if b == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("partition phase did not breach %s (breached: %v)", name, part.Breached)
+		}
+	}
+	if heal.RecoveryTicks < 0 || heal.RecoveryTicks >= cfg.RecoveryPeriods {
+		t.Fatalf("recovery took %d ticks, objective %d", heal.RecoveryTicks, cfg.RecoveryPeriods)
+	}
+	if res.Final.Worst() == slo.StateBreach {
+		t.Fatalf("still in breach at run end: %v", res.Final.Breached())
+	}
+
+	// The telemetry surfaces carry the run: phase markers in the retained
+	// history, phase and SLO transition records in the journal.
+	hist := r.History()
+	marks := map[string]bool{}
+	for _, m := range hist.Markers {
+		marks[m.Label] = true
+	}
+	for _, want := range []string{"phase:baseline", "phase:partition", "phase:heal-partition"} {
+		if !marks[want] {
+			t.Fatalf("marker %q missing (have %v)", want, hist.Markers)
+		}
+	}
+	var starts, breaches, recovers int
+	for _, rec := range r.Flight().Records() {
+		switch rec.Type {
+		case flight.EvPhaseStart:
+			starts++
+		case flight.EvSLOBreach:
+			breaches++
+		case flight.EvSLORecover:
+			recovers++
+		}
+	}
+	if starts != 3 {
+		t.Fatalf("phase-start records = %d, want 3", starts)
+	}
+	if breaches == 0 || recovers == 0 {
+		t.Fatalf("journal transitions: %d breach / %d recover, want both > 0", breaches, recovers)
+	}
+}
+
+// res24 double-checks the runner built the expected topology before the
+// script hardcodes a 12|12 split.
+func res24(t *testing.T, r *Runner) int {
+	t.Helper()
+	if n := r.net.Len(); n != 24 {
+		t.Fatalf("default topology has %d brokers, smoke script expects 24", n)
+	}
+	return 24
+}
+
+// TestPauseLatencyBreach: parking the busiest relay behind a real
+// 100 ms sleep per period must push the windowed publish→deliver p99
+// over its 50 ms target, and the breach must clear after the resume.
+func TestPauseLatencyBreach(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock latency phase")
+	}
+	cfg := DefaultConfig()
+	script := []Phase{
+		{Name: "baseline", Periods: 6},
+		{
+			Name: "pause", Periods: 6,
+			Fault:          Fault{Kind: FaultPause, PauseBroker: -1},
+			SleepPerPeriod: 100 * time.Millisecond,
+			MustBreach:     []string{"publish_deliver_p99"},
+		},
+		{Name: "heal", Periods: 10, Recovery: true},
+	}
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	res, err := r.Run("pause", script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("control failed:\n%s", strings.Join(res.ControlErrors, "\n"))
+	}
+	for _, o := range res.Phases[1].Objectives {
+		if o.Name == "publish_deliver_p99" && o.BreachTicks == 0 {
+			t.Fatalf("latency objective never breached: %+v", o)
+		}
+	}
+}
+
+// TestControlErrors exercises the expectation checker in isolation.
+func TestControlErrors(t *testing.T) {
+	outcome := func(name string, breachTicks, last int, final string) ObjectiveOutcome {
+		first := -1
+		if breachTicks > 0 {
+			first = last - breachTicks + 1
+		}
+		return ObjectiveOutcome{Name: name, BreachTicks: breachTicks, FirstBreach: first, LastBreach: last, FinalState: final}
+	}
+	cases := []struct {
+		name    string
+		phase   Phase
+		res     PhaseResult
+		wantErr int
+	}{
+		{
+			name:  "clean phase clean",
+			phase: Phase{Name: "base"},
+			res:   PhaseResult{Objectives: []ObjectiveOutcome{outcome("a", 0, -1, "ok")}},
+		},
+		{
+			name:    "clean phase breached",
+			phase:   Phase{Name: "base"},
+			res:     PhaseResult{Objectives: []ObjectiveOutcome{outcome("a", 2, 5, "breach")}},
+			wantErr: 1,
+		},
+		{
+			name:  "must-breach satisfied",
+			phase: Phase{MustBreach: []string{"a"}},
+			res:   PhaseResult{Objectives: []ObjectiveOutcome{outcome("a", 3, 7, "breach")}},
+		},
+		{
+			name:    "must-breach missing",
+			phase:   Phase{MustBreach: []string{"a"}},
+			res:     PhaseResult{Objectives: []ObjectiveOutcome{outcome("a", 0, -1, "ok")}},
+			wantErr: 1,
+		},
+		{
+			name:    "unexpected extra breach",
+			phase:   Phase{MustBreach: []string{"a"}},
+			res:     PhaseResult{Objectives: []ObjectiveOutcome{outcome("a", 1, 2, "warn"), outcome("b", 1, 2, "breach")}},
+			wantErr: 1,
+		},
+		{
+			name:  "may-breach tolerated",
+			phase: Phase{MustBreach: []string{"a"}, MayBreach: []string{"b"}},
+			res:   PhaseResult{Objectives: []ObjectiveOutcome{outcome("a", 1, 2, "warn"), outcome("b", 1, 2, "ok")}},
+		},
+		{
+			name:  "recovery within objective",
+			phase: Phase{Recovery: true},
+			res:   PhaseResult{Objectives: []ObjectiveOutcome{outcome("a", 3, 5, "warn")}},
+		},
+		{
+			name:    "recovery overrun",
+			phase:   Phase{Recovery: true},
+			res:     PhaseResult{Objectives: []ObjectiveOutcome{outcome("a", 9, 9, "warn")}},
+			wantErr: 1,
+		},
+		{
+			name:    "recovery ends in breach",
+			phase:   Phase{Recovery: true},
+			res:     PhaseResult{Objectives: []ObjectiveOutcome{outcome("a", 3, 5, "breach")}},
+			wantErr: 1,
+		},
+	}
+	for _, tc := range cases {
+		errs := controlErrors(tc.phase, &tc.res, 8)
+		if len(errs) != tc.wantErr {
+			t.Errorf("%s: errors = %v, want %d", tc.name, errs, tc.wantErr)
+		}
+	}
+}

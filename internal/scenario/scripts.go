@@ -1,0 +1,82 @@
+package scenario
+
+import "time"
+
+// halves splits [0, n) into two consecutive halves for a partition
+// fault.
+func halves(n int) (a, b []int) {
+	for i := 0; i < n/2; i++ {
+		a = append(a, i)
+	}
+	for i := n / 2; i < n; i++ {
+		b = append(b, i)
+	}
+	return a, b
+}
+
+// DefaultScript is the full chaos sweep: a clean baseline, then each
+// fault family with its own recovery phase. Expectations per phase:
+//
+//   - partition: summary and event traffic crossing the cut is dropped,
+//     so convergence staleness crosses its bound AND event/deliver drops
+//     accrue — both objectives must breach.
+//   - summary loss: the overlay starves but events still flow and the
+//     loss objective only counts event/deliver traffic, so staleness
+//     must breach while delivery_loss must stay clean (it is not even
+//     listed as MayBreach).
+//   - pause: the busiest relay parks its traffic for a real 40 ms per
+//     period, so the windowed p99 must cross the 10 ms target.
+//   - churn storm: heavy subscribe/unsubscribe inflates propagation
+//     deltas past the bytes/period ceiling.
+//
+// Clean and recovery phases tolerate lingering slow-window WARNs but no
+// breaches past the recovery objective.
+func DefaultScript(brokers int) []Phase {
+	sideA, sideB := halves(brokers)
+	return []Phase{
+		{Name: "baseline", Periods: 8},
+		{
+			Name: "partition", Periods: 8,
+			Fault:      Fault{Kind: FaultPartition, SideA: sideA, SideB: sideB},
+			MustBreach: []string{"convergence_staleness", "delivery_loss"},
+			MayBreach:  []string{"delivery_precision"},
+		},
+		{Name: "heal-partition", Periods: 10, Recovery: true},
+		{
+			Name: "summary-loss", Periods: 8,
+			Fault:      Fault{Kind: FaultLoss, LossKind: "summary", LossRate: 1.0},
+			MustBreach: []string{"convergence_staleness"},
+		},
+		{Name: "heal-loss", Periods: 10, Recovery: true},
+		{
+			Name: "pause-relay", Periods: 8,
+			Fault:          Fault{Kind: FaultPause, PauseBroker: -1},
+			SleepPerPeriod: 100 * time.Millisecond,
+			MustBreach:     []string{"publish_deliver_p99"},
+		},
+		{Name: "heal-pause", Periods: 10, Recovery: true},
+		{
+			Name: "churn-storm", Periods: 8,
+			ChurnPerPeriod: 2500,
+			MustBreach:     []string{"bytes_per_period"},
+		},
+		{Name: "heal-churn", Periods: 10, Recovery: true},
+	}
+}
+
+// SmokeScript is the CI-sized cut: one partition/heal cycle around a
+// baseline, wall-clock-free (no sleeps, no pause phases), so it is
+// fully deterministic and fast enough to gate merges.
+func SmokeScript(brokers int) []Phase {
+	sideA, sideB := halves(brokers)
+	return []Phase{
+		{Name: "baseline", Periods: 8},
+		{
+			Name: "partition", Periods: 8,
+			Fault:      Fault{Kind: FaultPartition, SideA: sideA, SideB: sideB},
+			MustBreach: []string{"convergence_staleness", "delivery_loss"},
+			MayBreach:  []string{"delivery_precision"},
+		},
+		{Name: "heal-partition", Periods: 10, Recovery: true},
+	}
+}

@@ -1,0 +1,134 @@
+package slo
+
+import (
+	"testing"
+	"time"
+
+	"github.com/subsum/subsum/internal/flight"
+	"github.com/subsum/subsum/internal/metrics"
+)
+
+func TestDefaultSpecsValidate(t *testing.T) {
+	specs := DefaultSpecs(Targets{})
+	if len(specs) != 5 {
+		t.Fatalf("default specs = %d, want 5", len(specs))
+	}
+	if _, err := New(specs...); err != nil {
+		t.Fatalf("default specs invalid: %v", err)
+	}
+	custom := DefaultSpecs(Targets{StalenessPeriods: 9, FastWindow: 2, SlowWindow: 6})
+	for _, s := range custom {
+		if s.Name == "convergence_staleness" && s.Target != 9 {
+			t.Fatalf("staleness target = %v, want 9", s.Target)
+		}
+		if s.FastWindow != 2 || s.SlowWindow != 6 {
+			t.Fatalf("%s windows = %d/%d, want 2/6", s.Name, s.FastWindow, s.SlowWindow)
+		}
+	}
+}
+
+// TestMonitorTransitions: a monitor mirrors verdicts into gauges and
+// journals exactly one breach record on entry and one recover record on
+// exit — not one per burning tick.
+func TestMonitorTransitions(t *testing.T) {
+	h := newHarness(t)
+	g := h.reg.Gauge("staleness")
+	eng, err := New(Spec{
+		Name: "staleness", Kind: KindMax, Series: []string{"staleness"},
+		Op: OpLE, Target: 4, Budget: 0.5, FastWindow: 1, SlowWindow: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := flight.NewRecorder(1 << 14)
+	m := NewMonitor(eng, h.sampler, h.reg, rec)
+
+	g.Set(1)
+	h.tick()
+	if rep := m.EvalOnce(); rep.Worst() != StateOK {
+		t.Fatalf("clean tick: %s", rep.Worst())
+	}
+
+	// Two violating ticks: both windows burn → breach; a third stays in
+	// breach without a second journal record.
+	for i := 0; i < 3; i++ {
+		g.Set(99)
+		h.tick()
+		m.EvalOnce()
+	}
+	if rep := m.Last(); rep.Worst() != StateBreach {
+		t.Fatalf("sustained violation: %s", rep.Worst())
+	}
+	breaches, recovers := journalCounts(rec)
+	if breaches != 1 || recovers != 0 {
+		t.Fatalf("after breach: %d breach / %d recover records, want 1/0", breaches, recovers)
+	}
+
+	// Gauge mirrors reflect the breach.
+	if st := gaugeValue(t, h.reg, "slo_state{staleness}"); st != 2 {
+		t.Fatalf("slo_state gauge = %v", st)
+	}
+
+	// Recovery: clean ticks push both windows back under budget.
+	for i := 0; i < 3; i++ {
+		g.Set(1)
+		h.tick()
+		m.EvalOnce()
+	}
+	if rep := m.Last(); rep.Worst() != StateOK {
+		t.Fatalf("after recovery: %s", rep.Worst())
+	}
+	breaches, recovers = journalCounts(rec)
+	if breaches != 1 || recovers != 1 {
+		t.Fatalf("after recovery: %d breach / %d recover records, want 1/1", breaches, recovers)
+	}
+	if st := gaugeValue(t, h.reg, "slo_state{staleness}"); st != 0 {
+		t.Fatalf("slo_state gauge after recovery = %v", st)
+	}
+}
+
+func gaugeValue(t *testing.T, reg *metrics.Registry, name string) float64 {
+	t.Helper()
+	for _, s := range reg.Snapshot() {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	t.Fatalf("gauge %s not registered", name)
+	return 0
+}
+
+func journalCounts(rec *flight.Recorder) (breaches, recovers int) {
+	for _, r := range rec.Records() {
+		switch r.Type {
+		case flight.EvSLOBreach:
+			breaches++
+		case flight.EvSLORecover:
+			recovers++
+		}
+	}
+	return
+}
+
+// TestMonitorStartStop: the background loop evaluates at least once and
+// shuts down cleanly; nil registry and recorder are tolerated.
+func TestMonitorStartStop(t *testing.T) {
+	h := newHarness(t)
+	h.reg.Gauge("s").Set(1)
+	h.tick()
+	eng, err := New(Spec{Name: "x", Kind: KindMax, Series: []string{"s"}, Op: OpLE, Target: 4, Budget: 0.5, FastWindow: 1, SlowWindow: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(eng, h.sampler, nil, nil)
+	m.Start(10 * time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Last() == nil && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	m.Stop()
+	m.Stop() // idempotent
+	if m.Last() == nil {
+		t.Fatal("background monitor never evaluated")
+	}
+}

@@ -1,0 +1,334 @@
+package slo
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"github.com/subsum/subsum/internal/metrics"
+)
+
+// harness drives a sampler deterministically: mutate instruments, call
+// tick, evaluate.
+type harness struct {
+	reg     *metrics.Registry
+	sampler *metrics.Sampler
+	now     time.Time
+}
+
+func newHarness(t *testing.T, bucketFams ...string) *harness {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	s := metrics.NewSampler(reg, time.Second, 64)
+	if len(bucketFams) > 0 {
+		s.RetainBuckets(bucketFams...)
+	}
+	return &harness{reg: reg, sampler: s, now: time.Unix(1700000000, 0)}
+}
+
+func (h *harness) tick() {
+	h.now = h.now.Add(time.Second)
+	h.sampler.Tick(h.now)
+}
+
+func (h *harness) eval(t *testing.T, spec Spec) Verdict {
+	t.Helper()
+	eng, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := eng.Evaluate(h.sampler.History())
+	if len(rep.Verdicts) != 1 {
+		t.Fatalf("verdicts = %d, want 1", len(rep.Verdicts))
+	}
+	return rep.Verdicts[0]
+}
+
+func TestSpecValidation(t *testing.T) {
+	base := Spec{Name: "x", Kind: KindMax, Series: []string{"s"}, Op: OpLE, Target: 1, Budget: 0.1, FastWindow: 2, SlowWindow: 4}
+	bad := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.Budget = 0 },
+		func(s *Spec) { s.Budget = 1.5 },
+		func(s *Spec) { s.FastWindow = 0 },
+		func(s *Spec) { s.SlowWindow = 1 }, // < fast
+		func(s *Spec) { s.Op = "==" },
+		func(s *Spec) { s.Kind = "median" },
+		func(s *Spec) { s.Series = nil },
+		func(s *Spec) { s.Kind = KindRatio; s.Num = nil },
+		func(s *Spec) { s.Kind = KindQuantile; s.Quantile = 0 },
+	}
+	for i, mut := range bad {
+		s := base
+		mut(&s)
+		if _, err := New(s); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	if _, err := New(base); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+// TestMaxBurnStates walks one objective through OK → WARN (fast window
+// burning, slow not yet) → BREACH (both) → WARN (fresh ticks clean, slow
+// still burning) → OK.
+func TestMaxBurnStates(t *testing.T) {
+	h := newHarness(t)
+	g := h.reg.GaugeVec("staleness").With("7")
+	spec := Spec{
+		Name: "staleness", Kind: KindMax, Series: []string{"staleness"},
+		Op: OpLE, Target: 4, Budget: 0.5, FastWindow: 2, SlowWindow: 8,
+	}
+
+	for i := 0; i < 8; i++ {
+		g.Set(1)
+		h.tick()
+	}
+	if v := h.eval(t, spec); v.State != StateOK {
+		t.Fatalf("clean history: %s (fast %.2f slow %.2f)", v.State, v.FastBurn, v.SlowBurn)
+	}
+
+	// One violating tick: fast window = 1/2 violations / 0.5 budget = 1
+	// (burning); slow = 1/8 / 0.5 < 1.
+	g.Set(9)
+	h.tick()
+	v := h.eval(t, spec)
+	if v.State != StateWarn {
+		t.Fatalf("fresh burn: %s, want warn", v.State)
+	}
+	if v.SLI != 9 || v.Evidence.WorstValue != 9 || v.Evidence.WorstSeries != "staleness{7}" {
+		t.Fatalf("evidence = %+v, SLI = %v", v.Evidence, v.SLI)
+	}
+
+	// Keep violating until the slow window burns too.
+	for i := 0; i < 4; i++ {
+		g.Set(9)
+		h.tick()
+	}
+	if v := h.eval(t, spec); v.State != StateBreach {
+		t.Fatalf("sustained burn: %s, want breach (slow %.2f)", v.State, v.SlowBurn)
+	}
+
+	// Recovery: fast window clears first → WARN, then OK.
+	g.Set(1)
+	h.tick()
+	h.tick()
+	v = h.eval(t, spec)
+	if v.State != StateWarn {
+		t.Fatalf("fast recovered: %s, want warn (fast %.2f slow %.2f)", v.State, v.FastBurn, v.SlowBurn)
+	}
+	for i := 0; i < 6; i++ {
+		h.tick()
+	}
+	if v := h.eval(t, spec); v.State != StateOK {
+		t.Fatalf("full recovery: %s", v.State)
+	}
+}
+
+// TestSumDeltas: a sum-kind spec over counter deltas breaches only on
+// ticks where the counters actually moved, and sums across families.
+func TestSumDeltas(t *testing.T) {
+	h := newHarness(t)
+	a := h.reg.CounterVec("dropped").With("event")
+	b := h.reg.Counter("decode_errors")
+	spec := Spec{
+		Name: "loss", Kind: KindSum, Series: []string{"dropped", "decode_errors"},
+		Op: OpLE, Target: 0, Budget: 0.25, FastWindow: 2, SlowWindow: 4,
+	}
+
+	for i := 0; i < 4; i++ {
+		h.tick()
+	}
+	if v := h.eval(t, spec); v.State != StateOK {
+		t.Fatalf("no deltas: %s", v.State)
+	}
+
+	a.Add(3)
+	b.Add(2)
+	h.tick()
+	v := h.eval(t, spec)
+	if v.State != StateBreach {
+		t.Fatalf("loss tick: %s, want breach", v.State)
+	}
+	if v.SLI != 5 {
+		t.Fatalf("SLI = %v, want 5 (summed deltas)", v.SLI)
+	}
+}
+
+// TestRatioNoData: zero-denominator ticks carry no data — they neither
+// violate nor dilute the budget — and the ratio divides summed deltas.
+func TestRatioNoData(t *testing.T) {
+	h := newHarness(t)
+	hit := h.reg.Counter("hits")
+	miss := h.reg.Counter("misses")
+	spec := Spec{
+		Name: "precision", Kind: KindRatio,
+		Num: []string{"hits"}, Den: []string{"hits", "misses"},
+		Op: OpGE, Target: 0.5, Budget: 0.5, FastWindow: 2, SlowWindow: 6,
+	}
+
+	// Idle ticks: no traffic at all → no data → OK with zero data ticks.
+	for i := 0; i < 3; i++ {
+		h.tick()
+	}
+	v := h.eval(t, spec)
+	if v.State != StateOK || v.Evidence.DataTicks != 0 {
+		t.Fatalf("idle: state %s dataTicks %d", v.State, v.Evidence.DataTicks)
+	}
+
+	// Good tick: 8 hits, 2 misses → 0.8.
+	hit.Add(8)
+	miss.Add(2)
+	h.tick()
+	// Bad ticks: all misses.
+	for i := 0; i < 2; i++ {
+		miss.Add(5)
+		h.tick()
+	}
+	v = h.eval(t, spec)
+	if v.State != StateBreach {
+		t.Fatalf("precision collapse: %s (fast %.2f slow %.2f data %d)",
+			v.State, v.FastBurn, v.SlowBurn, v.Evidence.DataTicks)
+	}
+	if v.Evidence.DataTicks != 3 {
+		t.Fatalf("data ticks = %d, want 3 (idle ticks excluded)", v.Evidence.DataTicks)
+	}
+	if v.SLI != 0 {
+		t.Fatalf("SLI = %v, want 0", v.SLI)
+	}
+}
+
+// TestQuantileWindowed: the quantile indicator is computed from bucket
+// deltas, so it recovers the tick after a latency spike stops — unlike
+// the cumulative .p99 series, which stays poisoned.
+func TestQuantileWindowed(t *testing.T) {
+	h := newHarness(t, "lat")
+	bounds := []float64{0.001, 0.01, 0.1, 1}
+	hist := h.reg.Histogram("lat", bounds)
+	spec := Spec{
+		Name: "p99", Kind: KindQuantile, Series: []string{"lat"},
+		Quantile: 0.99, Buckets: bounds,
+		Op: OpLE, Target: 0.05, Budget: 0.5, FastWindow: 1, SlowWindow: 8,
+	}
+
+	// Fast ticks: everything under 1ms.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 100; j++ {
+			hist.Observe(0.0005)
+		}
+		h.tick()
+	}
+	v := h.eval(t, spec)
+	if v.State != StateOK {
+		t.Fatalf("fast traffic: %s (SLI %v)", v.State, v.SLI)
+	}
+	if v.SLI > 0.001 {
+		t.Fatalf("fast SLI = %v, want ≤ 0.001", v.SLI)
+	}
+
+	// Spike tick: all observations land in the 0.1–1 bucket.
+	for j := 0; j < 100; j++ {
+		hist.Observe(0.5)
+	}
+	h.tick()
+	v = h.eval(t, spec)
+	if v.SLI <= 0.1 {
+		t.Fatalf("spike SLI = %v, want > 0.1", v.SLI)
+	}
+	if v.FastBurn < 1 {
+		t.Fatalf("spike fast burn = %v, want ≥ 1", v.FastBurn)
+	}
+
+	// Recovery tick: fresh fast traffic. The windowed SLI must drop back
+	// immediately; the cumulative p99 would not.
+	for j := 0; j < 100; j++ {
+		hist.Observe(0.0005)
+	}
+	h.tick()
+	v = h.eval(t, spec)
+	if v.SLI > 0.001 {
+		t.Fatalf("post-spike SLI = %v — windowed quantile did not recover", v.SLI)
+	}
+	if cum, ok := h.sampler.History().Latest("lat.p99"); !ok || cum.Value <= 0.001 {
+		t.Fatalf("control: cumulative p99 = %v, expected it to stay poisoned > 0.001", cum.Value)
+	}
+}
+
+// TestQuantileIdleTicks: ticks with zero observations are no-data, not
+// violations.
+func TestQuantileIdleTicks(t *testing.T) {
+	h := newHarness(t, "lat")
+	bounds := []float64{0.001, 0.01}
+	hist := h.reg.Histogram("lat", bounds)
+	hist.Observe(0.0005)
+	spec := Spec{
+		Name: "p99", Kind: KindQuantile, Series: []string{"lat"},
+		Quantile: 0.99, Buckets: bounds,
+		Op: OpLE, Target: 0.005, Budget: 0.5, FastWindow: 1, SlowWindow: 4,
+	}
+	h.tick()
+	for i := 0; i < 3; i++ {
+		h.tick() // no observations
+	}
+	v := h.eval(t, spec)
+	if v.State != StateOK {
+		t.Fatalf("idle ticks: %s", v.State)
+	}
+	// Only the history's first tick has no delta baseline; the single
+	// observation landed before tick 1, so every retained tick is no-data.
+	if v.Evidence.DataTicks != 0 {
+		t.Fatalf("data ticks = %d, want 0", v.Evidence.DataTicks)
+	}
+}
+
+// TestReportAggregates: Worst and Breached summarize across verdicts,
+// and the report survives a JSON round-trip.
+func TestReportAggregates(t *testing.T) {
+	h := newHarness(t)
+	good := h.reg.Gauge("good")
+	bad := h.reg.Gauge("bad")
+	eng, err := New(
+		Spec{Name: "ok-one", Kind: KindMax, Series: []string{"good"}, Op: OpLE, Target: 10, Budget: 0.5, FastWindow: 1, SlowWindow: 2},
+		Spec{Name: "bad-one", Kind: KindMax, Series: []string{"bad"}, Op: OpLE, Target: 1, Budget: 0.5, FastWindow: 1, SlowWindow: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good.Set(5)
+	bad.Set(5)
+	for i := 0; i < 4; i++ {
+		h.tick()
+	}
+	rep := eng.Evaluate(h.sampler.History())
+	if rep.Worst() != StateBreach || rep.Breaches != 1 {
+		t.Fatalf("worst %s breaches %d", rep.Worst(), rep.Breaches)
+	}
+	if br := rep.Breached(); len(br) != 1 || br[0] != "bad-one" {
+		t.Fatalf("breached = %v", br)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Verdicts) != 2 || back.Verdicts[1].State != StateBreach {
+		t.Fatalf("round-trip lost verdicts: %+v", back)
+	}
+}
+
+// TestEvaluateNilHistory: a nil or empty history yields OK verdicts with
+// zero evidence, not panics.
+func TestEvaluateNilHistory(t *testing.T) {
+	eng, err := New(Spec{Name: "x", Kind: KindMax, Series: []string{"s"}, Op: OpLE, Target: 1, Budget: 0.1, FastWindow: 1, SlowWindow: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := eng.Evaluate(nil)
+	if rep.Verdicts[0].State != StateOK || rep.Verdicts[0].Evidence.WindowTicks != 0 {
+		t.Fatalf("nil history verdict = %+v", rep.Verdicts[0])
+	}
+}

@@ -1,0 +1,227 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/subsum/subsum/internal/core"
+	"github.com/subsum/subsum/internal/interval"
+	"github.com/subsum/subsum/internal/metrics"
+	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/slo"
+	"github.com/subsum/subsum/internal/topology"
+)
+
+// startSLOServer wires a full observability stack behind the wire
+// server: sampler with latency-bucket retention, engine on the default
+// specs, monitor serving the "slo" op.
+func startSLOServer(t *testing.T) (addr string, s *schema.Schema, sampler *metrics.Sampler, monitor *slo.Monitor) {
+	t.Helper()
+	s = schema.MustNew(
+		schema.Attribute{Name: "symbol", Type: schema.TypeString},
+		schema.Attribute{Name: "price", Type: schema.TypeFloat},
+	)
+	network, err := core.New(core.Config{
+		Topology: topology.Figure7Tree(),
+		Schema:   s,
+		Mode:     interval.Lossy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler = metrics.NewSampler(network.Metrics(), time.Second, 64)
+	sampler.RetainBuckets(slo.LatencyFamily)
+	eng, err := slo.New(slo.DefaultSpecs(slo.Targets{})...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitor = slo.NewMonitor(eng, sampler, network.Metrics(), nil)
+	srv := NewServer(network, s)
+	srv.SetSampler(sampler)
+	srv.SetSLO(monitor.Last)
+	addr, err = srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		network.Close()
+	})
+	return addr, s, sampler, monitor
+}
+
+// TestSLOOpEndToEnd drives real traffic over TCP, ticks the sampler,
+// evaluates the monitor, and asserts the slo reply carries one verdict
+// per default objective with coherent states and evidence.
+func TestSLOOpEndToEnd(t *testing.T) {
+	addr, _, sampler, monitor := startSLOServer(t)
+	var d deliveries
+	cl, err := Dial(addr, d.on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Before the first evaluation the op must fail loudly, not reply with
+	// an empty report.
+	if _, err := cl.SLO(); err == nil || !strings.Contains(err.Error(), "not evaluated") {
+		t.Fatalf("pre-evaluation slo error = %v", err)
+	}
+
+	if _, _, err := cl.Subscribe(0, "symbol = OTE"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Publish(1, "symbol=OTE price=8.40"); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1_750_000_000, 0)
+	for i := 0; i < 3; i++ {
+		now = now.Add(time.Second)
+		sampler.Tick(now)
+		monitor.EvalOnce()
+	}
+
+	rep, err := cl.SLO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Verdicts) != 5 {
+		t.Fatalf("verdicts = %d, want 5", len(rep.Verdicts))
+	}
+	seen := map[string]bool{}
+	for _, v := range rep.Verdicts {
+		seen[v.Name] = true
+		switch v.State {
+		case slo.StateOK, slo.StateWarn, slo.StateBreach:
+		default:
+			t.Fatalf("%s: bad state %q", v.Name, v.State)
+		}
+		if v.Evidence.WindowTicks == 0 {
+			t.Fatalf("%s: no evidence window after 3 ticks", v.Name)
+		}
+	}
+	for _, want := range []string{
+		"publish_deliver_p99", "convergence_staleness", "delivery_precision",
+		"delivery_loss", "bytes_per_period",
+	} {
+		if !seen[want] {
+			t.Fatalf("objective %s missing from wire report", want)
+		}
+	}
+	// The healthy single-publish run must not report loss or staleness.
+	for _, v := range rep.Verdicts {
+		if (v.Name == "delivery_loss" || v.Name == "convergence_staleness") && v.State != slo.StateOK {
+			t.Fatalf("healthy run: %s = %s", v.Name, v.State)
+		}
+	}
+}
+
+// TestSLOOpWithoutMonitor: a server with no monitor attached fails the
+// op with a diagnostic instead of an empty reply.
+func TestSLOOpWithoutMonitor(t *testing.T) {
+	addr, _ := startServer(t)
+	cl, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.SLO(); err == nil || !strings.Contains(err.Error(), "no slo monitor") {
+		t.Fatalf("slo without monitor: err = %v", err)
+	}
+}
+
+// rawExchange sends one line and decodes the next reply line.
+func rawExchange(t *testing.T, c net.Conn, line string) Response {
+	t.Helper()
+	if _, err := c.Write([]byte(line + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(c)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		t.Fatalf("no reply to %q: %v", line, sc.Err())
+	}
+	var resp Response
+	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+		t.Fatalf("undecodable reply %q: %v", sc.Bytes(), err)
+	}
+	return resp
+}
+
+// TestUnknownOpReply: an unknown op echoes the op back in a typed error
+// reply on the same connection.
+func TestUnknownOpReply(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp := rawExchange(t, c, `{"op":"frobnicate"}`)
+	if resp.Type != "reply" || resp.Op != "frobnicate" || !strings.Contains(resp.Error, "unknown op") {
+		t.Fatalf("unknown-op reply = %+v", resp)
+	}
+	// The connection stays usable.
+	if resp := rawExchange(t, c, `{"op":"ping"}`); resp.Error != "" {
+		t.Fatalf("connection dead after unknown op: %+v", resp)
+	}
+}
+
+// TestMalformedJSONReply: a non-JSON line gets a "bad request" error
+// reply and the connection survives.
+func TestMalformedJSONReply(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp := rawExchange(t, c, `{"op":`)
+	if resp.Type != "reply" || !strings.Contains(resp.Error, "bad request") {
+		t.Fatalf("malformed-json reply = %+v", resp)
+	}
+	if resp := rawExchange(t, c, `{"op":"ping"}`); resp.Error != "" {
+		t.Fatalf("connection dead after malformed json: %+v", resp)
+	}
+}
+
+// TestOversizedRequestReply: a request line past the server's 1 MiB
+// scanner limit draws an explanatory error reply before the connection
+// closes, instead of a silent hangup.
+func TestOversizedRequestReply(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	huge := `{"op":"publish","event":"` + strings.Repeat("x", 2<<20) + `"}`
+	if _, err := c.Write([]byte(huge + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(c)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		t.Fatalf("no reply to oversized request: %v", sc.Err())
+	}
+	var resp Response
+	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Error, "too large") {
+		t.Fatalf("oversized-request reply = %+v", resp)
+	}
+	// The server closes the connection afterwards (the stream is no
+	// longer line-aligned); the next read must hit EOF, not hang.
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if sc.Scan() {
+		t.Fatalf("unexpected extra reply after oversized request: %q", sc.Bytes())
+	}
+}

@@ -11,6 +11,7 @@
 //	{"op":"stats"}
 //	{"op":"history"}
 //	{"op":"convergence"}
+//	{"op":"slo"}
 //	{"op":"extend","attr":"newattr","attrtype":"float"}
 //	{"op":"ping"}
 //
@@ -36,6 +37,7 @@ import (
 	"github.com/subsum/subsum/internal/metrics"
 	"github.com/subsum/subsum/internal/netsim"
 	"github.com/subsum/subsum/internal/schema"
+	"github.com/subsum/subsum/internal/slo"
 	"github.com/subsum/subsum/internal/subid"
 	"github.com/subsum/subsum/internal/topology"
 )
@@ -70,6 +72,9 @@ type Response struct {
 	// Health carries the summary-health snapshot (convergence epoch
 	// vectors plus false-positive attribution) on convergence replies.
 	Health *core.HealthReport `json:"health,omitempty"`
+	// SLO carries the error-budget report (per-objective verdicts with
+	// burn rates and evidence) on slo replies.
+	SLO *slo.Report `json:"slo,omitempty"`
 }
 
 // Server exposes a core.Network over TCP.
@@ -77,7 +82,8 @@ type Server struct {
 	net     *core.Network
 	schema  *schema.Schema
 	ln      net.Listener
-	sampler *metrics.Sampler // nil unless SetSampler was called
+	sampler *metrics.Sampler   // nil unless SetSampler was called
+	sloFn   func() *slo.Report // nil unless SetSLO was called
 
 	mu    sync.Mutex
 	conns map[*conn]struct{}
@@ -112,6 +118,11 @@ func NewServer(network *core.Network, s *schema.Schema) *Server {
 // "history" op serves. The caller owns the sampler's lifecycle. Must be
 // called before Listen.
 func (srv *Server) SetSampler(s *metrics.Sampler) { srv.sampler = s }
+
+// SetSLO attaches the provider the "slo" op serves — typically
+// slo.Monitor.Last, so replies carry the monitor's most recent
+// evaluation without recomputing. Must be called before Listen.
+func (srv *Server) SetSLO(fn func() *slo.Report) { srv.sloFn = fn }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
 // returns the bound address. Serve loops run in background goroutines.
@@ -181,6 +192,12 @@ func (srv *Server) serve(cc *conn) {
 		if err := cc.send(resp); err != nil {
 			return
 		}
+	}
+	// A request line past the scanner's limit aborts the scan without an
+	// error reply; tell the client why its connection is going away
+	// instead of silently hanging its FIFO reply matching.
+	if errors.Is(scanner.Err(), bufio.ErrTooLong) {
+		_ = cc.send(Response{Type: "reply", Error: "request too large (limit 1 MiB)"})
 	}
 }
 
@@ -284,6 +301,16 @@ func (srv *Server) handle(cc *conn, req Request) Response {
 		return resp
 	case "convergence":
 		resp.Health = srv.net.Health()
+		return resp
+	case "slo":
+		if srv.sloFn == nil {
+			return fail(fmt.Errorf("no slo monitor attached"))
+		}
+		rep := srv.sloFn()
+		if rep == nil {
+			return fail(fmt.Errorf("slo monitor has not evaluated yet"))
+		}
+		resp.SLO = rep
 		return resp
 	default:
 		return fail(fmt.Errorf("unknown op %q", req.Op))
@@ -451,6 +478,20 @@ func (cl *Client) Health() (*core.HealthReport, error) {
 		return nil, errors.New("wire: empty convergence reply")
 	}
 	return resp.Health, nil
+}
+
+// SLO fetches the server's error-budget report: one verdict per
+// objective with burn rates, remaining budget, and evidence. Fails when
+// the server has no SLO monitor attached or it has not evaluated yet.
+func (cl *Client) SLO() (*slo.Report, error) {
+	resp, err := cl.roundTrip(Request{Op: "slo"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.SLO == nil {
+		return nil, errors.New("wire: empty slo reply")
+	}
+	return resp.SLO, nil
 }
 
 // ExtendSchema appends an attribute to the server's schema at runtime
